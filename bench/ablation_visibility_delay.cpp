@@ -1,0 +1,45 @@
+// Ablation — delayed transaction visibility.
+//
+// The paper notes (§5.3.5) that balanced tip growth "would also require
+// ideal network conditions, i.e. all new transactions are broadcasted
+// equally well among network participants". This ablation relaxes that
+// assumption: transactions become visible to other clients' walks only
+// `d` rounds after publication. Expectation: learning and specialization
+// degrade gracefully — stale tips mean staler averaged models, but the
+// accuracy bias still routes walks into the right cluster.
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+
+using namespace specdag;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Ablation — transaction visibility delay",
+                      "graceful degradation when broadcast is slow");
+  const std::size_t rounds = args.rounds ? args.rounds : 80;
+
+  auto csv = bench::open_csv(args, "ablation_visibility_delay",
+                             {"delay", "round", "accuracy"});
+
+  std::cout << "delay  late_accuracy  pureness  dag_size\n";
+  for (const std::size_t delay : {0u, 1u, 3u, 6u}) {
+    sim::ExperimentPreset preset = sim::fmnist_clustered_preset({args.seed, false});
+    preset.sim.visibility_delay_rounds = delay;
+    sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
+    double late = 0.0;
+    for (std::size_t round = 1; round <= rounds; ++round) {
+      const auto& record = simulator.run_round();
+      if (round > rounds - 10) late += record.mean_trained_accuracy();
+      if (round % 10 == 0) {
+        csv.row({std::to_string(delay), std::to_string(round),
+                 bench::fmt(record.mean_trained_accuracy())});
+      }
+    }
+    std::cout << delay << "      " << bench::fmt(late / 10.0) << "          "
+              << bench::fmt(simulator.approval_pureness().pureness) << "     "
+              << simulator.dag().size() << "\n";
+  }
+  std::cout << "\nShape check: accuracy and pureness decrease only mildly as the delay"
+               "\ngrows — the DAG tolerates slow broadcast.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared support for the figure/table reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (§5): it runs the corresponding experiment at reduced scale,
+// prints the measured series next to the paper's expected shape, and writes
+// a CSV under results/ for external plotting. All benches are deterministic
+// and accept an optional `--seed N` / `--rounds N` override.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace specdag::bench {
+
+struct BenchArgs {
+  std::uint64_t seed = 42;
+  std::size_t rounds = 0;  // 0 = use the experiment default
+  std::string out_dir = "results";
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::cerr << "missing value for " << flag << "\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (flag == "--seed") {
+        args.seed = std::strtoull(next().c_str(), nullptr, 10);
+      } else if (flag == "--rounds") {
+        args.rounds = std::strtoul(next().c_str(), nullptr, 10);
+      } else if (flag == "--out") {
+        args.out_dir = next();
+      } else if (flag == "--help" || flag == "-h") {
+        std::cout << "usage: bench [--seed N] [--rounds N] [--out DIR]\n";
+        std::exit(0);
+      } else if (flag.rfind("--benchmark", 0) == 0) {
+        // Tolerate google-benchmark-style flags so `for b in build/bench/*`
+        // sweeps can pass uniform arguments.
+        if (flag.find('=') == std::string::npos) (void)next();
+      } else {
+        std::cerr << "unknown flag " << flag << "\n";
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "==================================================================\n";
+  std::cout << id << "\n";
+  std::cout << "Paper claim: " << claim << "\n";
+  std::cout << "==================================================================\n";
+}
+
+inline std::string fmt(double v, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+// Opens results/<name>.csv (creating the directory) with the given header.
+inline CsvWriter open_csv(const BenchArgs& args, const std::string& name,
+                          const std::vector<std::string>& header) {
+  std::filesystem::create_directories(args.out_dir);
+  return CsvWriter(args.out_dir + "/" + name + ".csv", header);
+}
+
+}  // namespace specdag::bench

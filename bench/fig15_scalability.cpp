@@ -1,0 +1,72 @@
+// Figure 15 — time required for the biased random walk as the number of
+// concurrently active clients grows (5, 10, 20, 40), on the FMNIST author
+// split. Walks start at a transaction sampled 15-25 steps behind the tips
+// (Popov), exactly as in the paper's §5.3.5 setup, and model evaluations are
+// not cached across rounds so every walk pays its full evaluation cost.
+//
+// Paper shape: the per-walk duration differs only marginally across
+// concurrency levels — concurrency has little impact on the walk cost, so
+// the approach scales well. Absolute milliseconds are hardware- and
+// model-size-dependent; the claim is the flat trend.
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+#include "util/stats.hpp"
+
+using namespace specdag;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Figure 15 — random-walk duration vs concurrently active clients",
+                      "walk duration roughly flat in the number of active clients");
+  const std::size_t rounds = args.rounds ? args.rounds : 50;
+  const std::vector<std::size_t> active_counts = {5, 10, 20, 40};
+
+  auto csv = bench::open_csv(args, "fig15_scalability",
+                             {"active_clients", "round", "mean_walk_ms", "mean_evaluations",
+                              "dag_size"});
+
+  std::vector<double> mean_by_concurrency;
+  for (std::size_t active : active_counts) {
+    sim::ExperimentPreset preset = sim::fmnist_by_author_preset({args.seed, false});
+    // Need enough clients for the largest concurrency level.
+    data::SyntheticDigitsConfig data_config;
+    data_config.seed = args.seed;
+    data_config.num_clients = 60;
+    data_config.samples_per_client = 80;
+    preset.dataset = data::make_fmnist_by_author(data_config);
+    preset.sim.clients_per_round = active;
+    // Paper cost model: depth-sampled start, no cross-round evaluation cache.
+    preset.sim.client.walk_start = tipsel::WalkStart::kDepthSampled;
+    preset.sim.client.start_depth_min = 15;
+    preset.sim.client.start_depth_max = 25;
+    preset.sim.client.persistent_accuracy_cache = false;
+    sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
+
+    std::vector<double> walk_ms;
+    for (std::size_t round = 1; round <= rounds; ++round) {
+      const auto& record = simulator.run_round();
+      double evals = 0.0;
+      for (const auto& r : record.results) evals += static_cast<double>(r.walk_stats.evaluations);
+      evals /= static_cast<double>(record.results.size());
+      const double ms = 1e3 * record.mean_walk_seconds();
+      walk_ms.push_back(ms);
+      csv.row({std::to_string(active), std::to_string(round), bench::fmt(ms),
+               bench::fmt(evals, 1), std::to_string(simulator.dag().size())});
+    }
+    const Summary s = summarize(walk_ms);
+    mean_by_concurrency.push_back(s.mean);
+    std::cout << active << " active clients: mean walk " << bench::fmt(s.mean, 2)
+              << " ms (median " << bench::fmt(s.median, 2) << ", q3 " << bench::fmt(s.q3, 2)
+              << ")\n";
+  }
+
+  const double spread = *std::max_element(mean_by_concurrency.begin(),
+                                          mean_by_concurrency.end()) /
+                        std::max(1e-9, *std::min_element(mean_by_concurrency.begin(),
+                                                         mean_by_concurrency.end()));
+  std::cout << "\nmax/min mean walk duration across concurrency levels: "
+            << bench::fmt(spread, 2) << "x\n";
+  std::cout << "Shape check: the ratio should stay small (paper: marginal differences"
+               "\nbetween 5 and 40 active clients), indicating good scalability.\n";
+  return 0;
+}

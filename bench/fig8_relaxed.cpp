@@ -1,0 +1,55 @@
+// Figure 8 — relaxed FMNIST-clustered (15-20% foreign-cluster data per
+// client): accuracy per round for alpha in {0.1, 1, 10, 100}.
+//
+// Paper shape: the relaxation helps the model generalize faster, improving
+// the low-alpha curves; high-alpha still improves accuracy earlier, but the
+// gap between alphas narrows compared to the fully clustered dataset.
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+
+using namespace specdag;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Figure 8 — relaxed clusters (15-20% foreign data)",
+                      "alpha effect persists but is weaker than on the fully clustered dataset");
+  const std::size_t rounds = args.rounds ? args.rounds : 100;
+  const std::vector<double> alphas = {0.1, 1.0, 10.0, 100.0};
+
+  auto csv = bench::open_csv(args, "fig8_relaxed",
+                             {"dataset", "alpha", "round", "accuracy"});
+
+  // Run both datasets so the "weaker effect" claim is directly visible.
+  std::vector<double> gap_by_dataset;  // acc@20(alpha=100) - acc@20(alpha=0.1)
+  for (const bool relaxed : {false, true}) {
+    const char* name = relaxed ? "relaxed" : "clustered";
+    std::cout << "\n=== dataset: " << name << "\n";
+    double acc20_low = 0.0, acc20_high = 0.0;
+    for (double alpha : alphas) {
+      sim::ExperimentPreset preset = relaxed
+                                         ? sim::fmnist_relaxed_preset({args.seed, false})
+                                         : sim::fmnist_clustered_preset({args.seed, false});
+      preset.sim.client.alpha = alpha;
+      sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
+      double at20 = 0.0, at100 = 0.0;
+      for (std::size_t round = 1; round <= rounds; ++round) {
+        const auto& record = simulator.run_round();
+        csv.row({name, bench::fmt(alpha, 1), std::to_string(round),
+                 bench::fmt(record.mean_trained_accuracy())});
+        if (round == 20) at20 = record.mean_trained_accuracy();
+        at100 = record.mean_trained_accuracy();
+      }
+      std::cout << "alpha=" << alpha << "  acc@20=" << bench::fmt(at20)
+                << "  acc@final=" << bench::fmt(at100) << "\n";
+      if (alpha == alphas.front()) acc20_low = at20;
+      if (alpha == alphas.back()) acc20_high = at20;
+    }
+    gap_by_dataset.push_back(acc20_high - acc20_low);
+  }
+
+  std::cout << "\nEarly-accuracy gap (alpha=100 minus alpha=0.1, round 20):\n"
+            << "  clustered: " << bench::fmt(gap_by_dataset[0]) << "\n"
+            << "  relaxed:   " << bench::fmt(gap_by_dataset[1]) << "\n"
+            << "Shape check: the gap should shrink on the relaxed dataset.\n";
+  return 0;
+}

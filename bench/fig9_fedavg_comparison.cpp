@@ -1,0 +1,112 @@
+// Figure 9 — per-client accuracy distributions: FedAvg vs the Specializing
+// DAG on FMNIST-clustered, Poets, and CIFAR-100-like, grouped over 5
+// consecutive rounds. FedAvg is evaluated with the central aggregated model;
+// the DAG with the locally optimized (published) models.
+//
+// Paper shape: on FMNIST-clustered the DAG improves faster and with less
+// variance across clients (FedAvg cannot specialize); on Poets and CIFAR the
+// two reach similar accuracy — the central server can be removed without an
+// accuracy penalty.
+#include "bench_common.hpp"
+#include "fl/fed_server.hpp"
+#include "sim/experiment.hpp"
+#include "util/stats.hpp"
+
+using namespace specdag;
+
+namespace {
+
+struct GroupStats {
+  std::size_t round_group;  // starting round of the 5-round window
+  Summary summary;
+};
+
+std::vector<GroupStats> run_dag(sim::ExperimentPreset preset, std::size_t rounds) {
+  sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
+  std::vector<GroupStats> groups;
+  std::vector<double> window;
+  for (std::size_t round = 1; round <= rounds; ++round) {
+    const auto& record = simulator.run_round();
+    for (const auto& r : record.results) window.push_back(r.trained_eval.accuracy);
+    if (round % 5 == 0) {
+      groups.push_back({round - 4, summarize(window)});
+      window.clear();
+    }
+  }
+  return groups;
+}
+
+std::vector<GroupStats> run_fedavg(sim::ExperimentPreset preset, std::size_t rounds,
+                                   std::uint64_t seed) {
+  fl::FedServerConfig config;
+  config.train = preset.sim.client.train;
+  fl::FedServer server(preset.factory, config, Rng(seed));
+  std::vector<GroupStats> groups;
+  std::vector<double> window;
+  for (std::size_t round = 1; round <= rounds; ++round) {
+    const auto result = server.run_round(preset.dataset, preset.sim.clients_per_round);
+    for (const auto& e : result.client_evals) window.push_back(e.accuracy);
+    if (round % 5 == 0) {
+      groups.push_back({round - 4, summarize(window)});
+      window.clear();
+    }
+  }
+  return groups;
+}
+
+void print_and_record(const std::string& dataset, const std::string& algorithm,
+                      const std::vector<GroupStats>& groups, CsvWriter& csv) {
+  std::cout << "\n--- " << dataset << " / " << algorithm
+            << " (rounds: q1 / median / q3 over 5-round windows)\n";
+  for (const auto& g : groups) {
+    csv.row({dataset, algorithm, std::to_string(g.round_group), bench::fmt(g.summary.q1),
+             bench::fmt(g.summary.median), bench::fmt(g.summary.q3),
+             bench::fmt(g.summary.mean), bench::fmt(g.summary.stddev)});
+    if ((g.round_group - 1) % 20 == 0) {
+      std::cout << "rounds " << g.round_group << "+: " << bench::fmt(g.summary.q1) << " / "
+                << bench::fmt(g.summary.median) << " / " << bench::fmt(g.summary.q3) << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header(
+      "Figure 9 — FedAvg vs Specializing DAG, per-client accuracy distributions",
+      "DAG better on FMNIST-clustered; comparable on Poets and CIFAR");
+
+  auto csv = bench::open_csv(args, "fig9_fedavg_comparison",
+                             {"dataset", "algorithm", "round_group", "q1", "median", "q3",
+                              "mean", "stddev"});
+
+  struct Task {
+    std::string name;
+    std::function<sim::ExperimentPreset()> make;
+    std::size_t rounds;
+  };
+  const sim::PresetOptions options{args.seed, false};
+  const std::vector<Task> tasks = {
+      {"fmnist-clustered", [&] { return sim::fmnist_clustered_preset(options); },
+       args.rounds ? args.rounds : 100},
+      {"poets", [&] { return sim::poets_preset(options); }, args.rounds ? args.rounds : 60},
+      {"cifar100-like", [&] { return sim::cifar_preset(options); },
+       args.rounds ? args.rounds : 40},
+  };
+
+  for (const auto& task : tasks) {
+    const auto dag_groups = run_dag(task.make(), task.rounds);
+    print_and_record(task.name, "dag", dag_groups, csv);
+    const auto fed_groups = run_fedavg(task.make(), task.rounds, args.seed);
+    print_and_record(task.name, "fedavg", fed_groups, csv);
+
+    const double dag_final = dag_groups.back().summary.median;
+    const double fed_final = fed_groups.back().summary.median;
+    std::cout << "final median: dag " << bench::fmt(dag_final) << " vs fedavg "
+              << bench::fmt(fed_final) << "\n";
+  }
+  std::cout << "\nShape check: DAG median >= FedAvg median on fmnist-clustered; the two"
+               "\nwithin a few points of each other on poets and cifar.\n";
+  return 0;
+}

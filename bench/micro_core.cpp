@@ -1,0 +1,165 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the system:
+// dense/conv kernels, LSTM steps, weight averaging, model evaluation (the
+// per-step cost of the biased walk), tip selection, and Louvain.
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic_digits.hpp"
+#include "fl/evaluation.hpp"
+#include "metrics/client_graph.hpp"
+#include "metrics/community.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "sim/models.hpp"
+#include "tensor/ops.hpp"
+#include "tipsel/tip_selector.hpp"
+
+namespace {
+
+using namespace specdag;
+
+Tensor random_tensor(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = random_tensor({n, n}, rng);
+  const Tensor b = random_tensor({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  const Tensor input = random_tensor({8, 1, 16, 16}, rng);
+  Conv2dSpec spec{1, 16, 5, 1, 2};
+  const Tensor filters = random_tensor({16, 25}, rng);
+  const Tensor bias({16});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d_forward(input, filters, bias, spec));
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_DenseForwardBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Dense layer(256, 128);
+  layer.init_params(rng);
+  const Tensor input = random_tensor({10, 256}, rng);
+  for (auto _ : state) {
+    Tensor out = layer.forward(input, true);
+    benchmark::DoNotOptimize(layer.backward(out));
+  }
+}
+BENCHMARK(BM_DenseForwardBackward);
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  Rng rng(4);
+  nn::LSTM lstm(8, 24);
+  lstm.init_params(rng);
+  const Tensor input = random_tensor({10, 10, 8}, rng);
+  for (auto _ : state) {
+    Tensor out = lstm.forward(input, true);
+    benchmark::DoNotOptimize(lstm.backward(out));
+  }
+}
+BENCHMARK(BM_LstmForwardBackward);
+
+void BM_AverageWeights(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  nn::WeightVector a(n), b(n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform());
+  for (auto& v : b) v = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::average_weights(a, b));
+  }
+}
+BENCHMARK(BM_AverageWeights)->Arg(10'000)->Arg(1'000'000);
+
+// The unit cost of one walk step: evaluating a candidate model on a client's
+// local test data.
+void BM_WalkStepEvaluation(benchmark::State& state) {
+  data::SyntheticDigitsConfig config;
+  config.num_clients = 3;
+  config.samples_per_client = 100;
+  const auto ds = data::make_fmnist_clustered(config);
+  auto factory = sim::make_mlp_factory(shape_numel(ds.element_shape), 32, 10);
+  nn::Sequential model = factory();
+  Rng rng(6);
+  model.init_params(rng);
+  const nn::WeightVector weights = model.get_weights();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::evaluate_weights_on_test(model, weights, ds.clients[0]));
+  }
+}
+BENCHMARK(BM_WalkStepEvaluation);
+
+// Full accuracy-biased tip selection on a pre-built DAG of the given size.
+void BM_AccuracyTipSelection(benchmark::State& state) {
+  const auto dag_size = static_cast<std::size_t>(state.range(0));
+  dag::Dag dag(nn::WeightVector{0.5f});
+  Rng build_rng(7);
+  for (std::size_t i = 1; i < dag_size; ++i) {
+    const std::size_t parents_count = std::min<std::size_t>(2, dag.size());
+    const auto parent_idx = build_rng.sample_without_replacement(dag.size(), parents_count);
+    dag.add_transaction({parent_idx.begin(), parent_idx.end()},
+                        std::make_shared<const nn::WeightVector>(
+                            nn::WeightVector{static_cast<float>(build_rng.uniform())}),
+                        static_cast<int>(i % 10), i);
+  }
+  tipsel::AccuracyTipSelector selector(
+      10.0, tipsel::Normalization::kStandard,
+      [](const nn::WeightVector& w) { return static_cast<double>(w[0]); });
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select_tips(dag, 2, rng));
+  }
+}
+BENCHMARK(BM_AccuracyTipSelection)->Arg(100)->Arg(1000);
+
+void BM_Louvain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng build_rng(9);
+  metrics::ClientGraph graph(n);
+  for (std::size_t e = 0; e < n * 6; ++e) {
+    const std::size_t a = build_rng.index(n);
+    const std::size_t b = build_rng.index(n);
+    if (a != b) graph.add_weight(a, b, 1.0);
+  }
+  for (auto _ : state) {
+    Rng rng(10);
+    benchmark::DoNotOptimize(metrics::louvain(graph, rng));
+  }
+}
+BENCHMARK(BM_Louvain)->Arg(30)->Arg(100);
+
+void BM_CumulativeWeight(benchmark::State& state) {
+  const auto dag_size = static_cast<std::size_t>(state.range(0));
+  dag::Dag dag(nn::WeightVector{0.0f});
+  Rng build_rng(11);
+  for (std::size_t i = 1; i < dag_size; ++i) {
+    const std::size_t parents_count = std::min<std::size_t>(2, dag.size());
+    const auto parent_idx = build_rng.sample_without_replacement(dag.size(), parents_count);
+    dag.add_transaction({parent_idx.begin(), parent_idx.end()},
+                        std::make_shared<const nn::WeightVector>(nn::WeightVector{0.0f}),
+                        0, i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag.cumulative_weight(dag::kGenesisTx));
+  }
+}
+BENCHMARK(BM_CumulativeWeight)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

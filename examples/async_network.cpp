@@ -1,0 +1,66 @@
+// Asynchronous network example: no rounds, heterogeneous device speeds,
+// broadcast latency — the deployment regime the paper motivates. Also
+// demonstrates the DAG export: writes the final ledger as Graphviz DOT
+// (colored by ground-truth cluster) and JSONL for external analysis.
+//
+// Usage: async_network [steps] [latency] [dot_path]
+#include <cstdlib>
+#include <iostream>
+
+#include "dag/export.hpp"
+#include "data/synthetic_digits.hpp"
+#include "sim/async_simulator.hpp"
+#include "sim/models.hpp"
+
+int main(int argc, char** argv) {
+  using namespace specdag;
+  const std::size_t steps = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+  const double latency = argc > 2 ? std::strtod(argv[2], nullptr) : 0.3;
+  const std::string dot_path = argc > 3 ? argv[3] : "specdag.dot";
+
+  data::SyntheticDigitsConfig data_config;
+  data_config.num_clients = 15;
+  data_config.samples_per_client = 100;
+  data_config.image_size = 10;
+  const auto dataset = data::make_fmnist_clustered(data_config);
+  auto factory = sim::make_mlp_factory(shape_numel(dataset.element_shape), 24, 10);
+
+  sim::AsyncSimulatorConfig config;
+  config.client.train = {1, 10, 10, 0.05};
+  config.client.alpha = 10.0;
+  config.broadcast_latency = latency;
+
+  // Heterogeneous devices: a third fast, a third normal, a third slow.
+  std::vector<sim::AsyncClientProfile> profiles;
+  for (std::size_t i = 0; i < dataset.clients.size(); ++i) {
+    profiles.push_back({i % 3 == 0 ? 0.5 : i % 3 == 1 ? 1.0 : 2.0});
+  }
+
+  sim::AsyncDagSimulator simulator(dataset, factory, config, profiles);
+  std::cout << "Running " << steps << " asynchronous client steps (broadcast latency "
+            << latency << ")...\n";
+  const auto records = simulator.run_steps(steps);
+
+  std::cout << "virtual time elapsed: " << simulator.now() << "\n"
+            << "transactions in DAG:  " << simulator.dag().size() << "\n"
+            << "current tips:         " << simulator.dag().tips().size() << "\n"
+            << "approval pureness:    " << simulator.approval_pureness().pureness
+            << "  (random base would be 0.33)\n";
+
+  double late_acc = 0.0;
+  const std::size_t tail = records.size() / 4;
+  for (std::size_t i = records.size() - tail; i < records.size(); ++i) {
+    late_acc += records[i].result.trained_eval.accuracy;
+  }
+  std::cout << "late-phase accuracy:  " << late_acc / static_cast<double>(tail) << "\n";
+
+  dag::DotOptions options;
+  options.client_clusters = simulator.true_clusters();
+  dag::save_dot(dot_path, simulator.dag(), options);
+  dag::save_jsonl(dot_path + ".jsonl", simulator.dag());
+  std::cout << "\nWrote " << dot_path << " (render with `dot -Tsvg`) and " << dot_path
+            << ".jsonl.\nNodes are colored by ground-truth cluster: the colored lineages\n"
+               "that emerge are the paper's implicit specialization, here without any\n"
+               "round synchronization at all.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: the smallest complete Specializing-DAG program.
+//
+// Builds a synthetic clustered federated dataset, creates a DAG network,
+// lets every client take training steps (walk -> average -> train ->
+// publish-if-better), and prints how the accuracy of each client's
+// *personalized consensus model* evolves.
+//
+// Usage: quickstart [rounds]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/specializing_dag.hpp"
+#include "data/synthetic_digits.hpp"
+#include "sim/models.hpp"
+
+int main(int argc, char** argv) {
+  using namespace specdag;
+  const std::size_t rounds = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
+
+  // 1. A small clustered dataset: 9 clients in 3 clusters over digit groups
+  //    {0-3}, {4-6}, {7-9}. In a real deployment each client would hold its
+  //    own private data; here we synthesize all shards for the demo.
+  data::SyntheticDigitsConfig data_config;
+  data_config.num_clients = 9;
+  data_config.samples_per_client = 60;
+  const data::FederatedDataset dataset = data::make_fmnist_clustered(data_config);
+
+  // 2. The model every participant trains: a compact classifier from the
+  //    paper's FEMNIST model family.
+  nn::ModelFactory factory =
+      sim::make_mlp_factory(shape_numel(dataset.element_shape), 32, dataset.num_classes);
+
+  // 3. The DAG network: accuracy-biased tip selection with alpha = 10 (the
+  //    paper's sweet spot for clustered data).
+  fl::DagClientConfig config;
+  config.alpha = 10.0;
+  config.train = {/*local_epochs=*/1, /*local_batches=*/10, /*batch_size=*/10,
+                  /*learning_rate=*/0.05};
+  config.start_depth_min = 2;
+  config.start_depth_max = 6;
+  core::SpecializingDag net(factory, config, /*seed=*/7);
+
+  std::vector<int> handles;
+  for (const auto& client : dataset.clients) {
+    handles.push_back(net.register_client(&client));
+  }
+
+  // 4. Train: every client steps once per round.
+  std::cout << "round  mean_consensus_accuracy  dag_size\n";
+  nn::Sequential probe = factory();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (int h : handles) net.client_step(h, round);
+
+    double acc_sum = 0.0;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      const nn::WeightVector weights = net.consensus_weights(handles[i]);
+      acc_sum +=
+          fl::evaluate_weights_on_test(probe, weights, dataset.clients[i]).accuracy;
+    }
+    std::cout << round << "      " << acc_sum / static_cast<double>(handles.size()) << "      "
+              << net.dag().size() << "\n";
+  }
+
+  std::cout << "\nEach client converged to a consensus model specialized for its"
+               " cluster --\nsee examples/specialization_demo for the emerging"
+               " community structure.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "core/specializing_dag.hpp"
+
+#include <stdexcept>
+
+namespace specdag::core {
+namespace {
+
+nn::WeightVector make_genesis_weights(const nn::ModelFactory& factory, std::uint64_t seed) {
+  nn::Sequential model = factory();
+  Rng rng = Rng(seed).fork(0x6E6E);
+  model.init_params(rng);
+  return model.get_weights();
+}
+
+}  // namespace
+
+SpecializingDag::SpecializingDag(nn::ModelFactory factory, fl::DagClientConfig default_config,
+                                 std::uint64_t seed)
+    : factory_(std::move(factory)),
+      default_config_(default_config),
+      root_rng_(seed),
+      dag_(make_genesis_weights(factory_, seed)) {}
+
+int SpecializingDag::register_client(const data::ClientData* client_data) {
+  return register_client(client_data, default_config_);
+}
+
+int SpecializingDag::register_client(const data::ClientData* client_data,
+                                     const fl::DagClientConfig& config) {
+  const int handle = static_cast<int>(clients_.size());
+  Rng client_rng = root_rng_.fork(0xC0DE0000ULL + static_cast<std::uint64_t>(handle));
+  clients_.push_back(
+      std::make_unique<fl::DagClient>(client_data, factory_, config, client_rng));
+  return handle;
+}
+
+fl::DagClient& SpecializingDag::client(int handle) {
+  if (handle < 0 || static_cast<std::size_t>(handle) >= clients_.size()) {
+    throw std::out_of_range("SpecializingDag: unknown client handle");
+  }
+  return *clients_[static_cast<std::size_t>(handle)];
+}
+
+fl::DagRoundResult SpecializingDag::client_step(int handle, std::size_t round) {
+  return client(handle).run_round(dag_, round);
+}
+
+fl::DagRoundResult SpecializingDag::prepare(int handle) { return client(handle).prepare_round(dag_); }
+
+dag::TxId SpecializingDag::commit(int handle, const fl::DagRoundResult& result,
+                                  std::size_t round) {
+  return client(handle).commit_round(dag_, result, round);
+}
+
+dag::TxId SpecializingDag::consensus_reference(int handle) {
+  return client(handle).consensus_reference(dag_);
+}
+
+nn::WeightVector SpecializingDag::consensus_weights(int handle) {
+  return *dag_.weights(consensus_reference(handle));
+}
+
+void SpecializingDag::invalidate_client_cache(int handle) {
+  client(handle).invalidate_cache();
+}
+
+}  // namespace specdag::core

@@ -1,0 +1,67 @@
+// Public facade of the library: a Specializing DAG network.
+//
+// This is the API a downstream user programs against:
+//
+//   auto net = specdag::SpecializingDag(factory, config, seed);
+//   int me = net.register_client(&my_data);
+//   auto result = net.client_step(me, round);   // walk, average, train, publish
+//   auto weights = net.consensus_weights(me);   // my personalized consensus model
+//
+// Internally it owns the transaction DAG (genesis = the initial model) and
+// one fl::DagClient per registered participant. The round-based simulator
+// (sim::DagSimulator) and the examples are both thin layers over this class.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "fl/dag_client.hpp"
+
+namespace specdag::core {
+
+class SpecializingDag {
+ public:
+  // The genesis transaction holds freshly initialized weights drawn from
+  // `factory` with a deterministic RNG derived from `seed`.
+  SpecializingDag(nn::ModelFactory factory, fl::DagClientConfig default_config,
+                  std::uint64_t seed);
+
+  // Registers a participant. The pointed-to data must outlive this object.
+  // Returns the client handle. Pass a config to override the default (e.g.
+  // a malicious client using the random tip selector).
+  int register_client(const data::ClientData* client_data);
+  int register_client(const data::ClientData* client_data, const fl::DagClientConfig& config);
+
+  std::size_t num_clients() const { return clients_.size(); }
+
+  // One full step for a client: biased walks, averaging, local training,
+  // publish-if-better. Thread-safe across distinct handles.
+  fl::DagRoundResult client_step(int handle, std::size_t round);
+
+  // Split-phase API for simulators that model transaction visibility:
+  // all prepares of a round may run concurrently; commits are serialized.
+  fl::DagRoundResult prepare(int handle);
+  dag::TxId commit(int handle, const fl::DagRoundResult& result, std::size_t round);
+
+  // The client's personalized consensus model: the tip its biased walk
+  // converges to.
+  dag::TxId consensus_reference(int handle);
+  nn::WeightVector consensus_weights(int handle);
+
+  // Must be called for a client whose local data changed (e.g. poisoning).
+  void invalidate_client_cache(int handle);
+
+  const dag::Dag& dag() const { return dag_; }
+  dag::Dag& dag() { return dag_; }
+  fl::DagClient& client(int handle);
+
+ private:
+  nn::ModelFactory factory_;
+  fl::DagClientConfig default_config_;
+  Rng root_rng_;
+  dag::Dag dag_;
+  std::vector<std::unique_ptr<fl::DagClient>> clients_;
+};
+
+}  // namespace specdag::core

@@ -1,0 +1,179 @@
+#include "dag/dag.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace specdag::dag {
+
+Dag::Dag(nn::WeightVector initial_weights) {
+  Transaction genesis;
+  genesis.id = kGenesisTx;
+  genesis.weights = std::make_shared<const nn::WeightVector>(std::move(initial_weights));
+  genesis.publisher = -1;
+  genesis.round = 0;
+  transactions_.push_back(std::move(genesis));
+  tips_.insert(kGenesisTx);
+}
+
+const Transaction& Dag::tx_locked(TxId id) const {
+  if (id >= transactions_.size()) {
+    throw std::out_of_range("Dag: unknown transaction id " + std::to_string(id));
+  }
+  return transactions_[id];
+}
+
+TxId Dag::add_transaction(std::vector<TxId> parents, WeightsPtr weights, int publisher,
+                          std::size_t round, bool poisoned_publisher) {
+  if (parents.empty()) throw std::invalid_argument("Dag::add_transaction: no parents");
+  if (!weights) throw std::invalid_argument("Dag::add_transaction: null weights");
+  std::vector<TxId> sorted = parents;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("Dag::add_transaction: duplicate parents");
+  }
+
+  std::unique_lock lock(mutex_);
+  for (TxId p : parents) {
+    if (p >= transactions_.size()) {
+      throw std::invalid_argument("Dag::add_transaction: unknown parent " + std::to_string(p));
+    }
+  }
+  const TxId id = transactions_.size();
+  Transaction tx;
+  tx.id = id;
+  tx.parents = parents;
+  tx.weights = std::move(weights);
+  tx.publisher = publisher;
+  tx.round = round;
+  tx.poisoned_publisher = poisoned_publisher;
+  transactions_.push_back(std::move(tx));
+  for (TxId p : parents) {
+    children_[p].push_back(id);
+    tips_.erase(p);
+  }
+  tips_.insert(id);
+  return id;
+}
+
+std::size_t Dag::size() const {
+  std::shared_lock lock(mutex_);
+  return transactions_.size();
+}
+
+Transaction Dag::transaction(TxId id) const {
+  std::shared_lock lock(mutex_);
+  return tx_locked(id);
+}
+
+WeightsPtr Dag::weights(TxId id) const {
+  std::shared_lock lock(mutex_);
+  return tx_locked(id).weights;
+}
+
+std::vector<TxId> Dag::parents(TxId id) const {
+  std::shared_lock lock(mutex_);
+  return tx_locked(id).parents;
+}
+
+std::vector<TxId> Dag::children(TxId id) const {
+  std::shared_lock lock(mutex_);
+  tx_locked(id);  // bounds check
+  auto it = children_.find(id);
+  return it == children_.end() ? std::vector<TxId>{} : it->second;
+}
+
+bool Dag::is_tip(TxId id) const {
+  std::shared_lock lock(mutex_);
+  tx_locked(id);
+  return tips_.count(id) > 0;
+}
+
+std::vector<TxId> Dag::tips() const {
+  std::shared_lock lock(mutex_);
+  return {tips_.begin(), tips_.end()};
+}
+
+std::size_t Dag::cumulative_weight(TxId id) const {
+  std::shared_lock lock(mutex_);
+  tx_locked(id);
+  std::unordered_set<TxId> visited{id};
+  std::deque<TxId> frontier{id};
+  while (!frontier.empty()) {
+    const TxId cur = frontier.front();
+    frontier.pop_front();
+    auto it = children_.find(cur);
+    if (it == children_.end()) continue;
+    for (TxId child : it->second) {
+      if (visited.insert(child).second) frontier.push_back(child);
+    }
+  }
+  return visited.size();
+}
+
+std::vector<TxId> Dag::past_cone(TxId id) const {
+  std::shared_lock lock(mutex_);
+  tx_locked(id);
+  std::unordered_set<TxId> visited;
+  std::deque<TxId> frontier{id};
+  std::vector<TxId> cone;
+  while (!frontier.empty()) {
+    const TxId cur = frontier.front();
+    frontier.pop_front();
+    for (TxId p : transactions_[cur].parents) {
+      if (visited.insert(p).second) {
+        cone.push_back(p);
+        frontier.push_back(p);
+      }
+    }
+  }
+  return cone;
+}
+
+std::unordered_map<TxId, std::size_t> Dag::depths_from_tips() const {
+  std::shared_lock lock(mutex_);
+  std::unordered_map<TxId, std::size_t> depth;
+  std::deque<TxId> frontier;
+  for (TxId tip : tips_) {
+    depth[tip] = 0;
+    frontier.push_back(tip);
+  }
+  // BFS along parent edges assigns each node its minimum distance to a tip.
+  while (!frontier.empty()) {
+    const TxId cur = frontier.front();
+    frontier.pop_front();
+    const std::size_t d = depth[cur];
+    for (TxId p : transactions_[cur].parents) {
+      auto it = depth.find(p);
+      if (it == depth.end() || it->second > d + 1) {
+        depth[p] = d + 1;
+        frontier.push_back(p);
+      }
+    }
+  }
+  return depth;
+}
+
+TxId Dag::sample_walk_start(Rng& rng, std::size_t min_depth, std::size_t max_depth) const {
+  if (min_depth > max_depth) {
+    throw std::invalid_argument("Dag::sample_walk_start: min_depth > max_depth");
+  }
+  const auto depth = depths_from_tips();
+  std::vector<TxId> candidates;
+  for (const auto& [id, d] : depth) {
+    if (d >= min_depth && d <= max_depth) candidates.push_back(id);
+  }
+  if (candidates.empty()) return kGenesisTx;
+  // Sort for determinism: unordered_map iteration order is unspecified.
+  std::sort(candidates.begin(), candidates.end());
+  return candidates[rng.index(candidates.size())];
+}
+
+std::vector<TxId> Dag::all_ids() const {
+  std::shared_lock lock(mutex_);
+  std::vector<TxId> ids(transactions_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  return ids;
+}
+
+}  // namespace specdag::dag

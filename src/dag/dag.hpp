@@ -1,0 +1,83 @@
+// Append-only DAG of model-weight transactions (paper §4.1).
+//
+// The DAG starts from a genesis transaction holding the initial model
+// weights. New transactions approve >= 1 previous transactions (2 in the
+// paper). The structure maintains a children index (approvals in reverse,
+// the direction the random walk travels), the current tip set, and helpers
+// for depth-based walk starts and past-cone queries used by the evaluation.
+//
+// Thread safety: reads and writes are internally synchronized with a
+// shared_mutex; the simulator trains the active clients of a round in
+// parallel while they walk the same DAG.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dag/transaction.hpp"
+#include "util/rng.hpp"
+
+namespace specdag::dag {
+
+class Dag {
+ public:
+  // Creates the DAG with a genesis transaction carrying `initial_weights`.
+  explicit Dag(nn::WeightVector initial_weights);
+
+  Dag(const Dag&) = delete;
+  Dag& operator=(const Dag&) = delete;
+
+  // Appends a transaction approving `parents` (must exist, non-empty,
+  // duplicates rejected). Returns the new id.
+  TxId add_transaction(std::vector<TxId> parents, WeightsPtr weights, int publisher,
+                       std::size_t round, bool poisoned_publisher = false);
+
+  std::size_t size() const;
+
+  // Copy of the transaction record. Throws on unknown id.
+  Transaction transaction(TxId id) const;
+
+  // Payload access without copying the record.
+  WeightsPtr weights(TxId id) const;
+
+  std::vector<TxId> parents(TxId id) const;
+  std::vector<TxId> children(TxId id) const;
+  bool is_tip(TxId id) const;
+
+  // Current tips (transactions without approvals), unordered.
+  std::vector<TxId> tips() const;
+
+  // Number of transactions that directly or indirectly approve `id`,
+  // plus one for the transaction itself — the classic cumulative weight
+  // ("weight of transaction", Figure 3). Exact (BFS over the future cone).
+  std::size_t cumulative_weight(TxId id) const;
+
+  // All ids in the past cone of `id` (ancestors via approvals), excluding
+  // `id` itself. Used to count approved poisoned transactions (Figure 13).
+  std::vector<TxId> past_cone(TxId id) const;
+
+  // Depth of every transaction measured from the tip set: tips have depth 0
+  // and depth(x) = 1 + min over children. Genesis-only DAG: genesis depth 0.
+  std::unordered_map<TxId, std::size_t> depths_from_tips() const;
+
+  // Samples a walk-start transaction uniformly among those at depth in
+  // [min_depth, max_depth] from the tips (paper §5.3.5 / Popov: 15-25).
+  // Falls back to genesis when the DAG is shallower than min_depth.
+  TxId sample_walk_start(Rng& rng, std::size_t min_depth, std::size_t max_depth) const;
+
+  // All transaction ids in insertion order (genesis first).
+  std::vector<TxId> all_ids() const;
+
+ private:
+  const Transaction& tx_locked(TxId id) const;
+
+  mutable std::shared_mutex mutex_;
+  std::vector<Transaction> transactions_;  // id == index
+  std::unordered_map<TxId, std::vector<TxId>> children_;
+  std::unordered_set<TxId> tips_;
+};
+
+}  // namespace specdag::dag

@@ -1,0 +1,79 @@
+#include "dag/export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace specdag::dag {
+namespace {
+
+// Distinguishable fill colors for up to 10 clusters; wraps after that.
+const char* cluster_color(int cluster) {
+  static const char* kColors[] = {"#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3",
+                                  "#fdb462", "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd"};
+  if (cluster < 0) return "#ffffff";
+  return kColors[static_cast<std::size_t>(cluster) % 10];
+}
+
+}  // namespace
+
+void write_dot(std::ostream& out, const Dag& dag, const DotOptions& options) {
+  out << "digraph specdag {\n  rankdir=RL;\n  node [style=filled];\n";
+  for (TxId id : dag.all_ids()) {
+    const Transaction tx = dag.transaction(id);
+    out << "  t" << id << " [label=\"";
+    if (tx.is_genesis()) {
+      out << "genesis";
+    } else {
+      out << "c" << tx.publisher;
+      if (options.include_round_labels) out << "\\nr" << tx.round;
+    }
+    out << "\"";
+    int cluster = -1;
+    if (!tx.is_genesis() && !options.client_clusters.empty()) {
+      const auto publisher = static_cast<std::size_t>(tx.publisher);
+      if (publisher >= options.client_clusters.size()) {
+        throw std::invalid_argument("write_dot: publisher outside client_clusters");
+      }
+      cluster = options.client_clusters[publisher];
+    }
+    out << ", fillcolor=\"" << cluster_color(cluster) << "\"";
+    if (options.highlight_poisoned && tx.poisoned_publisher) out << ", shape=octagon";
+    out << "];\n";
+  }
+  for (TxId id : dag.all_ids()) {
+    for (TxId parent : dag.parents(id)) {
+      out << "  t" << id << " -> t" << parent << ";\n";
+    }
+  }
+  out << "}\n";
+  if (!out) throw std::runtime_error("write_dot: stream failure");
+}
+
+void save_dot(const std::string& path, const Dag& dag, const DotOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_dot: cannot open " + path);
+  write_dot(out, dag, options);
+}
+
+void write_jsonl(std::ostream& out, const Dag& dag) {
+  for (TxId id : dag.all_ids()) {
+    const Transaction tx = dag.transaction(id);
+    out << "{\"id\":" << id << ",\"parents\":[";
+    for (std::size_t i = 0; i < tx.parents.size(); ++i) {
+      if (i > 0) out << ",";
+      out << tx.parents[i];
+    }
+    out << "],\"publisher\":" << tx.publisher << ",\"round\":" << tx.round
+        << ",\"poisoned\":" << (tx.poisoned_publisher ? "true" : "false") << "}\n";
+  }
+  if (!out) throw std::runtime_error("write_jsonl: stream failure");
+}
+
+void save_jsonl(const std::string& path, const Dag& dag) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_jsonl: cannot open " + path);
+  write_jsonl(out, dag);
+}
+
+}  // namespace specdag::dag

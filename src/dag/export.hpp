@@ -1,0 +1,32 @@
+// DAG export for analysis and visualization: Graphviz DOT (with clients
+// colored by cluster) and JSON-lines transaction logs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dag/dag.hpp"
+
+namespace specdag::dag {
+
+struct DotOptions {
+  // Optional ground-truth cluster per client id; nodes are colored by it.
+  std::vector<int> client_clusters;
+  // Mark transactions from poisoned publishers with a distinct shape.
+  bool highlight_poisoned = true;
+  // Omit weight payload sizes (keeps files small).
+  bool include_round_labels = true;
+};
+
+// Writes the DAG in Graphviz DOT format (edges point from approving to
+// approved transaction, i.e. backwards in time like the paper's figures).
+void write_dot(std::ostream& out, const Dag& dag, const DotOptions& options = {});
+void save_dot(const std::string& path, const Dag& dag, const DotOptions& options = {});
+
+// One JSON object per line: {"id":..,"parents":[..],"publisher":..,
+// "round":..,"poisoned":..}. Payload weights are intentionally excluded.
+void write_jsonl(std::ostream& out, const Dag& dag);
+void save_jsonl(const std::string& path, const Dag& dag);
+
+}  // namespace specdag::dag

@@ -1,0 +1,37 @@
+// Transactions of the model DAG.
+//
+// Each node of the DAG ("transaction" in ledger terms, paper §1) carries a
+// full set of model weights plus the approvals (edges) to the transactions
+// whose averaged weights it was trained from. Payloads are shared immutable
+// vectors: averaging and walking never copy weights.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace specdag::dag {
+
+using TxId = std::uint64_t;
+inline constexpr TxId kInvalidTx = std::numeric_limits<TxId>::max();
+inline constexpr TxId kGenesisTx = 0;
+
+using WeightsPtr = std::shared_ptr<const nn::WeightVector>;
+
+struct Transaction {
+  TxId id = kInvalidTx;
+  std::vector<TxId> parents;  // approved transactions (empty only for genesis)
+  WeightsPtr weights;
+  int publisher = -1;         // client id; -1 for genesis
+  std::size_t round = 0;      // simulation round of publication
+  // Evaluation-only bookkeeping: whether the publisher trained on poisoned
+  // data. Never used by the consensus algorithms themselves.
+  bool poisoned_publisher = false;
+
+  bool is_genesis() const { return id == kGenesisTx; }
+};
+
+}  // namespace specdag::dag

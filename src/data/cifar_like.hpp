@@ -1,0 +1,42 @@
+// Synthetic stand-in for CIFAR-100 with superclass structure (paper §5.1.3).
+//
+// 20 superclasses x 5 subclasses = 100 fine labels. Each subclass prototype
+// is its superclass prototype plus a subclass-specific offset, so fine
+// classes within a superclass are more similar to each other than across
+// superclasses — the property the paper's clustering experiment depends on.
+//
+// Client allocation follows the Pachinko Allocation Method (PAM) as used by
+// TensorFlow Federated: per client, draw a Dirichlet over superclasses and a
+// Dirichlet over the subclasses of each superclass, then sample examples
+// without replacement from per-subclass pools, walking the root→super→sub
+// DAG for each draw. Clients therefore own data from several superclasses,
+// and their "true" cluster is defined (as in the paper) as the most common
+// superclass in their local data, with ties broken randomly.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace specdag::data {
+
+struct CifarLikeConfig {
+  std::size_t image_size = 10;         // square RGB images (paper: 32x32)
+  std::size_t num_superclasses = 20;
+  std::size_t subclasses_per_super = 5;
+  std::size_t num_clients = 94;        // paper: 94 clients
+  std::size_t samples_per_client = 100;
+  std::size_t pool_per_subclass = 160;  // examples generated per fine class
+  double root_concentration = 0.05;     // Dirichlet over superclasses
+  double sub_concentration = 10.0;      // Dirichlet over subclasses within a super
+  double noise_stddev = 0.08;
+  double test_fraction = 0.15;
+  std::uint64_t seed = 42;
+
+  std::size_t num_fine_classes() const { return num_superclasses * subclasses_per_super; }
+};
+
+// superclass id of a fine label.
+std::size_t superclass_of(const CifarLikeConfig& config, int fine_label);
+
+FederatedDataset make_cifar_like(const CifarLikeConfig& config);
+
+}  // namespace specdag::data

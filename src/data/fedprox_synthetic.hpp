@@ -1,0 +1,34 @@
+// The synthetic(alpha, beta) dataset from the FedProx paper (Li et al.,
+// "Federated Optimization in Heterogeneous Networks"), used by the paper's
+// Figures 10/11 comparison with alpha = beta = 0.5.
+//
+// Per client k:
+//   u_k ~ N(0, alpha)            controls model dissimilarity across clients
+//   B_k ~ N(0, beta)             controls feature dissimilarity across clients
+//   v_k[j] ~ N(B_k, 1)           per-dimension feature means
+//   x ~ N(v_k, Sigma)            Sigma = diag(j^-1.2)
+//   W_k ~ N(u_k, 1), b_k ~ N(u_k, 1)
+//   y = argmax(softmax(W_k x + b_k))
+// Sample counts per client follow a (clamped) lognormal, as in FedProx.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace specdag::data {
+
+struct FedProxSyntheticConfig {
+  double alpha = 0.5;
+  double beta = 0.5;
+  std::size_t dimension = 60;
+  std::size_t num_classes = 10;
+  std::size_t num_clients = 30;
+  std::size_t min_samples = 30;
+  std::size_t max_samples = 120;
+  double lognormal_sigma = 1.0;
+  double test_fraction = 0.1;
+  std::uint64_t seed = 42;
+};
+
+FederatedDataset make_fedprox_synthetic(const FedProxSyntheticConfig& config);
+
+}  // namespace specdag::data

@@ -1,0 +1,78 @@
+#include "data/poets.hpp"
+
+#include <stdexcept>
+
+namespace specdag::data {
+namespace {
+
+void check_config(const PoetsConfig& config) {
+  if (config.vocab_size < 2) throw std::invalid_argument("Poets: vocab too small");
+  if (config.seq_len == 0) throw std::invalid_argument("Poets: zero sequence length");
+  if (config.num_clients < 2) throw std::invalid_argument("Poets: need >= 2 clients");
+  if (config.samples_per_client < 2) {
+    throw std::invalid_argument("Poets: need >= 2 samples per client");
+  }
+  if (config.transition_concentration <= 0.0) {
+    throw std::invalid_argument("Poets: non-positive concentration");
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> make_language_model(const PoetsConfig& config, int language) {
+  check_config(config);
+  if (language < 0) throw std::invalid_argument("make_language_model: negative language id");
+  Rng rng = Rng(config.seed).fork(0x1A6000ULL + static_cast<std::uint64_t>(language));
+  std::vector<std::vector<double>> transitions;
+  transitions.reserve(config.vocab_size);
+  for (std::size_t c = 0; c < config.vocab_size; ++c) {
+    transitions.push_back(rng.dirichlet(config.vocab_size, config.transition_concentration));
+  }
+  return transitions;
+}
+
+FederatedDataset make_poets(const PoetsConfig& config) {
+  check_config(config);
+  const std::vector<std::vector<std::vector<double>>> languages = {
+      make_language_model(config, 0), make_language_model(config, 1)};
+
+  FederatedDataset ds;
+  ds.name = "poets";
+  ds.num_classes = config.vocab_size;  // next-char prediction over the alphabet
+  ds.num_clusters = 2;
+  ds.element_shape = {config.seq_len};
+
+  Rng root(config.seed);
+  for (std::size_t i = 0; i < config.num_clients; ++i) {
+    Rng rng = root.fork(0x90E70000ULL + i);
+    ClientData client;
+    client.client_id = static_cast<int>(i);
+    client.true_cluster = static_cast<int>(i % 2);
+    client.element_shape = ds.element_shape;
+    const auto& chain = languages[static_cast<std::size_t>(client.true_cluster)];
+
+    // Generate one long character stream per client, then slide a window
+    // over it — mirrors how LEAF windows the Shakespeare lines.
+    const std::size_t stream_len = config.samples_per_client + config.seq_len;
+    std::vector<int> stream;
+    stream.reserve(stream_len);
+    stream.push_back(static_cast<int>(rng.index(config.vocab_size)));
+    while (stream.size() < stream_len) {
+      const auto& row = chain[static_cast<std::size_t>(stream.back())];
+      stream.push_back(static_cast<int>(rng.weighted_index(row)));
+    }
+
+    for (std::size_t s = 0; s < config.samples_per_client; ++s) {
+      for (std::size_t t = 0; t < config.seq_len; ++t) {
+        client.train_x.push_back(static_cast<float>(stream[s + t]));
+      }
+      client.train_y.push_back(stream[s + config.seq_len]);
+    }
+    train_test_split(client, config.test_fraction, rng);
+    ds.clients.push_back(std::move(client));
+  }
+  ds.validate();
+  return ds;
+}
+
+}  // namespace specdag::data

@@ -1,0 +1,34 @@
+// Synthetic stand-in for the paper's Poets dataset (Shakespeare + Goethe,
+// §5.1.2): next-character prediction over two client populations whose text
+// statistics differ.
+//
+// We model each "language" as an order-1 Markov chain over a shared
+// character alphabet. The two chains are drawn from Dirichlet priors with
+// different seeds, so their bigram statistics differ the way English and
+// German do, while the alphabet (and hence the model) is shared. Each
+// example is a window of `seq_len` token ids whose target is the following
+// character — exactly the LEAF Shakespeare task shape.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace specdag::data {
+
+struct PoetsConfig {
+  std::size_t vocab_size = 24;       // shared alphabet
+  std::size_t seq_len = 10;          // paper: 80; reduced default for CPU benches
+  std::size_t num_clients = 20;      // split evenly across the two languages
+  std::size_t samples_per_client = 150;
+  double transition_concentration = 0.1;  // low = peaky, learnable bigrams
+  double test_fraction = 0.1;
+  std::uint64_t seed = 42;
+};
+
+// Row-stochastic transition matrix for one language (vocab x vocab).
+std::vector<std::vector<double>> make_language_model(const PoetsConfig& config,
+                                                     int language);
+
+// Two clusters: language 0 ("English-like") and language 1 ("German-like").
+FederatedDataset make_poets(const PoetsConfig& config);
+
+}  // namespace specdag::data

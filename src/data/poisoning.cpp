@@ -1,0 +1,48 @@
+#include "data/poisoning.hpp"
+
+#include <stdexcept>
+
+namespace specdag::data {
+namespace {
+
+std::size_t flip_in(std::vector<int>& labels, int class_a, int class_b) {
+  std::size_t changed = 0;
+  for (auto& y : labels) {
+    if (y == class_a) {
+      y = class_b;
+      ++changed;
+    } else if (y == class_b) {
+      y = class_a;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+std::size_t flip_labels(ClientData& client, int class_a, int class_b) {
+  if (class_a == class_b) throw std::invalid_argument("flip_labels: identical classes");
+  std::size_t changed = flip_in(client.train_y, class_a, class_b);
+  changed += flip_in(client.test_y, class_a, class_b);
+  client.poisoned = true;
+  return changed;
+}
+
+std::vector<int> poison_fraction(FederatedDataset& dataset, double p, int class_a, int class_b,
+                                 Rng& rng) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("poison_fraction: p outside [0,1]");
+  const std::size_t num_poisoned =
+      static_cast<std::size_t>(p * static_cast<double>(dataset.clients.size()));
+  std::vector<int> ids;
+  if (num_poisoned == 0) return ids;
+  const auto chosen = rng.sample_without_replacement(dataset.clients.size(), num_poisoned);
+  ids.reserve(chosen.size());
+  for (std::size_t idx : chosen) {
+    flip_labels(dataset.clients[idx], class_a, class_b);
+    ids.push_back(dataset.clients[idx].client_id);
+  }
+  return ids;
+}
+
+}  // namespace specdag::data

@@ -1,0 +1,24 @@
+// Flipped-label poisoning (paper §4.4, §5.3.4): an attacker manipulates the
+// dataset of a subset of clients by exchanging two class labels in both the
+// train and test partitions. Poisoned clients are unaware: they train and
+// evaluate against the forged labels, so their tip selection is steered by
+// poisoned accuracy — exactly the threat model of Schmid et al. adopted by
+// the paper.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace specdag::data {
+
+// Swaps labels `class_a` <-> `class_b` in train and test data of `client`
+// and marks it poisoned. Returns the number of labels changed.
+std::size_t flip_labels(ClientData& client, int class_a, int class_b);
+
+// Poisons floor(p * num_clients) clients, chosen deterministically via `rng`.
+// Returns the ids of the poisoned clients.
+std::vector<int> poison_fraction(FederatedDataset& dataset, double p, int class_a, int class_b,
+                                 Rng& rng);
+
+}  // namespace specdag::data

@@ -1,0 +1,50 @@
+// Synthetic stand-in for the FEMNIST handwriting dataset (see DESIGN.md §2).
+//
+// Each class is a smoothed random prototype image; samples are the prototype
+// plus per-sample jitter (Gaussian pixel noise and a small random shift).
+// The generator supports the paper's three FMNIST variants:
+//   * FMNIST-clustered: clients are synthetically clustered by class groups
+//     {0,1,2,3}, {4,5,6}, {7,8,9} (paper §5.1.1).
+//   * relaxed FMNIST-clustered: each cluster additionally contains 15–20%
+//     samples from foreign clusters (paper §5.3.1, Figure 8).
+//   * FMNIST by author: every client draws from all classes with a
+//     per-client Dirichlet class distribution, emulating the original
+//     author-level split (used by the poisoning and scalability experiments).
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace specdag::data {
+
+struct SyntheticDigitsConfig {
+  std::size_t image_size = 16;       // square, single channel
+  std::size_t num_classes = 10;
+  std::size_t num_clients = 30;
+  std::size_t samples_per_client = 60;
+  double noise_stddev = 0.25;
+  std::size_t max_shift = 2;         // random translation in pixels
+  double test_fraction = 0.1;        // paper: 90:10 split
+  // Relaxation: fraction of each client's samples drawn from foreign
+  // clusters, uniform in [relax_min, relax_max]. Zero disables relaxation.
+  double relax_min = 0.0;
+  double relax_max = 0.0;
+  std::uint64_t seed = 42;
+};
+
+// Class prototypes for the generator — exposed for tests (separability) and
+// for rendering examples.
+std::vector<std::vector<float>> make_digit_prototypes(const SyntheticDigitsConfig& config);
+
+// The paper's synthetic clustering into {0,1,2,3}, {4,5,6}, {7,8,9}.
+extern const std::vector<std::vector<int>> kFmnistClusterClasses;
+
+// FMNIST-clustered (relaxed when relax_max > 0). Clients are assigned to the
+// three clusters round-robin so each cluster holds num_clients/3 clients.
+FederatedDataset make_fmnist_clustered(const SyntheticDigitsConfig& config);
+
+// FMNIST "by author": no cluster structure; per-client Dirichlet class mix
+// with concentration `class_concentration` (lower = more skewed).
+FederatedDataset make_fmnist_by_author(const SyntheticDigitsConfig& config,
+                                       double class_concentration = 5.0);
+
+}  // namespace specdag::data

@@ -1,0 +1,46 @@
+// The paper's first §4.4 threat model: an attacker that submits transactions
+// with random model weights to waste peers' compute and, at high rates,
+// take over the consensus.
+//
+// A rational attacker of this kind "would likely not use the accuracy-aware
+// tip selection" (paper §4.4) — targeting its own poisoned subgraph would
+// limit the blast radius — so the attacker approves tips via the uniformly
+// random walk.
+#pragma once
+
+#include "dag/dag.hpp"
+#include "tipsel/tip_selector.hpp"
+
+namespace specdag::fl {
+
+struct RandomWeightAttackerConfig {
+  // Transactions injected per attack step.
+  std::size_t transactions_per_round = 1;
+  // Random weights are drawn from N(0, stddev), matching typical init scale
+  // so they are not trivially filtered by magnitude.
+  double weight_stddev = 0.1;
+  std::size_t num_parents = 2;
+};
+
+class RandomWeightAttacker {
+ public:
+  // `publisher_id` identifies the attacker's transactions; use an id outside
+  // the honest client range so evaluation metrics can separate them.
+  RandomWeightAttacker(int publisher_id, std::size_t model_size,
+                       RandomWeightAttackerConfig config, Rng rng);
+
+  // Publishes the configured number of random-weight transactions,
+  // approving tips chosen by a uniformly random walk. Returns the new ids.
+  std::vector<dag::TxId> attack(dag::Dag& dag, std::size_t round);
+
+  int publisher_id() const { return publisher_id_; }
+
+ private:
+  int publisher_id_;
+  std::size_t model_size_;
+  RandomWeightAttackerConfig config_;
+  Rng rng_;
+  tipsel::RandomTipSelector selector_;
+};
+
+}  // namespace specdag::fl

@@ -1,0 +1,128 @@
+#include "fl/dag_client.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace specdag::fl {
+
+DagClient::DagClient(const data::ClientData* client, nn::ModelFactory factory,
+                     DagClientConfig config, Rng rng)
+    : client_(client),
+      factory_(std::move(factory)),
+      config_(config),
+      rng_(rng),
+      model_(factory_()),
+      eval_model_(factory_()),
+      cache_(config.persistent_accuracy_cache ? std::make_shared<tipsel::AccuracyCache>()
+                                              : nullptr) {
+  if (client_ == nullptr) throw std::invalid_argument("DagClient: null client data");
+  if (config_.num_parents == 0) throw std::invalid_argument("DagClient: zero parents");
+  if (client_->num_test() == 0) {
+    throw std::invalid_argument("DagClient: client needs test data for the biased walk");
+  }
+  selector_ = make_selector();
+}
+
+double DagClient::evaluate_payload(const nn::WeightVector& weights) {
+  return evaluate_weights_on_test(eval_model_, weights, *client_).accuracy;
+}
+
+std::unique_ptr<tipsel::TipSelector> DagClient::make_selector() {
+  std::unique_ptr<tipsel::TipSelector> selector;
+  switch (config_.selector) {
+    case SelectorKind::kAccuracy:
+      selector = std::make_unique<tipsel::AccuracyTipSelector>(
+          config_.alpha, config_.normalization,
+          [this](const nn::WeightVector& w) { return evaluate_payload(w); }, cache_);
+      break;
+    case SelectorKind::kRandom:
+      selector = std::make_unique<tipsel::RandomTipSelector>();
+      break;
+    case SelectorKind::kWeighted:
+      selector = std::make_unique<tipsel::WeightedTipSelector>(config_.alpha);
+      break;
+  }
+  selector->set_walk_start(config_.walk_start);
+  selector->set_start_depth(config_.start_depth_min, config_.start_depth_max);
+  return selector;
+}
+
+void DagClient::invalidate_cache() {
+  if (cache_) cache_->clear();
+}
+
+dag::TxId DagClient::consensus_reference(const dag::Dag& dag) {
+  const std::size_t walks = std::max<std::size_t>(1, config_.reference_walks);
+  dag::TxId best = dag::kInvalidTx;
+  double best_accuracy = -1.0;
+  for (std::size_t w = 0; w < walks; ++w) {
+    const std::vector<dag::TxId> tips = selector_->select_tips(dag, 1, rng_);
+    const dag::TxId tip = tips.front();
+    if (walks == 1) return tip;
+    const double accuracy = evaluate_payload(*dag.weights(tip));
+    if (accuracy > best_accuracy) {
+      best_accuracy = accuracy;
+      best = tip;
+    }
+  }
+  return best;
+}
+
+DagRoundResult DagClient::prepare_round(const dag::Dag& dag) {
+  DagRoundResult result;
+  result.client_id = client_->client_id;
+
+  // 1. Biased random walk selects the tips to approve.
+  result.parents = selector_->select_tips(dag, config_.num_parents, rng_);
+  result.walk_stats = selector_->last_stats();
+
+  // 2. Average the selected models. (A single parent — duplicate walks — is
+  //    a plain continuation of that model.)
+  std::vector<dag::WeightsPtr> payloads;
+  std::vector<const nn::WeightVector*> ptrs;
+  for (dag::TxId tip : result.parents) {
+    payloads.push_back(dag.weights(tip));
+    ptrs.push_back(payloads.back().get());
+  }
+  nn::WeightVector averaged = nn::average_weights(ptrs);
+
+  // 3. Train the averaged model on local data.
+  model_.set_weights(averaged);
+  Rng train_rng = rng_.fork(0x7EA10000ULL + dag.size());
+  result.train_loss = train_local_sgd(model_, *client_, config_.train, train_rng);
+  result.trained_weights = std::make_shared<const nn::WeightVector>(model_.get_weights());
+  result.trained_eval =
+      evaluate_weights_on_test(eval_model_, *result.trained_weights, *client_);
+
+  // 4. Publish gate: compare against the consensus/reference model obtained
+  //    by another biased walk.
+  result.reference = consensus_reference(dag);
+  const tipsel::WalkStats ref_stats = selector_->last_stats();
+  result.walk_stats.steps += ref_stats.steps;
+  result.walk_stats.evaluations += ref_stats.evaluations;
+  result.walk_stats.seconds += ref_stats.seconds;
+  const dag::WeightsPtr ref_weights = dag.weights(result.reference);
+  result.reference_eval = evaluate_weights_on_test(eval_model_, *ref_weights, *client_);
+  return result;
+}
+
+dag::TxId DagClient::commit_round(dag::Dag& dag, const DagRoundResult& result,
+                                  std::size_t round) {
+  if (!result.trained_weights) {
+    throw std::logic_error("DagClient::commit_round: no prepared round");
+  }
+  if (config_.publish_gate && !result.passes_gate(config_.publish_if_equal)) {
+    return dag::kInvalidTx;
+  }
+  return dag.add_transaction(result.parents, result.trained_weights, client_->client_id,
+                             round, client_->poisoned);
+}
+
+DagRoundResult DagClient::run_round(dag::Dag& dag, std::size_t round) {
+  DagRoundResult result = prepare_round(dag);
+  result.published = commit_round(dag, result, round);
+  return result;
+}
+
+}  // namespace specdag::fl

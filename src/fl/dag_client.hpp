@@ -1,0 +1,117 @@
+// A Specializing-DAG client (paper §4, Figure 1). Each round the client:
+//   1. runs the biased random walk twice to select two tips,
+//   2. averages the two tip models,
+//   3. trains the averaged model on its local data,
+//   4. obtains a consensus/reference model via another biased walk and
+//      publishes its trained model only if it performs at least as well on
+//      the local test data.
+#pragma once
+
+#include <memory>
+
+#include "dag/dag.hpp"
+#include "data/dataset.hpp"
+#include "fl/evaluation.hpp"
+#include "fl/trainer.hpp"
+#include "tipsel/tip_selector.hpp"
+
+namespace specdag::fl {
+
+enum class SelectorKind {
+  kAccuracy,  // the paper's contribution
+  kRandom,    // "random tip selector" baseline (poisoning experiments)
+  kWeighted,  // classic cumulative-weight Tangle walk
+};
+
+struct DagClientConfig {
+  TrainConfig train;
+  SelectorKind selector = SelectorKind::kAccuracy;
+  double alpha = 10.0;
+  tipsel::Normalization normalization = tipsel::Normalization::kStandard;
+  std::size_t num_parents = 2;
+  // Where walks begin: at genesis (default — specialization emerges from the
+  // bias alone) or at a depth-sampled transaction 15-25 behind the tips
+  // (bounds the walk cost; used by the §5.3.5 scalability measurements).
+  tipsel::WalkStart walk_start = tipsel::WalkStart::kGenesis;
+  std::size_t start_depth_min = 15;
+  std::size_t start_depth_max = 25;
+  // Publish gate (paper §4.1). If disabled the client always publishes
+  // (ablation). `publish_if_equal` avoids stalling once accuracies saturate.
+  bool publish_gate = true;
+  bool publish_if_equal = true;
+  // Walks used to find the consensus/reference model: the best-performing
+  // tip (on local test data) of `reference_walks` independent walks. 1 is
+  // the paper's plain semantics; 3+ hardens the publish gate against
+  // attackers that shade tips with junk transactions (a single reference
+  // walk forced into junk would otherwise wave every update through).
+  std::size_t reference_walks = 1;
+  // Reuse model evaluations across rounds (safe: payloads and local data are
+  // immutable). Disable to reproduce the paper's walk-cost measurements.
+  bool persistent_accuracy_cache = true;
+};
+
+struct DagRoundResult {
+  int client_id = -1;
+  dag::TxId published = dag::kInvalidTx;   // kInvalidTx if the gate rejected
+  std::vector<dag::TxId> parents;          // the approved tips
+  dag::TxId reference = dag::kInvalidTx;   // consensus transaction used by the gate
+  dag::WeightsPtr trained_weights;         // payload of the prepared transaction
+  EvalResult trained_eval;                 // trained model on local test data
+  EvalResult reference_eval;               // reference model on local test data
+  double train_loss = 0.0;
+  tipsel::WalkStats walk_stats;            // aggregated over all walks this round
+
+  bool did_publish() const { return published != dag::kInvalidTx; }
+
+  // The publish gate's verdict (used by simulators that defer the commit,
+  // e.g. under delayed transaction visibility).
+  bool passes_gate(bool publish_if_equal) const {
+    return publish_if_equal ? trained_eval.accuracy >= reference_eval.accuracy
+                            : trained_eval.accuracy > reference_eval.accuracy;
+  }
+};
+
+class DagClient {
+ public:
+  // `client` must outlive the DagClient. The client trains a private model
+  // replica created by `factory`.
+  DagClient(const data::ClientData* client, nn::ModelFactory factory, DagClientConfig config,
+            Rng rng);
+
+  // Executes steps 1-4. Mutates only the client's own state; `publish` on
+  // the DAG happens through the returned result when the caller commits it
+  // (see commit_round), so a simulator can model transaction visibility.
+  DagRoundResult prepare_round(const dag::Dag& dag);
+
+  // Appends the prepared transaction to the DAG if the gate passed.
+  // Returns the published id (or kInvalidTx).
+  dag::TxId commit_round(dag::Dag& dag, const DagRoundResult& result, std::size_t round);
+
+  // Convenience: prepare + commit in one step (asynchronous deployment mode).
+  DagRoundResult run_round(dag::Dag& dag, std::size_t round);
+
+  // Invalidate cached model evaluations (required after the client's local
+  // data changes, e.g. a poisoning attack at round 100).
+  void invalidate_cache();
+
+  const data::ClientData& client() const { return *client_; }
+  const DagClientConfig& config() const { return config_; }
+
+  // Consensus model for this client: tip reached by its biased walk.
+  dag::TxId consensus_reference(const dag::Dag& dag);
+
+ private:
+  std::unique_ptr<tipsel::TipSelector> make_selector();
+  double evaluate_payload(const nn::WeightVector& weights);
+
+  const data::ClientData* client_;
+  nn::ModelFactory factory_;
+  DagClientConfig config_;
+  Rng rng_;
+  nn::Sequential model_;       // training replica
+  nn::Sequential eval_model_;  // separate replica so walks don't clobber training state
+  std::shared_ptr<tipsel::AccuracyCache> cache_;
+  std::unique_ptr<tipsel::TipSelector> selector_;
+};
+
+}  // namespace specdag::fl

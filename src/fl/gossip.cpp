@@ -1,0 +1,51 @@
+#include "fl/gossip.hpp"
+
+#include <stdexcept>
+
+namespace specdag::fl {
+
+GossipNetwork::GossipNetwork(const data::FederatedDataset* dataset, nn::ModelFactory factory,
+                             GossipConfig config, Rng rng)
+    : dataset_(dataset),
+      factory_(std::move(factory)),
+      config_(std::move(config)),
+      rng_(rng),
+      model_(factory_()) {
+  if (dataset_ == nullptr) throw std::invalid_argument("GossipNetwork: null dataset");
+  // All clients start from the same initialization (comparable to the
+  // genesis model of the DAG).
+  Rng init_rng = rng_.fork(0x6055);
+  model_.init_params(init_rng);
+  weights_.assign(dataset_->clients.size(), model_.get_weights());
+}
+
+const nn::WeightVector& GossipNetwork::client_weights(std::size_t idx) const {
+  if (idx >= weights_.size()) throw std::out_of_range("GossipNetwork: client index");
+  return weights_[idx];
+}
+
+std::vector<EvalResult> GossipNetwork::run_round(const std::vector<std::size_t>& active) {
+  if (active.empty()) throw std::invalid_argument("GossipNetwork: no active clients");
+  std::vector<EvalResult> evals;
+  evals.reserve(active.size());
+  for (std::size_t idx : active) {
+    if (idx >= weights_.size()) throw std::out_of_range("GossipNetwork: client index");
+    // Pull a random peer (not self) and merge by averaging.
+    std::size_t peer = idx;
+    if (weights_.size() > 1) {
+      do {
+        peer = rng_.index(weights_.size());
+      } while (peer == idx);
+    }
+    nn::WeightVector merged = nn::average_weights(weights_[idx], weights_[peer]);
+    model_.set_weights(merged);
+    Rng train_rng = rng_.fork(0x60551AULL + idx * 7919ULL);
+    train_local_sgd(model_, dataset_->clients[idx], config_.train, train_rng);
+    weights_[idx] = model_.get_weights();
+    evals.push_back(
+        evaluate_weights_on_test(model_, weights_[idx], dataset_->clients[idx]));
+  }
+  return evals;
+}
+
+}  // namespace specdag::fl

@@ -1,0 +1,39 @@
+// Gossip-learning baseline (paper §3.2): fully decentralized averaging
+// without a ledger. Each client keeps a private model; every round an active
+// client pulls the model of a uniformly random peer, averages it with its
+// own, and trains the result on local data. Used by the ablation benches to
+// contrast DAG-mediated against direct peer-to-peer model exchange.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "fl/evaluation.hpp"
+#include "fl/trainer.hpp"
+#include "nn/model.hpp"
+
+namespace specdag::fl {
+
+struct GossipConfig {
+  TrainConfig train;
+};
+
+class GossipNetwork {
+ public:
+  GossipNetwork(const data::FederatedDataset* dataset, nn::ModelFactory factory,
+                GossipConfig config, Rng rng);
+
+  // Runs one round: every client in `active` gossips and trains once.
+  // Returns the post-training local-test evaluation per active client.
+  std::vector<EvalResult> run_round(const std::vector<std::size_t>& active);
+
+  const nn::WeightVector& client_weights(std::size_t idx) const;
+
+ private:
+  const data::FederatedDataset* dataset_;
+  nn::ModelFactory factory_;
+  GossipConfig config_;
+  Rng rng_;
+  nn::Sequential model_;  // scratch replica
+  std::vector<nn::WeightVector> weights_;  // one model per client
+};
+
+}  // namespace specdag::fl

@@ -1,0 +1,44 @@
+#include "fl/trainer.hpp"
+
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace specdag::fl {
+
+double train_local(nn::Sequential& model, const data::ClientData& client,
+                   const TrainConfig& config, nn::Optimizer& optimizer, Rng& rng) {
+  if (client.num_train() == 0) throw std::invalid_argument("train_local: no training data");
+  if (config.local_epochs == 0 || config.local_batches == 0 || config.batch_size == 0) {
+    throw std::invalid_argument("train_local: zero epochs/batches/batch size");
+  }
+  double loss_sum = 0.0;
+  std::size_t batches_done = 0;
+  for (std::size_t epoch = 0; epoch < config.local_epochs; ++epoch) {
+    const std::vector<data::Batch> batches =
+        data::sample_batches(client.train_x, client.train_y, client.element_shape,
+                             config.batch_size, config.local_batches, rng);
+    for (const data::Batch& batch : batches) {
+      const Tensor logits = model.forward(batch.inputs, /*train=*/true);
+      nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.labels);
+      model.backward(loss.grad_logits);
+      if (config.freeze_prefix_params > 0) {
+        auto params = model.params();
+        const std::size_t frozen = std::min(config.freeze_prefix_params, params.size());
+        for (std::size_t p = 0; p < frozen; ++p) params[p].grad->fill(0.0f);
+      }
+      optimizer.step(model);
+      loss_sum += loss.loss;
+      ++batches_done;
+    }
+  }
+  return loss_sum / static_cast<double>(batches_done);
+}
+
+double train_local_sgd(nn::Sequential& model, const data::ClientData& client,
+                       const TrainConfig& config, Rng& rng) {
+  nn::Sgd sgd(config.learning_rate);
+  return train_local(model, client, config, sgd, rng);
+}
+
+}  // namespace specdag::fl

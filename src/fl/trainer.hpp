@@ -1,0 +1,33 @@
+// Local training loop shared by every algorithm (DAG clients, FedAvg,
+// FedProx, gossip). Matches the paper's Table 1 regime: a fixed number of
+// local batches per epoch — independent of the client's dataset size, "in
+// order to equalize the number of batches used for training per client".
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/optimizer.hpp"
+
+namespace specdag::fl {
+
+struct TrainConfig {
+  std::size_t local_epochs = 1;
+  std::size_t local_batches = 10;  // batches per epoch
+  std::size_t batch_size = 10;
+  double learning_rate = 0.05;
+  // Partial-layer training (the paper's future-work direction): the first
+  // `freeze_prefix_params` parameter tensors (in layer order) are frozen —
+  // their gradients are dropped before every optimizer step. 0 trains the
+  // full model. E.g. 2 freezes the first Dense layer's weight and bias.
+  std::size_t freeze_prefix_params = 0;
+};
+
+// Trains `model` in place on the client's train partition. Returns the mean
+// training loss across all processed batches.
+double train_local(nn::Sequential& model, const data::ClientData& client,
+                   const TrainConfig& config, nn::Optimizer& optimizer, Rng& rng);
+
+// Convenience overload constructing a plain SGD optimizer from the config.
+double train_local_sgd(nn::Sequential& model, const data::ClientData& client,
+                       const TrainConfig& config, Rng& rng);
+
+}  // namespace specdag::fl

@@ -1,0 +1,73 @@
+#include "metrics/client_graph.hpp"
+
+#include <stdexcept>
+
+namespace specdag::metrics {
+
+ClientGraph::ClientGraph(std::size_t num_clients) : n_(num_clients), w_(num_clients * num_clients, 0.0) {
+  if (num_clients == 0) throw std::invalid_argument("ClientGraph: zero clients");
+}
+
+void ClientGraph::check(std::size_t a, std::size_t b) const {
+  if (a >= n_ || b >= n_) throw std::out_of_range("ClientGraph: node index out of range");
+}
+
+double ClientGraph::weight(std::size_t a, std::size_t b) const {
+  check(a, b);
+  if (a == b) return 0.0;
+  return w_[a * n_ + b];
+}
+
+void ClientGraph::add_weight(std::size_t a, std::size_t b, double delta) {
+  check(a, b);
+  if (a == b) throw std::invalid_argument("ClientGraph: self-loops not supported");
+  if (delta < 0.0) throw std::invalid_argument("ClientGraph: negative weight delta");
+  w_[a * n_ + b] += delta;
+  w_[b * n_ + a] += delta;
+}
+
+double ClientGraph::degree(std::size_t a) const {
+  check(a, a);
+  double d = 0.0;
+  for (std::size_t b = 0; b < n_; ++b) d += w_[a * n_ + b];
+  return d;
+}
+
+double ClientGraph::total_weight() const {
+  double total = 0.0;
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t b = a + 1; b < n_; ++b) total += w_[a * n_ + b];
+  }
+  return total;
+}
+
+std::vector<std::size_t> ClientGraph::neighbors(std::size_t a) const {
+  check(a, a);
+  std::vector<std::size_t> nbrs;
+  for (std::size_t b = 0; b < n_; ++b) {
+    if (b != a && w_[a * n_ + b] > 0.0) nbrs.push_back(b);
+  }
+  return nbrs;
+}
+
+ClientGraph build_client_graph(const dag::Dag& dag, std::size_t num_clients) {
+  ClientGraph graph(num_clients);
+  for (dag::TxId id : dag.all_ids()) {
+    const dag::Transaction tx = dag.transaction(id);
+    if (tx.publisher < 0) continue;  // genesis
+    const auto a = static_cast<std::size_t>(tx.publisher);
+    // Publishers outside the known client range (e.g. external attackers)
+    // carry no community information; skip their edges.
+    if (a >= num_clients) continue;
+    for (dag::TxId parent : tx.parents) {
+      const dag::Transaction ptx = dag.transaction(parent);
+      if (ptx.publisher < 0) continue;  // approval of genesis
+      const auto b = static_cast<std::size_t>(ptx.publisher);
+      if (b >= num_clients) continue;
+      if (a != b) graph.add_weight(a, b, 1.0);
+    }
+  }
+  return graph;
+}
+
+}  // namespace specdag::metrics

@@ -1,0 +1,45 @@
+// The derived client graph G_clients (paper §4.3).
+//
+// Nodes are the (known, fixed) participating clients. The edge weight
+// between clients a and b is the number of transactions published by a that
+// directly approve a transaction of b, or vice versa. Genesis approvals and
+// self-approvals are excluded: they carry no information about communities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dag/dag.hpp"
+
+namespace specdag::metrics {
+
+// Dense symmetric weighted graph without self-loops.
+class ClientGraph {
+ public:
+  explicit ClientGraph(std::size_t num_clients);
+
+  std::size_t size() const { return n_; }
+
+  double weight(std::size_t a, std::size_t b) const;
+  void add_weight(std::size_t a, std::size_t b, double delta);
+
+  // Weighted degree of a node: sum of incident edge weights.
+  double degree(std::size_t a) const;
+
+  // Sum of edge weights over unordered pairs (the "m" of modularity).
+  double total_weight() const;
+
+  // Neighbours with non-zero edge weight.
+  std::vector<std::size_t> neighbors(std::size_t a) const;
+
+ private:
+  void check(std::size_t a, std::size_t b) const;
+
+  std::size_t n_;
+  std::vector<double> w_;  // row-major n x n, symmetric, zero diagonal
+};
+
+// Builds G_clients from the DAG's approval edges.
+ClientGraph build_client_graph(const dag::Dag& dag, std::size_t num_clients);
+
+}  // namespace specdag::metrics

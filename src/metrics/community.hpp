@@ -1,0 +1,45 @@
+// Community metrics over G_clients (paper §4.3):
+//   * Newman modularity of a partition, m ∈ [-1/2, 1].
+//   * Louvain community detection (Blondel et al. 2008) as the fast
+//     approximation of the modularity-optimal partitioning.
+//   * Misclassification fraction against the ground-truth clusters.
+#pragma once
+
+#include <vector>
+
+#include "metrics/client_graph.hpp"
+#include "util/rng.hpp"
+
+namespace specdag::metrics {
+
+// A partition assigns every client a community id; ids need not be compact.
+using Partition = std::vector<int>;
+
+// Newman-Girvan modularity of `partition` on `graph`. Returns 0 for a graph
+// without edges (no communities can be meaningful).
+double modularity(const ClientGraph& graph, const Partition& partition);
+
+struct LouvainResult {
+  Partition partition;   // compact community ids, one per client
+  double modularity = 0.0;
+  std::size_t num_communities = 0;
+  std::size_t levels = 0;  // aggregation levels performed
+};
+
+// Louvain: greedy local moves + graph aggregation until modularity stops
+// improving. `rng` shuffles the node visiting order (the algorithm's only
+// source of randomness); results are deterministic given the seed.
+LouvainResult louvain(const ClientGraph& graph, Rng& rng);
+
+// Fraction of clients that ended up in a community whose majority
+// ground-truth cluster differs from their own (paper §4.3). Clients in
+// single-member communities count as correctly classified only if they are
+// their community's majority (trivially true), matching the paper's
+// definition via relative majority.
+double misclassification_fraction(const Partition& partition,
+                                  const std::vector<int>& true_clusters);
+
+// Number of distinct communities in a partition.
+std::size_t count_communities(const Partition& partition);
+
+}  // namespace specdag::metrics

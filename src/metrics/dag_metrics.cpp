@@ -1,0 +1,54 @@
+#include "metrics/dag_metrics.hpp"
+
+#include <stdexcept>
+
+namespace specdag::metrics {
+
+PurenessResult approval_pureness(const dag::Dag& dag, const std::vector<int>& client_clusters) {
+  PurenessResult result;
+  for (dag::TxId id : dag.all_ids()) {
+    const dag::Transaction tx = dag.transaction(id);
+    if (tx.publisher < 0) continue;
+    // Publishers without a known cluster (external attackers) contribute no
+    // pureness information.
+    if (static_cast<std::size_t>(tx.publisher) >= client_clusters.size()) continue;
+    const int own_cluster = client_clusters[static_cast<std::size_t>(tx.publisher)];
+    for (dag::TxId parent : tx.parents) {
+      const dag::Transaction ptx = dag.transaction(parent);
+      if (ptx.publisher < 0) continue;
+      if (static_cast<std::size_t>(ptx.publisher) >= client_clusters.size()) continue;
+      ++result.total_edges;
+      if (client_clusters[static_cast<std::size_t>(ptx.publisher)] == own_cluster) {
+        ++result.pure_edges;
+      }
+    }
+  }
+  result.pureness = result.total_edges == 0
+                        ? 0.0
+                        : static_cast<double>(result.pure_edges) /
+                              static_cast<double>(result.total_edges);
+  return result;
+}
+
+double base_pureness(const std::vector<std::size_t>& cluster_sizes) {
+  if (cluster_sizes.empty()) throw std::invalid_argument("base_pureness: no clusters");
+  double total = 0.0;
+  for (std::size_t s : cluster_sizes) total += static_cast<double>(s);
+  if (total <= 0.0) throw std::invalid_argument("base_pureness: empty clusters");
+  double base = 0.0;
+  for (std::size_t s : cluster_sizes) {
+    const double share = static_cast<double>(s) / total;
+    base += share * share;
+  }
+  return base;
+}
+
+std::size_t approved_poisoned_count(const dag::Dag& dag, dag::TxId reference) {
+  std::size_t count = dag.transaction(reference).poisoned_publisher ? 1 : 0;
+  for (dag::TxId id : dag.past_cone(reference)) {
+    if (dag.transaction(id).poisoned_publisher) ++count;
+  }
+  return count;
+}
+
+}  // namespace specdag::metrics

@@ -1,0 +1,33 @@
+// DAG-level evaluation metrics:
+//   * approval pureness (paper §5.3.1, Table 2) — the fraction of approval
+//     edges connecting model updates from clients of the same cluster;
+//   * approved-poison counting (Figure 13) — how many poisoned transactions
+//     sit in the past cone of a reference transaction.
+#pragma once
+
+#include <vector>
+
+#include "dag/dag.hpp"
+
+namespace specdag::metrics {
+
+struct PurenessResult {
+  double pureness = 0.0;        // same-cluster fraction of approval edges
+  std::size_t total_edges = 0;  // edges between non-genesis transactions
+  std::size_t pure_edges = 0;
+};
+
+// `client_clusters[client_id]` is the ground-truth cluster of a client.
+// Approvals of genesis are ignored (no cluster information).
+PurenessResult approval_pureness(const dag::Dag& dag, const std::vector<int>& client_clusters);
+
+// Expected pureness for uniformly random approvals over `cluster_sizes`
+// clients per cluster: sum over clusters of (share)^2. Equal clusters give
+// the paper's 1/k base pureness.
+double base_pureness(const std::vector<std::size_t>& cluster_sizes);
+
+// Number of transactions in the past cone of `reference` (direct or indirect
+// approvals, the reference itself included) whose publisher was poisoned.
+std::size_t approved_poisoned_count(const dag::Dag& dag, dag::TxId reference);
+
+}  // namespace specdag::metrics

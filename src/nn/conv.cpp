@@ -1,0 +1,137 @@
+#include "nn/conv.hpp"
+
+#include "nn/init.hpp"
+
+namespace specdag::nn {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, bool same_padding)
+    : filters_({out_channels, in_channels * kernel * kernel}),
+      bias_({out_channels}),
+      grad_filters_({out_channels, in_channels * kernel * kernel}),
+      grad_bias_({out_channels}) {
+  if (in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0) {
+    throw std::invalid_argument("Conv2D: zero-sized configuration");
+  }
+  spec_.in_channels = in_channels;
+  spec_.out_channels = out_channels;
+  spec_.kernel = kernel;
+  spec_.stride = stride;
+  spec_.padding = same_padding ? (kernel - 1) / 2 : 0;
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4 || input.dim(1) != spec_.in_channels) {
+    throw std::invalid_argument("Conv2D::forward: expected NCHW with C=" +
+                                std::to_string(spec_.in_channels) + ", got " +
+                                shape_to_string(input.shape()));
+  }
+  if (train) {
+    cached_cols_ = im2col(input, spec_);
+    cached_input_shape_ = input.shape();
+    // Recompute the output from the cached columns to avoid a second im2col.
+    Tensor out_cols = matmul_transposed_b(cached_cols_, filters_);
+    add_row_bias(out_cols, bias_);
+    const std::size_t n = input.dim(0);
+    const std::size_t oh = spec_.out_dim(input.dim(2));
+    const std::size_t ow = spec_.out_dim(input.dim(3));
+    Tensor output({n, spec_.out_channels, oh, ow});
+    const std::size_t positions = oh * ow;
+    const float* po = out_cols.raw();
+    float* pr = output.raw();
+    for (std::size_t img = 0; img < n; ++img) {
+      for (std::size_t pos = 0; pos < positions; ++pos) {
+        for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+          pr[(img * spec_.out_channels + oc) * positions + pos] =
+              po[(img * positions + pos) * spec_.out_channels + oc];
+        }
+      }
+    }
+    return output;
+  }
+  return conv2d_forward(input, filters_, bias_, spec_);
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  if (cached_cols_.numel() == 0) {
+    throw std::logic_error("Conv2D::backward: no cached forward activation");
+  }
+  const std::size_t n = cached_input_shape_[0];
+  const std::size_t oh = spec_.out_dim(cached_input_shape_[2]);
+  const std::size_t ow = spec_.out_dim(cached_input_shape_[3]);
+  const std::size_t positions = oh * ow;
+  if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
+      grad_output.dim(1) != spec_.out_channels || grad_output.dim(2) != oh ||
+      grad_output.dim(3) != ow) {
+    throw std::invalid_argument("Conv2D::backward: grad shape mismatch");
+  }
+  // Rearrange grad NCHW -> [N*OH*OW, OC] to mirror the forward matmul.
+  Tensor grad_cols({n * positions, spec_.out_channels});
+  const float* pg = grad_output.raw();
+  float* pc = grad_cols.raw();
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+      for (std::size_t pos = 0; pos < positions; ++pos) {
+        pc[(img * positions + pos) * spec_.out_channels + oc] =
+            pg[(img * spec_.out_channels + oc) * positions + pos];
+      }
+    }
+  }
+  // dFilters += grad_cols^T @ cols ; dBias += colsum(grad_cols)
+  grad_filters_ += matmul_transposed_a(grad_cols, cached_cols_);
+  for (std::size_t r = 0; r < grad_cols.dim(0); ++r) {
+    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+      grad_bias_[oc] += grad_cols.at(r, oc);
+    }
+  }
+  // dInput = col2im(grad_cols @ filters)
+  Tensor dcols = matmul(grad_cols, filters_);
+  return col2im(dcols, cached_input_shape_, spec_);
+}
+
+std::vector<Param> Conv2D::params() {
+  return {{&filters_, &grad_filters_, "conv.filters"}, {&bias_, &grad_bias_, "conv.bias"}};
+}
+
+void Conv2D::init_params(Rng& rng) {
+  const std::size_t fan_in = spec_.in_channels * spec_.kernel * spec_.kernel;
+  const std::size_t fan_out = spec_.out_channels * spec_.kernel * spec_.kernel;
+  glorot_uniform(filters_, fan_in, fan_out, rng);
+  zero_init(bias_);
+}
+
+MaxPool2D::MaxPool2D(std::size_t size, std::size_t stride) : size_(size), stride_(stride) {
+  if (size == 0 || stride == 0) throw std::invalid_argument("MaxPool2D: zero size/stride");
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, bool train) {
+  MaxPoolResult result = maxpool2d_forward(input, size_, stride_);
+  if (train) {
+    cached_input_shape_ = input.shape();
+    cached_argmax_ = std::move(result.argmax);
+  }
+  return std::move(result.output);
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  if (cached_argmax_.empty()) {
+    throw std::logic_error("MaxPool2D::backward: no cached forward activation");
+  }
+  return maxpool2d_backward(grad_output, cached_input_shape_, cached_argmax_);
+}
+
+Tensor Flatten::forward(const Tensor& input, bool train) {
+  if (input.rank() < 2) throw std::invalid_argument("Flatten: input rank must be >= 2");
+  if (train) cached_input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  return input.reshaped({batch, input.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  if (cached_input_shape_.empty()) {
+    throw std::logic_error("Flatten::backward: no cached forward activation");
+  }
+  return grad_output.reshaped(cached_input_shape_);
+}
+
+}  // namespace specdag::nn

@@ -1,0 +1,51 @@
+#include "nn/dense.hpp"
+
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace specdag::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_({in_features, out_features}),
+      bias_({out_features}),
+      grad_weight_({in_features, out_features}),
+      grad_bias_({out_features}) {
+  if (in_ == 0 || out_ == 0) throw std::invalid_argument("Dense: zero-sized layer");
+}
+
+Tensor Dense::forward(const Tensor& input, bool train) {
+  if (input.rank() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("Dense::forward: expected [batch, " + std::to_string(in_) +
+                                "], got " + shape_to_string(input.shape()));
+  }
+  if (train) cached_input_ = input;
+  Tensor out = matmul(input, weight_);
+  add_row_bias(out, bias_);
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  if (cached_input_.numel() == 0) {
+    throw std::logic_error("Dense::backward: no cached forward activation");
+  }
+  // dW += x^T g ; db += colsum(g) ; dx = g W^T
+  grad_weight_ += matmul_transposed_a(cached_input_, grad_output);
+  const std::size_t batch = grad_output.dim(0);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t c = 0; c < out_; ++c) grad_bias_[c] += grad_output.at(r, c);
+  }
+  return matmul_transposed_b(grad_output, weight_);
+}
+
+std::vector<Param> Dense::params() {
+  return {{&weight_, &grad_weight_, "dense.weight"}, {&bias_, &grad_bias_, "dense.bias"}};
+}
+
+void Dense::init_params(Rng& rng) {
+  glorot_uniform(weight_, in_, out_, rng);
+  zero_init(bias_);
+}
+
+}  // namespace specdag::nn

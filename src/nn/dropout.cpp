@@ -1,0 +1,35 @@
+#include "nn/dropout.hpp"
+
+namespace specdag::nn {
+
+Dropout::Dropout(double rate, Rng rng) : rate_(rate), rng_(rng) {
+  if (rate < 0.0 || rate >= 1.0) throw std::invalid_argument("Dropout: rate outside [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  if (!train || rate_ == 0.0) return input;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  mask_.assign(input.numel(), 0.0f);
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (!rng_.bernoulli(rate_)) {
+      mask_[i] = keep_scale;
+      out[i] *= keep_scale;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (rate_ == 0.0) return grad_output;
+  if (mask_.size() != grad_output.numel()) {
+    throw std::logic_error("Dropout::backward: no matching cached mask");
+  }
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) grad[i] *= mask_[i];
+  return grad;
+}
+
+}  // namespace specdag::nn

@@ -1,0 +1,26 @@
+// Inverted dropout: active only in train mode, identity at inference.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace specdag::nn {
+
+class Dropout : public Layer {
+ public:
+  // `rate` is the drop probability in [0, 1). The layer owns a forked RNG so
+  // dropout masks are reproducible per layer instance.
+  Dropout(double rate, Rng rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  std::vector<float> mask_;  // scale factors of the last training forward
+};
+
+}  // namespace specdag::nn

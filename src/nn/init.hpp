@@ -1,0 +1,18 @@
+// Weight initializers. Glorot/Xavier uniform is the default for dense and
+// convolutional layers; orthogonal-ish scaled normal for recurrent kernels.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace specdag::nn {
+
+// U(-limit, limit) with limit = sqrt(6 / (fan_in + fan_out)).
+void glorot_uniform(Tensor& t, std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+// N(0, stddev).
+void normal_init(Tensor& t, double stddev, Rng& rng);
+
+void zero_init(Tensor& t);
+
+}  // namespace specdag::nn

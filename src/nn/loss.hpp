@@ -1,0 +1,32 @@
+// Softmax cross-entropy loss with fused gradient, plus classification
+// accuracy helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace specdag::nn {
+
+struct LossResult {
+  double loss = 0.0;     // mean over the batch
+  Tensor grad_logits;    // dL/dlogits, already divided by batch size
+};
+
+// logits [batch, classes], labels in [0, classes).
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+// Mean loss only (no gradient) — used during evaluation.
+double softmax_cross_entropy_loss(const Tensor& logits, const std::vector<int>& labels);
+
+// Row-wise softmax probabilities.
+Tensor softmax(const Tensor& logits);
+
+// argmax per row.
+std::vector<int> predict_classes(const Tensor& logits);
+
+// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace specdag::nn

@@ -1,0 +1,150 @@
+#include "nn/lstm.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace specdag::nn {
+
+LSTM::LSTM(std::size_t in_dim, std::size_t hidden)
+    : in_dim_(in_dim),
+      hidden_(hidden),
+      wx_({in_dim, 4 * hidden}),
+      wh_({hidden, 4 * hidden}),
+      b_({4 * hidden}),
+      grad_wx_({in_dim, 4 * hidden}),
+      grad_wh_({hidden, 4 * hidden}),
+      grad_b_({4 * hidden}) {
+  if (in_dim == 0 || hidden == 0) throw std::invalid_argument("LSTM: zero-sized layer");
+}
+
+Tensor LSTM::forward(const Tensor& input, bool train) {
+  if (input.rank() != 3 || input.dim(2) != in_dim_) {
+    throw std::invalid_argument("LSTM::forward: expected [batch, seq, " +
+                                std::to_string(in_dim_) + "], got " +
+                                shape_to_string(input.shape()));
+  }
+  const std::size_t batch = input.dim(0), seq = input.dim(1);
+  if (seq == 0) throw std::invalid_argument("LSTM::forward: empty sequence");
+  steps_.clear();
+  cached_input_shape_ = input.shape();
+
+  Tensor h({batch, hidden_});
+  Tensor c({batch, hidden_});
+  for (std::size_t t = 0; t < seq; ++t) {
+    // Slice x_t out of the contiguous [batch, seq, in] tensor.
+    Tensor x({batch, in_dim_});
+    for (std::size_t bidx = 0; bidx < batch; ++bidx) {
+      const float* src = input.raw() + (bidx * seq + t) * in_dim_;
+      std::copy(src, src + in_dim_, x.raw() + bidx * in_dim_);
+    }
+    Tensor pre = matmul(x, wx_);
+    pre += matmul(h, wh_);
+    add_row_bias(pre, b_);
+    // Apply gate nonlinearities in place: sigmoid for i/f/o, tanh for g.
+    Tensor gates = pre;
+    for (std::size_t bidx = 0; bidx < batch; ++bidx) {
+      float* row = gates.raw() + bidx * 4 * hidden_;
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        row[j] = sigmoidf(row[j]);                           // i
+        row[hidden_ + j] = sigmoidf(row[hidden_ + j]);       // f
+        row[2 * hidden_ + j] = tanhf_(row[2 * hidden_ + j]); // g
+        row[3 * hidden_ + j] = sigmoidf(row[3 * hidden_ + j]);  // o
+      }
+    }
+    Tensor c_next({batch, hidden_});
+    Tensor h_next({batch, hidden_});
+    for (std::size_t bidx = 0; bidx < batch; ++bidx) {
+      const float* grow = gates.raw() + bidx * 4 * hidden_;
+      const float* crow = c.raw() + bidx * hidden_;
+      float* cn = c_next.raw() + bidx * hidden_;
+      float* hn = h_next.raw() + bidx * hidden_;
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const float i = grow[j], f = grow[hidden_ + j], g = grow[2 * hidden_ + j],
+                    o = grow[3 * hidden_ + j];
+        cn[j] = f * crow[j] + i * g;
+        hn[j] = o * tanhf_(cn[j]);
+      }
+    }
+    if (train) {
+      steps_.push_back({std::move(x), h, c, std::move(gates), c_next});
+    }
+    h = std::move(h_next);
+    c = std::move(c_next);
+  }
+  return h;
+}
+
+Tensor LSTM::backward(const Tensor& grad_output) {
+  if (steps_.empty()) throw std::logic_error("LSTM::backward: no cached forward pass");
+  const std::size_t batch = cached_input_shape_[0], seq = cached_input_shape_[1];
+  if (grad_output.rank() != 2 || grad_output.dim(0) != batch || grad_output.dim(1) != hidden_) {
+    throw std::invalid_argument("LSTM::backward: grad shape mismatch");
+  }
+  Tensor grad_input(cached_input_shape_);
+  Tensor dh = grad_output;        // dL/dh_t flowing backwards
+  Tensor dc({batch, hidden_});    // dL/dc_t
+
+  for (std::size_t ti = seq; ti-- > 0;) {
+    const StepCache& st = steps_[ti];
+    // Gate gradients: gates are (i, f, g, o) post-activation.
+    Tensor dgates({batch, 4 * hidden_});
+    for (std::size_t bidx = 0; bidx < batch; ++bidx) {
+      const float* grow = st.gates.raw() + bidx * 4 * hidden_;
+      const float* crow = st.c.raw() + bidx * hidden_;
+      const float* cprev = st.c_prev.raw() + bidx * hidden_;
+      const float* dhrow = dh.raw() + bidx * hidden_;
+      float* dcrow = dc.raw() + bidx * hidden_;
+      float* dgrow = dgates.raw() + bidx * 4 * hidden_;
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const float i = grow[j], f = grow[hidden_ + j], g = grow[2 * hidden_ + j],
+                    o = grow[3 * hidden_ + j];
+        const float tc = tanhf_(crow[j]);
+        // h = o * tanh(c): contributions into o and c.
+        const float do_ = dhrow[j] * tc;
+        const float dc_total = dcrow[j] + dhrow[j] * o * (1.0f - tc * tc);
+        const float di = dc_total * g;
+        const float df = dc_total * cprev[j];
+        const float dg = dc_total * i;
+        // Chain through the gate nonlinearities.
+        dgrow[j] = di * i * (1.0f - i);
+        dgrow[hidden_ + j] = df * f * (1.0f - f);
+        dgrow[2 * hidden_ + j] = dg * (1.0f - g * g);
+        dgrow[3 * hidden_ + j] = do_ * o * (1.0f - o);
+        // dc flows to the previous timestep through the forget gate.
+        dcrow[j] = dc_total * f;
+      }
+    }
+    // Parameter gradients.
+    grad_wx_ += matmul_transposed_a(st.x, dgates);
+    grad_wh_ += matmul_transposed_a(st.h_prev, dgates);
+    for (std::size_t bidx = 0; bidx < batch; ++bidx) {
+      const float* dgrow = dgates.raw() + bidx * 4 * hidden_;
+      for (std::size_t j = 0; j < 4 * hidden_; ++j) grad_b_[j] += dgrow[j];
+    }
+    // Input gradient for this timestep.
+    Tensor dx = matmul_transposed_b(dgates, wx_);
+    for (std::size_t bidx = 0; bidx < batch; ++bidx) {
+      float* dst = grad_input.raw() + (bidx * seq + ti) * in_dim_;
+      const float* src = dx.raw() + bidx * in_dim_;
+      std::copy(src, src + in_dim_, dst);
+    }
+    // Hidden gradient for the previous timestep.
+    dh = matmul_transposed_b(dgates, wh_);
+  }
+  return grad_input;
+}
+
+std::vector<Param> LSTM::params() {
+  return {{&wx_, &grad_wx_, "lstm.wx"}, {&wh_, &grad_wh_, "lstm.wh"}, {&b_, &grad_b_, "lstm.b"}};
+}
+
+void LSTM::init_params(Rng& rng) {
+  glorot_uniform(wx_, in_dim_, 4 * hidden_, rng);
+  glorot_uniform(wh_, hidden_, 4 * hidden_, rng);
+  zero_init(b_);
+  // Forget-gate bias of 1.0: standard trick to ease gradient flow early on.
+  for (std::size_t j = 0; j < hidden_; ++j) b_[hidden_ + j] = 1.0f;
+}
+
+}  // namespace specdag::nn

@@ -1,0 +1,47 @@
+// Single-layer LSTM with full backpropagation through time.
+//
+// Input  [batch, seq, in_dim]; output is the hidden state at the last
+// timestep, [batch, hidden] (the Poets model feeds it into a dense softmax
+// head for next-character prediction). Gate layout inside the fused weight
+// matrices is (input, forget, cell, output).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace specdag::nn {
+
+class LSTM : public Layer {
+ public:
+  LSTM(std::size_t in_dim, std::size_t hidden);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  void init_params(Rng& rng) override;
+  std::string name() const override { return "LSTM"; }
+
+  std::size_t hidden_size() const { return hidden_; }
+
+ private:
+  std::size_t in_dim_;
+  std::size_t hidden_;
+  Tensor wx_;  // [in_dim, 4H]
+  Tensor wh_;  // [H, 4H]
+  Tensor b_;   // [4H]
+  Tensor grad_wx_;
+  Tensor grad_wh_;
+  Tensor grad_b_;
+
+  // BPTT caches (train-mode forward only).
+  struct StepCache {
+    Tensor x;       // [batch, in_dim]
+    Tensor h_prev;  // [batch, H]
+    Tensor c_prev;  // [batch, H]
+    Tensor gates;   // [batch, 4H] post-activation (i, f, g, o)
+    Tensor c;       // [batch, H]
+  };
+  std::vector<StepCache> steps_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace specdag::nn

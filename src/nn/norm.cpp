@@ -1,0 +1,164 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace specdag::nn {
+
+LayerNorm::LayerNorm(std::size_t features, float epsilon)
+    : features_(features),
+      epsilon_(epsilon),
+      gamma_({features}),
+      beta_({features}),
+      grad_gamma_({features}),
+      grad_beta_({features}) {
+  if (features == 0) throw std::invalid_argument("LayerNorm: zero features");
+  if (epsilon <= 0.0f) throw std::invalid_argument("LayerNorm: non-positive epsilon");
+  gamma_.fill(1.0f);
+}
+
+Tensor LayerNorm::forward(const Tensor& input, bool train) {
+  if (input.rank() != 2 || input.dim(1) != features_) {
+    throw std::invalid_argument("LayerNorm::forward: expected [batch, " +
+                                std::to_string(features_) + "]");
+  }
+  const std::size_t batch = input.dim(0);
+  Tensor out({batch, features_});
+  Tensor normalized({batch, features_});
+  std::vector<float> inv_stds(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* row = input.raw() + r * features_;
+    float mean = 0.0f;
+    for (std::size_t c = 0; c < features_; ++c) mean += row[c];
+    mean /= static_cast<float>(features_);
+    float var = 0.0f;
+    for (std::size_t c = 0; c < features_; ++c) var += (row[c] - mean) * (row[c] - mean);
+    var /= static_cast<float>(features_);
+    const float inv_std = 1.0f / std::sqrt(var + epsilon_);
+    inv_stds[r] = inv_std;
+    float* nrow = normalized.raw() + r * features_;
+    float* orow = out.raw() + r * features_;
+    for (std::size_t c = 0; c < features_; ++c) {
+      nrow[c] = (row[c] - mean) * inv_std;
+      orow[c] = gamma_[c] * nrow[c] + beta_[c];
+    }
+  }
+  if (train) {
+    cached_normalized_ = std::move(normalized);
+    cached_inv_std_ = std::move(inv_stds);
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_output) {
+  if (cached_normalized_.numel() == 0) {
+    throw std::logic_error("LayerNorm::backward: no cached forward activation");
+  }
+  if (!grad_output.same_shape(cached_normalized_)) {
+    throw std::invalid_argument("LayerNorm::backward: grad shape mismatch");
+  }
+  const std::size_t batch = grad_output.dim(0);
+  const auto n = static_cast<float>(features_);
+  Tensor grad_input({batch, features_});
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* g = grad_output.raw() + r * features_;
+    const float* xh = cached_normalized_.raw() + r * features_;
+    float* gi = grad_input.raw() + r * features_;
+    // dL/dgamma, dL/dbeta accumulate across the batch.
+    float sum_g_gamma = 0.0f, sum_g_gamma_xhat = 0.0f;
+    for (std::size_t c = 0; c < features_; ++c) {
+      grad_gamma_[c] += g[c] * xh[c];
+      grad_beta_[c] += g[c];
+      const float gg = g[c] * gamma_[c];
+      sum_g_gamma += gg;
+      sum_g_gamma_xhat += gg * xh[c];
+    }
+    // dL/dx = inv_std/N * (N*g*gamma - sum(g*gamma) - x_hat * sum(g*gamma*x_hat))
+    const float inv_std = cached_inv_std_[r];
+    for (std::size_t c = 0; c < features_; ++c) {
+      const float gg = g[c] * gamma_[c];
+      gi[c] = inv_std / n * (n * gg - sum_g_gamma - xh[c] * sum_g_gamma_xhat);
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param> LayerNorm::params() {
+  return {{&gamma_, &grad_gamma_, "layernorm.gamma"}, {&beta_, &grad_beta_, "layernorm.beta"}};
+}
+
+void LayerNorm::init_params(Rng& /*rng*/) {
+  gamma_.fill(1.0f);
+  beta_.fill(0.0f);
+}
+
+AvgPool2D::AvgPool2D(std::size_t size, std::size_t stride) : size_(size), stride_(stride) {
+  if (size == 0 || stride == 0) throw std::invalid_argument("AvgPool2D: zero size/stride");
+}
+
+Tensor AvgPool2D::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4) throw std::invalid_argument("AvgPool2D: input must be NCHW");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  if (h < size_ || w < size_) throw std::invalid_argument("AvgPool2D: window larger than input");
+  const std::size_t oh = (h - size_) / stride_ + 1;
+  const std::size_t ow = (w - size_) / stride_ + 1;
+  if (train) cached_input_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  const float scale = 1.0f / static_cast<float>(size_ * size_);
+  const float* pin = input.raw();
+  float* pout = out.raw();
+  std::size_t out_i = 0;
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const std::size_t plane = (img * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_i) {
+          float sum = 0.0f;
+          for (std::size_t ky = 0; ky < size_; ++ky) {
+            for (std::size_t kx = 0; kx < size_; ++kx) {
+              sum += pin[plane + (oy * stride_ + ky) * w + (ox * stride_ + kx)];
+            }
+          }
+          pout[out_i] = sum * scale;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  if (cached_input_shape_.empty()) {
+    throw std::logic_error("AvgPool2D::backward: no cached forward activation");
+  }
+  const std::size_t n = cached_input_shape_[0], c = cached_input_shape_[1],
+                    h = cached_input_shape_[2], w = cached_input_shape_[3];
+  const std::size_t oh = (h - size_) / stride_ + 1;
+  const std::size_t ow = (w - size_) / stride_ + 1;
+  if (grad_output.numel() != n * c * oh * ow) {
+    throw std::invalid_argument("AvgPool2D::backward: grad shape mismatch");
+  }
+  Tensor grad_input(cached_input_shape_);
+  const float scale = 1.0f / static_cast<float>(size_ * size_);
+  const float* pg = grad_output.raw();
+  float* pi = grad_input.raw();
+  std::size_t out_i = 0;
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const std::size_t plane = (img * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_i) {
+          const float g = pg[out_i] * scale;
+          for (std::size_t ky = 0; ky < size_; ++ky) {
+            for (std::size_t kx = 0; kx < size_; ++kx) {
+              pi[plane + (oy * stride_ + ky) * w + (ox * stride_ + kx)] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace specdag::nn

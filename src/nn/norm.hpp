@@ -1,0 +1,48 @@
+// Normalization and average-pooling layers — rounding out the layer zoo for
+// users building their own model families on the library.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace specdag::nn {
+
+// Layer normalization over the last dimension of a [batch, features] input:
+// y = gamma * (x - mean) / sqrt(var + eps) + beta, statistics per row.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features, float epsilon = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  void init_params(Rng& rng) override;
+  std::string name() const override { return "LayerNorm"; }
+
+ private:
+  std::size_t features_;
+  float epsilon_;
+  Tensor gamma_;       // [features]
+  Tensor beta_;        // [features]
+  Tensor grad_gamma_;
+  Tensor grad_beta_;
+  // Caches for backward.
+  Tensor cached_normalized_;   // x_hat
+  std::vector<float> cached_inv_std_;  // per row
+};
+
+// Average pooling over square windows, NCHW layout.
+class AvgPool2D : public Layer {
+ public:
+  AvgPool2D(std::size_t size, std::size_t stride);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "AvgPool2D"; }
+
+ private:
+  std::size_t size_;
+  std::size_t stride_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace specdag::nn

@@ -1,0 +1,46 @@
+#include "nn/optimizer.hpp"
+
+#include <stdexcept>
+
+namespace specdag::nn {
+
+Sgd::Sgd(double learning_rate) : lr_(learning_rate) {
+  if (learning_rate <= 0.0) throw std::invalid_argument("Sgd: non-positive learning rate");
+}
+
+void Sgd::step(Sequential& model) {
+  const float lr = static_cast<float>(lr_);
+  for (auto& p : model.params()) {
+    auto& w = p.value->data();
+    auto& g = p.grad->data();
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] -= lr * g[i];
+    p.grad->fill(0.0f);
+  }
+}
+
+ProximalSgd::ProximalSgd(double learning_rate, double mu, WeightVector global_weights)
+    : lr_(learning_rate), mu_(mu), global_(std::move(global_weights)) {
+  if (learning_rate <= 0.0) throw std::invalid_argument("ProximalSgd: non-positive learning rate");
+  if (mu < 0.0) throw std::invalid_argument("ProximalSgd: negative mu");
+}
+
+void ProximalSgd::step(Sequential& model) {
+  if (model.num_weights() != global_.size()) {
+    throw std::invalid_argument("ProximalSgd: global weight size mismatch");
+  }
+  const float lr = static_cast<float>(lr_);
+  const float mu = static_cast<float>(mu_);
+  std::size_t offset = 0;
+  for (auto& p : model.params()) {
+    auto& w = p.value->data();
+    auto& g = p.grad->data();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float prox = mu * (w[i] - global_[offset + i]);
+      w[i] -= lr * (g[i] + prox);
+    }
+    offset += w.size();
+    p.grad->fill(0.0f);
+  }
+}
+
+}  // namespace specdag::nn

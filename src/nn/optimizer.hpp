@@ -1,0 +1,47 @@
+// Optimizers: plain SGD (the paper's Table 1 uses SGD for every dataset) and
+// proximal SGD implementing the FedProx local objective
+//   min F_k(w) + (mu/2) * ||w - w_global||^2.
+#pragma once
+
+#include "nn/model.hpp"
+
+namespace specdag::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the gradients currently accumulated in `model`
+  // and zeroes them afterwards.
+  virtual void step(Sequential& model) = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate);
+
+  void step(Sequential& model) override;
+
+  double learning_rate() const { return lr_; }
+
+ private:
+  double lr_;
+};
+
+class ProximalSgd : public Optimizer {
+ public:
+  // `mu` is the proximal coefficient; `global_weights` is w_global in the
+  // FedProx objective and must match the model's weight count.
+  ProximalSgd(double learning_rate, double mu, WeightVector global_weights);
+
+  void step(Sequential& model) override;
+
+  double mu() const { return mu_; }
+
+ private:
+  double lr_;
+  double mu_;
+  WeightVector global_;
+};
+
+}  // namespace specdag::nn

@@ -1,0 +1,95 @@
+#include "nn/serialize.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace specdag::nn {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'D', 'W', '1'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("read_weights: truncated input");
+  return value;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void write_weights(std::ostream& out, const WeightVector& weights) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, static_cast<std::uint64_t>(weights.size()));
+  if (!weights.empty()) {
+    out.write(reinterpret_cast<const char*>(weights.data()),
+              static_cast<std::streamsize>(weights.size() * sizeof(float)));
+  }
+  write_pod(out, crc32(weights.data(), weights.size() * sizeof(float)));
+  if (!out) throw std::runtime_error("write_weights: stream failure");
+}
+
+WeightVector read_weights(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("read_weights: bad magic");
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  // Guard against absurd allocations from corrupted headers.
+  if (count > (1ull << 31)) throw std::runtime_error("read_weights: implausible weight count");
+  WeightVector weights(static_cast<std::size_t>(count));
+  if (count > 0) {
+    in.read(reinterpret_cast<char*>(weights.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+    if (!in) throw std::runtime_error("read_weights: truncated payload");
+  }
+  const auto stored_crc = read_pod<std::uint32_t>(in);
+  if (stored_crc != crc32(weights.data(), weights.size() * sizeof(float))) {
+    throw std::runtime_error("read_weights: checksum mismatch");
+  }
+  return weights;
+}
+
+void save_weights(const std::string& path, const WeightVector& weights) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_weights: cannot open " + path);
+  write_weights(out, weights);
+}
+
+WeightVector load_weights(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_weights: cannot open " + path);
+  return read_weights(in);
+}
+
+}  // namespace specdag::nn

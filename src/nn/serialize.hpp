@@ -1,0 +1,34 @@
+// Binary (de)serialization of weight vectors — checkpointing for clients
+// and the genesis model, and the wire format a networked deployment would
+// ship between peers.
+//
+// Format (little-endian):
+//   magic   "SDW1"           4 bytes
+//   count   uint64           number of float32 values
+//   data    float32 * count
+//   crc     uint32           CRC-32 over data bytes
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace specdag::nn {
+
+// CRC-32 (IEEE, reflected) over a byte buffer; exposed for tests.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+// Writes `weights` to the stream. Throws std::runtime_error on I/O failure.
+void write_weights(std::ostream& out, const WeightVector& weights);
+
+// Reads a weight vector; throws std::runtime_error on malformed input,
+// wrong magic, or checksum mismatch.
+WeightVector read_weights(std::istream& in);
+
+// File convenience wrappers.
+void save_weights(const std::string& path, const WeightVector& weights);
+WeightVector load_weights(const std::string& path);
+
+}  // namespace specdag::nn

@@ -1,0 +1,121 @@
+#include "sim/models.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/embedding.hpp"
+#include "nn/lstm.hpp"
+
+namespace specdag::sim {
+namespace {
+
+// Output spatial size after a same-padded k5 conv followed by 2x2/2 pooling.
+std::size_t after_pool(std::size_t size) {
+  if (size < 2) throw std::invalid_argument("model factory: image too small for pooling");
+  return (size - 2) / 2 + 1;
+}
+
+}  // namespace
+
+nn::ModelFactory make_logreg_factory(std::size_t input_dim, std::size_t num_classes) {
+  return [input_dim, num_classes] {
+    nn::Sequential model;
+    model.add<nn::Dense>(input_dim, num_classes);
+    return model;
+  };
+}
+
+nn::ModelFactory make_mlp_factory(std::size_t input_dim, std::size_t hidden,
+                                  std::size_t num_classes) {
+  return [input_dim, hidden, num_classes] {
+    nn::Sequential model;
+    model.add<nn::Flatten>();
+    model.add<nn::Dense>(input_dim, hidden);
+    model.add<nn::ReLU>();
+    model.add<nn::Dense>(hidden, num_classes);
+    return model;
+  };
+}
+
+nn::ModelFactory make_cnn_factory(std::size_t in_channels, std::size_t image_size,
+                                  std::size_t conv1_channels, std::size_t conv2_channels,
+                                  std::size_t dense_units, std::size_t num_classes) {
+  const std::size_t s1 = after_pool(image_size);
+  const std::size_t s2 = after_pool(s1);
+  const std::size_t flat = conv2_channels * s2 * s2;
+  return [=] {
+    nn::Sequential model;
+    model.add<nn::Conv2D>(in_channels, conv1_channels, 5);
+    model.add<nn::ReLU>();
+    model.add<nn::MaxPool2D>(2, 2);
+    model.add<nn::Conv2D>(conv1_channels, conv2_channels, 5);
+    model.add<nn::ReLU>();
+    model.add<nn::MaxPool2D>(2, 2);
+    model.add<nn::Flatten>();
+    model.add<nn::Dense>(flat, dense_units);
+    model.add<nn::ReLU>();
+    model.add<nn::Dense>(dense_units, num_classes);
+    return model;
+  };
+}
+
+nn::ModelFactory make_cifar_cnn_factory(std::size_t in_channels, std::size_t image_size,
+                                        std::size_t conv1, std::size_t conv2, std::size_t conv3,
+                                        std::size_t dense1, std::size_t dense2,
+                                        std::size_t num_classes) {
+  const std::size_t s1 = after_pool(image_size);
+  const std::size_t s2 = after_pool(s1);
+  const std::size_t s3 = after_pool(s2);
+  const std::size_t flat = conv3 * s3 * s3;
+  return [=] {
+    nn::Sequential model;
+    model.add<nn::Conv2D>(in_channels, conv1, 5);
+    model.add<nn::ReLU>();
+    model.add<nn::MaxPool2D>(2, 2);
+    model.add<nn::Conv2D>(conv1, conv2, 5);
+    model.add<nn::ReLU>();
+    model.add<nn::MaxPool2D>(2, 2);
+    model.add<nn::Conv2D>(conv2, conv3, 5);
+    model.add<nn::ReLU>();
+    model.add<nn::MaxPool2D>(2, 2);
+    model.add<nn::Flatten>();
+    model.add<nn::Dense>(flat, dense1);
+    model.add<nn::ReLU>();
+    model.add<nn::Dense>(dense1, dense2);
+    model.add<nn::ReLU>();
+    model.add<nn::Dense>(dense2, num_classes);
+    return model;
+  };
+}
+
+nn::ModelFactory make_lstm_factory(std::size_t vocab_size, std::size_t embedding_dim,
+                                   std::size_t lstm_hidden, std::size_t num_classes) {
+  return [=] {
+    nn::Sequential model;
+    model.add<nn::Embedding>(vocab_size, embedding_dim);
+    model.add<nn::LSTM>(embedding_dim, lstm_hidden);
+    model.add<nn::Dense>(lstm_hidden, num_classes);
+    return model;
+  };
+}
+
+nn::ModelFactory make_femnist_cnn_paper() {
+  // §5.2: two ReLU conv layers (k5, 32 and 64 filters), each followed by
+  // 2x2/2 max pooling, a 2048-unit ReLU dense layer, softmax over 10 digits.
+  return make_cnn_factory(1, 28, 32, 64, 2048, 10);
+}
+
+nn::ModelFactory make_cifar_cnn_paper() {
+  // §5.2: the FEMNIST convs plus a third 128-filter conv, then 256/128
+  // hidden dense layers and a 100-way output.
+  return make_cifar_cnn_factory(3, 32, 32, 64, 128, 256, 128, 100);
+}
+
+nn::ModelFactory make_poets_lstm_paper(std::size_t vocab_size) {
+  // §5.2: embedding dim 8 from the 80-char sequence into a 256-unit LSTM.
+  return make_lstm_factory(vocab_size, 8, 256, vocab_size);
+}
+
+}  // namespace specdag::sim

@@ -1,0 +1,48 @@
+// Model factories for the paper's three tasks (§5.2) plus compact variants.
+//
+// The paper-faithful architectures (28x28 FEMNIST CNN with 2048-unit dense,
+// 256-unit LSTM, CIFAR CNN) are provided for completeness and exercised by
+// unit tests; the experiment presets default to width/size-reduced variants
+// of the same architecture family so the full evaluation suite runs on CPU
+// in minutes (see DESIGN.md §2 on substitutions).
+#pragma once
+
+#include "nn/model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace specdag::sim {
+
+// Plain multinomial logistic regression (FedProx synthetic experiments use
+// exactly this model in the FedProx paper).
+nn::ModelFactory make_logreg_factory(std::size_t input_dim, std::size_t num_classes);
+
+// Two-layer MLP used as a compact stand-in for dense image classifiers.
+nn::ModelFactory make_mlp_factory(std::size_t input_dim, std::size_t hidden,
+                                  std::size_t num_classes);
+
+// CNN of the paper's FEMNIST family: conv(k5) -> pool -> conv(k5) -> pool ->
+// dense -> dense(num_classes). Channel and dense widths are parameters.
+nn::ModelFactory make_cnn_factory(std::size_t in_channels, std::size_t image_size,
+                                  std::size_t conv1_channels, std::size_t conv2_channels,
+                                  std::size_t dense_units, std::size_t num_classes);
+
+// CNN of the paper's CIFAR family: three conv+pool stages, then two hidden
+// dense layers (paper: 256 and 128) and the output layer.
+nn::ModelFactory make_cifar_cnn_factory(std::size_t in_channels, std::size_t image_size,
+                                        std::size_t conv1, std::size_t conv2, std::size_t conv3,
+                                        std::size_t dense1, std::size_t dense2,
+                                        std::size_t num_classes);
+
+// Embedding -> LSTM -> dense head for next-character prediction (the Poets
+// model; paper: embedding dim 8, 256 LSTM units).
+nn::ModelFactory make_lstm_factory(std::size_t vocab_size, std::size_t embedding_dim,
+                                   std::size_t lstm_hidden, std::size_t num_classes);
+
+// Paper-exact architectures (Table/§5.2): FEMNIST CNN on 28x28 with 32/64
+// filters and a 2048-unit dense layer; CIFAR CNN with 32/64/128 filters and
+// 256/128 dense; Poets LSTM with embedding 8 and 256 hidden units.
+nn::ModelFactory make_femnist_cnn_paper();
+nn::ModelFactory make_cifar_cnn_paper();
+nn::ModelFactory make_poets_lstm_paper(std::size_t vocab_size);
+
+}  // namespace specdag::sim

@@ -1,0 +1,158 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace specdag::sim {
+
+double RoundRecord::mean_trained_accuracy() const {
+  if (results.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : results) sum += r.trained_eval.accuracy;
+  return sum / static_cast<double>(results.size());
+}
+
+double RoundRecord::mean_trained_loss() const {
+  if (results.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : results) sum += r.trained_eval.loss;
+  return sum / static_cast<double>(results.size());
+}
+
+double RoundRecord::mean_walk_seconds() const {
+  if (results.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : results) sum += r.walk_stats.seconds;
+  return sum / static_cast<double>(results.size());
+}
+
+std::size_t RoundRecord::publish_count() const {
+  std::size_t count = 0;
+  for (const auto& r : results) {
+    if (r.did_publish()) ++count;
+  }
+  return count;
+}
+
+DagSimulator::DagSimulator(data::FederatedDataset dataset, nn::ModelFactory factory,
+                           SimulatorConfig config)
+    : dataset_(std::move(dataset)),
+      config_(config),
+      factory_(factory),
+      net_(std::move(factory), config.client, config.seed),
+      round_rng_(Rng(config.seed).fork(0x520D)),
+      louvain_rng_(Rng(config.seed).fork(0x10CA)) {
+  dataset_.validate();
+  if (config_.clients_per_round == 0 || config_.clients_per_round > dataset_.clients.size()) {
+    throw std::invalid_argument("DagSimulator: bad clients_per_round");
+  }
+  for (const auto& client : dataset_.clients) {
+    net_.register_client(&client);
+  }
+  if (config_.parallel_prepare) pool_.emplace();
+}
+
+void DagSimulator::flush_due_commits() {
+  std::vector<PendingCommit> still_pending;
+  // Pending commits are already in deterministic (insertion) order.
+  for (auto& pending : pending_) {
+    if (pending.release_round <= round_) {
+      net_.commit(pending.handle, pending.result, pending.publish_round);
+    } else {
+      still_pending.push_back(std::move(pending));
+    }
+  }
+  pending_ = std::move(still_pending);
+}
+
+const RoundRecord& DagSimulator::run_round() {
+  if (config_.visibility_delay_rounds > 0) flush_due_commits();
+  const std::vector<std::size_t> active =
+      round_rng_.sample_without_replacement(dataset_.clients.size(), config_.clients_per_round);
+
+  RoundRecord record;
+  record.round = round_;
+  record.results.resize(active.size());
+
+  // Prepare phase: all active clients walk/train against the same DAG
+  // snapshot (transactions of this round become visible next round).
+  if (pool_) {
+    pool_->parallel_for(active.size(), [&](std::size_t i) {
+      record.results[i] = net_.prepare(static_cast<int>(active[i]));
+    });
+  } else {
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      record.results[i] = net_.prepare(static_cast<int>(active[i]));
+    }
+  }
+
+  // Commit phase: deterministic order (ascending client index). With a
+  // visibility delay the prepared transactions are queued instead and enter
+  // the DAG `visibility_delay_rounds` rounds later (their `published` id in
+  // the record stays invalid — the publisher cannot observe it yet either).
+  std::vector<std::size_t> order(active.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return active[a] < active[b]; });
+  for (std::size_t i : order) {
+    if (config_.visibility_delay_rounds == 0) {
+      record.results[i].published =
+          net_.commit(static_cast<int>(active[i]), record.results[i], round_);
+    } else {
+      pending_.push_back({static_cast<int>(active[i]), record.results[i], round_,
+                          round_ + config_.visibility_delay_rounds});
+    }
+  }
+
+  ++round_;
+  history_.push_back(std::move(record));
+  return history_.back();
+}
+
+void DagSimulator::run_rounds(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) run_round();
+}
+
+std::vector<int> DagSimulator::apply_poisoning(double p, int class_a, int class_b) {
+  Rng poison_rng = Rng(config_.seed).fork(0x9015);
+  const std::vector<int> ids =
+      data::poison_fraction(dataset_, p, class_a, class_b, poison_rng);
+  // The poisoned clients' local data changed: cached model accuracies are
+  // stale for them. (Other clients' caches stay valid — their data did not
+  // change; new poisoned *transactions* are evaluated fresh anyway.)
+  for (int id : ids) net_.invalidate_client_cache(id);
+  return ids;
+}
+
+std::vector<int> DagSimulator::true_clusters() const {
+  std::vector<int> clusters;
+  clusters.reserve(dataset_.clients.size());
+  for (const auto& c : dataset_.clients) clusters.push_back(c.true_cluster);
+  return clusters;
+}
+
+metrics::PurenessResult DagSimulator::approval_pureness() const {
+  return metrics::approval_pureness(net_.dag(), true_clusters());
+}
+
+metrics::LouvainResult DagSimulator::louvain_communities() {
+  const metrics::ClientGraph graph =
+      metrics::build_client_graph(net_.dag(), dataset_.clients.size());
+  return metrics::louvain(graph, louvain_rng_);
+}
+
+double DagSimulator::client_graph_modularity() {
+  return louvain_communities().modularity;
+}
+
+std::vector<fl::EvalResult> DagSimulator::evaluate_consensus_all() {
+  std::vector<fl::EvalResult> evals(dataset_.clients.size());
+  nn::Sequential replica = factory_();
+  for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
+    const nn::WeightVector weights = net_.consensus_weights(static_cast<int>(i));
+    evals[i] = fl::evaluate_weights_on_test(replica, weights, dataset_.clients[i]);
+  }
+  return evals;
+}
+
+}  // namespace specdag::sim

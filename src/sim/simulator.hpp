@@ -1,0 +1,104 @@
+// Round-based simulator (paper §5.3: "For simplicity, we simulate the
+// distributed training process in discrete rounds").
+//
+// Each round, `clients_per_round` clients are sampled; they prepare their
+// transactions concurrently against the same DAG snapshot (this models the
+// paper's concurrently-active clients, the driver of the Figure 15
+// scalability result) and the prepared transactions are committed at the
+// end of the round in deterministic order.
+#pragma once
+
+#include <optional>
+
+#include "core/specializing_dag.hpp"
+#include "data/poisoning.hpp"
+#include "metrics/community.hpp"
+#include "metrics/dag_metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace specdag::sim {
+
+struct SimulatorConfig {
+  fl::DagClientConfig client;
+  std::size_t rounds = 100;
+  std::size_t clients_per_round = 10;
+  bool parallel_prepare = true;
+  // Network propagation model: transactions published in round r become
+  // visible to other clients' walks in round r + delay. 0 models the
+  // paper's "ideal network conditions"; larger values simulate slow
+  // broadcast (the §5.3.5 caveat).
+  std::size_t visibility_delay_rounds = 0;
+  std::uint64_t seed = 42;
+};
+
+struct RoundRecord {
+  std::size_t round = 0;
+  std::vector<fl::DagRoundResult> results;  // one per active client
+
+  double mean_trained_accuracy() const;
+  double mean_trained_loss() const;
+  double mean_walk_seconds() const;
+  std::size_t publish_count() const;
+};
+
+class DagSimulator {
+ public:
+  // The simulator owns the dataset (poisoning mutates client shards
+  // mid-experiment) and registers one DAG client per dataset client.
+  DagSimulator(data::FederatedDataset dataset, nn::ModelFactory factory, SimulatorConfig config);
+
+  // Runs one round and records it. Returns the record.
+  const RoundRecord& run_round();
+
+  // Runs `n` rounds.
+  void run_rounds(std::size_t n);
+
+  // Applies a flipped-label attack to fraction `p` of the clients and
+  // invalidates their accuracy caches (paper §5.3.4: attack starts after
+  // round 100). Returns poisoned client ids.
+  std::vector<int> apply_poisoning(double p, int class_a, int class_b);
+
+  // --- evaluation helpers -------------------------------------------------
+
+  std::vector<int> true_clusters() const;
+
+  metrics::PurenessResult approval_pureness() const;
+  metrics::LouvainResult louvain_communities();
+  double client_graph_modularity();
+
+  // Evaluates each client's *consensus* model on its local test data (the
+  // personalized model a participant would use for inference).
+  std::vector<fl::EvalResult> evaluate_consensus_all();
+
+  const dag::Dag& dag() const { return net_.dag(); }
+  const data::FederatedDataset& dataset() const { return dataset_; }
+  core::SpecializingDag& network() { return net_; }
+  const std::vector<RoundRecord>& history() const { return history_; }
+  std::size_t current_round() const { return round_; }
+
+  // Transactions prepared but not yet visible (visibility_delay_rounds > 0).
+  std::size_t pending_transactions() const { return pending_.size(); }
+
+ private:
+  struct PendingCommit {
+    int handle;
+    fl::DagRoundResult result;
+    std::size_t publish_round;
+    std::size_t release_round;
+  };
+
+  void flush_due_commits();
+
+  data::FederatedDataset dataset_;
+  SimulatorConfig config_;
+  nn::ModelFactory factory_;
+  core::SpecializingDag net_;
+  Rng round_rng_;
+  Rng louvain_rng_;
+  std::optional<ThreadPool> pool_;
+  std::vector<RoundRecord> history_;
+  std::vector<PendingCommit> pending_;
+  std::size_t round_ = 0;
+};
+
+}  // namespace specdag::sim

@@ -1,0 +1,261 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace specdag {
+namespace {
+
+void require_matrix(const Tensor& t, const char* name) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string(name) + " must be rank-2, got " +
+                                shape_to_string(t.shape()));
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul: a");
+  require_matrix(b, "matmul: b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul: inner dims mismatch " + shape_to_string(a.shape()) +
+                                " x " + shape_to_string(b.shape()));
+  }
+  Tensor c({m, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  // ikj loop order: streams through b and c rows, cache friendly.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transposed_b(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul_transposed_b: a");
+  require_matrix(b, "matmul_transposed_b: b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("matmul_transposed_b: inner dims mismatch");
+  }
+  Tensor c({m, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* arow = pa + i * k;
+      const float* brow = pb + j * k;
+      float sum = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
+      pc[i * n + j] = sum;
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transposed_a(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul_transposed_a: a");
+  require_matrix(b, "matmul_transposed_a: b");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul_transposed_a: inner dims mismatch");
+  }
+  Tensor c({m, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aik = arow[i];
+      if (aik == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+void add_row_bias(Tensor& m, const Tensor& bias) {
+  require_matrix(m, "add_row_bias: m");
+  const std::size_t rows = m.dim(0), cols = m.dim(1);
+  if (bias.numel() != cols) {
+    throw std::invalid_argument("add_row_bias: bias size mismatch");
+  }
+  float* pm = m.raw();
+  const float* pb = bias.raw();
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) pm[r * cols + c] += pb[c];
+  }
+}
+
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+  if (input.rank() != 4) throw std::invalid_argument("im2col: input must be NCHW");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  if (c != spec.in_channels) throw std::invalid_argument("im2col: channel mismatch");
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w), k = spec.kernel;
+  Tensor cols({n * oh * ow, c * k * k});
+  const float* pin = input.raw();
+  float* pc = cols.raw();
+  const std::size_t col_width = c * k * k;
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float* dst = pc + ((img * oh + oy) * ow + ox) * col_width;
+        for (std::size_t ch = 0; ch < c; ++ch) {
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                static_cast<std::ptrdiff_t>(spec.padding);
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                  static_cast<std::ptrdiff_t>(spec.padding);
+              float v = 0.0f;
+              if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(h) && ix >= 0 &&
+                  ix < static_cast<std::ptrdiff_t>(w)) {
+                v = pin[((img * c + ch) * h + static_cast<std::size_t>(iy)) * w +
+                        static_cast<std::size_t>(ix)];
+              }
+              dst[(ch * k + ky) * k + kx] = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Shape& input_shape, const Conv2dSpec& spec) {
+  if (input_shape.size() != 4) throw std::invalid_argument("col2im: input shape must be NCHW");
+  const std::size_t n = input_shape[0], c = input_shape[1], h = input_shape[2],
+                    w = input_shape[3];
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w), k = spec.kernel;
+  const std::size_t col_width = c * k * k;
+  if (cols.dim(0) != n * oh * ow || cols.dim(1) != col_width) {
+    throw std::invalid_argument("col2im: cols shape mismatch");
+  }
+  Tensor grad(input_shape);
+  const float* pc = cols.raw();
+  float* pg = grad.raw();
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const float* src = pc + ((img * oh + oy) * ow + ox) * col_width;
+        for (std::size_t ch = 0; ch < c; ++ch) {
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                static_cast<std::ptrdiff_t>(spec.padding);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                  static_cast<std::ptrdiff_t>(spec.padding);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              pg[((img * c + ch) * h + static_cast<std::size_t>(iy)) * w +
+                 static_cast<std::size_t>(ix)] += src[(ch * k + ky) * k + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                      const Conv2dSpec& spec) {
+  const std::size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  if (filters.dim(0) != spec.out_channels ||
+      filters.dim(1) != spec.in_channels * spec.kernel * spec.kernel) {
+    throw std::invalid_argument("conv2d_forward: filter shape mismatch");
+  }
+  Tensor cols = im2col(input, spec);
+  // [N*OH*OW, CKK] x [OC, CKK]^T = [N*OH*OW, OC]
+  Tensor out_cols = matmul_transposed_b(cols, filters);
+  add_row_bias(out_cols, bias);
+  // Transpose the trailing [positions, OC] into NCHW.
+  Tensor output({n, spec.out_channels, oh, ow});
+  const float* po = out_cols.raw();
+  float* pr = output.raw();
+  const std::size_t positions = oh * ow;
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t pos = 0; pos < positions; ++pos) {
+      for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+        pr[(img * spec.out_channels + oc) * positions + pos] =
+            po[(img * positions + pos) * spec.out_channels + oc];
+      }
+    }
+  }
+  return output;
+}
+
+MaxPoolResult maxpool2d_forward(const Tensor& input, std::size_t size, std::size_t stride) {
+  if (input.rank() != 4) throw std::invalid_argument("maxpool2d: input must be NCHW");
+  if (size == 0 || stride == 0) throw std::invalid_argument("maxpool2d: zero size/stride");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  if (h < size || w < size) throw std::invalid_argument("maxpool2d: window larger than input");
+  const std::size_t oh = (h - size) / stride + 1;
+  const std::size_t ow = (w - size) / stride + 1;
+  MaxPoolResult result{Tensor({n, c, oh, ow}), {}};
+  result.argmax.resize(n * c * oh * ow);
+  const float* pin = input.raw();
+  float* pout = result.output.raw();
+  std::size_t out_i = 0;
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const std::size_t plane = (img * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_i) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < size; ++ky) {
+            for (std::size_t kx = 0; kx < size; ++kx) {
+              const std::size_t idx = plane + (oy * stride + ky) * w + (ox * stride + kx);
+              if (pin[idx] > best) {
+                best = pin[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          pout[out_i] = best;
+          result.argmax[out_i] = best_idx;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Tensor maxpool2d_backward(const Tensor& grad_output, const Shape& input_shape,
+                          const std::vector<std::size_t>& argmax) {
+  if (grad_output.numel() != argmax.size()) {
+    throw std::invalid_argument("maxpool2d_backward: argmax size mismatch");
+  }
+  Tensor grad_input(input_shape);
+  float* pg = grad_input.raw();
+  const float* po = grad_output.raw();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    if (argmax[i] >= grad_input.numel()) {
+      throw std::out_of_range("maxpool2d_backward: argmax index out of range");
+    }
+    pg[argmax[i]] += po[i];
+  }
+  return grad_input;
+}
+
+}  // namespace specdag

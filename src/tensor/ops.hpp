@@ -1,0 +1,65 @@
+// Dense kernels used by the NN layers: GEMM-style matmul, im2col convolution,
+// and max pooling. All tensors are row-major.
+//
+// Layout conventions:
+//   Matrices            : [rows, cols]
+//   Image batches (NCHW): [batch, channels, height, width]
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace specdag {
+
+// C = A(m,k) * B(k,n). Shapes are validated.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// C = A(m,k) * B(n,k)^T — used by backward passes without materializing
+// transposes.
+Tensor matmul_transposed_b(const Tensor& a, const Tensor& b);
+
+// C = A(k,m)^T * B(k,n).
+Tensor matmul_transposed_a(const Tensor& a, const Tensor& b);
+
+// Adds a row vector `bias` [1, n] (or [n]) to every row of `m` [rows, n].
+void add_row_bias(Tensor& m, const Tensor& bias);
+
+struct Conv2dSpec {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 0;       // square kernels, as in the paper's models
+  std::size_t stride = 1;
+  std::size_t padding = 0;      // "same"-style padding is computed by callers
+
+  std::size_t out_dim(std::size_t in_dim) const {
+    if (in_dim + 2 * padding < kernel) {
+      throw std::invalid_argument("Conv2dSpec: kernel larger than padded input");
+    }
+    return (in_dim + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+// Unfolds input [N, C, H, W] into columns [N * OH * OW, C * K * K] so the
+// convolution becomes one matmul against the [out_channels, C*K*K] filter.
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec);
+
+// Folds column gradients back into input-gradient layout (adjoint of im2col).
+Tensor col2im(const Tensor& cols, const Shape& input_shape, const Conv2dSpec& spec);
+
+// Forward convolution via im2col + matmul.
+// input [N, C, H, W], filters [OC, C*K*K], bias [OC] -> output [N, OC, OH, OW].
+Tensor conv2d_forward(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                      const Conv2dSpec& spec);
+
+struct MaxPoolResult {
+  Tensor output;                     // [N, C, OH, OW]
+  std::vector<std::size_t> argmax;   // flat input index of each output's max
+};
+
+// Max pooling with square window `size` and stride `stride`.
+MaxPoolResult maxpool2d_forward(const Tensor& input, std::size_t size, std::size_t stride);
+
+// Routes output gradients back to the argmax positions.
+Tensor maxpool2d_backward(const Tensor& grad_output, const Shape& input_shape,
+                          const std::vector<std::size_t>& argmax);
+
+}  // namespace specdag

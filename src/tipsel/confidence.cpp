@@ -1,0 +1,52 @@
+#include "tipsel/confidence.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace specdag::tipsel {
+
+double confirmation_confidence(const dag::Dag& dag, dag::TxId target, TipSelector& selector,
+                               std::size_t num_walks, Rng& rng) {
+  if (num_walks == 0) throw std::invalid_argument("confirmation_confidence: zero walks");
+  dag.transaction(target);  // bounds check
+  std::size_t approving = 0;
+  for (std::size_t w = 0; w < num_walks; ++w) {
+    const std::vector<dag::TxId> tips = selector.select_tips(dag, 1, rng);
+    const dag::TxId tip = tips.front();
+    if (tip == target) {
+      ++approving;
+      continue;
+    }
+    for (dag::TxId ancestor : dag.past_cone(tip)) {
+      if (ancestor == target) {
+        ++approving;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(approving) / static_cast<double>(num_walks);
+}
+
+std::unordered_map<dag::TxId, double> confirmation_confidences(const dag::Dag& dag,
+                                                                TipSelector& selector,
+                                                          std::size_t num_walks, Rng& rng) {
+  if (num_walks == 0) throw std::invalid_argument("confirmation_confidences: zero walks");
+  std::unordered_map<dag::TxId, std::size_t> counts;
+  for (std::size_t w = 0; w < num_walks; ++w) {
+    const std::vector<dag::TxId> tips = selector.select_tips(dag, 1, rng);
+    const dag::TxId tip = tips.front();
+    ++counts[tip];
+    for (dag::TxId ancestor : dag.past_cone(tip)) ++counts[ancestor];
+  }
+  std::unordered_map<dag::TxId, double> confidences;
+  confidences.reserve(dag.size());
+  for (dag::TxId id : dag.all_ids()) {
+    auto it = counts.find(id);
+    confidences[id] = it == counts.end()
+                          ? 0.0
+                          : static_cast<double>(it->second) / static_cast<double>(num_walks);
+  }
+  return confidences;
+}
+
+}  // namespace specdag::tipsel

@@ -1,0 +1,30 @@
+// Confirmation confidence (Popov / IOTA): the probability that a transaction
+// is part of the consensus, estimated by Monte-Carlo tip selection — run N
+// walks and measure the fraction whose selected tip (directly or
+// indirectly) approves the transaction.
+//
+// In the Specializing DAG this generalizes naturally: run the walks with a
+// client's own accuracy-biased selector and the confidence becomes
+// *personalized* — "how certain is it that this model update is part of MY
+// cluster's consensus".
+#pragma once
+
+#include <unordered_map>
+
+#include "tipsel/tip_selector.hpp"
+
+namespace specdag::tipsel {
+
+// Fraction of `num_walks` tip selections (using `selector`) whose tip
+// approves `target` (a tip approves itself). In [0, 1].
+double confirmation_confidence(const dag::Dag& dag, dag::TxId target, TipSelector& selector,
+                               std::size_t num_walks, Rng& rng);
+
+// Confidence for every transaction at once: runs `num_walks` walks and
+// accumulates each selected tip's full past cone. More efficient than
+// calling confirmation_confidence per transaction.
+std::unordered_map<dag::TxId, double> confirmation_confidences(const dag::Dag& dag,
+                                                                TipSelector& selector,
+                                                          std::size_t num_walks, Rng& rng);
+
+}  // namespace specdag::tipsel

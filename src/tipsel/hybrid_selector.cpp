@@ -1,0 +1,60 @@
+#include "tipsel/hybrid_selector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace specdag::tipsel {
+
+HybridTipSelector::HybridTipSelector(double acc_alpha, double cw_alpha,
+                                     Normalization normalization, ModelEvaluator evaluator,
+                                     std::shared_ptr<AccuracyCache> persistent_cache)
+    : acc_alpha_(acc_alpha),
+      cw_alpha_(cw_alpha),
+      normalization_(normalization),
+      evaluator_(std::move(evaluator)),
+      cache_(std::move(persistent_cache)),
+      persistent_(cache_ != nullptr) {
+  if (acc_alpha < 0.0 || cw_alpha < 0.0) {
+    throw std::invalid_argument("HybridTipSelector: negative alpha");
+  }
+  if (!evaluator_) throw std::invalid_argument("HybridTipSelector: null evaluator");
+}
+
+double HybridTipSelector::evaluate(const dag::Dag& dag, dag::TxId id) {
+  AccuracyCache& cache = persistent_ ? *cache_ : local_cache_;
+  auto it = cache.find(id);
+  if (it != cache.end()) return it->second;
+  const double acc = evaluator_(*dag.weights(id));
+  if (acc < 0.0 || acc > 1.0 || !std::isfinite(acc)) {
+    throw std::runtime_error("HybridTipSelector: evaluator returned accuracy outside [0,1]");
+  }
+  ++stats_.evaluations;
+  cache.emplace(id, acc);
+  return acc;
+}
+
+dag::TxId HybridTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng) {
+  if (!persistent_) local_cache_.clear();
+  dag::TxId current = start;
+  for (;;) {
+    const std::vector<dag::TxId> children = dag.children(current);
+    if (children.empty()) return current;
+    std::vector<double> accuracies(children.size());
+    std::vector<double> cw(children.size());
+    double cw_max = 0.0;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      accuracies[i] = evaluate(dag, children[i]);
+      cw[i] = static_cast<double>(dag.cumulative_weight(children[i]));
+      cw_max = std::max(cw_max, cw[i]);
+    }
+    std::vector<double> weights =
+        AccuracyTipSelector::walk_weights(accuracies, acc_alpha_, normalization_);
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      weights[i] *= std::exp(cw_alpha_ * (cw[i] - cw_max));
+    }
+    current = children[rng.weighted_index(weights)];
+    ++stats_.steps;
+  }
+}
+
+}  // namespace specdag::tipsel

@@ -1,0 +1,43 @@
+// Hybrid tip selection: bias each walk step by *both* the candidate model's
+// local accuracy (the paper's contribution) and its cumulative weight (the
+// classic Tangle security bias).
+//
+//   weight(child) = exp(acc_alpha * normalized_accuracy)
+//                 * exp(cw_alpha  * (cw - cw_max))
+//
+// Rationale: the pure accuracy walk ignores how well-approved a transaction
+// is, so a fresh, barely-connected lineage competes equally with a heavily
+// confirmed one. Mixing in cumulative weight restores a preference for
+// well-confirmed history (and raises the bar for tip-flooding attackers)
+// while retaining accuracy-driven specialization. cw_alpha = 0 degenerates
+// to AccuracyTipSelector; acc_alpha = 0 to WeightedTipSelector.
+#pragma once
+
+#include "tipsel/tip_selector.hpp"
+
+namespace specdag::tipsel {
+
+class HybridTipSelector final : public TipSelector {
+ public:
+  HybridTipSelector(double acc_alpha, double cw_alpha, Normalization normalization,
+                    ModelEvaluator evaluator,
+                    std::shared_ptr<AccuracyCache> persistent_cache = nullptr);
+
+  dag::TxId walk(const dag::Dag& dag, dag::TxId start, Rng& rng) override;
+
+  double acc_alpha() const { return acc_alpha_; }
+  double cw_alpha() const { return cw_alpha_; }
+
+ private:
+  double evaluate(const dag::Dag& dag, dag::TxId id);
+
+  double acc_alpha_;
+  double cw_alpha_;
+  Normalization normalization_;
+  ModelEvaluator evaluator_;
+  std::shared_ptr<AccuracyCache> cache_;
+  AccuracyCache local_cache_;
+  bool persistent_;
+};
+
+}  // namespace specdag::tipsel

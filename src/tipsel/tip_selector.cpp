@@ -1,0 +1,137 @@
+#include "tipsel/tip_selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace specdag::tipsel {
+
+void TipSelector::set_start_depth(std::size_t min_depth, std::size_t max_depth) {
+  if (min_depth > max_depth) {
+    throw std::invalid_argument("TipSelector::set_start_depth: min > max");
+  }
+  min_depth_ = min_depth;
+  max_depth_ = max_depth;
+}
+
+std::vector<dag::TxId> TipSelector::select_tips(const dag::Dag& dag, std::size_t count,
+                                                Rng& rng) {
+  if (count == 0) throw std::invalid_argument("TipSelector::select_tips: count == 0");
+  stats_ = WalkStats{};
+  Timer timer;
+  std::vector<dag::TxId> selected;
+  selected.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const dag::TxId start =
+        start_mode_ == WalkStart::kGenesis
+            ? dag::kGenesisTx
+            : dag.sample_walk_start(rng, min_start_depth(), max_start_depth());
+    selected.push_back(walk(dag, start, rng));
+  }
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()), selected.end());
+  stats_.seconds = timer.elapsed_seconds();
+  return selected;
+}
+
+dag::TxId RandomTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng) {
+  dag::TxId current = start;
+  for (;;) {
+    const std::vector<dag::TxId> children = dag.children(current);
+    if (children.empty()) return current;
+    current = children[rng.index(children.size())];
+    ++stats_.steps;
+  }
+}
+
+WeightedTipSelector::WeightedTipSelector(double alpha) : alpha_(alpha) {
+  if (alpha < 0.0) throw std::invalid_argument("WeightedTipSelector: negative alpha");
+}
+
+dag::TxId WeightedTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng) {
+  dag::TxId current = start;
+  for (;;) {
+    const std::vector<dag::TxId> children = dag.children(current);
+    if (children.empty()) return current;
+    std::vector<double> cw(children.size());
+    double cw_max = 0.0;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      cw[i] = static_cast<double>(dag.cumulative_weight(children[i]));
+      cw_max = std::max(cw_max, cw[i]);
+    }
+    std::vector<double> weights(children.size());
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      weights[i] = std::exp(alpha_ * (cw[i] - cw_max));
+    }
+    current = children[rng.weighted_index(weights)];
+    ++stats_.steps;
+  }
+}
+
+AccuracyTipSelector::AccuracyTipSelector(double alpha, Normalization normalization,
+                                         ModelEvaluator evaluator,
+                                         std::shared_ptr<AccuracyCache> persistent_cache)
+    : alpha_(alpha),
+      normalization_(normalization),
+      evaluator_(std::move(evaluator)),
+      cache_(std::move(persistent_cache)),
+      persistent_(cache_ != nullptr) {
+  if (alpha < 0.0) throw std::invalid_argument("AccuracyTipSelector: negative alpha");
+  if (!evaluator_) throw std::invalid_argument("AccuracyTipSelector: null evaluator");
+}
+
+double AccuracyTipSelector::evaluate(const dag::Dag& dag, dag::TxId id) {
+  AccuracyCache& cache = persistent_ ? *cache_ : local_cache_;
+  auto it = cache.find(id);
+  if (it != cache.end()) return it->second;
+  const dag::WeightsPtr weights = dag.weights(id);
+  const double acc = evaluator_(*weights);
+  if (acc < 0.0 || acc > 1.0 || !std::isfinite(acc)) {
+    throw std::runtime_error("AccuracyTipSelector: evaluator returned accuracy outside [0,1]");
+  }
+  ++stats_.evaluations;
+  cache.emplace(id, acc);
+  return acc;
+}
+
+std::vector<double> AccuracyTipSelector::walk_weights(const std::vector<double>& accuracies,
+                                                      double alpha,
+                                                      Normalization normalization) {
+  if (accuracies.empty()) throw std::invalid_argument("walk_weights: empty accuracies");
+  const auto [mn_it, mx_it] = std::minmax_element(accuracies.begin(), accuracies.end());
+  const double mn = *mn_it, mx = *mx_it;
+  std::vector<double> weights(accuracies.size());
+  for (std::size_t i = 0; i < accuracies.size(); ++i) {
+    double normalized = accuracies[i] - mx;  // Eq. 1: <= 0
+    if (normalization == Normalization::kDynamic) {
+      // Eq. 3: scale by the spread so the bias adapts to how different the
+      // candidate models actually are. Equal accuracies -> no bias.
+      const double spread = mx - mn;
+      normalized = spread > 0.0 ? normalized / spread : 0.0;
+    }
+    weights[i] = std::exp(normalized * alpha);  // Eq. 2, in (0, 1]
+  }
+  return weights;
+}
+
+dag::TxId AccuracyTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng) {
+  if (!persistent_) local_cache_.clear();
+  dag::TxId current = start;
+  for (;;) {
+    const std::vector<dag::TxId> children = dag.children(current);
+    if (children.empty()) return current;
+    // Algorithm 1: evaluate every reachable next model on local data, then
+    // make a weighted random choice.
+    std::vector<double> accuracies(children.size());
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      accuracies[i] = evaluate(dag, children[i]);
+    }
+    const std::vector<double> weights = walk_weights(accuracies, alpha_, normalization_);
+    current = children[rng.weighted_index(weights)];
+    ++stats_.steps;
+  }
+}
+
+}  // namespace specdag::tipsel

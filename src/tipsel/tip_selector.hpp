@@ -1,0 +1,142 @@
+// Tip selection strategies (paper §4.2).
+//
+// A tip selector performs random walks through the DAG in the direction
+// opposite to approvals (from old transactions towards tips). The three
+// strategies the paper evaluates:
+//   * RandomTipSelector       — uniformly random child at every step (the
+//                               "random tip selector" poisoning baseline).
+//   * WeightedTipSelector     — classic Tangle walk biased by cumulative
+//                               weight (Figure 3).
+//   * AccuracyTipSelector     — the paper's contribution: the walk is biased
+//                               by each candidate model's accuracy on the
+//                               client's local test data (Algorithm 1),
+//                               with the standard (Eq. 1-2) or dynamic
+//                               (Eq. 3) normalization.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "dag/dag.hpp"
+#include "util/rng.hpp"
+
+namespace specdag::tipsel {
+
+// Where walks begin.
+//
+// kGenesis starts every walk at the genesis transaction: the walk passes the
+// branch point of all lineages, so the bias — not the start position —
+// decides which specialized subgraph the walk enters. kDepthSampled starts
+// at a transaction sampled 15-25 steps behind the tips (Popov's suggestion,
+// used by the paper's §5.3.5 scalability measurements); it bounds the walk
+// cost but can trap a walk inside whatever lineage the start belongs to.
+enum class WalkStart {
+  kGenesis,
+  kDepthSampled,
+};
+
+// Instrumentation for the scalability evaluation (Figure 15).
+struct WalkStats {
+  std::size_t steps = 0;        // walk steps taken
+  std::size_t evaluations = 0;  // candidate-model evaluations performed
+  double seconds = 0.0;         // wall time inside the selector
+};
+
+class TipSelector {
+ public:
+  virtual ~TipSelector() = default;
+
+  // Walks from `start` to a tip. `start` must exist in `dag`.
+  virtual dag::TxId walk(const dag::Dag& dag, dag::TxId start, Rng& rng) = 0;
+
+  // Runs `count` independent walks and returns the reached tips
+  // (deduplicated, so the result may be shorter than `count`).
+  // Resets and accumulates `last_stats` across the walks of this call.
+  std::vector<dag::TxId> select_tips(const dag::Dag& dag, std::size_t count, Rng& rng);
+
+  void set_walk_start(WalkStart mode) { start_mode_ = mode; }
+  WalkStart walk_start() const { return start_mode_; }
+
+  // Depth window for WalkStart::kDepthSampled (paper §5.3.5: 15-25).
+  void set_start_depth(std::size_t min_depth, std::size_t max_depth);
+  std::size_t min_start_depth() const { return min_depth_; }
+  std::size_t max_start_depth() const { return max_depth_; }
+
+  const WalkStats& last_stats() const { return stats_; }
+
+ protected:
+  WalkStats stats_;
+
+ private:
+  WalkStart start_mode_ = WalkStart::kGenesis;
+  std::size_t min_depth_ = 15;
+  std::size_t max_depth_ = 25;
+};
+
+// Uniformly random walk.
+class RandomTipSelector final : public TipSelector {
+ public:
+  dag::TxId walk(const dag::Dag& dag, dag::TxId start, Rng& rng) override;
+};
+
+// Cumulative-weight biased walk: P(child) ∝ exp(alpha * (cw - cw_max)),
+// the IOTA-style MCMC bias. alpha -> 0 degenerates to the random walk.
+class WeightedTipSelector final : public TipSelector {
+ public:
+  explicit WeightedTipSelector(double alpha);
+
+  dag::TxId walk(const dag::Dag& dag, dag::TxId start, Rng& rng) override;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+// Normalization variants of the accuracy bias (paper Eq. 1-3).
+enum class Normalization {
+  kStandard,  // normalized  = acc - max(accs);             weight = exp(alpha * normalized)
+  kDynamic,   // normalized* = (acc - max) / (max - min);   weight = exp(alpha * normalized*)
+};
+
+// Evaluates a model payload on the calling client's local test data and
+// returns its accuracy in [0, 1].
+using ModelEvaluator = std::function<double(const nn::WeightVector&)>;
+
+// Shared accuracy cache: transaction payloads are immutable, so a model's
+// accuracy on a fixed local dataset never changes. A client may hold a
+// persistent cache across rounds (fast path) or let the selector use a
+// per-call cache (matches the paper's cost model for the Figure 15 timing).
+using AccuracyCache = std::unordered_map<dag::TxId, double>;
+
+class AccuracyTipSelector final : public TipSelector {
+ public:
+  // If `persistent_cache` is null, a fresh cache is used per select_tips
+  // call (every walk step evaluates uncached candidates).
+  AccuracyTipSelector(double alpha, Normalization normalization, ModelEvaluator evaluator,
+                      std::shared_ptr<AccuracyCache> persistent_cache = nullptr);
+
+  dag::TxId walk(const dag::Dag& dag, dag::TxId start, Rng& rng) override;
+
+  double alpha() const { return alpha_; }
+  Normalization normalization() const { return normalization_; }
+
+  // Accuracy of one transaction's model on local data, via the cache.
+  double evaluate(const dag::Dag& dag, dag::TxId id);
+
+  // Computes the walk weights for a set of candidate accuracies — exposed
+  // for unit tests of Eq. 1-3.
+  static std::vector<double> walk_weights(const std::vector<double>& accuracies, double alpha,
+                                          Normalization normalization);
+
+ private:
+  double alpha_;
+  Normalization normalization_;
+  ModelEvaluator evaluator_;
+  std::shared_ptr<AccuracyCache> cache_;
+  AccuracyCache local_cache_;  // used when no persistent cache was given
+  bool persistent_;
+};
+
+}  // namespace specdag::tipsel

@@ -1,0 +1,47 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace specdag {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (width_ == 0) throw std::invalid_argument("CsvWriter: empty header");
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double c : cells) {
+    std::ostringstream os;
+    os << c;
+    text.push_back(os.str());
+  }
+  row(text);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace specdag

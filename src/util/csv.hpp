@@ -1,0 +1,31 @@
+// Tiny CSV writer used by the bench harness to dump figure series next to the
+// printed tables so results can be plotted externally.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace specdag {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  // Appends one row; the number of cells must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  // Convenience overload for numeric rows.
+  void row(const std::vector<double>& cells);
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace specdag

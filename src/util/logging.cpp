@@ -1,0 +1,51 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstring>
+
+namespace specdag {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_output_mutex;
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= log_level() && level != LogLevel::kOff) {
+  if (enabled_) {
+    stream_ << "[" << log_level_name(level) << " " << basename_of(file) << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::lock_guard<std::mutex> lock(g_output_mutex);
+    std::cerr << stream_.str() << "\n";
+  }
+}
+
+}  // namespace detail
+}  // namespace specdag

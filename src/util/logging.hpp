@@ -1,0 +1,48 @@
+// Minimal leveled logger writing to stderr.
+//
+// Usage: SPECDAG_LOG(Info) << "round " << r << " accuracy " << acc;
+// The global level defaults to Warn so library code stays quiet in tests and
+// benches unless explicitly enabled.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace specdag {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace specdag
+
+#define SPECDAG_LOG(severity) \
+  ::specdag::detail::LogMessage(::specdag::LogLevel::k##severity, __FILE__, __LINE__)

@@ -1,0 +1,72 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace specdag {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("Rng::weighted_index: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("Rng::weighted_index: negative or non-finite weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Rng::weighted_index: all weights zero");
+  double r = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: r == total
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_without_replacement: k > n");
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<double> Rng::dirichlet(std::size_t dim, double alpha) {
+  if (dim == 0) throw std::invalid_argument("Rng::dirichlet: dim == 0");
+  if (alpha <= 0.0) throw std::invalid_argument("Rng::dirichlet: alpha <= 0");
+  std::gamma_distribution<double> gamma(alpha, 1.0);
+  std::vector<double> draw(dim);
+  double total = 0.0;
+  for (auto& d : draw) {
+    d = gamma(engine_);
+    total += d;
+  }
+  if (total <= 0.0) {
+    // Extremely small alpha can underflow every gamma draw; fall back to a
+    // one-hot sample, which is the limiting distribution.
+    std::fill(draw.begin(), draw.end(), 0.0);
+    draw[index(dim)] = 1.0;
+    return draw;
+  }
+  for (auto& d : draw) d /= total;
+  return draw;
+}
+
+Rng Rng::fork(std::uint64_t tag) const {
+  return Rng(splitmix64(seed_ ^ splitmix64(tag)));
+}
+
+}  // namespace specdag

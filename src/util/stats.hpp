@@ -1,0 +1,32 @@
+// Small descriptive-statistics helpers used by the evaluation harness
+// (Figure 9 reports per-client accuracy distributions; Figures 10/11 report
+// means; the scalability bench reports timing averages).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace specdag {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+// Computes the five-number summary plus mean/stddev. Throws on empty input.
+Summary summarize(std::span<const double> values);
+
+double mean_of(std::span<const double> values);
+double stddev_of(std::span<const double> values);
+
+// Linear-interpolated quantile of a *sorted* vector, q in [0, 1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+}  // namespace specdag

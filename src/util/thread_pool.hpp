@@ -1,0 +1,46 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The simulator uses it to train the round's active clients concurrently
+// (they are independent until publication), which mirrors the paper's
+// "concurrently active clients" notion in the scalability experiment.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace specdag {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task; the returned future rethrows any exception it raised.
+  std::future<void> submit(std::function<void()> task);
+
+  // Runs fn(i) for i in [0, n), blocking until all complete. Exceptions from
+  // tasks are rethrown (the first one encountered).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace specdag

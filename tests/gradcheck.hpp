@@ -1,0 +1,78 @@
+// Finite-difference gradient checking for layers and models.
+//
+// Verifies both parameter gradients and input gradients of a scalar loss
+// L(layer(x)) against central differences. This is the strongest correctness
+// test the NN substrate has: any indexing or chain-rule bug in a backward
+// pass shows up here.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layer.hpp"
+#include "nn/model.hpp"
+
+namespace specdag::testing {
+
+// Scalar loss over the layer output; sum of squares / 2 keeps dL/dy = y.
+inline double half_sq_sum(const Tensor& t) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) s += 0.5 * static_cast<double>(t[i]) * t[i];
+  return s;
+}
+
+inline Tensor half_sq_grad(const Tensor& t) { return t; }
+
+// Checks dL/dparams of `layer` for input `input` against central
+// differences. `tol` is the max allowed absolute error; gradients of typical
+// magnitude ~1 check out to ~1e-2 with float storage and eps 1e-2.
+inline void check_param_gradients(nn::Layer& layer, const Tensor& input, double tol = 5e-2,
+                                  float eps = 1e-2f) {
+  // Analytical gradients.
+  for (auto& p : layer.params()) p.grad->fill(0.0f);
+  Tensor out = layer.forward(input, /*train=*/true);
+  layer.backward(half_sq_grad(out));
+
+  for (auto& p : layer.params()) {
+    auto& values = p.value->data();
+    auto& grads = p.grad->data();
+    // Check a bounded number of coordinates to keep tests fast.
+    const std::size_t stride = std::max<std::size_t>(1, values.size() / 24);
+    for (std::size_t i = 0; i < values.size(); i += stride) {
+      const float original = values[i];
+      values[i] = original + eps;
+      const double up = half_sq_sum(layer.forward(input, false));
+      values[i] = original - eps;
+      const double down = half_sq_sum(layer.forward(input, false));
+      values[i] = original;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(grads[i], numeric, tol)
+          << "param " << p.name << " coordinate " << i;
+    }
+  }
+}
+
+// Checks dL/dinput of `layer` against central differences.
+inline void check_input_gradients(nn::Layer& layer, Tensor input, double tol = 5e-2,
+                                  float eps = 1e-2f) {
+  Tensor out = layer.forward(input, /*train=*/true);
+  for (auto& p : layer.params()) p.grad->fill(0.0f);
+  const Tensor grad_in = layer.backward(half_sq_grad(out));
+  ASSERT_EQ(grad_in.shape(), input.shape());
+
+  const std::size_t stride = std::max<std::size_t>(1, input.numel() / 24);
+  for (std::size_t i = 0; i < input.numel(); i += stride) {
+    const float original = input[i];
+    input[i] = original + eps;
+    const double up = half_sq_sum(layer.forward(input, false));
+    input[i] = original - eps;
+    const double down = half_sq_sum(layer.forward(input, false));
+    input[i] = original;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[i], numeric, tol) << "input coordinate " << i;
+  }
+}
+
+}  // namespace specdag::testing

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "core/specializing_dag.hpp"
+#include "data/synthetic_digits.hpp"
+#include "sim/experiment.hpp"
+#include "sim/models.hpp"
+#include "sim/simulator.hpp"
+
+namespace specdag {
+namespace {
+
+data::FederatedDataset tiny_dataset(std::size_t clients = 6) {
+  data::SyntheticDigitsConfig config;
+  config.num_clients = clients;
+  config.samples_per_client = 40;
+  config.image_size = 8;
+  return data::make_fmnist_clustered(config);
+}
+
+nn::ModelFactory tiny_factory(const data::FederatedDataset& ds) {
+  return sim::make_mlp_factory(shape_numel(ds.element_shape), 16, ds.num_classes);
+}
+
+fl::DagClientConfig tiny_config() {
+  fl::DagClientConfig config;
+  config.train = {1, 8, 8, 0.05};
+  return config;
+}
+
+// --------------------------------------------------------- model factories --
+
+TEST(ModelFactories, LogregShape) {
+  nn::Sequential model = sim::make_logreg_factory(60, 10)();
+  EXPECT_EQ(model.num_weights(), 60u * 10 + 10);
+  Tensor input({2, 60});
+  EXPECT_EQ(model.forward(input, false).shape(), (Shape{2, 10}));
+}
+
+TEST(ModelFactories, MlpForward) {
+  nn::Sequential model = sim::make_mlp_factory(64, 32, 10)();
+  Rng rng(1);
+  model.init_params(rng);
+  Tensor input({3, 1, 8, 8});
+  EXPECT_EQ(model.forward(input, false).shape(), (Shape{3, 10}));
+}
+
+TEST(ModelFactories, CnnForward) {
+  nn::Sequential model = sim::make_cnn_factory(1, 12, 4, 8, 16, 10)();
+  Rng rng(2);
+  model.init_params(rng);
+  Tensor input({2, 1, 12, 12});
+  EXPECT_EQ(model.forward(input, false).shape(), (Shape{2, 10}));
+}
+
+TEST(ModelFactories, CifarCnnForward) {
+  nn::Sequential model = sim::make_cifar_cnn_factory(3, 16, 4, 8, 8, 32, 16, 20)();
+  Rng rng(3);
+  model.init_params(rng);
+  Tensor input({1, 3, 16, 16});
+  EXPECT_EQ(model.forward(input, false).shape(), (Shape{1, 20}));
+}
+
+TEST(ModelFactories, LstmForward) {
+  nn::Sequential model = sim::make_lstm_factory(20, 4, 8, 20)();
+  Rng rng(4);
+  model.init_params(rng);
+  Tensor tokens({2, 5}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_EQ(model.forward(tokens, false).shape(), (Shape{2, 20}));
+}
+
+TEST(ModelFactories, PaperArchitecturesConstruct) {
+  // The paper-exact models are big; just verify they build and report the
+  // expected parameter counts' orders of magnitude.
+  nn::Sequential femnist = sim::make_femnist_cnn_paper()();
+  EXPECT_GT(femnist.num_weights(), 6'000'000u);
+  nn::Sequential poets = sim::make_poets_lstm_paper(80)();
+  EXPECT_GT(poets.num_weights(), 250'000u);
+  nn::Sequential cifar = sim::make_cifar_cnn_paper()();
+  EXPECT_GT(cifar.num_weights(), 500'000u);
+}
+
+TEST(ModelFactories, FactoryReplicasShareArchitecture) {
+  auto factory = sim::make_mlp_factory(16, 8, 4);
+  nn::Sequential a = factory();
+  nn::Sequential b = factory();
+  EXPECT_EQ(a.num_weights(), b.num_weights());
+  // Weights from one replica load into another.
+  Rng rng(5);
+  a.init_params(rng);
+  EXPECT_NO_THROW(b.set_weights(a.get_weights()));
+}
+
+// -------------------------------------------------------- SpecializingDag --
+
+TEST(SpecializingDag, GenesisFromFactory) {
+  const auto ds = tiny_dataset();
+  core::SpecializingDag net(tiny_factory(ds), tiny_config(), 7);
+  EXPECT_EQ(net.dag().size(), 1u);
+  nn::Sequential probe = tiny_factory(ds)();
+  EXPECT_EQ(net.dag().weights(dag::kGenesisTx)->size(), probe.num_weights());
+}
+
+TEST(SpecializingDag, RegisterAndStep) {
+  const auto ds = tiny_dataset();
+  core::SpecializingDag net(tiny_factory(ds), tiny_config(), 7);
+  const int h = net.register_client(&ds.clients[0]);
+  EXPECT_EQ(net.num_clients(), 1u);
+  const fl::DagRoundResult result = net.client_step(h, 1);
+  EXPECT_TRUE(result.did_publish());
+  EXPECT_EQ(net.dag().size(), 2u);
+}
+
+TEST(SpecializingDag, UnknownHandleThrows) {
+  const auto ds = tiny_dataset();
+  core::SpecializingDag net(tiny_factory(ds), tiny_config(), 7);
+  EXPECT_THROW(net.client_step(0, 1), std::out_of_range);
+  EXPECT_THROW(net.client_step(-1, 1), std::out_of_range);
+}
+
+TEST(SpecializingDag, ConsensusWeightsMatchReference) {
+  const auto ds = tiny_dataset();
+  core::SpecializingDag net(tiny_factory(ds), tiny_config(), 7);
+  const int h = net.register_client(&ds.clients[0]);
+  net.client_step(h, 1);
+  const nn::WeightVector weights = net.consensus_weights(h);
+  nn::Sequential probe = tiny_factory(ds)();
+  EXPECT_EQ(weights.size(), probe.num_weights());
+}
+
+TEST(SpecializingDag, PerClientConfigOverride) {
+  const auto ds = tiny_dataset();
+  core::SpecializingDag net(tiny_factory(ds), tiny_config(), 7);
+  fl::DagClientConfig random_config = tiny_config();
+  random_config.selector = fl::SelectorKind::kRandom;
+  const int h = net.register_client(&ds.clients[0], random_config);
+  EXPECT_EQ(net.client(h).config().selector, fl::SelectorKind::kRandom);
+}
+
+TEST(SpecializingDag, SplitPhasePrepareCommit) {
+  const auto ds = tiny_dataset();
+  core::SpecializingDag net(tiny_factory(ds), tiny_config(), 7);
+  const int h0 = net.register_client(&ds.clients[0]);
+  const int h1 = net.register_client(&ds.clients[1]);
+  fl::DagRoundResult r0 = net.prepare(h0);
+  fl::DagRoundResult r1 = net.prepare(h1);
+  EXPECT_EQ(net.dag().size(), 1u);  // nothing committed yet
+  net.commit(h0, r0, 1);
+  net.commit(h1, r1, 1);
+  EXPECT_EQ(net.dag().size(), 3u);
+}
+
+// ------------------------------------------------------------- simulator ---
+
+TEST(DagSimulator, RunsRoundsAndRecordsHistory) {
+  auto ds = tiny_dataset();
+  auto factory = tiny_factory(ds);
+  sim::SimulatorConfig config;
+  config.client = tiny_config();
+  config.clients_per_round = 3;
+  config.seed = 11;
+  sim::DagSimulator simulator(std::move(ds), factory, config);
+  simulator.run_rounds(5);
+  EXPECT_EQ(simulator.history().size(), 5u);
+  EXPECT_EQ(simulator.current_round(), 5u);
+  for (const auto& record : simulator.history()) {
+    EXPECT_EQ(record.results.size(), 3u);
+  }
+  EXPECT_GT(simulator.dag().size(), 1u);
+}
+
+TEST(DagSimulator, ParallelAndSerialAgree) {
+  auto make = [](bool parallel) {
+    auto ds = tiny_dataset();
+    auto factory = tiny_factory(ds);
+    sim::SimulatorConfig config;
+    config.client = tiny_config();
+    config.clients_per_round = 3;
+    config.seed = 13;
+    config.parallel_prepare = parallel;
+    sim::DagSimulator simulator(std::move(ds), factory, config);
+    simulator.run_rounds(4);
+    return simulator.dag().size();
+  };
+  EXPECT_EQ(make(true), make(false));
+}
+
+TEST(DagSimulator, DeterministicGivenSeed) {
+  auto run = [] {
+    auto ds = tiny_dataset();
+    auto factory = tiny_factory(ds);
+    sim::SimulatorConfig config;
+    config.client = tiny_config();
+    config.clients_per_round = 3;
+    config.seed = 17;
+    config.parallel_prepare = false;
+    sim::DagSimulator simulator(std::move(ds), factory, config);
+    simulator.run_rounds(4);
+    std::vector<double> accs;
+    for (const auto& r : simulator.history()) accs.push_back(r.mean_trained_accuracy());
+    return accs;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(DagSimulator, PoisoningMarksTransactions) {
+  auto ds = tiny_dataset(9);
+  auto factory = tiny_factory(ds);
+  sim::SimulatorConfig config;
+  config.client = tiny_config();
+  config.clients_per_round = 4;
+  config.seed = 19;
+  sim::DagSimulator simulator(std::move(ds), factory, config);
+  simulator.run_rounds(2);
+  const auto poisoned = simulator.apply_poisoning(0.34, 3, 8);
+  EXPECT_EQ(poisoned.size(), 3u);
+  simulator.run_rounds(4);
+  std::size_t poisoned_txs = 0;
+  for (dag::TxId id : simulator.dag().all_ids()) {
+    if (simulator.dag().transaction(id).poisoned_publisher) ++poisoned_txs;
+  }
+  EXPECT_GT(poisoned_txs, 0u);
+}
+
+TEST(DagSimulator, MetricsRunOnHistory) {
+  auto ds = tiny_dataset(9);
+  auto factory = tiny_factory(ds);
+  sim::SimulatorConfig config;
+  config.client = tiny_config();
+  config.clients_per_round = 4;
+  config.seed = 23;
+  sim::DagSimulator simulator(std::move(ds), factory, config);
+  simulator.run_rounds(8);
+  const auto pureness = simulator.approval_pureness();
+  EXPECT_GE(pureness.pureness, 0.0);
+  EXPECT_LE(pureness.pureness, 1.0);
+  const auto louvain = simulator.louvain_communities();
+  EXPECT_EQ(louvain.partition.size(), 9u);
+  const auto evals = simulator.evaluate_consensus_all();
+  EXPECT_EQ(evals.size(), 9u);
+  EXPECT_EQ(simulator.true_clusters().size(), 9u);
+}
+
+TEST(DagSimulator, RejectsBadClientsPerRound) {
+  auto ds = tiny_dataset();
+  auto factory = tiny_factory(ds);
+  sim::SimulatorConfig config;
+  config.clients_per_round = 99;
+  EXPECT_THROW(sim::DagSimulator(std::move(ds), factory, config), std::invalid_argument);
+}
+
+TEST(RoundRecord, Aggregations) {
+  sim::RoundRecord record;
+  fl::DagRoundResult a, b;
+  a.trained_eval.accuracy = 0.4;
+  a.trained_eval.loss = 1.0;
+  a.published = 5;
+  a.walk_stats.seconds = 0.5;
+  b.trained_eval.accuracy = 0.8;
+  b.trained_eval.loss = 3.0;
+  b.walk_stats.seconds = 1.5;
+  record.results = {a, b};
+  EXPECT_DOUBLE_EQ(record.mean_trained_accuracy(), 0.6);
+  EXPECT_DOUBLE_EQ(record.mean_trained_loss(), 2.0);
+  EXPECT_DOUBLE_EQ(record.mean_walk_seconds(), 1.0);
+  EXPECT_EQ(record.publish_count(), 1u);
+}
+
+// --------------------------------------------------------------- presets ---
+
+TEST(Presets, AllConstructAndValidate) {
+  for (auto make : {sim::fmnist_clustered_preset, sim::fmnist_relaxed_preset,
+                    sim::fmnist_by_author_preset, sim::poets_preset, sim::cifar_preset,
+                    sim::fedprox_synthetic_preset}) {
+    const sim::ExperimentPreset preset = make({});
+    EXPECT_FALSE(preset.name.empty());
+    EXPECT_NO_THROW(preset.dataset.validate());
+    // Model accepts the dataset's element shape.
+    nn::Sequential model = preset.factory();
+    Rng rng(29);
+    model.init_params(rng);
+    const auto& client = preset.dataset.clients[0];
+    const data::Batch batch =
+        data::full_batch(client.test_x, client.test_y, client.element_shape);
+    const Tensor logits = model.forward(batch.inputs, false);
+    EXPECT_EQ(logits.dim(1), preset.dataset.num_classes);
+  }
+}
+
+TEST(Presets, Table1HyperparametersEncoded) {
+  const auto fmnist = sim::fmnist_clustered_preset({});
+  EXPECT_EQ(fmnist.sim.client.train.local_epochs, 1u);
+  EXPECT_EQ(fmnist.sim.client.train.local_batches, 10u);
+  EXPECT_EQ(fmnist.sim.client.train.batch_size, 10u);
+  EXPECT_DOUBLE_EQ(fmnist.sim.client.train.learning_rate, 0.05);
+
+  const auto poets = sim::poets_preset({});
+  EXPECT_EQ(poets.sim.client.train.local_batches, 35u);
+  EXPECT_DOUBLE_EQ(poets.sim.client.train.learning_rate, 0.8);
+
+  const auto cifar = sim::cifar_preset({});
+  EXPECT_EQ(cifar.sim.client.train.local_epochs, 5u);
+  EXPECT_EQ(cifar.sim.client.train.local_batches, 45u);
+  EXPECT_DOUBLE_EQ(cifar.sim.client.train.learning_rate, 0.01);
+
+  for (const auto& preset : {fmnist, poets, cifar}) {
+    EXPECT_EQ(preset.sim.rounds, 100u);
+    EXPECT_EQ(preset.sim.clients_per_round, 10u);
+  }
+}
+
+TEST(Presets, CifarHasPaperClientStructure) {
+  const auto preset = sim::cifar_preset({});
+  EXPECT_EQ(preset.dataset.clients.size(), 94u);  // paper §5.1.3
+  EXPECT_EQ(preset.dataset.num_clusters, 20u);
+  EXPECT_EQ(preset.dataset.num_classes, 100u);
+}
+
+}  // namespace
+}  // namespace specdag

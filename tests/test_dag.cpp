@@ -1,0 +1,175 @@
+#include "dag/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+namespace specdag::dag {
+namespace {
+
+WeightsPtr payload(float v = 0.0f) {
+  return std::make_shared<const nn::WeightVector>(nn::WeightVector{v});
+}
+
+TEST(Dag, GenesisOnlyState) {
+  Dag dag({1.0f, 2.0f});
+  EXPECT_EQ(dag.size(), 1u);
+  EXPECT_TRUE(dag.is_tip(kGenesisTx));
+  EXPECT_EQ(dag.tips(), std::vector<TxId>{kGenesisTx});
+  const Transaction genesis = dag.transaction(kGenesisTx);
+  EXPECT_TRUE(genesis.is_genesis());
+  EXPECT_EQ(genesis.publisher, -1);
+  EXPECT_EQ((*dag.weights(kGenesisTx))[1], 2.0f);
+}
+
+TEST(Dag, AddTransactionUpdatesTipsAndChildren) {
+  Dag dag({0.0f});
+  const TxId a = dag.add_transaction({kGenesisTx}, payload(1), 0, 1);
+  const TxId b = dag.add_transaction({kGenesisTx}, payload(2), 1, 1);
+  EXPECT_EQ(dag.size(), 3u);
+  EXPECT_FALSE(dag.is_tip(kGenesisTx));
+  EXPECT_TRUE(dag.is_tip(a));
+  EXPECT_TRUE(dag.is_tip(b));
+  const auto children = dag.children(kGenesisTx);
+  EXPECT_EQ(children.size(), 2u);
+
+  const TxId c = dag.add_transaction({a, b}, payload(3), 2, 2);
+  EXPECT_FALSE(dag.is_tip(a));
+  EXPECT_FALSE(dag.is_tip(b));
+  EXPECT_TRUE(dag.is_tip(c));
+  EXPECT_EQ(dag.parents(c), (std::vector<TxId>{a, b}));
+}
+
+TEST(Dag, RejectsBadTransactions) {
+  Dag dag({0.0f});
+  EXPECT_THROW(dag.add_transaction({}, payload(), 0, 0), std::invalid_argument);
+  EXPECT_THROW(dag.add_transaction({99}, payload(), 0, 0), std::invalid_argument);
+  EXPECT_THROW(dag.add_transaction({kGenesisTx, kGenesisTx}, payload(), 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(dag.add_transaction({kGenesisTx}, nullptr, 0, 0), std::invalid_argument);
+}
+
+TEST(Dag, UnknownIdThrows) {
+  Dag dag({0.0f});
+  EXPECT_THROW(dag.transaction(5), std::out_of_range);
+  EXPECT_THROW(dag.children(5), std::out_of_range);
+  EXPECT_THROW(dag.parents(5), std::out_of_range);
+  EXPECT_THROW(dag.is_tip(5), std::out_of_range);
+}
+
+TEST(Dag, CumulativeWeightCountsFutureCone) {
+  // genesis <- a <- c ; genesis <- b <- c (diamond): cw must not double
+  // count c.
+  Dag dag({0.0f});
+  const TxId a = dag.add_transaction({kGenesisTx}, payload(), 0, 1);
+  const TxId b = dag.add_transaction({kGenesisTx}, payload(), 1, 1);
+  const TxId c = dag.add_transaction({a, b}, payload(), 2, 2);
+  EXPECT_EQ(dag.cumulative_weight(c), 1u);
+  EXPECT_EQ(dag.cumulative_weight(a), 2u);
+  EXPECT_EQ(dag.cumulative_weight(b), 2u);
+  EXPECT_EQ(dag.cumulative_weight(kGenesisTx), 4u);
+}
+
+TEST(Dag, PastConeCollectsAncestors) {
+  Dag dag({0.0f});
+  const TxId a = dag.add_transaction({kGenesisTx}, payload(), 0, 1);
+  const TxId b = dag.add_transaction({kGenesisTx}, payload(), 1, 1);
+  const TxId c = dag.add_transaction({a, b}, payload(), 2, 2);
+  const auto cone = dag.past_cone(c);
+  const std::set<TxId> cone_set(cone.begin(), cone.end());
+  EXPECT_EQ(cone_set, (std::set<TxId>{kGenesisTx, a, b}));
+  EXPECT_TRUE(dag.past_cone(kGenesisTx).empty());
+}
+
+TEST(Dag, PastConeHandlesDiamondOnce) {
+  Dag dag({0.0f});
+  const TxId a = dag.add_transaction({kGenesisTx}, payload(), 0, 1);
+  const TxId b = dag.add_transaction({a}, payload(), 1, 1);
+  const TxId c = dag.add_transaction({a}, payload(), 2, 1);
+  const TxId d = dag.add_transaction({b, c}, payload(), 3, 2);
+  const auto cone = dag.past_cone(d);
+  EXPECT_EQ(cone.size(), 4u);  // a, b, c, genesis — each exactly once
+}
+
+TEST(Dag, DepthsFromTips) {
+  // genesis <- a <- b (chain): depth(b)=0, depth(a)=1, depth(genesis)=2.
+  Dag dag({0.0f});
+  const TxId a = dag.add_transaction({kGenesisTx}, payload(), 0, 1);
+  const TxId b = dag.add_transaction({a}, payload(), 1, 2);
+  const auto depths = dag.depths_from_tips();
+  EXPECT_EQ(depths.at(b), 0u);
+  EXPECT_EQ(depths.at(a), 1u);
+  EXPECT_EQ(depths.at(kGenesisTx), 2u);
+}
+
+TEST(Dag, DepthIsMinOverChildren) {
+  // genesis has a deep chain and a direct tip child: its depth is 1.
+  Dag dag({0.0f});
+  TxId chain = kGenesisTx;
+  for (int i = 0; i < 5; ++i) chain = dag.add_transaction({chain}, payload(), 0, 1);
+  dag.add_transaction({kGenesisTx}, payload(), 1, 1);  // direct tip child
+  const auto depths = dag.depths_from_tips();
+  EXPECT_EQ(depths.at(kGenesisTx), 1u);
+}
+
+TEST(Dag, SampleWalkStartRespectsWindow) {
+  Dag dag({0.0f});
+  TxId chain = kGenesisTx;
+  std::vector<TxId> chain_ids{kGenesisTx};
+  for (int i = 0; i < 10; ++i) {
+    chain = dag.add_transaction({chain}, payload(), 0, 1);
+    chain_ids.push_back(chain);
+  }
+  Rng rng(1);
+  const auto depths = dag.depths_from_tips();
+  for (int i = 0; i < 50; ++i) {
+    const TxId start = dag.sample_walk_start(rng, 2, 4);
+    EXPECT_GE(depths.at(start), 2u);
+    EXPECT_LE(depths.at(start), 4u);
+  }
+}
+
+TEST(Dag, SampleWalkStartFallsBackToGenesis) {
+  Dag dag({0.0f});
+  Rng rng(2);
+  EXPECT_EQ(dag.sample_walk_start(rng, 15, 25), kGenesisTx);
+  EXPECT_THROW(dag.sample_walk_start(rng, 5, 2), std::invalid_argument);
+}
+
+TEST(Dag, AllIdsInInsertionOrder) {
+  Dag dag({0.0f});
+  dag.add_transaction({kGenesisTx}, payload(), 0, 1);
+  dag.add_transaction({kGenesisTx}, payload(), 1, 1);
+  EXPECT_EQ(dag.all_ids(), (std::vector<TxId>{0, 1, 2}));
+}
+
+TEST(Dag, PoisonedFlagStored) {
+  Dag dag({0.0f});
+  const TxId a = dag.add_transaction({kGenesisTx}, payload(), 0, 1, /*poisoned=*/true);
+  EXPECT_TRUE(dag.transaction(a).poisoned_publisher);
+  EXPECT_FALSE(dag.transaction(kGenesisTx).poisoned_publisher);
+}
+
+TEST(Dag, ConcurrentReadsAndWrites) {
+  Dag dag({0.0f});
+  const TxId a = dag.add_transaction({kGenesisTx}, payload(), 0, 1);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (void)dag.tips();
+      (void)dag.children(kGenesisTx);
+      (void)dag.cumulative_weight(kGenesisTx);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    dag.add_transaction({a}, payload(), i % 4, 2);
+  }
+  stop = true;
+  reader.join();
+  EXPECT_EQ(dag.size(), 202u);
+}
+
+}  // namespace
+}  // namespace specdag::dag

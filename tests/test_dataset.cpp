@@ -1,0 +1,159 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace specdag::data {
+namespace {
+
+ClientData make_client(std::size_t n, std::size_t elem = 2) {
+  ClientData c;
+  c.client_id = 0;
+  c.element_shape = {elem};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < elem; ++d) {
+      c.train_x.push_back(static_cast<float>(i * 10 + d));
+    }
+    c.train_y.push_back(static_cast<int>(i % 3));
+  }
+  return c;
+}
+
+TEST(ClientData, ValidateCatchesMismatch) {
+  ClientData c = make_client(4);
+  EXPECT_NO_THROW(c.validate());
+  c.train_x.pop_back();
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ClientData, Counts) {
+  ClientData c = make_client(5, 3);
+  EXPECT_EQ(c.num_train(), 5u);
+  EXPECT_EQ(c.num_test(), 0u);
+  EXPECT_EQ(c.element_numel(), 3u);
+}
+
+TEST(GatherBatch, PullsRowsByIndex) {
+  ClientData c = make_client(4);
+  Batch batch = gather_batch(c.train_x, c.train_y, c.element_shape, {2, 0});
+  EXPECT_EQ(batch.inputs.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(batch.inputs.at(0, 0), 20.0f);
+  EXPECT_FLOAT_EQ(batch.inputs.at(1, 0), 0.0f);
+  EXPECT_EQ(batch.labels, (std::vector<int>{2, 0}));
+}
+
+TEST(GatherBatch, RejectsBadIndices) {
+  ClientData c = make_client(2);
+  EXPECT_THROW(gather_batch(c.train_x, c.train_y, c.element_shape, {5}), std::out_of_range);
+  EXPECT_THROW(gather_batch(c.train_x, c.train_y, c.element_shape, {}), std::invalid_argument);
+}
+
+TEST(SampleBatches, FixedCountAndSize) {
+  ClientData c = make_client(20);
+  Rng rng(1);
+  const auto batches = sample_batches(c.train_x, c.train_y, c.element_shape, 5, 7, rng);
+  EXPECT_EQ(batches.size(), 7u);
+  for (const auto& b : batches) {
+    EXPECT_EQ(b.labels.size(), 5u);
+    EXPECT_EQ(b.inputs.dim(0), 5u);
+  }
+}
+
+TEST(SampleBatches, DistinctWithinBatchWhenPossible) {
+  ClientData c = make_client(10);
+  Rng rng(2);
+  const auto batches = sample_batches(c.train_x, c.train_y, c.element_shape, 10, 3, rng);
+  for (const auto& b : batches) {
+    // With batch_size == dataset size the batch must be a permutation.
+    std::set<float> firsts;
+    for (std::size_t r = 0; r < 10; ++r) firsts.insert(b.inputs.at(r, 0));
+    EXPECT_EQ(firsts.size(), 10u);
+  }
+}
+
+TEST(SampleBatches, TinyClientSamplesWithReplacement) {
+  ClientData c = make_client(3);
+  Rng rng(3);
+  const auto batches = sample_batches(c.train_x, c.train_y, c.element_shape, 8, 2, rng);
+  for (const auto& b : batches) EXPECT_EQ(b.labels.size(), 8u);
+}
+
+TEST(SampleBatches, RejectsEmpty) {
+  ClientData c = make_client(0);
+  Rng rng(4);
+  EXPECT_THROW(sample_batches(c.train_x, c.train_y, c.element_shape, 2, 1, rng),
+               std::invalid_argument);
+}
+
+TEST(FullBatch, ContainsEverything) {
+  ClientData c = make_client(6);
+  Batch b = full_batch(c.train_x, c.train_y, c.element_shape);
+  EXPECT_EQ(b.labels.size(), 6u);
+  EXPECT_FLOAT_EQ(b.inputs.at(5, 1), 51.0f);
+}
+
+TEST(TrainTestSplit, MovesFraction) {
+  ClientData c = make_client(20);
+  Rng rng(5);
+  train_test_split(c, 0.25, rng);
+  EXPECT_EQ(c.num_test(), 5u);
+  EXPECT_EQ(c.num_train(), 15u);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(TrainTestSplit, AtLeastOneTestSample) {
+  ClientData c = make_client(5);
+  Rng rng(6);
+  train_test_split(c, 0.01, rng);
+  EXPECT_EQ(c.num_test(), 1u);
+}
+
+TEST(TrainTestSplit, NeverEmptiesTrain) {
+  ClientData c = make_client(2);
+  Rng rng(7);
+  train_test_split(c, 0.9, rng);
+  EXPECT_GE(c.num_train(), 1u);
+}
+
+TEST(TrainTestSplit, PreservesExamplesExactly) {
+  ClientData c = make_client(10);
+  std::multiset<float> before(c.train_x.begin(), c.train_x.end());
+  Rng rng(8);
+  train_test_split(c, 0.3, rng);
+  std::multiset<float> after(c.train_x.begin(), c.train_x.end());
+  after.insert(c.test_x.begin(), c.test_x.end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(TrainTestSplit, RejectsBadFraction) {
+  ClientData c = make_client(5);
+  Rng rng(9);
+  EXPECT_THROW(train_test_split(c, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(train_test_split(c, -0.1, rng), std::invalid_argument);
+}
+
+TEST(FederatedDataset, ValidateChecksLabelsAndShapes) {
+  FederatedDataset ds;
+  ds.name = "t";
+  ds.num_classes = 3;
+  ds.element_shape = {2};
+  ds.clients.push_back(make_client(4));
+  EXPECT_NO_THROW(ds.validate());
+
+  ds.clients[0].train_y[0] = 7;  // out of range
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+  ds.clients[0].train_y[0] = 0;
+
+  ds.clients[0].element_shape = {3};
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(FederatedDataset, ValidateRejectsEmpty) {
+  FederatedDataset ds;
+  ds.num_classes = 2;
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace specdag::data

@@ -1,0 +1,354 @@
+// Tests for the second extension batch: async event-driven simulator,
+// confirmation confidence, hybrid tip selection, LayerNorm, AvgPool2D.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/synthetic_digits.hpp"
+#include "gradcheck.hpp"
+#include "nn/norm.hpp"
+#include "sim/async_simulator.hpp"
+#include "sim/models.hpp"
+#include "tipsel/confidence.hpp"
+#include "tipsel/hybrid_selector.hpp"
+
+namespace specdag {
+namespace {
+
+// ------------------------------------------------------------- LayerNorm ---
+
+Tensor random_tensor(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  nn::LayerNorm norm(4);
+  Tensor input({2, 4}, {1, 2, 3, 4, 10, 10, 10, 10});
+  Tensor out = norm.forward(input, false);
+  // First row: zero mean, unit variance (gamma=1, beta=0).
+  float mean = 0.0f;
+  for (std::size_t c = 0; c < 4; ++c) mean += out.at(0, c);
+  EXPECT_NEAR(mean, 0.0f, 1e-5);
+  // Constant row: all outputs ~0 (epsilon guards the division).
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_NEAR(out.at(1, c), 0.0f, 1e-2);
+}
+
+TEST(LayerNorm, GammaBetaApplied) {
+  nn::LayerNorm norm(2);
+  auto params = norm.params();
+  params[0].value->data() = {2.0f, 2.0f};   // gamma
+  params[1].value->data() = {5.0f, -5.0f};  // beta
+  Tensor input({1, 2}, {-1.0f, 1.0f});
+  Tensor out = norm.forward(input, false);
+  EXPECT_NEAR(out[0], 2.0f * -1.0f + 5.0f, 1e-3);
+  EXPECT_NEAR(out[1], 2.0f * 1.0f - 5.0f, 1e-3);
+}
+
+TEST(LayerNorm, GradCheckParams) {
+  Rng rng(1);
+  nn::LayerNorm norm(6);
+  norm.init_params(rng);
+  testing::check_param_gradients(norm, random_tensor({3, 6}, rng), 5e-2, 1e-2f);
+}
+
+TEST(LayerNorm, GradCheckInput) {
+  Rng rng(2);
+  nn::LayerNorm norm(6);
+  norm.init_params(rng);
+  testing::check_input_gradients(norm, random_tensor({3, 6}, rng), 5e-2, 1e-2f);
+}
+
+TEST(LayerNorm, RejectsBadConfig) {
+  EXPECT_THROW(nn::LayerNorm(0), std::invalid_argument);
+  EXPECT_THROW(nn::LayerNorm(4, 0.0f), std::invalid_argument);
+  nn::LayerNorm norm(4);
+  Tensor bad({1, 3});
+  EXPECT_THROW(norm.forward(bad, false), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- AvgPool ----
+
+TEST(AvgPool2D, AveragesWindows) {
+  nn::AvgPool2D pool(2, 2);
+  Tensor input({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor out = pool.forward(input, false);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+}
+
+TEST(AvgPool2D, BackwardSpreadsUniformly) {
+  nn::AvgPool2D pool(2, 2);
+  Tensor input({1, 1, 2, 2}, {1, 2, 3, 4});
+  pool.forward(input, true);
+  Tensor grad({1, 1, 1, 1}, {8.0f});
+  Tensor gin = pool.backward(grad);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gin[i], 2.0f);
+}
+
+TEST(AvgPool2D, GradCheckInput) {
+  Rng rng(3);
+  nn::AvgPool2D pool(2, 1);
+  testing::check_input_gradients(pool, random_tensor({1, 2, 4, 4}, rng));
+}
+
+TEST(AvgPool2D, RejectsBadArgs) {
+  EXPECT_THROW(nn::AvgPool2D(0, 1), std::invalid_argument);
+  nn::AvgPool2D pool(3, 1);
+  Tensor too_small({1, 1, 2, 2});
+  EXPECT_THROW(pool.forward(too_small, false), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ confidence ---
+
+dag::WeightsPtr payload(float v) {
+  return std::make_shared<const nn::WeightVector>(nn::WeightVector{v});
+}
+
+TEST(Confidence, TipOnChosenBranchHasFullConfidence) {
+  // good branch: genesis <- A (acc 0.9); bad branch: genesis <- B (acc 0.1).
+  dag::Dag graph({0.5f});
+  const dag::TxId good = graph.add_transaction({dag::kGenesisTx}, payload(0.9f), 0, 1);
+  const dag::TxId bad = graph.add_transaction({dag::kGenesisTx}, payload(0.1f), 1, 1);
+  tipsel::AccuracyTipSelector selector(
+      100.0, tipsel::Normalization::kStandard,
+      [](const nn::WeightVector& w) { return static_cast<double>(w[0]); });
+  Rng rng(4);
+  const double conf_good = tipsel::confirmation_confidence(graph, good, selector, 50, rng);
+  const double conf_bad = tipsel::confirmation_confidence(graph, bad, selector, 50, rng);
+  EXPECT_GT(conf_good, 0.95);
+  EXPECT_LT(conf_bad, 0.05);
+}
+
+TEST(Confidence, GenesisAlwaysConfirmed) {
+  dag::Dag graph({0.5f});
+  graph.add_transaction({dag::kGenesisTx}, payload(0.5f), 0, 1);
+  tipsel::RandomTipSelector selector;
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(
+      tipsel::confirmation_confidence(graph, dag::kGenesisTx, selector, 20, rng), 1.0);
+}
+
+TEST(Confidence, BulkMatchesSingle) {
+  dag::Dag graph({0.5f});
+  const dag::TxId a = graph.add_transaction({dag::kGenesisTx}, payload(0.6f), 0, 1);
+  graph.add_transaction({a}, payload(0.7f), 1, 2);
+  graph.add_transaction({dag::kGenesisTx}, payload(0.2f), 2, 1);
+  tipsel::RandomTipSelector selector;
+  Rng rng_bulk(6);
+  const auto all = tipsel::confirmation_confidences(graph, selector, 400, rng_bulk);
+  Rng rng_single(6);
+  const double single = tipsel::confirmation_confidence(graph, a, selector, 400, rng_single);
+  EXPECT_NEAR(all.at(a), single, 1e-12);  // same seed, same walks
+  EXPECT_DOUBLE_EQ(all.at(dag::kGenesisTx), 1.0);
+}
+
+TEST(Confidence, RejectsZeroWalks) {
+  dag::Dag graph({0.5f});
+  tipsel::RandomTipSelector selector;
+  Rng rng(7);
+  EXPECT_THROW(tipsel::confirmation_confidence(graph, dag::kGenesisTx, selector, 0, rng),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- hybrid selector ---
+
+TEST(HybridSelector, DegeneratesToAccuracyWhenCwAlphaZero) {
+  dag::Dag graph({0.5f});
+  const dag::TxId good = graph.add_transaction({dag::kGenesisTx}, payload(0.9f), 0, 1);
+  graph.add_transaction({dag::kGenesisTx}, payload(0.1f), 1, 1);
+  auto evaluator = [](const nn::WeightVector& w) { return static_cast<double>(w[0]); };
+  tipsel::HybridTipSelector selector(50.0, 0.0, tipsel::Normalization::kStandard, evaluator);
+  Rng rng(8);
+  std::map<dag::TxId, int> counts;
+  for (int i = 0; i < 100; ++i) counts[selector.walk(graph, dag::kGenesisTx, rng)]++;
+  EXPECT_GT(counts[good], 97);
+}
+
+TEST(HybridSelector, CumulativeWeightBreaksAccuracyTies) {
+  // Equal accuracies; branch A has a heavy subtree.
+  dag::Dag graph({0.5f});
+  const dag::TxId a = graph.add_transaction({dag::kGenesisTx}, payload(0.5f), 0, 1);
+  dag::TxId chain = a;
+  for (int i = 0; i < 6; ++i) chain = graph.add_transaction({chain}, payload(0.5f), 0, 2 + i);
+  const dag::TxId b = graph.add_transaction({dag::kGenesisTx}, payload(0.5f), 1, 1);
+  auto evaluator = [](const nn::WeightVector& w) { return static_cast<double>(w[0]); };
+  tipsel::HybridTipSelector selector(10.0, 2.0, tipsel::Normalization::kStandard, evaluator);
+  Rng rng(9);
+  int chose_b = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (selector.walk(graph, dag::kGenesisTx, rng) == b) ++chose_b;
+  }
+  EXPECT_LT(chose_b, 10);
+}
+
+TEST(HybridSelector, AccuracyBeatsModerateWeight) {
+  // Heavy but inaccurate branch vs light accurate branch with high acc_alpha.
+  dag::Dag graph({0.5f});
+  const dag::TxId heavy = graph.add_transaction({dag::kGenesisTx}, payload(0.1f), 0, 1);
+  dag::TxId chain = heavy;
+  for (int i = 0; i < 4; ++i) chain = graph.add_transaction({chain}, payload(0.1f), 0, 2 + i);
+  const dag::TxId light = graph.add_transaction({dag::kGenesisTx}, payload(0.9f), 1, 1);
+  auto evaluator = [](const nn::WeightVector& w) { return static_cast<double>(w[0]); };
+  tipsel::HybridTipSelector selector(20.0, 0.5, tipsel::Normalization::kStandard, evaluator);
+  Rng rng(10);
+  int chose_light = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (selector.walk(graph, dag::kGenesisTx, rng) == light) ++chose_light;
+  }
+  EXPECT_GT(chose_light, 80);
+}
+
+TEST(HybridSelector, RejectsBadConfig) {
+  auto evaluator = [](const nn::WeightVector&) { return 0.5; };
+  EXPECT_THROW(
+      tipsel::HybridTipSelector(-1.0, 0.0, tipsel::Normalization::kStandard, evaluator),
+      std::invalid_argument);
+  EXPECT_THROW(
+      tipsel::HybridTipSelector(1.0, -1.0, tipsel::Normalization::kStandard, evaluator),
+      std::invalid_argument);
+  EXPECT_THROW(tipsel::HybridTipSelector(1.0, 1.0, tipsel::Normalization::kStandard, nullptr),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- async simulator --
+
+data::FederatedDataset async_dataset() {
+  data::SyntheticDigitsConfig config;
+  config.num_clients = 9;
+  config.samples_per_client = 60;
+  config.image_size = 8;
+  return data::make_fmnist_clustered(config);
+}
+
+sim::AsyncSimulatorConfig async_config() {
+  sim::AsyncSimulatorConfig config;
+  config.client.train = {1, 8, 8, 0.05};
+  config.seed = 13;
+  return config;
+}
+
+TEST(AsyncSimulator, RunsRequestedSteps) {
+  auto ds = async_dataset();
+  auto factory = sim::make_mlp_factory(shape_numel(ds.element_shape), 16, 10);
+  sim::AsyncDagSimulator simulator(std::move(ds), factory, async_config());
+  const auto records = simulator.run_steps(30);
+  EXPECT_EQ(records.size(), 30u);
+  EXPECT_EQ(simulator.total_steps(), 30u);
+  // Event times are non-decreasing.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].time, records[i - 1].time);
+  }
+  EXPECT_GT(simulator.dag().size(), 1u);
+}
+
+TEST(AsyncSimulator, Deterministic) {
+  auto run = [] {
+    auto ds = async_dataset();
+    auto factory = sim::make_mlp_factory(shape_numel(ds.element_shape), 16, 10);
+    sim::AsyncDagSimulator simulator(std::move(ds), factory, async_config());
+    simulator.run_steps(20);
+    return std::make_pair(simulator.dag().size(), simulator.now());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(AsyncSimulator, FastClientsStepMoreOften) {
+  auto ds = async_dataset();
+  auto factory = sim::make_mlp_factory(shape_numel(ds.element_shape), 16, 10);
+  std::vector<sim::AsyncClientProfile> profiles(9, {1.0});
+  profiles[0].mean_step_interval = 0.1;  // 10x faster than everyone else
+  sim::AsyncDagSimulator simulator(std::move(ds), factory, async_config(),
+                                   std::move(profiles));
+  const auto records = simulator.run_steps(120);
+  std::map<int, int> steps_per_client;
+  for (const auto& r : records) steps_per_client[r.client_id]++;
+  for (const auto& [client, steps] : steps_per_client) {
+    if (client != 0) EXPECT_LT(steps, steps_per_client[0]);
+  }
+}
+
+TEST(AsyncSimulator, RunUntilAdvancesClock) {
+  auto ds = async_dataset();
+  auto factory = sim::make_mlp_factory(shape_numel(ds.element_shape), 16, 10);
+  sim::AsyncDagSimulator simulator(std::move(ds), factory, async_config());
+  const auto records = simulator.run_until(2.0);
+  EXPECT_DOUBLE_EQ(simulator.now(), 2.0);
+  for (const auto& r : records) EXPECT_LE(r.time, 2.0);
+}
+
+TEST(AsyncSimulator, BroadcastLatencyDelaysVisibility) {
+  auto ds = async_dataset();
+  auto factory = sim::make_mlp_factory(shape_numel(ds.element_shape), 16, 10);
+  sim::AsyncSimulatorConfig config = async_config();
+  config.broadcast_latency = 100.0;  // longer than the horizon below
+  config.client.publish_gate = false;
+  sim::AsyncDagSimulator simulator(std::move(ds), factory, config);
+  simulator.run_until(5.0);
+  EXPECT_EQ(simulator.dag().size(), 1u);  // nothing became visible yet
+  EXPECT_GT(simulator.total_steps(), 0u);
+}
+
+TEST(AsyncSimulator, SpecializationEmergesAsynchronously) {
+  // The paper's core claim must not depend on the round abstraction. Note
+  // the essential role of broadcast latency here: with instantaneous
+  // visibility every step consumes two tips and adds one, the tip set
+  // collapses towards a chain, and clients are *forced* into cross-cluster
+  // approvals (generalist models emerge instead of specialists). Latency in
+  // the order of the step interval keeps the DAG wide, exactly like the
+  // concurrent rounds of the synchronous simulator.
+  data::SyntheticDigitsConfig dconfig;
+  dconfig.num_clients = 15;
+  dconfig.samples_per_client = 100;
+  dconfig.image_size = 10;
+  auto ds = data::make_fmnist_clustered(dconfig);
+  auto factory = sim::make_mlp_factory(shape_numel(ds.element_shape), 24, 10);
+  sim::AsyncSimulatorConfig config;
+  config.client.train = {1, 10, 10, 0.05};
+  config.client.alpha = 10.0;
+  config.broadcast_latency = 0.3;  // ~a third of the mean step interval
+  config.seed = 17;
+  sim::AsyncDagSimulator simulator(std::move(ds), factory, config);
+  simulator.run_steps(250);
+  EXPECT_GT(simulator.approval_pureness().pureness, 0.7);
+}
+
+TEST(AsyncSimulator, ZeroLatencyCollapsesSpecialization) {
+  // The inverse of the test above, pinned as a regression: instantaneous
+  // broadcast shrinks the tip set to a near-chain and pureness stays close
+  // to the 1/3 random base even at alpha = 10.
+  data::SyntheticDigitsConfig dconfig;
+  dconfig.num_clients = 15;
+  dconfig.samples_per_client = 100;
+  dconfig.image_size = 10;
+  auto ds = data::make_fmnist_clustered(dconfig);
+  auto factory = sim::make_mlp_factory(shape_numel(ds.element_shape), 24, 10);
+  sim::AsyncSimulatorConfig config;
+  config.client.train = {1, 10, 10, 0.05};
+  config.client.alpha = 10.0;
+  config.broadcast_latency = 0.0;
+  config.seed = 17;
+  sim::AsyncDagSimulator simulator(std::move(ds), factory, config);
+  simulator.run_steps(250);
+  EXPECT_LT(simulator.approval_pureness().pureness, 0.6);
+}
+
+TEST(AsyncSimulator, RejectsBadConfig) {
+  auto ds = async_dataset();
+  auto factory = sim::make_mlp_factory(shape_numel(ds.element_shape), 16, 10);
+  sim::AsyncSimulatorConfig config = async_config();
+  config.broadcast_latency = -1.0;
+  EXPECT_THROW(sim::AsyncDagSimulator(async_dataset(), factory, config),
+               std::invalid_argument);
+  config = async_config();
+  std::vector<sim::AsyncClientProfile> wrong_count(3);
+  EXPECT_THROW(sim::AsyncDagSimulator(async_dataset(), factory, config, wrong_count),
+               std::invalid_argument);
+  std::vector<sim::AsyncClientProfile> bad_rate(9, {0.0});
+  EXPECT_THROW(sim::AsyncDagSimulator(async_dataset(), factory, config, bad_rate),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace specdag

@@ -1,0 +1,282 @@
+// Property-based tests (parameterized sweeps over configuration space).
+// Each suite states an invariant of a subsystem and checks it across a grid
+// of parameters rather than at a single hand-picked point.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include "data/synthetic_digits.hpp"
+#include "dag/dag.hpp"
+#include "metrics/community.hpp"
+#include "nn/model.hpp"
+#include "tipsel/tip_selector.hpp"
+#include "util/rng.hpp"
+
+namespace specdag {
+namespace {
+
+// ------------------------------------------------ walk-weight invariants ---
+
+struct WalkWeightCase {
+  double alpha;
+  tipsel::Normalization normalization;
+};
+
+class WalkWeightProperties : public ::testing::TestWithParam<WalkWeightCase> {};
+
+TEST_P(WalkWeightProperties, WeightsAreMonotoneInAccuracy) {
+  const auto [alpha, norm] = GetParam();
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> accs;
+    const std::size_t n = 2 + rng.index(6);
+    for (std::size_t i = 0; i < n; ++i) accs.push_back(rng.uniform());
+    const auto weights = tipsel::AccuracyTipSelector::walk_weights(accs, alpha, norm);
+    ASSERT_EQ(weights.size(), accs.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (accs[i] > accs[j]) {
+          EXPECT_GE(weights[i], weights[j])
+              << "alpha=" << alpha << " accs " << accs[i] << ">" << accs[j];
+        }
+      }
+    }
+  }
+}
+
+TEST_P(WalkWeightProperties, WeightsInUnitInterval) {
+  const auto [alpha, norm] = GetParam();
+  Rng rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> accs;
+    for (std::size_t i = 0; i < 5; ++i) accs.push_back(rng.uniform());
+    for (double w : tipsel::AccuracyTipSelector::walk_weights(accs, alpha, norm)) {
+      EXPECT_GT(w, 0.0);
+      EXPECT_LE(w, 1.0);
+    }
+  }
+}
+
+TEST_P(WalkWeightProperties, PermutationEquivariant) {
+  const auto [alpha, norm] = GetParam();
+  const std::vector<double> accs = {0.2, 0.8, 0.5};
+  const std::vector<double> permuted = {0.8, 0.5, 0.2};
+  const auto w = tipsel::AccuracyTipSelector::walk_weights(accs, alpha, norm);
+  const auto wp = tipsel::AccuracyTipSelector::walk_weights(permuted, alpha, norm);
+  EXPECT_NEAR(w[0], wp[2], 1e-12);
+  EXPECT_NEAR(w[1], wp[0], 1e-12);
+  EXPECT_NEAR(w[2], wp[1], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaGrid, WalkWeightProperties,
+    ::testing::Values(WalkWeightCase{0.0, tipsel::Normalization::kStandard},
+                      WalkWeightCase{0.1, tipsel::Normalization::kStandard},
+                      WalkWeightCase{1.0, tipsel::Normalization::kStandard},
+                      WalkWeightCase{10.0, tipsel::Normalization::kStandard},
+                      WalkWeightCase{100.0, tipsel::Normalization::kStandard},
+                      WalkWeightCase{0.1, tipsel::Normalization::kDynamic},
+                      WalkWeightCase{1.0, tipsel::Normalization::kDynamic},
+                      WalkWeightCase{10.0, tipsel::Normalization::kDynamic},
+                      WalkWeightCase{100.0, tipsel::Normalization::kDynamic}));
+
+// --------------------------------------------- weight-average invariants ---
+
+class AveragingProperties : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AveragingProperties, AverageOfIdenticalIsIdentity) {
+  const std::size_t dim = GetParam();
+  Rng rng(44);
+  nn::WeightVector w(dim);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  const nn::WeightVector avg = nn::average_weights(w, w);
+  for (std::size_t i = 0; i < dim; ++i) EXPECT_FLOAT_EQ(avg[i], w[i]);
+}
+
+TEST_P(AveragingProperties, Commutative) {
+  const std::size_t dim = GetParam();
+  Rng rng(45);
+  nn::WeightVector a(dim), b(dim);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  EXPECT_EQ(nn::average_weights(a, b), nn::average_weights(b, a));
+}
+
+TEST_P(AveragingProperties, BoundedByExtremes) {
+  const std::size_t dim = GetParam();
+  Rng rng(46);
+  nn::WeightVector a(dim), b(dim);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  const nn::WeightVector avg = nn::average_weights(a, b);
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_GE(avg[i], std::min(a[i], b[i]) - 1e-6f);
+    EXPECT_LE(avg[i], std::max(a[i], b[i]) + 1e-6f);
+  }
+}
+
+TEST_P(AveragingProperties, WeightedAverageInterpolates) {
+  const std::size_t dim = GetParam();
+  Rng rng(47);
+  nn::WeightVector a(dim), b(dim);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  // Coefficient mass fully on a -> result == a.
+  const nn::WeightVector all_a = nn::weighted_average_weights({&a, &b}, {1.0, 0.0});
+  for (std::size_t i = 0; i < dim; ++i) EXPECT_FLOAT_EQ(all_a[i], a[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, AveragingProperties, ::testing::Values(1, 7, 64, 1000));
+
+// ----------------------------------------------------- DAG invariants ------
+
+class DagProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+dag::WeightsPtr payload() {
+  return std::make_shared<const nn::WeightVector>(nn::WeightVector{0.0f});
+}
+
+// Builds a random DAG with the given seed: each new transaction approves
+// 1-3 random existing transactions.
+std::unique_ptr<dag::Dag> random_dag(std::uint64_t seed, std::size_t size) {
+  auto dag = std::make_unique<dag::Dag>(nn::WeightVector{0.0f});
+  Rng rng(seed);
+  for (std::size_t i = 1; i < size; ++i) {
+    const std::size_t num_parents = std::min<std::size_t>(1 + rng.index(3), dag->size());
+    const auto parent_indices = rng.sample_without_replacement(dag->size(), num_parents);
+    std::vector<dag::TxId> parents(parent_indices.begin(), parent_indices.end());
+    dag->add_transaction(parents, payload(), static_cast<int>(i % 5), i);
+  }
+  return dag;
+}
+
+TEST_P(DagProperties, TipsAreExactlyChildlessNodes) {
+  const auto dag_ptr = random_dag(GetParam(), 60);
+  const dag::Dag& dag = *dag_ptr;
+  const auto tips = dag.tips();
+  const std::set<dag::TxId> tip_set(tips.begin(), tips.end());
+  for (dag::TxId id : dag.all_ids()) {
+    EXPECT_EQ(tip_set.count(id) > 0, dag.children(id).empty());
+  }
+}
+
+TEST_P(DagProperties, ParentsAlwaysOlder) {
+  const auto dag_ptr = random_dag(GetParam(), 60);
+  const dag::Dag& dag = *dag_ptr;
+  for (dag::TxId id : dag.all_ids()) {
+    for (dag::TxId p : dag.parents(id)) EXPECT_LT(p, id);
+  }
+}
+
+TEST_P(DagProperties, CumulativeWeightAntitoneAlongEdges) {
+  // A parent's future cone strictly contains each child's.
+  const auto dag_ptr = random_dag(GetParam(), 40);
+  const dag::Dag& dag = *dag_ptr;
+  for (dag::TxId id : dag.all_ids()) {
+    for (dag::TxId p : dag.parents(id)) {
+      EXPECT_GT(dag.cumulative_weight(p), dag.cumulative_weight(id) - 1);
+    }
+  }
+}
+
+TEST_P(DagProperties, GenesisFutureConeIsEverything) {
+  const auto dag_ptr = random_dag(GetParam(), 50);
+  const dag::Dag& dag = *dag_ptr;
+  EXPECT_EQ(dag.cumulative_weight(dag::kGenesisTx), dag.size());
+}
+
+TEST_P(DagProperties, PastConePlusSelfAreAncestorsOnly) {
+  const auto dag_ptr = random_dag(GetParam(), 40);
+  const dag::Dag& dag = *dag_ptr;
+  for (dag::TxId id : dag.all_ids()) {
+    for (dag::TxId ancestor : dag.past_cone(id)) EXPECT_LT(ancestor, id);
+  }
+}
+
+TEST_P(DagProperties, DepthZeroIffTip) {
+  const auto dag_ptr = random_dag(GetParam(), 60);
+  const dag::Dag& dag = *dag_ptr;
+  const auto depths = dag.depths_from_tips();
+  for (dag::TxId id : dag.all_ids()) {
+    EXPECT_EQ(depths.at(id) == 0, dag.is_tip(id));
+  }
+}
+
+TEST_P(DagProperties, EveryWalkEndsAtATip) {
+  const auto dag_ptr = random_dag(GetParam(), 60);
+  const dag::Dag& dag = *dag_ptr;
+  tipsel::RandomTipSelector selector;
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int i = 0; i < 10; ++i) {
+    const dag::TxId tip = selector.walk(dag, dag::kGenesisTx, rng);
+    EXPECT_TRUE(dag.is_tip(tip));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagProperties, ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+// ------------------------------------------- dataset generator sweeps ------
+
+struct DigitsCase {
+  std::size_t clients;
+  std::size_t samples;
+  std::size_t image;
+};
+
+class DigitsProperties : public ::testing::TestWithParam<DigitsCase> {};
+
+TEST_P(DigitsProperties, GeneratorSatisfiesContract) {
+  const auto [clients, samples, image] = GetParam();
+  data::SyntheticDigitsConfig config;
+  config.num_clients = clients;
+  config.samples_per_client = samples;
+  config.image_size = image;
+  const auto ds = data::make_fmnist_clustered(config);
+  EXPECT_NO_THROW(ds.validate());
+  EXPECT_EQ(ds.clients.size(), clients);
+  for (const auto& c : ds.clients) {
+    EXPECT_EQ(c.num_train() + c.num_test(), samples);
+    EXPECT_GE(c.num_test(), 1u);
+    EXPECT_GE(c.true_cluster, 0);
+    EXPECT_LT(c.true_cluster, 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DigitsProperties,
+                         ::testing::Values(DigitsCase{3, 20, 8}, DigitsCase{9, 40, 8},
+                                           DigitsCase{12, 30, 16}, DigitsCase{30, 50, 10},
+                                           DigitsCase{7, 25, 12}));
+
+// ---------------------------------------------------- Louvain properties ---
+
+class LouvainProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LouvainProperties, NeverWorseThanTrivialPartitions) {
+  // On random graphs, Louvain's modularity must dominate both the
+  // all-in-one and the all-singletons partitions.
+  Rng graph_rng(GetParam());
+  metrics::ClientGraph g(12);
+  for (int e = 0; e < 30; ++e) {
+    const std::size_t a = graph_rng.index(12);
+    std::size_t b = graph_rng.index(12);
+    if (a == b) continue;
+    g.add_weight(a, b, 1.0 + graph_rng.uniform());
+  }
+  Rng louvain_rng(GetParam() ^ 0xFFFF);
+  const auto result = metrics::louvain(g, louvain_rng);
+  const metrics::Partition all_one(12, 0);
+  metrics::Partition singletons(12);
+  std::iota(singletons.begin(), singletons.end(), 0);
+  EXPECT_GE(result.modularity, metrics::modularity(g, all_one) - 1e-9);
+  EXPECT_GE(result.modularity, metrics::modularity(g, singletons) - 1e-9);
+  EXPECT_GE(result.modularity, -0.5);
+  EXPECT_LE(result.modularity, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LouvainProperties, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace specdag

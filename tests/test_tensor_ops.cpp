@@ -1,0 +1,192 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace specdag {
+namespace {
+
+Tensor random_tensor(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(Matmul, KnownProduct) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  Rng rng(1);
+  Tensor a = random_tensor({3, 3}, rng);
+  Tensor eye({3, 3});
+  for (int i = 0; i < 3; ++i) eye.at(i, i) = 1.0f;
+  Tensor c = matmul(a, eye);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_NEAR(c[i], a[i], 1e-6);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  Tensor a({2, 3}), b({2, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  Tensor vec({3});
+  EXPECT_THROW(matmul(vec, b), std::invalid_argument);
+}
+
+TEST(Matmul, TransposedVariantsAgree) {
+  Rng rng(2);
+  Tensor a = random_tensor({4, 5}, rng);
+  Tensor b = random_tensor({5, 3}, rng);
+  const Tensor reference = matmul(a, b);
+
+  // matmul_transposed_b(a, b_t) where b_t = b^T stored as [3, 5].
+  Tensor b_t({3, 5});
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) b_t.at(j, i) = b.at(i, j);
+  }
+  const Tensor via_bt = matmul_transposed_b(a, b_t);
+  ASSERT_EQ(via_bt.shape(), reference.shape());
+  for (std::size_t i = 0; i < reference.numel(); ++i) {
+    EXPECT_NEAR(via_bt[i], reference[i], 1e-5);
+  }
+
+  // matmul_transposed_a(a_t, b) where a_t = a^T stored as [5, 4].
+  Tensor a_t({5, 4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) a_t.at(j, i) = a.at(i, j);
+  }
+  const Tensor via_at = matmul_transposed_a(a_t, b);
+  ASSERT_EQ(via_at.shape(), reference.shape());
+  for (std::size_t i = 0; i < reference.numel(); ++i) {
+    EXPECT_NEAR(via_at[i], reference[i], 1e-5);
+  }
+}
+
+TEST(AddRowBias, AddsToEveryRow) {
+  Tensor m({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias({3}, {10, 20, 30});
+  add_row_bias(m, bias);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 31.0f);
+  Tensor bad({2});
+  EXPECT_THROW(add_row_bias(m, bad), std::invalid_argument);
+}
+
+TEST(Conv2dSpec, OutDims) {
+  Conv2dSpec spec{1, 1, 3, 1, 0};
+  EXPECT_EQ(spec.out_dim(5), 3u);
+  spec.padding = 1;
+  EXPECT_EQ(spec.out_dim(5), 5u);
+  spec.stride = 2;
+  EXPECT_EQ(spec.out_dim(5), 3u);
+  Conv2dSpec too_big{1, 1, 7, 1, 0};
+  EXPECT_THROW(too_big.out_dim(5), std::invalid_argument);
+}
+
+TEST(Im2Col, IdentityKernelRoundTrip) {
+  // 1x1 kernel: im2col is a transpose-free reshape of the input.
+  Rng rng(3);
+  Tensor input = random_tensor({2, 3, 4, 4}, rng);
+  Conv2dSpec spec{3, 1, 1, 1, 0};
+  Tensor cols = im2col(input, spec);
+  EXPECT_EQ(cols.shape(), (Shape{2 * 4 * 4, 3}));
+  // Channel 0 of image 0 pixel (0,0) must appear in cols(0, 0).
+  EXPECT_FLOAT_EQ(cols.at(0, 0), input[0]);
+}
+
+TEST(Im2Col, PaddingProducesZeros) {
+  Tensor input = Tensor::full({1, 1, 2, 2}, 1.0f);
+  Conv2dSpec spec{1, 1, 3, 1, 1};
+  Tensor cols = im2col(input, spec);
+  EXPECT_EQ(cols.shape(), (Shape{4, 9}));
+  // Top-left output position: the kernel's first row/col overlaps padding.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0f);  // (-1,-1) is padding
+  EXPECT_FLOAT_EQ(cols.at(0, 4), 1.0f);  // center hits (0,0)
+}
+
+TEST(Col2Im, IsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining property
+  // of the adjoint, which is exactly what backprop requires.
+  Rng rng(4);
+  Tensor x = random_tensor({2, 2, 5, 5}, rng);
+  Conv2dSpec spec{2, 1, 3, 2, 1};
+  Tensor cols = im2col(x, spec);
+  Tensor y = random_tensor(cols.shape(), rng);
+  Tensor back = col2im(y, x.shape(), spec);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols[i]) * y[i];
+  }
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * back[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Conv2dForward, MatchesManualConvolution) {
+  // 1 channel, 2x2 input, 2x2 kernel, no padding -> single output value.
+  Tensor input({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor filters({1, 4}, {10, 20, 30, 40});
+  Tensor bias({1}, {5});
+  Conv2dSpec spec{1, 1, 2, 1, 0};
+  Tensor out = conv2d_forward(input, filters, bias, spec);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 1 * 10 + 2 * 20 + 3 * 30 + 4 * 40 + 5);
+}
+
+TEST(Conv2dForward, MultiChannelShape) {
+  Rng rng(5);
+  Tensor input = random_tensor({3, 2, 8, 8}, rng);
+  Conv2dSpec spec{2, 4, 3, 1, 1};
+  Tensor filters = random_tensor({4, 2 * 3 * 3}, rng);
+  Tensor bias({4});
+  Tensor out = conv2d_forward(input, filters, bias, spec);
+  EXPECT_EQ(out.shape(), (Shape{3, 4, 8, 8}));
+}
+
+TEST(MaxPool, ForwardValuesAndArgmax) {
+  Tensor input({1, 1, 2, 2}, {1, 5, 3, 2});
+  MaxPoolResult result = maxpool2d_forward(input, 2, 2);
+  EXPECT_EQ(result.output.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(result.output[0], 5.0f);
+  EXPECT_EQ(result.argmax[0], 1u);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  Tensor input({1, 1, 2, 2}, {1, 5, 3, 2});
+  MaxPoolResult fwd = maxpool2d_forward(input, 2, 2);
+  Tensor grad_out({1, 1, 1, 1}, {7.0f});
+  Tensor grad_in = maxpool2d_backward(grad_out, input.shape(), fwd.argmax);
+  EXPECT_FLOAT_EQ(grad_in[0], 0.0f);
+  EXPECT_FLOAT_EQ(grad_in[1], 7.0f);
+  EXPECT_FLOAT_EQ(grad_in[2], 0.0f);
+  EXPECT_FLOAT_EQ(grad_in[3], 0.0f);
+}
+
+TEST(MaxPool, StrideSmallerThanWindow) {
+  // Overlapping pooling: 3x3 input, window 2, stride 1 -> 2x2 output.
+  Tensor input({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  MaxPoolResult result = maxpool2d_forward(input, 2, 1);
+  EXPECT_EQ(result.output.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(result.output[0], 5.0f);
+  EXPECT_FLOAT_EQ(result.output[3], 9.0f);
+}
+
+TEST(MaxPool, RejectsBadArgs) {
+  Tensor input({1, 1, 2, 2});
+  EXPECT_THROW(maxpool2d_forward(input, 0, 1), std::invalid_argument);
+  EXPECT_THROW(maxpool2d_forward(input, 3, 1), std::invalid_argument);
+  Tensor not_nchw({2, 2});
+  EXPECT_THROW(maxpool2d_forward(not_nchw, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace specdag
