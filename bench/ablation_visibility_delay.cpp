@@ -7,8 +7,14 @@
 // `d` rounds after publication. Expectation: learning and specialization
 // degrade gracefully — stale tips mean staler averaged models, but the
 // accuracy bias still routes walks into the right cluster.
+//
+// Runs as a scenario-engine sweep over visibility_delay_rounds: the four
+// delay settings execute in parallel across the thread pool, and the
+// per-run summaries additionally stream to results/ as JSONL.
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sweep.hpp"
 
 using namespace specdag;
 
@@ -18,26 +24,34 @@ int main(int argc, char** argv) {
                       "graceful degradation when broadcast is slow");
   const std::size_t rounds = args.rounds ? args.rounds : 80;
 
-  auto csv = bench::open_csv(args, "ablation_visibility_delay",
-                             {"delay", "round", "accuracy"});
+  scenario::ScenarioSpec base = scenario::get_scenario("visibility-delay");
+  base.seed = args.seed;
+  base.rounds = rounds;
 
+  scenario::SweepSpec sweep;
+  sweep.base = scenario::spec_to_json(base);
+  sweep.axes.push_back({"visibility_delay_rounds",
+                        {scenario::Json(0), scenario::Json(1), scenario::Json(3),
+                         scenario::Json(6)}});
+  // Every delay runs with the bench seed: the sweep varies exactly one knob,
+  // everything else (including the data) stays identical.
+  sweep.derive_seeds = false;
+  sweep.out_path = args.out_dir + "/ablation_visibility_delay.jsonl";
+
+  const std::vector<scenario::SweepRun> runs = scenario::run_sweep(sweep);
+
+  auto csv = bench::open_csv(args, "ablation_visibility_delay", {"delay", "round", "accuracy"});
   std::cout << "delay  late_accuracy  pureness  dag_size\n";
-  for (const std::size_t delay : {0u, 1u, 3u, 6u}) {
-    sim::ExperimentPreset preset = sim::fmnist_clustered_preset({args.seed, false});
-    preset.sim.visibility_delay_rounds = delay;
-    sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
-    double late = 0.0;
-    for (std::size_t round = 1; round <= rounds; ++round) {
-      const auto& record = simulator.run_round();
-      if (round > rounds - 10) late += record.mean_trained_accuracy();
-      if (round % 10 == 0) {
-        csv.row({std::to_string(delay), std::to_string(round),
-                 bench::fmt(record.mean_trained_accuracy())});
+  for (const scenario::SweepRun& run : runs) {
+    const std::size_t delay = run.params.find("visibility_delay_rounds")->as_uint();
+    for (const scenario::ScenarioPoint& point : run.result.series) {
+      if (point.round % 10 == 0) {
+        csv.row({std::to_string(delay), std::to_string(point.round),
+                 bench::fmt(point.mean_accuracy)});
       }
     }
-    std::cout << delay << "      " << bench::fmt(late / 10.0) << "          "
-              << bench::fmt(simulator.approval_pureness().pureness) << "     "
-              << simulator.dag().size() << "\n";
+    std::cout << delay << "      " << bench::fmt(run.result.final_accuracy) << "          "
+              << bench::fmt(run.result.pureness) << "     " << run.result.dag_size << "\n";
   }
   std::cout << "\nShape check: accuracy and pureness decrease only mildly as the delay"
                "\ngrows — the DAG tolerates slow broadcast.\n";

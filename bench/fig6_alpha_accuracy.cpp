@@ -3,8 +3,12 @@
 //
 // Paper shape: higher alpha improves accuracy earlier; all alphas approach
 // high accuracy by round 100 (the task is solvable by a generalist model).
+//
+// Runs through the scenario engine: the base configuration comes from the
+// registry's "fmnist-clustered" scenario and only alpha varies.
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
 
@@ -22,19 +26,21 @@ int main(int argc, char** argv) {
   std::vector<double> early_accuracy;
 
   for (double alpha : alphas) {
-    sim::ExperimentPreset preset = sim::fmnist_clustered_preset({args.seed, false});
-    preset.sim.client.alpha = alpha;
-    preset.sim.client.normalization = tipsel::Normalization::kStandard;
-    sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
+    scenario::ScenarioSpec spec = scenario::get_scenario("fmnist-clustered");
+    spec.seed = args.seed;
+    spec.rounds = rounds;
+    spec.client.alpha = alpha;
+    spec.client.normalization = tipsel::Normalization::kStandard;
+
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
     std::cout << "\n--- alpha = " << alpha << "\nround  accuracy\n";
     double at20 = 0.0;
-    for (std::size_t round = 1; round <= rounds; ++round) {
-      const auto& record = simulator.run_round();
-      csv.row({bench::fmt(alpha, 1), std::to_string(round),
-               bench::fmt(record.mean_trained_accuracy())});
-      if (round == 20) at20 = record.mean_trained_accuracy();
-      if (round % 20 == 0) {
-        std::cout << round << "     " << bench::fmt(record.mean_trained_accuracy()) << "\n";
+    for (const scenario::ScenarioPoint& point : result.series) {
+      csv.row({bench::fmt(alpha, 1), std::to_string(point.round),
+               bench::fmt(point.mean_accuracy)});
+      if (point.round == 20) at20 = point.mean_accuracy;
+      if (point.round % 20 == 0) {
+        std::cout << point.round << "     " << bench::fmt(point.mean_accuracy) << "\n";
       }
     }
     early_accuracy.push_back(at20);

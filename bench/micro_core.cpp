@@ -160,6 +160,25 @@ void BM_CumulativeWeight(benchmark::State& state) {
 }
 BENCHMARK(BM_CumulativeWeight)->Arg(1000);
 
+// The whole-DAG table (bit-parallel) vs one BFS per transaction: this is
+// the metrics-path workload dag_weight_summary runs per scenario.
+void BM_CumulativeWeightsAll(benchmark::State& state) {
+  const auto dag_size = static_cast<std::size_t>(state.range(0));
+  dag::Dag dag(nn::WeightVector{0.0f});
+  Rng build_rng(12);
+  for (std::size_t i = 1; i < dag_size; ++i) {
+    const std::size_t parents_count = std::min<std::size_t>(2, dag.size());
+    const auto parent_idx = build_rng.sample_without_replacement(dag.size(), parents_count);
+    dag.add_transaction({parent_idx.begin(), parent_idx.end()},
+                        std::make_shared<const nn::WeightVector>(nn::WeightVector{0.0f}),
+                        0, i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag.cumulative_weights_all());
+  }
+}
+BENCHMARK(BM_CumulativeWeightsAll)->Arg(1000);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -1,0 +1,195 @@
+// specdag — the scenario-engine command-line front end.
+//
+//   specdag list                     show the built-in scenario registry
+//   specdag show <name>              print a built-in spec as JSON
+//   specdag run <name|spec.json>     run one scenario
+//   specdag sweep <grid.json>        run a parameter grid in parallel
+//
+// `run` options:
+//   --rounds N     override the spec's round count / async horizon
+//   --seed N       override the spec's seed
+//   --series       include the per-round series in the JSON output
+//   --csv PATH     also write the series as CSV
+//   --quiet        suppress the progress lines
+// `sweep` options:
+//   --out PATH     override the grid's JSONL output path
+//   --threads N    override the grid's worker count
+//   --dry-run      print the expanded grid without running it
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sweep.hpp"
+
+namespace {
+
+using namespace specdag;
+
+int usage(std::ostream& out, int code) {
+  out << "usage: specdag <command> [options]\n"
+         "\n"
+         "commands:\n"
+         "  list                    show the built-in scenario registry\n"
+         "  show <name>             print a built-in spec as JSON\n"
+         "  run <name|spec.json>    run one scenario (--rounds N --seed N\n"
+         "                          --series --csv PATH --quiet)\n"
+         "  sweep <grid.json>       run a parameter grid (--out PATH\n"
+         "                          --threads N --dry-run)\n";
+  return code;
+}
+
+int cmd_list() {
+  std::cout << "built-in scenarios:\n";
+  for (const scenario::ScenarioSpec& spec : scenario::builtin_scenarios()) {
+    std::string tags = scenario::to_string(spec.simulator);
+    if (spec.dynamics.churn.enabled()) tags += ", churn";
+    if (spec.dynamics.stragglers.enabled()) tags += ", stragglers";
+    if (spec.dynamics.partition.enabled()) tags += ", partition";
+    if (spec.visibility_delay_rounds > 0) tags += ", delayed-visibility";
+    const std::size_t pad = spec.name.size() < 18 ? 18 - spec.name.size() : 1;
+    std::cout << "  " << spec.name << std::string(pad, ' ') << "[" << tags << "] "
+              << spec.description << "\n";
+  }
+  std::cout << "\nrun one with: specdag run <name>  (or pass a JSON spec file)\n";
+  return 0;
+}
+
+int cmd_show(const std::string& name) {
+  std::cout << scenario::spec_to_json(scenario::get_scenario(name)).dump(2) << "\n";
+  return 0;
+}
+
+scenario::ScenarioSpec resolve_spec(const std::string& name_or_path) {
+  if (const scenario::ScenarioSpec* builtin = scenario::find_scenario(name_or_path)) {
+    return *builtin;
+  }
+  if (!std::filesystem::exists(name_or_path)) {
+    // get_scenario throws with the list of valid names.
+    return scenario::get_scenario(name_or_path);
+  }
+  return scenario::spec_from_json(scenario::Json::parse_file(name_or_path));
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "run: missing scenario name or spec file\n";
+    return 2;
+  }
+  scenario::ScenarioSpec spec = resolve_spec(args[0]);
+  bool include_series = false;
+  bool quiet = false;
+  std::string csv_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "run: missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (flag == "--rounds") {
+      spec.rounds = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--seed") {
+      spec.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--series") {
+      include_series = true;
+    } else if (flag == "--csv") {
+      csv_path = next();
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "run: unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+  spec.validate();
+
+  if (!quiet) {
+    std::cerr << "running \"" << spec.name << "\" (" << scenario::to_string(spec.simulator)
+              << ", " << spec.rounds << " rounds, seed " << spec.seed << ")...\n";
+  }
+  const scenario::ScenarioResult result = scenario::run_scenario(spec);
+  if (!csv_path.empty()) {
+    const std::filesystem::path path(csv_path);
+    if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+    scenario::write_series_csv(result, csv_path);
+    if (!quiet) std::cerr << "series written to " << csv_path << "\n";
+  }
+  std::cout << scenario::result_to_json(result, include_series).dump(2) << "\n";
+  return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "sweep: missing grid file\n";
+    return 2;
+  }
+  scenario::SweepSpec sweep = scenario::sweep_from_json(scenario::Json::parse_file(args[0]));
+  bool dry_run = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "sweep: missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (flag == "--out") {
+      sweep.out_path = next();
+    } else if (flag == "--threads") {
+      sweep.threads = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--dry-run") {
+      dry_run = true;
+    } else {
+      std::cerr << "sweep: unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+
+  if (dry_run) {
+    for (const auto& [params, seed] : scenario::expand_grid(sweep)) {
+      std::cout << "params=" << params.dump() << " seed=" << seed << "\n";
+    }
+    return 0;
+  }
+
+  std::cerr << "sweep: " << sweep.num_runs() << " runs -> " << sweep.out_path << "\n";
+  const std::vector<scenario::SweepRun> runs = scenario::run_sweep(sweep, &std::cerr);
+  std::cerr << "sweep complete: " << runs.size() << " runs written to " << sweep.out_path
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "show") {
+      if (args.empty()) {
+        std::cerr << "show: missing scenario name\n";
+        return 2;
+      }
+      return cmd_show(args[0]);
+    }
+    if (command == "run") return cmd_run(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "--help" || command == "-h" || command == "help") {
+      return usage(std::cout, 0);
+    }
+    std::cerr << "unknown command \"" << command << "\"\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& error) {
+    std::cerr << "specdag: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -64,4 +64,8 @@ void SpecializingDag::invalidate_client_cache(int handle) {
   client(handle).invalidate_cache();
 }
 
+void SpecializingDag::set_visibility_mask(int handle, tipsel::VisibilityMask mask) {
+  client(handle).set_visibility_mask(std::move(mask));
+}
+
 }  // namespace specdag::core

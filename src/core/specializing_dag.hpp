@@ -52,6 +52,9 @@ class SpecializingDag {
   // Must be called for a client whose local data changed (e.g. poisoning).
   void invalidate_client_cache(int handle);
 
+  // Per-client walk visibility (see fl::DagClient::set_visibility_mask).
+  void set_visibility_mask(int handle, tipsel::VisibilityMask mask);
+
   const dag::Dag& dag() const { return dag_; }
   dag::Dag& dag() { return dag_; }
   fl::DagClient& client(int handle);

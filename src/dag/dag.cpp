@@ -1,6 +1,7 @@
 #include "dag/dag.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <deque>
 #include <stdexcept>
 
@@ -83,6 +84,16 @@ std::vector<TxId> Dag::children(TxId id) const {
   return it == children_.end() ? std::vector<TxId>{} : it->second;
 }
 
+int Dag::publisher(TxId id) const {
+  std::shared_lock lock(mutex_);
+  return tx_locked(id).publisher;
+}
+
+std::size_t Dag::round(TxId id) const {
+  std::shared_lock lock(mutex_);
+  return tx_locked(id).round;
+}
+
 bool Dag::is_tip(TxId id) const {
   std::shared_lock lock(mutex_);
   tx_locked(id);
@@ -109,6 +120,36 @@ std::size_t Dag::cumulative_weight(TxId id) const {
     }
   }
   return visited.size();
+}
+
+std::vector<std::size_t> Dag::cumulative_weights_all() const {
+  std::shared_lock lock(mutex_);
+  const std::size_t n = transactions_.size();
+  // weights[x] = 1 + |future cone of x|. Future cones are counted exactly
+  // with a bit-parallel sweep: each pass tracks, per transaction, which of a
+  // chunk of 64 candidate descendants can reach it. Parents always have
+  // smaller ids than their children (the DAG is append-only), so a single
+  // reverse-insertion-order pass sees every child before its parents.
+  std::vector<std::size_t> weights(n, 1);
+  std::vector<std::uint64_t> reach(n);
+  for (std::size_t chunk = 0; chunk < n; chunk += 64) {
+    std::fill(reach.begin(), reach.end(), 0);
+    const std::size_t chunk_end = std::min(chunk + 64, n);
+    for (std::size_t id = n; id-- > 0;) {
+      std::uint64_t mask = reach[id];
+      if (id >= chunk && id < chunk_end) mask |= std::uint64_t{1} << (id - chunk);
+      if (mask == 0) continue;
+      reach[id] = mask;
+      for (TxId p : transactions_[id].parents) reach[p] |= mask;
+    }
+    for (std::size_t id = 0; id < n; ++id) {
+      // Descendants only: drop the transaction's own bit before counting.
+      std::uint64_t mask = reach[id];
+      if (id >= chunk && id < chunk_end) mask &= ~(std::uint64_t{1} << (id - chunk));
+      weights[id] += static_cast<std::size_t>(std::popcount(mask));
+    }
+  }
+  return weights;
 }
 
 std::vector<TxId> Dag::past_cone(TxId id) const {

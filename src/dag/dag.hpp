@@ -47,6 +47,11 @@ class Dag {
   std::vector<TxId> children(TxId id) const;
   bool is_tip(TxId id) const;
 
+  // Lightweight metadata accessors (no record copy) — used by per-client
+  // visibility masks on the walk hot path.
+  int publisher(TxId id) const;
+  std::size_t round(TxId id) const;
+
   // Current tips (transactions without approvals), unordered.
   std::vector<TxId> tips() const;
 
@@ -54,6 +59,14 @@ class Dag {
   // plus one for the transaction itself — the classic cumulative weight
   // ("weight of transaction", Figure 3). Exact (BFS over the future cone).
   std::size_t cumulative_weight(TxId id) const;
+
+  // Cumulative weight of *every* transaction, indexed by id. Exact: counts
+  // the future cone of each transaction with bit-parallel reverse-insertion-
+  // order sweeps (64 descendant candidates per sweep), so the whole table
+  // costs O((n + edges) * n / 64) instead of the n BFS traversals
+  // (O(n * (n + edges))) that per-id cumulative_weight() calls would need.
+  // Use this on metrics paths that need many weights at once.
+  std::vector<std::size_t> cumulative_weights_all() const;
 
   // All ids in the past cone of `id` (ancestors via approvals), excluding
   // `id` itself. Used to count approved poisoned transactions (Figure 13).

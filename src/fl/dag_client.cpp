@@ -52,6 +52,10 @@ void DagClient::invalidate_cache() {
   if (cache_) cache_->clear();
 }
 
+void DagClient::set_visibility_mask(tipsel::VisibilityMask mask) {
+  selector_->set_visibility_mask(std::move(mask));
+}
+
 dag::TxId DagClient::consensus_reference(const dag::Dag& dag) {
   const std::size_t walks = std::max<std::size_t>(1, config_.reference_walks);
   dag::TxId best = dag::kInvalidTx;

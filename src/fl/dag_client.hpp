@@ -94,6 +94,12 @@ class DagClient {
   // data changes, e.g. a poisoning attack at round 100).
   void invalidate_cache();
 
+  // Restricts this client's walks to the masked subgraph of the shared DAG
+  // (empty mask = full visibility). Simulators use this to model network
+  // partitions: during a partition a client only sees its own group's new
+  // transactions.
+  void set_visibility_mask(tipsel::VisibilityMask mask);
+
   const data::ClientData& client() const { return *client_; }
   const DagClientConfig& config() const { return config_; }
 

@@ -1,5 +1,6 @@
 #include "metrics/dag_metrics.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace specdag::metrics {
@@ -49,6 +50,24 @@ std::size_t approved_poisoned_count(const dag::Dag& dag, dag::TxId reference) {
     if (dag.transaction(id).poisoned_publisher) ++count;
   }
   return count;
+}
+
+DagWeightSummary dag_weight_summary(const dag::Dag& dag) {
+  DagWeightSummary summary;
+  const std::vector<std::size_t> weights = dag.cumulative_weights_all();
+  summary.transactions = weights.size();
+  summary.tips = dag.tips().size();
+  double sum = 0.0;
+  // Genesis is approved by everything; skipping it keeps the mean about the
+  // actual model updates.
+  for (std::size_t id = 1; id < weights.size(); ++id) {
+    sum += static_cast<double>(weights[id]);
+    summary.max_cumulative_weight = std::max(summary.max_cumulative_weight, weights[id]);
+  }
+  if (weights.size() > 1) {
+    summary.mean_cumulative_weight = sum / static_cast<double>(weights.size() - 1);
+  }
+  return summary;
 }
 
 }  // namespace specdag::metrics

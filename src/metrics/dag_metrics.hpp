@@ -30,4 +30,17 @@ double base_pureness(const std::vector<std::size_t>& cluster_sizes);
 // approvals, the reference itself included) whose publisher was poisoned.
 std::size_t approved_poisoned_count(const dag::Dag& dag, dag::TxId reference);
 
+// Structural summary of the DAG: cumulative-weight distribution plus tip
+// count. Backed by Dag::cumulative_weights_all() — one bit-parallel sweep
+// over the whole DAG instead of a BFS per transaction, so it stays cheap on
+// the per-round metrics path of the scenario engine.
+struct DagWeightSummary {
+  std::size_t transactions = 0;
+  std::size_t tips = 0;
+  double mean_cumulative_weight = 0.0;  // over non-genesis transactions
+  std::size_t max_cumulative_weight = 0;
+};
+
+DagWeightSummary dag_weight_summary(const dag::Dag& dag);
+
 }  // namespace specdag::metrics

@@ -1,0 +1,132 @@
+#include "scenario/registry.hpp"
+
+#include <stdexcept>
+
+namespace specdag::scenario {
+namespace {
+
+std::vector<ScenarioSpec> make_builtins() {
+  std::vector<ScenarioSpec> scenarios;
+
+  {
+    // The Figure 5/6 baseline: three class-group clusters, accuracy-biased
+    // walks with the paper's alpha = 10 sweet spot.
+    ScenarioSpec spec;
+    spec.name = "fmnist-clustered";
+    spec.description = "FMNIST-clustered baseline (paper Figures 5/6 regime)";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.rounds = 40;
+    spec.client.train = {1, 10, 10, 0.05};
+    scenarios.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fmnist-relaxed";
+    spec.description = "Relaxed clustering: 15-20% foreign-cluster data (Figure 8)";
+    spec.dataset = DatasetPreset::kFmnistRelaxed;
+    spec.rounds = 40;
+    spec.client.train = {1, 10, 10, 0.05};
+    scenarios.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "poets";
+    spec.description = "Poets next-char LSTM, two language clusters (paper SS5.1.2)";
+    spec.dataset = DatasetPreset::kPoets;
+    spec.rounds = 30;
+    spec.client.train = {1, 35, 10, 0.8};
+    scenarios.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fedprox-async";
+    spec.description = "FedProx synthetic(0.5,0.5) on the event-driven simulator";
+    spec.dataset = DatasetPreset::kFedproxSynthetic;
+    spec.simulator = SimKind::kAsync;
+    spec.rounds = 30;  // virtual-time horizon
+    spec.broadcast_latency = 0.5;
+    spec.client.train = {2, 20, 10, 0.05};
+    scenarios.push_back(spec);
+  }
+  {
+    // New workload: delayed broadcast on the round simulator (SS5.3.5
+    // network caveat; previously the ablation_visibility_delay bench).
+    ScenarioSpec spec;
+    spec.name = "visibility-delay";
+    spec.description = "Slow broadcast: transactions become visible 3 rounds late";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.rounds = 40;
+    spec.visibility_delay_rounds = 3;
+    spec.client.train = {1, 10, 10, 0.05};
+    scenarios.push_back(spec);
+  }
+  {
+    // New workload: client churn. A third of the network leaves at round 10
+    // and rejoins at round 25; specialization must survive the gap.
+    ScenarioSpec spec;
+    spec.name = "churn";
+    spec.description = "Client churn: 30% leave at round 10, rejoin at round 25";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.rounds = 40;
+    spec.client.train = {1, 10, 10, 0.05};
+    spec.dynamics.churn = {0.3, 10, 25};
+    scenarios.push_back(spec);
+  }
+  {
+    // New workload: heavy-tailed device speeds on the async simulator. The
+    // fast majority keeps publishing while stragglers contribute stale
+    // updates at Pareto-distributed intervals.
+    ScenarioSpec spec;
+    spec.name = "stragglers";
+    spec.description = "Stragglers: 30% of clients on 6x Pareto(1.5) training clocks";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.simulator = SimKind::kAsync;
+    spec.rounds = 30;
+    spec.broadcast_latency = 0.5;
+    spec.client.train = {1, 10, 10, 0.05};
+    spec.dynamics.stragglers = {0.3, 6.0, 1.5};
+    scenarios.push_back(spec);
+  }
+  {
+    // New workload: a network partition aligned with the data clusters from
+    // round 5 to round 25. During the partition each cluster trains on its
+    // own sub-DAG; after healing the walks must reconcile the lineages.
+    ScenarioSpec spec;
+    spec.name = "partition";
+    spec.description = "Network partition by cluster, rounds 5-25, then heals";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.rounds = 40;
+    spec.client.train = {1, 10, 10, 0.05};
+    spec.dynamics.partition = {3, true, 5, 25};
+    scenarios.push_back(spec);
+  }
+
+  for (const ScenarioSpec& spec : scenarios) spec.validate();
+  return scenarios;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& builtin_scenarios() {
+  static const std::vector<ScenarioSpec> scenarios = make_builtins();
+  return scenarios;
+}
+
+const ScenarioSpec* find_scenario(const std::string& name) {
+  for (const ScenarioSpec& spec : builtin_scenarios()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+ScenarioSpec get_scenario(const std::string& name) {
+  if (const ScenarioSpec* spec = find_scenario(name)) return *spec;
+  std::string known;
+  for (const ScenarioSpec& spec : builtin_scenarios()) {
+    if (!known.empty()) known += ", ";
+    known += spec.name;
+  }
+  throw std::invalid_argument("unknown scenario \"" + name + "\" (known: " + known + ")");
+}
+
+}  // namespace specdag::scenario

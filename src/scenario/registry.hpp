@@ -1,0 +1,21 @@
+// Named built-in scenarios: the paper's figure experiments as data, plus the
+// network-dynamics workloads (churn, stragglers, partition) the paper flags
+// as future work (§5.3.5). `specdag list` prints this registry; benches and
+// examples pull their base configuration from it instead of hard-coding.
+#pragma once
+
+#include "scenario/spec.hpp"
+
+namespace specdag::scenario {
+
+// All built-ins, in display order. Each spec validates and is runnable at
+// CPU-bench scale out of the box.
+const std::vector<ScenarioSpec>& builtin_scenarios();
+
+// nullptr when no built-in has that name.
+const ScenarioSpec* find_scenario(const std::string& name);
+
+// The named built-in, or throws std::invalid_argument listing valid names.
+ScenarioSpec get_scenario(const std::string& name);
+
+}  // namespace specdag::scenario

@@ -1,0 +1,340 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "metrics/client_graph.hpp"
+#include "metrics/community.hpp"
+#include "metrics/dag_metrics.hpp"
+#include "sim/async_simulator.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/csv.hpp"
+#include "util/timer.hpp"
+
+namespace specdag::scenario {
+namespace {
+
+// Deterministic fork tags for the dynamics schedules. Distinct from every
+// tag used inside the simulators so dynamics never perturb the training
+// streams.
+constexpr std::uint64_t kChurnTag = 0xC4DA;
+constexpr std::uint64_t kStragglerTag = 0x57A6;
+
+sim::ExperimentPreset build_preset(const ScenarioSpec& spec) {
+  const sim::PresetOptions options{spec.seed, spec.paper_scale};
+  sim::ExperimentPreset preset;
+  switch (spec.dataset) {
+    case DatasetPreset::kFmnistClustered: preset = sim::fmnist_clustered_preset(options); break;
+    case DatasetPreset::kFmnistRelaxed: preset = sim::fmnist_relaxed_preset(options); break;
+    case DatasetPreset::kFmnistByAuthor: preset = sim::fmnist_by_author_preset(options); break;
+    case DatasetPreset::kPoets: preset = sim::poets_preset(options); break;
+    case DatasetPreset::kCifar: preset = sim::cifar_preset(options); break;
+    case DatasetPreset::kFedproxSynthetic: preset = sim::fedprox_synthetic_preset(options); break;
+  }
+
+  // Dataset-size overrides regenerate the shards with the same element
+  // shape, so the preset's model factory stays valid.
+  if (spec.num_clients > 0 || spec.samples_per_client > 0) {
+    if (spec.dataset == DatasetPreset::kFedproxSynthetic) {
+      data::FedProxSyntheticConfig config;
+      config.seed = spec.seed;
+      if (spec.num_clients > 0) config.num_clients = spec.num_clients;
+      preset.dataset = data::make_fedprox_synthetic(config);
+    } else {
+      data::SyntheticDigitsConfig config;
+      config.seed = spec.seed;
+      if (spec.dataset == DatasetPreset::kFmnistRelaxed) {
+        config.relax_min = 0.15;
+        config.relax_max = 0.20;
+      }
+      if (spec.num_clients > 0) config.num_clients = spec.num_clients;
+      if (spec.samples_per_client > 0) config.samples_per_client = spec.samples_per_client;
+      preset.dataset = spec.dataset == DatasetPreset::kFmnistByAuthor
+                           ? data::make_fmnist_by_author(config)
+                           : data::make_fmnist_clustered(config);
+    }
+  }
+  return preset;
+}
+
+// The seed-derived set of clients that churns out of the network.
+std::vector<int> churn_targets(const ScenarioSpec& spec, std::size_t num_clients) {
+  const auto count = static_cast<std::size_t>(
+      std::floor(spec.dynamics.churn.fraction * static_cast<double>(num_clients)));
+  if (count == 0) return {};
+  Rng rng = Rng(spec.seed).fork(kChurnTag);
+  std::vector<int> targets;
+  for (std::size_t idx : rng.sample_without_replacement(num_clients, count)) {
+    targets.push_back(static_cast<int>(idx));
+  }
+  return targets;
+}
+
+std::vector<int> partition_groups(const ScenarioSpec& spec,
+                                  const data::FederatedDataset& dataset) {
+  const std::size_t num_groups = spec.dynamics.partition.num_groups;
+  std::vector<int> groups(dataset.clients.size());
+  for (std::size_t i = 0; i < dataset.clients.size(); ++i) {
+    if (spec.dynamics.partition.by_cluster && dataset.clients[i].true_cluster >= 0) {
+      groups[i] = dataset.clients[i].true_cluster % static_cast<int>(num_groups);
+    } else {
+      groups[i] = static_cast<int>(i % num_groups);
+    }
+  }
+  return groups;
+}
+
+// Heavy-tailed training clocks for the straggler workload.
+std::vector<sim::AsyncClientProfile> straggler_profiles(const ScenarioSpec& spec,
+                                                        std::size_t num_clients) {
+  std::vector<sim::AsyncClientProfile> profiles(num_clients);
+  if (!spec.dynamics.stragglers.enabled()) return profiles;
+  const auto count = static_cast<std::size_t>(
+      std::ceil(spec.dynamics.stragglers.fraction * static_cast<double>(num_clients)));
+  Rng rng = Rng(spec.seed).fork(kStragglerTag);
+  for (std::size_t idx : rng.sample_without_replacement(num_clients, count)) {
+    // Pareto(shape) with scale 1: x = (1 - u)^(-1/shape) >= 1. Shape <= 2
+    // gives the infinite-variance tails that model real devices dropping in
+    // and out of charge/connectivity.
+    const double u = rng.uniform();
+    const double pareto = std::pow(1.0 - u, -1.0 / spec.dynamics.stragglers.pareto_shape);
+    profiles[idx].mean_step_interval = spec.dynamics.stragglers.slowdown * pareto;
+  }
+  return profiles;
+}
+
+// Fires the churn/partition events scheduled for `unit` (a round index or a
+// virtual-time boundary — both simulators expose the same hook API).
+template <typename Simulator>
+void apply_dynamics_at(const ScenarioSpec& spec, const std::vector<int>& churned,
+                       std::size_t unit, Simulator& simulator) {
+  const ChurnSpec& churn = spec.dynamics.churn;
+  if (churn.enabled()) {
+    if (unit == churn.leave_round) {
+      for (int id : churned) simulator.set_client_active(id, false);
+    }
+    if (churn.rejoin_round != 0 && unit == churn.rejoin_round) {
+      for (int id : churned) simulator.set_client_active(id, true);
+    }
+  }
+  const PartitionSpec& partition = spec.dynamics.partition;
+  if (partition.enabled()) {
+    if (unit == partition.start_round) {
+      simulator.begin_partition(partition_groups(spec, simulator.dataset()));
+    }
+    if (partition.heal_round != 0 && unit == partition.heal_round) {
+      simulator.heal_partition();
+    }
+  }
+}
+
+double tail_mean_accuracy(const std::vector<ScenarioPoint>& series) {
+  if (series.empty()) return 0.0;
+  const std::size_t tail = std::max<std::size_t>(1, series.size() / 10);
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = series.size() - tail; i < series.size(); ++i) {
+    sum += series[i].mean_accuracy;
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
+
+std::vector<std::size_t> cluster_sizes(const data::FederatedDataset& dataset) {
+  std::map<int, std::size_t> sizes;
+  for (const auto& client : dataset.clients) {
+    if (client.true_cluster >= 0) ++sizes[client.true_cluster];
+  }
+  std::vector<std::size_t> result;
+  for (const auto& [cluster, size] : sizes) result.push_back(size);
+  return result;
+}
+
+// Shared final-metrics computation over the (finished) DAG network.
+void finalize_result(const ScenarioSpec& spec, const data::FederatedDataset& dataset,
+                     const nn::ModelFactory& factory, core::SpecializingDag& net,
+                     ScenarioResult& result) {
+  std::vector<int> true_clusters;
+  for (const auto& client : dataset.clients) true_clusters.push_back(client.true_cluster);
+
+  result.clients = dataset.clients.size();
+  result.dag_size = net.dag().size();
+  result.final_accuracy = tail_mean_accuracy(result.series);
+  result.pureness = metrics::approval_pureness(net.dag(), true_clusters).pureness;
+  const std::vector<std::size_t> sizes = cluster_sizes(dataset);
+  result.base_pureness = sizes.empty() ? 0.0 : metrics::base_pureness(sizes);
+
+  const metrics::ClientGraph graph = metrics::build_client_graph(net.dag(), dataset.clients.size());
+  Rng louvain_rng = Rng(spec.seed).fork(0x10CA);
+  const metrics::LouvainResult louvain = metrics::louvain(graph, louvain_rng);
+  result.modularity = louvain.modularity;
+  result.communities = louvain.num_communities;
+
+  const metrics::DagWeightSummary weights = metrics::dag_weight_summary(net.dag());
+  result.mean_cumulative_weight = weights.mean_cumulative_weight;
+  result.tips = weights.tips;
+
+  if (spec.evaluate_consensus) {
+    nn::Sequential replica = factory();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < dataset.clients.size(); ++i) {
+      const nn::WeightVector consensus = net.consensus_weights(static_cast<int>(i));
+      sum += fl::evaluate_weights_on_test(replica, consensus, dataset.clients[i]).accuracy;
+    }
+    result.consensus_accuracy = sum / static_cast<double>(dataset.clients.size());
+  }
+}
+
+ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPreset preset) {
+  ScenarioResult result;
+  const std::size_t num_clients = preset.dataset.clients.size();
+
+  sim::SimulatorConfig config;
+  config.client = spec.client;
+  config.rounds = spec.rounds;
+  config.clients_per_round = std::min(spec.clients_per_round, num_clients);
+  config.parallel_prepare = spec.parallel_prepare;
+  config.visibility_delay_rounds = spec.visibility_delay_rounds;
+  config.seed = spec.seed;
+
+  sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, config);
+
+  const std::vector<int> churned = churn_targets(spec, num_clients);
+
+  for (std::size_t round = 0; round < spec.rounds; ++round) {
+    apply_dynamics_at(spec, churned, round, simulator);
+
+    const sim::RoundRecord& record = simulator.run_round();
+    ScenarioPoint point;
+    point.round = round + 1;
+    point.mean_accuracy = record.mean_trained_accuracy();
+    point.mean_loss = record.mean_trained_loss();
+    point.publishes = record.publish_count();
+    point.dag_size = simulator.dag().size();
+    point.active_clients = simulator.active_client_count();
+    point.partitioned = simulator.partitioned();
+    result.series.push_back(point);
+  }
+
+  finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), result);
+  return result;
+}
+
+ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPreset preset) {
+  ScenarioResult result;
+  const std::size_t num_clients = preset.dataset.clients.size();
+
+  sim::AsyncSimulatorConfig config;
+  config.client = spec.client;
+  config.broadcast_latency = spec.broadcast_latency;
+  config.seed = spec.seed;
+
+  sim::AsyncDagSimulator simulator(std::move(preset.dataset), preset.factory, config,
+                                   straggler_profiles(spec, num_clients));
+
+  const std::vector<int> churned = churn_targets(spec, num_clients);
+
+  std::size_t previous_dag_size = simulator.dag().size();
+  for (std::size_t unit = 0; unit < spec.rounds; ++unit) {
+    // Dynamics fire at virtual-time boundaries, mirroring the round-based
+    // schedule ("round" == one unit of virtual time).
+    apply_dynamics_at(spec, churned, unit, simulator);
+
+    const std::vector<sim::AsyncStepRecord> records =
+        simulator.run_until(static_cast<double>(unit + 1));
+    ScenarioPoint point;
+    point.round = unit + 1;
+    if (!records.empty()) {
+      double acc = 0.0, loss = 0.0;
+      for (const auto& record : records) {
+        acc += record.result.trained_eval.accuracy;
+        loss += record.result.trained_eval.loss;
+      }
+      point.mean_accuracy = acc / static_cast<double>(records.size());
+      point.mean_loss = loss / static_cast<double>(records.size());
+    }
+    point.dag_size = simulator.dag().size();
+    point.publishes = point.dag_size - previous_dag_size;
+    previous_dag_size = point.dag_size;
+    point.active_clients = simulator.active_client_count();
+    point.partitioned = simulator.partitioned();
+    result.series.push_back(point);
+  }
+
+  finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), result);
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  spec.validate();
+  Timer timer;
+  sim::ExperimentPreset preset = build_preset(spec);
+
+  ScenarioResult result = spec.simulator == SimKind::kRound
+                              ? run_round_scenario(spec, std::move(preset))
+                              : run_async_scenario(spec, std::move(preset));
+  result.scenario = spec.name;
+  result.seed = spec.seed;
+  result.simulator = to_string(spec.simulator);
+  result.rounds = spec.rounds;
+  result.wall_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+Json result_to_json(const ScenarioResult& result, bool include_series) {
+  Json json = Json::make_object();
+  json.set("scenario", result.scenario);
+  json.set("seed", result.seed);
+  json.set("simulator", result.simulator);
+  json.set("rounds", result.rounds);
+  json.set("clients", result.clients);
+
+  Json summary = Json::make_object();
+  summary.set("dag_size", result.dag_size);
+  summary.set("final_accuracy", result.final_accuracy);
+  summary.set("pureness", result.pureness);
+  summary.set("base_pureness", result.base_pureness);
+  summary.set("modularity", result.modularity);
+  summary.set("communities", result.communities);
+  summary.set("mean_cumulative_weight", result.mean_cumulative_weight);
+  summary.set("tips", result.tips);
+  if (result.consensus_accuracy >= 0.0) {
+    summary.set("consensus_accuracy", result.consensus_accuracy);
+  }
+  summary.set("wall_seconds", result.wall_seconds);
+  json.set("summary", std::move(summary));
+
+  if (include_series) {
+    Json series = Json::make_array();
+    for (const ScenarioPoint& point : result.series) {
+      Json row = Json::make_object();
+      row.set("round", point.round);
+      row.set("mean_accuracy", point.mean_accuracy);
+      row.set("mean_loss", point.mean_loss);
+      row.set("publishes", point.publishes);
+      row.set("dag_size", point.dag_size);
+      row.set("active_clients", point.active_clients);
+      if (point.partitioned) row.set("partitioned", true);
+      series.as_array().push_back(std::move(row));
+    }
+    json.set("series", std::move(series));
+  }
+  return json;
+}
+
+void write_series_csv(const ScenarioResult& result, const std::string& path) {
+  CsvWriter csv(path, {"round", "mean_accuracy", "mean_loss", "publishes", "dag_size",
+                       "active_clients", "partitioned"});
+  for (const ScenarioPoint& point : result.series) {
+    csv.row({std::to_string(point.round), std::to_string(point.mean_accuracy),
+             std::to_string(point.mean_loss), std::to_string(point.publishes),
+             std::to_string(point.dag_size), std::to_string(point.active_clients),
+             point.partitioned ? "1" : "0"});
+  }
+}
+
+}  // namespace specdag::scenario

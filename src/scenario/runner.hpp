@@ -1,0 +1,56 @@
+// Executes a ScenarioSpec: builds the dataset/model from the preset, runs
+// the requested simulator (round-based or event-driven), applies the
+// dynamics schedule (churn / stragglers / partition) at the configured
+// times, and returns a structured result — a per-round series plus final
+// DAG/learning metrics. Results serialize to JSON for the sweep executor's
+// JSONL sink and to CSV for plotting.
+#pragma once
+
+#include "scenario/spec.hpp"
+
+namespace specdag::scenario {
+
+// One series point: a round (round simulator) or one unit of virtual time
+// (async simulator).
+struct ScenarioPoint {
+  std::size_t round = 0;
+  double mean_accuracy = 0.0;   // trained-model accuracy of the active clients
+  double mean_loss = 0.0;
+  std::size_t publishes = 0;    // transactions that entered the DAG
+  std::size_t dag_size = 0;
+  std::size_t active_clients = 0;
+  bool partitioned = false;
+};
+
+struct ScenarioResult {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::string simulator;
+  std::size_t rounds = 0;
+  std::size_t clients = 0;
+
+  // Final metrics.
+  std::size_t dag_size = 0;
+  double final_accuracy = 0.0;  // mean over the last 10% of rounds
+  double pureness = 0.0;
+  double base_pureness = 0.0;   // random-approval baseline (1/k for equal clusters)
+  double modularity = 0.0;
+  std::size_t communities = 0;
+  double mean_cumulative_weight = 0.0;
+  std::size_t tips = 0;
+  double consensus_accuracy = -1.0;  // -1 unless spec.evaluate_consensus
+  double wall_seconds = 0.0;
+
+  std::vector<ScenarioPoint> series;
+};
+
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+// {"scenario": ..., "summary": {...}} plus a "series" array when requested.
+Json result_to_json(const ScenarioResult& result, bool include_series = false);
+
+// Writes the series as CSV (round, mean_accuracy, mean_loss, publishes,
+// dag_size, active_clients, partitioned).
+void write_series_csv(const ScenarioResult& result, const std::string& path);
+
+}  // namespace specdag::scenario

@@ -1,0 +1,334 @@
+#include "scenario/spec.hpp"
+
+#include <stdexcept>
+
+namespace specdag::scenario {
+namespace {
+
+void check_known_keys(const Json& json, std::initializer_list<const char*> known,
+                      const char* context) {
+  for (const auto& [key, value] : json.as_object()) {
+    bool found = false;
+    for (const char* k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw JsonError(std::string("unknown key \"") + key + "\" in " + context);
+    }
+  }
+}
+
+fl::SelectorKind selector_from_string(const std::string& name) {
+  if (name == "accuracy") return fl::SelectorKind::kAccuracy;
+  if (name == "random") return fl::SelectorKind::kRandom;
+  if (name == "weighted") return fl::SelectorKind::kWeighted;
+  throw JsonError("unknown selector \"" + name + "\"");
+}
+
+std::string selector_to_string(fl::SelectorKind kind) {
+  switch (kind) {
+    case fl::SelectorKind::kAccuracy: return "accuracy";
+    case fl::SelectorKind::kRandom: return "random";
+    case fl::SelectorKind::kWeighted: return "weighted";
+  }
+  throw JsonError("invalid selector kind");
+}
+
+tipsel::Normalization normalization_from_string(const std::string& name) {
+  if (name == "standard") return tipsel::Normalization::kStandard;
+  if (name == "dynamic") return tipsel::Normalization::kDynamic;
+  throw JsonError("unknown normalization \"" + name + "\"");
+}
+
+std::string normalization_to_string(tipsel::Normalization normalization) {
+  return normalization == tipsel::Normalization::kStandard ? "standard" : "dynamic";
+}
+
+tipsel::WalkStart walk_start_from_string(const std::string& name) {
+  if (name == "genesis") return tipsel::WalkStart::kGenesis;
+  if (name == "depth") return tipsel::WalkStart::kDepthSampled;
+  throw JsonError("unknown walk_start \"" + name + "\"");
+}
+
+std::string walk_start_to_string(tipsel::WalkStart start) {
+  return start == tipsel::WalkStart::kGenesis ? "genesis" : "depth";
+}
+
+fl::TrainConfig train_from_json(const Json& json) {
+  check_known_keys(json,
+                   {"local_epochs", "local_batches", "batch_size", "learning_rate",
+                    "freeze_prefix_params"},
+                   "client.train");
+  fl::TrainConfig train;
+  train.local_epochs = static_cast<std::size_t>(json.uint_or("local_epochs", train.local_epochs));
+  train.local_batches =
+      static_cast<std::size_t>(json.uint_or("local_batches", train.local_batches));
+  train.batch_size = static_cast<std::size_t>(json.uint_or("batch_size", train.batch_size));
+  train.learning_rate = json.number_or("learning_rate", train.learning_rate);
+  train.freeze_prefix_params =
+      static_cast<std::size_t>(json.uint_or("freeze_prefix_params", train.freeze_prefix_params));
+  return train;
+}
+
+Json train_to_json(const fl::TrainConfig& train) {
+  Json json = Json::make_object();
+  json.set("local_epochs", train.local_epochs);
+  json.set("local_batches", train.local_batches);
+  json.set("batch_size", train.batch_size);
+  json.set("learning_rate", train.learning_rate);
+  if (train.freeze_prefix_params > 0) json.set("freeze_prefix_params", train.freeze_prefix_params);
+  return json;
+}
+
+fl::DagClientConfig client_from_json(const Json& json, fl::DagClientConfig client) {
+  check_known_keys(json,
+                   {"alpha", "selector", "normalization", "num_parents", "walk_start",
+                    "start_depth_min", "start_depth_max", "publish_gate", "publish_if_equal",
+                    "reference_walks", "persistent_accuracy_cache", "train"},
+                   "client");
+  client.alpha = json.number_or("alpha", client.alpha);
+  client.selector = selector_from_string(json.string_or("selector", selector_to_string(client.selector)));
+  client.normalization = normalization_from_string(
+      json.string_or("normalization", normalization_to_string(client.normalization)));
+  client.num_parents = static_cast<std::size_t>(json.uint_or("num_parents", client.num_parents));
+  client.walk_start =
+      walk_start_from_string(json.string_or("walk_start", walk_start_to_string(client.walk_start)));
+  client.start_depth_min =
+      static_cast<std::size_t>(json.uint_or("start_depth_min", client.start_depth_min));
+  client.start_depth_max =
+      static_cast<std::size_t>(json.uint_or("start_depth_max", client.start_depth_max));
+  client.publish_gate = json.bool_or("publish_gate", client.publish_gate);
+  client.publish_if_equal = json.bool_or("publish_if_equal", client.publish_if_equal);
+  client.reference_walks =
+      static_cast<std::size_t>(json.uint_or("reference_walks", client.reference_walks));
+  client.persistent_accuracy_cache =
+      json.bool_or("persistent_accuracy_cache", client.persistent_accuracy_cache);
+  if (const Json* train = json.find("train")) client.train = train_from_json(*train);
+  return client;
+}
+
+Json client_to_json(const fl::DagClientConfig& client) {
+  Json json = Json::make_object();
+  json.set("alpha", client.alpha);
+  json.set("selector", selector_to_string(client.selector));
+  json.set("normalization", normalization_to_string(client.normalization));
+  json.set("num_parents", client.num_parents);
+  json.set("walk_start", walk_start_to_string(client.walk_start));
+  json.set("start_depth_min", client.start_depth_min);
+  json.set("start_depth_max", client.start_depth_max);
+  json.set("publish_gate", client.publish_gate);
+  json.set("publish_if_equal", client.publish_if_equal);
+  json.set("reference_walks", client.reference_walks);
+  json.set("persistent_accuracy_cache", client.persistent_accuracy_cache);
+  json.set("train", train_to_json(client.train));
+  return json;
+}
+
+DynamicsSpec dynamics_from_json(const Json& json) {
+  check_known_keys(json, {"churn", "stragglers", "partition"}, "dynamics");
+  DynamicsSpec dynamics;
+  if (const Json* churn = json.find("churn")) {
+    check_known_keys(*churn, {"fraction", "leave_round", "rejoin_round"}, "dynamics.churn");
+    dynamics.churn.fraction = churn->number_or("fraction", 0.0);
+    dynamics.churn.leave_round = static_cast<std::size_t>(churn->uint_or("leave_round", 0));
+    dynamics.churn.rejoin_round = static_cast<std::size_t>(churn->uint_or("rejoin_round", 0));
+  }
+  if (const Json* stragglers = json.find("stragglers")) {
+    check_known_keys(*stragglers, {"fraction", "slowdown", "pareto_shape"},
+                     "dynamics.stragglers");
+    dynamics.stragglers.fraction = stragglers->number_or("fraction", 0.0);
+    dynamics.stragglers.slowdown = stragglers->number_or("slowdown", 4.0);
+    dynamics.stragglers.pareto_shape = stragglers->number_or("pareto_shape", 1.5);
+  }
+  if (const Json* partition = json.find("partition")) {
+    check_known_keys(*partition, {"num_groups", "by_cluster", "start_round", "heal_round"},
+                     "dynamics.partition");
+    dynamics.partition.num_groups = static_cast<std::size_t>(partition->uint_or("num_groups", 0));
+    dynamics.partition.by_cluster = partition->bool_or("by_cluster", false);
+    dynamics.partition.start_round = static_cast<std::size_t>(partition->uint_or("start_round", 0));
+    dynamics.partition.heal_round = static_cast<std::size_t>(partition->uint_or("heal_round", 0));
+  }
+  return dynamics;
+}
+
+Json dynamics_to_json(const DynamicsSpec& dynamics) {
+  Json json = Json::make_object();
+  if (dynamics.churn.enabled()) {
+    Json churn = Json::make_object();
+    churn.set("fraction", dynamics.churn.fraction);
+    churn.set("leave_round", dynamics.churn.leave_round);
+    churn.set("rejoin_round", dynamics.churn.rejoin_round);
+    json.set("churn", std::move(churn));
+  }
+  if (dynamics.stragglers.enabled()) {
+    Json stragglers = Json::make_object();
+    stragglers.set("fraction", dynamics.stragglers.fraction);
+    stragglers.set("slowdown", dynamics.stragglers.slowdown);
+    stragglers.set("pareto_shape", dynamics.stragglers.pareto_shape);
+    json.set("stragglers", std::move(stragglers));
+  }
+  if (dynamics.partition.enabled()) {
+    Json partition = Json::make_object();
+    partition.set("num_groups", dynamics.partition.num_groups);
+    partition.set("by_cluster", dynamics.partition.by_cluster);
+    partition.set("start_round", dynamics.partition.start_round);
+    partition.set("heal_round", dynamics.partition.heal_round);
+    json.set("partition", std::move(partition));
+  }
+  return json;
+}
+
+}  // namespace
+
+std::string to_string(SimKind kind) {
+  return kind == SimKind::kRound ? "round" : "async";
+}
+
+std::string to_string(DatasetPreset preset) {
+  switch (preset) {
+    case DatasetPreset::kFmnistClustered: return "fmnist-clustered";
+    case DatasetPreset::kFmnistRelaxed: return "fmnist-relaxed";
+    case DatasetPreset::kFmnistByAuthor: return "fmnist-by-author";
+    case DatasetPreset::kPoets: return "poets";
+    case DatasetPreset::kCifar: return "cifar";
+    case DatasetPreset::kFedproxSynthetic: return "fedprox-synthetic";
+  }
+  throw JsonError("invalid dataset preset");
+}
+
+SimKind sim_kind_from_string(const std::string& name) {
+  if (name == "round") return SimKind::kRound;
+  if (name == "async") return SimKind::kAsync;
+  throw JsonError("unknown simulator \"" + name + "\" (expected \"round\" or \"async\")");
+}
+
+DatasetPreset dataset_preset_from_string(const std::string& name) {
+  if (name == "fmnist-clustered") return DatasetPreset::kFmnistClustered;
+  if (name == "fmnist-relaxed") return DatasetPreset::kFmnistRelaxed;
+  if (name == "fmnist-by-author") return DatasetPreset::kFmnistByAuthor;
+  if (name == "poets") return DatasetPreset::kPoets;
+  if (name == "cifar") return DatasetPreset::kCifar;
+  if (name == "fedprox-synthetic") return DatasetPreset::kFedproxSynthetic;
+  throw JsonError("unknown dataset preset \"" + name + "\"");
+}
+
+void ScenarioSpec::validate() const {
+  if (rounds == 0) throw std::invalid_argument("scenario: rounds must be > 0");
+  if (seed > (std::uint64_t{1} << 53)) {
+    throw std::invalid_argument(
+        "scenario: seed must be <= 2^53 so it round-trips exactly through JSON");
+  }
+  if (simulator == SimKind::kRound && dynamics.stragglers.enabled()) {
+    throw std::invalid_argument(
+        "scenario: stragglers need the async simulator (round-based execution "
+        "has no per-client rates)");
+  }
+  if (simulator == SimKind::kRound && clients_per_round == 0) {
+    throw std::invalid_argument("scenario: clients_per_round must be > 0");
+  }
+  if (broadcast_latency < 0.0) {
+    throw std::invalid_argument("scenario: negative broadcast_latency");
+  }
+  if (dynamics.churn.enabled()) {
+    if (dynamics.churn.fraction >= 1.0) {
+      throw std::invalid_argument("scenario: churn.fraction must be < 1 (someone must stay)");
+    }
+    if (dynamics.churn.rejoin_round != 0 &&
+        dynamics.churn.rejoin_round <= dynamics.churn.leave_round) {
+      throw std::invalid_argument("scenario: churn.rejoin_round must be after leave_round");
+    }
+  }
+  if (dynamics.stragglers.enabled()) {
+    if (dynamics.stragglers.fraction > 1.0 || dynamics.stragglers.slowdown <= 0.0 ||
+        dynamics.stragglers.pareto_shape <= 0.0) {
+      throw std::invalid_argument("scenario: bad straggler parameters");
+    }
+  }
+  if (dynamics.partition.enabled() &&
+      dynamics.partition.heal_round != 0 &&
+      dynamics.partition.heal_round <= dynamics.partition.start_round) {
+    throw std::invalid_argument("scenario: partition.heal_round must be after start_round");
+  }
+  if (num_clients > 0 || samples_per_client > 0) {
+    const bool resizable = dataset == DatasetPreset::kFmnistClustered ||
+                           dataset == DatasetPreset::kFmnistRelaxed ||
+                           dataset == DatasetPreset::kFmnistByAuthor ||
+                           dataset == DatasetPreset::kFedproxSynthetic;
+    if (!resizable) {
+      throw std::invalid_argument(
+          "scenario: num_clients/samples_per_client overrides are only supported "
+          "for the fmnist and fedprox-synthetic presets");
+    }
+    if (samples_per_client > 0 && dataset == DatasetPreset::kFedproxSynthetic) {
+      throw std::invalid_argument(
+          "scenario: fedprox-synthetic draws per-client sample counts from its "
+          "lognormal; only num_clients can be overridden");
+    }
+  }
+}
+
+ScenarioSpec spec_from_json(const Json& json) {
+  check_known_keys(json,
+                   {"name", "description", "dataset", "paper_scale", "simulator", "rounds",
+                    "clients_per_round", "visibility_delay_rounds", "broadcast_latency",
+                    "num_clients", "samples_per_client", "seed", "parallel_prepare",
+                    "evaluate_consensus", "client", "dynamics"},
+                   "scenario");
+  ScenarioSpec spec;
+  spec.name = json.string_or("name", spec.name);
+  spec.description = json.string_or("description", spec.description);
+  spec.dataset = dataset_preset_from_string(json.string_or("dataset", to_string(spec.dataset)));
+  spec.paper_scale = json.bool_or("paper_scale", spec.paper_scale);
+  spec.simulator = sim_kind_from_string(json.string_or("simulator", to_string(spec.simulator)));
+  spec.rounds = static_cast<std::size_t>(json.uint_or("rounds", spec.rounds));
+  spec.clients_per_round =
+      static_cast<std::size_t>(json.uint_or("clients_per_round", spec.clients_per_round));
+  spec.visibility_delay_rounds = static_cast<std::size_t>(
+      json.uint_or("visibility_delay_rounds", spec.visibility_delay_rounds));
+  spec.broadcast_latency = json.number_or("broadcast_latency", spec.broadcast_latency);
+  spec.num_clients = static_cast<std::size_t>(json.uint_or("num_clients", spec.num_clients));
+  spec.samples_per_client =
+      static_cast<std::size_t>(json.uint_or("samples_per_client", spec.samples_per_client));
+  spec.seed = json.uint_or("seed", spec.seed);
+  spec.parallel_prepare = json.bool_or("parallel_prepare", spec.parallel_prepare);
+  spec.evaluate_consensus = json.bool_or("evaluate_consensus", spec.evaluate_consensus);
+  if (const Json* client = json.find("client")) {
+    spec.client = client_from_json(*client, spec.client);
+  }
+  if (const Json* dynamics = json.find("dynamics")) {
+    spec.dynamics = dynamics_from_json(*dynamics);
+  }
+  spec.validate();
+  return spec;
+}
+
+Json spec_to_json(const ScenarioSpec& spec) {
+  Json json = Json::make_object();
+  json.set("name", spec.name);
+  if (!spec.description.empty()) json.set("description", spec.description);
+  json.set("dataset", to_string(spec.dataset));
+  if (spec.paper_scale) json.set("paper_scale", true);
+  json.set("simulator", to_string(spec.simulator));
+  json.set("rounds", spec.rounds);
+  if (spec.simulator == SimKind::kRound) {
+    json.set("clients_per_round", spec.clients_per_round);
+    if (spec.visibility_delay_rounds > 0) {
+      json.set("visibility_delay_rounds", spec.visibility_delay_rounds);
+    }
+  } else {
+    json.set("broadcast_latency", spec.broadcast_latency);
+  }
+  if (spec.num_clients > 0) json.set("num_clients", spec.num_clients);
+  if (spec.samples_per_client > 0) json.set("samples_per_client", spec.samples_per_client);
+  json.set("seed", spec.seed);
+  if (!spec.parallel_prepare) json.set("parallel_prepare", false);
+  if (spec.evaluate_consensus) json.set("evaluate_consensus", true);
+  json.set("client", client_to_json(spec.client));
+  if (spec.dynamics.any()) json.set("dynamics", dynamics_to_json(spec.dynamics));
+  return json;
+}
+
+}  // namespace specdag::scenario

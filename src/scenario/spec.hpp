@@ -1,0 +1,138 @@
+// Declarative description of one experiment: dataset preset, model (implied
+// by the preset), simulator kind and hyperparameters, tip-selection/client
+// configuration, and a `dynamics` block for network-dynamics workloads
+// (churn, stragglers, partitions). A spec is plain data — parse it from
+// JSON, tweak it programmatically, hand it to scenario::run_scenario().
+//
+// JSON schema (all keys optional unless noted; defaults in ScenarioSpec):
+//   {
+//     "name": "my-experiment",
+//     "dataset": "fmnist-clustered" | "fmnist-relaxed" | "fmnist-by-author"
+//              | "poets" | "cifar" | "fedprox-synthetic",
+//     "simulator": "round" | "async",
+//     "rounds": 40,                  // async: virtual-time horizon
+//     "clients_per_round": 10,       // round simulator only
+//     "visibility_delay_rounds": 0,  // round simulator only
+//     "broadcast_latency": 0.5,     // async simulator only
+//     "num_clients": 0,              // 0 = preset default (fmnist/fedprox)
+//     "samples_per_client": 0,       // 0 = preset default (fmnist only)
+//     "seed": 42,
+//     "client": {
+//       "alpha": 10, "selector": "accuracy" | "random" | "weighted",
+//       "normalization": "standard" | "dynamic", "num_parents": 2,
+//       "walk_start": "genesis" | "depth", "start_depth_min": 15,
+//       "start_depth_max": 25, "publish_gate": true,
+//       "publish_if_equal": true, "reference_walks": 1,
+//       "train": {"local_epochs": 1, "local_batches": 10,
+//                  "batch_size": 10, "learning_rate": 0.05}
+//     },
+//     "dynamics": {
+//       "churn":      {"fraction": 0.3, "leave_round": 10, "rejoin_round": 25},
+//       "stragglers": {"fraction": 0.3, "slowdown": 6, "pareto_shape": 1.5},
+//       "partition":  {"num_groups": 3, "by_cluster": true,
+//                      "start_round": 5, "heal_round": 25}
+//     }
+//   }
+#pragma once
+
+#include "fl/dag_client.hpp"
+#include "scenario/config.hpp"
+
+namespace specdag::scenario {
+
+enum class SimKind { kRound, kAsync };
+
+enum class DatasetPreset {
+  kFmnistClustered,
+  kFmnistRelaxed,
+  kFmnistByAuthor,
+  kPoets,
+  kCifar,
+  kFedproxSynthetic,
+};
+
+// Client churn: at `leave_round` a seed-derived `fraction` of the clients
+// leaves the network; at `rejoin_round` (0 = never) they rejoin.
+struct ChurnSpec {
+  double fraction = 0.0;
+  std::size_t leave_round = 0;
+  std::size_t rejoin_round = 0;
+
+  bool enabled() const { return fraction > 0.0; }
+};
+
+// Stragglers (async simulator only): a seed-derived `fraction` of the
+// clients gets a heavy-tailed training clock — mean step interval
+// slowdown * Pareto(pareto_shape) (scale 1), so a shape near 1 produces the
+// extreme laggards real federated deployments see.
+struct StragglerSpec {
+  double fraction = 0.0;
+  double slowdown = 4.0;
+  double pareto_shape = 1.5;
+
+  bool enabled() const { return fraction > 0.0; }
+};
+
+// Network partition: from `start_round` until `heal_round` the clients are
+// split into `num_groups` groups that cannot see each other's new
+// transactions. `by_cluster` groups by ground-truth cluster (modeling a
+// geo-partition aligned with data distribution); otherwise round-robin.
+struct PartitionSpec {
+  std::size_t num_groups = 0;
+  bool by_cluster = false;
+  std::size_t start_round = 0;
+  std::size_t heal_round = 0;
+
+  bool enabled() const { return num_groups > 1; }
+};
+
+struct DynamicsSpec {
+  ChurnSpec churn;
+  StragglerSpec stragglers;
+  PartitionSpec partition;
+
+  bool any() const {
+    return churn.enabled() || stragglers.enabled() || partition.enabled();
+  }
+};
+
+struct ScenarioSpec {
+  std::string name = "unnamed";
+  std::string description;
+  DatasetPreset dataset = DatasetPreset::kFmnistClustered;
+  bool paper_scale = false;
+  SimKind simulator = SimKind::kRound;
+  // Round simulator: number of rounds. Async simulator: virtual-time
+  // horizon (the runner records one series point per unit of virtual time).
+  std::size_t rounds = 40;
+  std::size_t clients_per_round = 10;
+  std::size_t visibility_delay_rounds = 0;
+  double broadcast_latency = 0.5;
+  // Dataset-size overrides; 0 keeps the preset default. Supported for the
+  // fmnist presets (both) and fedprox-synthetic (num_clients only).
+  std::size_t num_clients = 0;
+  std::size_t samples_per_client = 0;
+  std::uint64_t seed = 42;
+  bool parallel_prepare = true;
+  // Evaluate every client's personalized consensus model at the end (one
+  // biased walk + test-set evaluation per client — the expensive metric).
+  bool evaluate_consensus = false;
+  fl::DagClientConfig client;
+  DynamicsSpec dynamics;
+
+  // Throws std::invalid_argument when the combination is not runnable
+  // (e.g. stragglers on the round simulator).
+  void validate() const;
+};
+
+// Enum <-> string helpers (throw JsonError on unknown names).
+std::string to_string(SimKind kind);
+std::string to_string(DatasetPreset preset);
+SimKind sim_kind_from_string(const std::string& name);
+DatasetPreset dataset_preset_from_string(const std::string& name);
+
+// Deserialization rejects unknown keys (typo safety for experiment configs).
+ScenarioSpec spec_from_json(const Json& json);
+Json spec_to_json(const ScenarioSpec& spec);
+
+}  // namespace specdag::scenario

@@ -1,0 +1,134 @@
+#include "scenario/sweep.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+#include "scenario/registry.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace specdag::scenario {
+
+std::size_t SweepSpec::num_runs() const {
+  std::size_t runs = repeats;
+  for (const SweepAxis& axis : axes) runs *= axis.values.size();
+  return runs;
+}
+
+SweepSpec sweep_from_json(const Json& json) {
+  for (const auto& [key, value] : json.as_object()) {
+    if (key != "base" && key != "axes" && key != "repeats" && key != "out" &&
+        key != "threads" && key != "derive_seeds") {
+      throw JsonError("unknown key \"" + key + "\" in sweep grid");
+    }
+  }
+  SweepSpec sweep;
+  const Json* base = json.find("base");
+  if (base == nullptr) throw JsonError("sweep grid needs a \"base\" spec");
+  if (base->is_string()) {
+    sweep.base = spec_to_json(get_scenario(base->as_string()));
+  } else {
+    // Validate eagerly so a broken base fails before any run starts.
+    (void)spec_from_json(*base);
+    sweep.base = *base;
+  }
+  if (const Json* axes = json.find("axes")) {
+    for (const auto& [path, values] : axes->as_object()) {
+      if (values.as_array().empty()) {
+        throw JsonError("sweep axis \"" + path + "\" has no values");
+      }
+      sweep.axes.push_back({path, values.as_array()});
+    }
+  }
+  sweep.repeats = static_cast<std::size_t>(json.uint_or("repeats", 1));
+  if (sweep.repeats == 0) throw JsonError("sweep repeats must be > 0");
+  sweep.out_path = json.string_or("out", sweep.out_path);
+  sweep.threads = static_cast<std::size_t>(json.uint_or("threads", 0));
+  sweep.derive_seeds = json.bool_or("derive_seeds", true);
+  if (sweep.num_runs() == 0) throw JsonError("sweep grid is empty");
+  return sweep;
+}
+
+std::vector<std::pair<Json, std::uint64_t>> expand_grid(const SweepSpec& sweep) {
+  const std::uint64_t base_seed = sweep.base.uint_or("seed", 42);
+  std::vector<std::pair<Json, std::uint64_t>> runs;
+  std::vector<std::size_t> index(sweep.axes.size(), 0);
+  for (std::size_t run = 0; run < sweep.num_runs(); ++run) {
+    Json params = Json::make_object();
+    for (std::size_t axis = 0; axis < sweep.axes.size(); ++axis) {
+      params.set(sweep.axes[axis].path, sweep.axes[axis].values[index[axis]]);
+    }
+    // Derived per-run seed: decorrelated runs, reproducible from the base
+    // seed alone, recorded in every output line. Confined to 53 bits so the
+    // value round-trips exactly through JSON numbers.
+    const std::uint64_t seed =
+        sweep.derive_seeds
+            ? splitmix64(base_seed + 0x5EED0000ULL + run) & ((std::uint64_t{1} << 53) - 1)
+            : base_seed;
+    runs.emplace_back(std::move(params), seed);
+    // Odometer increment over the axes (repeats spin the whole grid again).
+    for (std::size_t axis = sweep.axes.size(); axis-- > 0;) {
+      if (++index[axis] < sweep.axes[axis].values.size()) break;
+      index[axis] = 0;
+    }
+  }
+  return runs;
+}
+
+std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) {
+  const std::vector<std::pair<Json, std::uint64_t>> grid = expand_grid(sweep);
+
+  const std::filesystem::path out_path(sweep.out_path);
+  if (out_path.has_parent_path()) std::filesystem::create_directories(out_path.parent_path());
+  std::ofstream out(sweep.out_path);
+  if (!out) throw std::runtime_error("sweep: cannot open " + sweep.out_path);
+
+  std::vector<SweepRun> results(grid.size());
+  std::mutex sink_mutex;
+
+  auto run_one = [&](std::size_t run_index) {
+    Json spec_json = sweep.base;
+    for (const auto& [path, value] : grid[run_index].first.as_object()) {
+      spec_json.set_path(path, value);
+    }
+    spec_json.set("seed", grid[run_index].second);
+    // One simulator thread per run; the sweep already saturates the pool.
+    spec_json.set("parallel_prepare", false);
+    ScenarioSpec spec = spec_from_json(spec_json);
+    ScenarioResult result = run_scenario(spec);
+
+    Json line = Json::make_object();
+    line.set("run", run_index);
+    line.set("seed", grid[run_index].second);
+    line.set("params", grid[run_index].first);
+    line.set("result", result_to_json(result));
+
+    {
+      std::lock_guard<std::mutex> lock(sink_mutex);
+      out << line.dump() << '\n';
+      out.flush();
+      if (progress != nullptr) {
+        *progress << "[" << (run_index + 1) << "/" << grid.size() << "] " << spec.name
+                  << " params=" << grid[run_index].first.dump()
+                  << " final_accuracy=" << result.final_accuracy << "\n";
+      }
+    }
+    results[run_index] = SweepRun{run_index, grid[run_index].second,
+                                 grid[run_index].first, std::move(result)};
+  };
+
+  std::size_t threads = sweep.threads > 0 ? sweep.threads : std::thread::hardware_concurrency();
+  threads = std::max<std::size_t>(1, std::min(threads, grid.size()));
+  if (threads == 1) {
+    for (std::size_t i = 0; i < grid.size(); ++i) run_one(i);
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(grid.size(), run_one);
+  }
+  return results;
+}
+
+}  // namespace specdag::scenario

@@ -1,0 +1,65 @@
+// Sweep executor: fans a grid of scenario specs across the thread pool and
+// streams one JSONL line per completed run.
+//
+// Grid JSON:
+//   {
+//     "base": "churn" | { ...inline scenario spec... },
+//     "axes": { "client.alpha": [1, 10, 100], "rounds": [20, 40] },
+//     "repeats": 1,
+//     "out": "results/sweep.jsonl",
+//     "threads": 0            // 0 = hardware concurrency
+//   }
+//
+// Axis keys are dotted paths into the scenario-spec JSON; the grid is the
+// cartesian product of all axes times `repeats`. Every run gets a seed
+// derived deterministically from the base spec's seed and its run index
+// (recorded in the output), and runs with parallel_prepare disabled — the
+// sweep parallelizes across runs, not inside them.
+#pragma once
+
+#include "scenario/runner.hpp"
+
+namespace specdag::scenario {
+
+struct SweepAxis {
+  std::string path;          // dotted path into the spec JSON
+  std::vector<Json> values;  // one grid dimension
+};
+
+struct SweepSpec {
+  Json base;  // scenario-spec JSON (already resolved if it named a built-in)
+  std::vector<SweepAxis> axes;
+  std::size_t repeats = 1;
+  std::string out_path = "results/sweep.jsonl";
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  // Per-run derived seeds (default) give decorrelated repeats; disable to
+  // run every grid point with the base seed — an ablation where the axis is
+  // the only difference between runs.
+  bool derive_seeds = true;
+
+  // Total number of runs in the grid.
+  std::size_t num_runs() const;
+};
+
+// Parses and validates a grid document; resolves a string "base" through
+// the registry.
+SweepSpec sweep_from_json(const Json& json);
+
+struct SweepRun {
+  std::size_t run_index = 0;
+  std::uint64_t seed = 0;
+  Json params;  // the axis values of this grid point
+  ScenarioResult result;
+};
+
+// Expands the grid without running it (what `specdag sweep --dry-run`
+// prints): per run the resolved params and derived seed.
+std::vector<std::pair<Json, std::uint64_t>> expand_grid(const SweepSpec& sweep);
+
+// Runs the whole grid. Results stream to `sweep.out_path` as they complete
+// (one JSON object per line, mutex-serialized); the returned vector is
+// ordered by run index. `progress`, when non-null, receives one line per
+// completed run.
+std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress = nullptr);
+
+}  // namespace specdag::scenario

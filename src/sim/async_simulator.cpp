@@ -28,6 +28,8 @@ AsyncDagSimulator::AsyncDagSimulator(data::FederatedDataset dataset, nn::ModelFa
       throw std::invalid_argument("AsyncDagSimulator: non-positive step interval");
     }
   }
+  active_.assign(dataset_.clients.size(), 1);
+  clock_armed_.assign(dataset_.clients.size(), 0);
   for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
     net_.register_client(&dataset_.clients[i]);
     schedule_client_step(static_cast<int>(i));
@@ -39,6 +41,59 @@ void AsyncDagSimulator::schedule_client_step(int client) {
   // Exponential inter-arrival times: a Poisson clock per client.
   const double delay = -mean * std::log(1.0 - rng_.uniform());
   events_.push(Event{now_ + delay, next_seq_++, Event::Kind::kClientStep, client, {}});
+  clock_armed_[static_cast<std::size_t>(client)] = 1;
+}
+
+void AsyncDagSimulator::set_client_active(int client, bool active) {
+  if (client < 0 || static_cast<std::size_t>(client) >= active_.size()) {
+    throw std::out_of_range("AsyncDagSimulator: unknown client " + std::to_string(client));
+  }
+  const auto idx = static_cast<std::size_t>(client);
+  if (active_[idx] == (active ? 1 : 0)) return;
+  active_[idx] = active ? 1 : 0;
+  // A rejoining client restarts its clock unless a (stale) step event is
+  // still queued — process_event re-arms it in that case, keeping at most
+  // one clock per client.
+  if (active && !clock_armed_[idx]) schedule_client_step(client);
+}
+
+bool AsyncDagSimulator::client_active(int client) const {
+  if (client < 0 || static_cast<std::size_t>(client) >= active_.size()) {
+    throw std::out_of_range("AsyncDagSimulator: unknown client " + std::to_string(client));
+  }
+  return active_[static_cast<std::size_t>(client)] != 0;
+}
+
+std::size_t AsyncDagSimulator::active_client_count() const {
+  std::size_t count = 0;
+  for (char a : active_) count += a != 0;
+  return count;
+}
+
+void AsyncDagSimulator::begin_partition(std::vector<int> group_of_client) {
+  if (group_of_client.size() != dataset_.clients.size()) {
+    throw std::invalid_argument("AsyncDagSimulator::begin_partition: group count mismatch");
+  }
+  const auto groups = std::make_shared<const std::vector<int>>(std::move(group_of_client));
+  // Transactions commit with round = floor(event time). ceil(now) masks
+  // everything committed from `now` on when the partition starts on an
+  // integral boundary (the scenario runner always does); starting mid-unit
+  // leaves the current unit's commits visible — sub-unit fuzz the integral
+  // round granularity cannot express.
+  const std::size_t start_round = static_cast<std::size_t>(std::ceil(now_));
+  for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
+    net_.set_visibility_mask(
+        static_cast<int>(i),
+        tipsel::make_group_visibility_mask(groups, (*groups)[i], start_round));
+  }
+  partitioned_ = true;
+}
+
+void AsyncDagSimulator::heal_partition() {
+  for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
+    net_.set_visibility_mask(static_cast<int>(i), nullptr);
+  }
+  partitioned_ = false;
 }
 
 void AsyncDagSimulator::process_event(Event event, std::vector<AsyncStepRecord>& records) {
@@ -48,6 +103,13 @@ void AsyncDagSimulator::process_event(Event event, std::vector<AsyncStepRecord>&
     // gate was already evaluated against the publisher's view at prepare
     // time; the virtual round is the event time floored.
     net_.commit(event.client, event.result, static_cast<std::size_t>(now_));
+    return;
+  }
+
+  // A step of a client that left the network: drop it and disarm the clock
+  // (set_client_active re-arms on rejoin).
+  if (!active_[static_cast<std::size_t>(event.client)]) {
+    clock_armed_[static_cast<std::size_t>(event.client)] = 0;
     return;
   }
 

@@ -71,6 +71,23 @@ class AsyncDagSimulator {
   std::vector<int> true_clusters() const;
   metrics::PurenessResult approval_pureness() const;
 
+  // --- network-dynamics hooks (scenario engine) ---------------------------
+
+  // Client churn. Deactivating stops the client's training clock (its next
+  // scheduled completion is discarded when it fires); reactivating restarts
+  // the clock from the current virtual time.
+  void set_client_active(int client, bool active);
+  bool client_active(int client) const;
+  std::size_t active_client_count() const;
+
+  // Network partition with the same semantics as DagSimulator: new
+  // transactions are only visible within the publisher's group until healed.
+  void begin_partition(std::vector<int> group_of_client);
+  void heal_partition();
+  bool partitioned() const { return partitioned_; }
+
+  const std::vector<AsyncClientProfile>& profiles() const { return profiles_; }
+
  private:
   struct Event {
     double time;
@@ -96,6 +113,9 @@ class AsyncDagSimulator {
   std::vector<AsyncClientProfile> profiles_;
   Rng rng_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<char> active_;        // churn: 1 = clock running
+  std::vector<char> clock_armed_;   // 1 = a kClientStep event is in flight
+  bool partitioned_ = false;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t total_steps_ = 0;

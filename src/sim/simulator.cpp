@@ -49,7 +49,47 @@ DagSimulator::DagSimulator(data::FederatedDataset dataset, nn::ModelFactory fact
   for (const auto& client : dataset_.clients) {
     net_.register_client(&client);
   }
+  active_.assign(dataset_.clients.size(), 1);
   if (config_.parallel_prepare) pool_.emplace();
+}
+
+void DagSimulator::set_client_active(int client, bool active) {
+  if (client < 0 || static_cast<std::size_t>(client) >= active_.size()) {
+    throw std::out_of_range("DagSimulator: unknown client " + std::to_string(client));
+  }
+  active_[static_cast<std::size_t>(client)] = active ? 1 : 0;
+}
+
+bool DagSimulator::client_active(int client) const {
+  if (client < 0 || static_cast<std::size_t>(client) >= active_.size()) {
+    throw std::out_of_range("DagSimulator: unknown client " + std::to_string(client));
+  }
+  return active_[static_cast<std::size_t>(client)] != 0;
+}
+
+std::size_t DagSimulator::active_client_count() const {
+  std::size_t count = 0;
+  for (char a : active_) count += a != 0;
+  return count;
+}
+
+void DagSimulator::begin_partition(std::vector<int> group_of_client) {
+  if (group_of_client.size() != dataset_.clients.size()) {
+    throw std::invalid_argument("DagSimulator::begin_partition: group count mismatch");
+  }
+  const auto groups = std::make_shared<const std::vector<int>>(std::move(group_of_client));
+  for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
+    net_.set_visibility_mask(
+        static_cast<int>(i), tipsel::make_group_visibility_mask(groups, (*groups)[i], round_));
+  }
+  partitioned_ = true;
+}
+
+void DagSimulator::heal_partition() {
+  for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
+    net_.set_visibility_mask(static_cast<int>(i), nullptr);
+  }
+  partitioned_ = false;
 }
 
 void DagSimulator::flush_due_commits() {
@@ -67,8 +107,18 @@ void DagSimulator::flush_due_commits() {
 
 const RoundRecord& DagSimulator::run_round() {
   if (config_.visibility_delay_rounds > 0) flush_due_commits();
-  const std::vector<std::size_t> active =
-      round_rng_.sample_without_replacement(dataset_.clients.size(), config_.clients_per_round);
+  // Sample among the currently active clients (churn support). With everyone
+  // active this draws exactly the same indices as sampling [0, n) directly,
+  // so pre-churn histories stay bit-identical to the original simulator.
+  std::vector<std::size_t> pool;
+  pool.reserve(dataset_.clients.size());
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i]) pool.push_back(i);
+  }
+  if (pool.empty()) throw std::logic_error("DagSimulator: no active clients");
+  const std::size_t draw = std::min(config_.clients_per_round, pool.size());
+  std::vector<std::size_t> active = round_rng_.sample_without_replacement(pool.size(), draw);
+  for (std::size_t& idx : active) idx = pool[idx];
 
   RoundRecord record;
   record.round = round_;

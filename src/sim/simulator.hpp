@@ -58,6 +58,23 @@ class DagSimulator {
   // round 100). Returns poisoned client ids.
   std::vector<int> apply_poisoning(double p, int class_a, int class_b);
 
+  // --- network-dynamics hooks (scenario engine) ---------------------------
+
+  // Client churn: inactive clients are excluded from the per-round sample
+  // (they "left the network"); reactivating models a rejoin. When fewer than
+  // `clients_per_round` clients are active, all active clients run.
+  void set_client_active(int client, bool active);
+  bool client_active(int client) const;
+  std::size_t active_client_count() const;
+
+  // Network partition: clients in different groups stop seeing each other's
+  // *new* transactions (anything published before the partition was already
+  // broadcast and stays visible). `group_of_client` must assign one group
+  // per client. heal_partition() restores full visibility for everyone.
+  void begin_partition(std::vector<int> group_of_client);
+  void heal_partition();
+  bool partitioned() const { return partitioned_; }
+
   // --- evaluation helpers -------------------------------------------------
 
   std::vector<int> true_clusters() const;
@@ -98,6 +115,8 @@ class DagSimulator {
   std::optional<ThreadPool> pool_;
   std::vector<RoundRecord> history_;
   std::vector<PendingCommit> pending_;
+  std::vector<char> active_;  // churn: 1 = participating this experiment phase
+  bool partitioned_ = false;
   std::size_t round_ = 0;
 };
 

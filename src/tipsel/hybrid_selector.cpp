@@ -37,14 +37,14 @@ dag::TxId HybridTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng
   if (!persistent_) local_cache_.clear();
   dag::TxId current = start;
   for (;;) {
-    const std::vector<dag::TxId> children = dag.children(current);
+    const std::vector<dag::TxId> children = visible_children(dag, current);
     if (children.empty()) return current;
     std::vector<double> accuracies(children.size());
     std::vector<double> cw(children.size());
     double cw_max = 0.0;
     for (std::size_t i = 0; i < children.size(); ++i) {
       accuracies[i] = evaluate(dag, children[i]);
-      cw[i] = static_cast<double>(dag.cumulative_weight(children[i]));
+      cw[i] = static_cast<double>(walk_cumulative_weight(dag, children[i]));
       cw_max = std::max(cw_max, cw[i]);
     }
     std::vector<double> weights =

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/timer.hpp"
 
@@ -16,6 +17,38 @@ void TipSelector::set_start_depth(std::size_t min_depth, std::size_t max_depth) 
   max_depth_ = max_depth;
 }
 
+VisibilityMask make_group_visibility_mask(std::shared_ptr<const std::vector<int>> groups,
+                                          int my_group, std::size_t start_round) {
+  return [groups = std::move(groups), my_group, start_round](const dag::Dag& dag,
+                                                             dag::TxId id) {
+    const int publisher = dag.publisher(id);
+    if (publisher < 0 || static_cast<std::size_t>(publisher) >= groups->size()) return true;
+    if (dag.round(id) < start_round) return true;
+    return (*groups)[static_cast<std::size_t>(publisher)] == my_group;
+  };
+}
+
+std::vector<dag::TxId> TipSelector::visible_children(const dag::Dag& dag, dag::TxId id) const {
+  std::vector<dag::TxId> children = dag.children(id);
+  if (!mask_) return children;
+  std::erase_if(children, [&](dag::TxId child) { return !mask_(dag, child); });
+  return children;
+}
+
+std::size_t TipSelector::walk_cumulative_weight(const dag::Dag& dag, dag::TxId id) const {
+  if (!mask_) return dag.cumulative_weight(id);
+  std::unordered_set<dag::TxId> visited{id};
+  std::vector<dag::TxId> frontier{id};
+  while (!frontier.empty()) {
+    const dag::TxId cur = frontier.back();
+    frontier.pop_back();
+    for (dag::TxId child : visible_children(dag, cur)) {
+      if (visited.insert(child).second) frontier.push_back(child);
+    }
+  }
+  return visited.size();
+}
+
 std::vector<dag::TxId> TipSelector::select_tips(const dag::Dag& dag, std::size_t count,
                                                 Rng& rng) {
   if (count == 0) throw std::invalid_argument("TipSelector::select_tips: count == 0");
@@ -24,10 +57,13 @@ std::vector<dag::TxId> TipSelector::select_tips(const dag::Dag& dag, std::size_t
   std::vector<dag::TxId> selected;
   selected.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const dag::TxId start =
+    dag::TxId start =
         start_mode_ == WalkStart::kGenesis
             ? dag::kGenesisTx
             : dag.sample_walk_start(rng, min_start_depth(), max_start_depth());
+    // A depth-sampled start can land on a masked transaction; genesis is
+    // always visible (publisher -1, round 0).
+    if (!visible(dag, start)) start = dag::kGenesisTx;
     selected.push_back(walk(dag, start, rng));
   }
   std::sort(selected.begin(), selected.end());
@@ -39,7 +75,7 @@ std::vector<dag::TxId> TipSelector::select_tips(const dag::Dag& dag, std::size_t
 dag::TxId RandomTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng) {
   dag::TxId current = start;
   for (;;) {
-    const std::vector<dag::TxId> children = dag.children(current);
+    const std::vector<dag::TxId> children = visible_children(dag, current);
     if (children.empty()) return current;
     current = children[rng.index(children.size())];
     ++stats_.steps;
@@ -53,12 +89,12 @@ WeightedTipSelector::WeightedTipSelector(double alpha) : alpha_(alpha) {
 dag::TxId WeightedTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng) {
   dag::TxId current = start;
   for (;;) {
-    const std::vector<dag::TxId> children = dag.children(current);
+    const std::vector<dag::TxId> children = visible_children(dag, current);
     if (children.empty()) return current;
     std::vector<double> cw(children.size());
     double cw_max = 0.0;
     for (std::size_t i = 0; i < children.size(); ++i) {
-      cw[i] = static_cast<double>(dag.cumulative_weight(children[i]));
+      cw[i] = static_cast<double>(walk_cumulative_weight(dag, children[i]));
       cw_max = std::max(cw_max, cw[i]);
     }
     std::vector<double> weights(children.size());
@@ -120,7 +156,7 @@ dag::TxId AccuracyTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& r
   if (!persistent_) local_cache_.clear();
   dag::TxId current = start;
   for (;;) {
-    const std::vector<dag::TxId> children = dag.children(current);
+    const std::vector<dag::TxId> children = visible_children(dag, current);
     if (children.empty()) return current;
     // Algorithm 1: evaluate every reachable next model on local data, then
     // make a weighted random choice.

@@ -43,6 +43,20 @@ struct WalkStats {
   double seconds = 0.0;         // wall time inside the selector
 };
 
+// Per-client visibility filter over the shared DAG: a walk only traverses
+// transactions for which the mask returns true. Empty mask = full
+// visibility. Used by the simulators to model network partitions — during a
+// partition each client's mask hides the other groups' new transactions, so
+// walks terminate at the tips of the client's *visible* subgraph.
+using VisibilityMask = std::function<bool(const dag::Dag&, dag::TxId)>;
+
+// The partition mask both simulators install: a transaction is visible when
+// its publisher carries no group information (genesis, external attackers),
+// when it was committed before `start_round` (already broadcast network-wide),
+// or when its publisher shares the client's group.
+VisibilityMask make_group_visibility_mask(std::shared_ptr<const std::vector<int>> groups,
+                                          int my_group, std::size_t start_round);
+
 class TipSelector {
  public:
   virtual ~TipSelector() = default;
@@ -63,15 +77,32 @@ class TipSelector {
   std::size_t min_start_depth() const { return min_depth_; }
   std::size_t max_start_depth() const { return max_depth_; }
 
+  // Restricts walks to the masked subgraph (empty mask = no restriction).
+  void set_visibility_mask(VisibilityMask mask) { mask_ = std::move(mask); }
+  bool has_visibility_mask() const { return static_cast<bool>(mask_); }
+
   const WalkStats& last_stats() const { return stats_; }
 
  protected:
+  // Children of `id` that pass the visibility mask. A visible transaction
+  // whose children are all masked acts as a tip of the visible subgraph.
+  std::vector<dag::TxId> visible_children(const dag::Dag& dag, dag::TxId id) const;
+  bool visible(const dag::Dag& dag, dag::TxId id) const {
+    return !mask_ || mask_(dag, id);
+  }
+
+  // Cumulative weight as this walker perceives it: with a mask set, only
+  // the visible future cone counts — a partitioned client must not rank
+  // candidates by the size of subgraphs it cannot see.
+  std::size_t walk_cumulative_weight(const dag::Dag& dag, dag::TxId id) const;
+
   WalkStats stats_;
 
  private:
   WalkStart start_mode_ = WalkStart::kGenesis;
   std::size_t min_depth_ = 15;
   std::size_t max_depth_ = 25;
+  VisibilityMask mask_;
 };
 
 // Uniformly random walk.

@@ -72,6 +72,36 @@ TEST(Dag, CumulativeWeightCountsFutureCone) {
   EXPECT_EQ(dag.cumulative_weight(kGenesisTx), 4u);
 }
 
+TEST(Dag, CumulativeWeightsAllMatchesPerIdBfs) {
+  // The bit-parallel all-transactions pass must agree with the exact per-id
+  // BFS on a random multi-parent DAG (diamonds included), and across the
+  // 64-transaction chunk boundary.
+  Dag dag({0.0f});
+  Rng rng(17);
+  for (std::size_t i = 1; i < 150; ++i) {
+    const std::size_t parents_count = std::min<std::size_t>(2, dag.size());
+    const auto parent_idx = rng.sample_without_replacement(dag.size(), parents_count);
+    dag.add_transaction({parent_idx.begin(), parent_idx.end()}, payload(),
+                        static_cast<int>(i % 5), i);
+  }
+  const std::vector<std::size_t> all = dag.cumulative_weights_all();
+  ASSERT_EQ(all.size(), dag.size());
+  for (TxId id : dag.all_ids()) {
+    EXPECT_EQ(all[id], dag.cumulative_weight(id)) << "id " << id;
+  }
+  EXPECT_EQ(all[kGenesisTx], dag.size());
+}
+
+TEST(Dag, PublisherAndRoundAccessors) {
+  Dag dag({0.0f});
+  const TxId a = dag.add_transaction({kGenesisTx}, payload(), 3, 7);
+  EXPECT_EQ(dag.publisher(kGenesisTx), -1);
+  EXPECT_EQ(dag.publisher(a), 3);
+  EXPECT_EQ(dag.round(a), 7u);
+  EXPECT_THROW(dag.publisher(99), std::out_of_range);
+  EXPECT_THROW(dag.round(99), std::out_of_range);
+}
+
 TEST(Dag, PastConeCollectsAncestors) {
   Dag dag({0.0f});
   const TxId a = dag.add_transaction({kGenesisTx}, payload(), 0, 1);

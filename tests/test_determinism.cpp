@@ -1,0 +1,158 @@
+// Determinism guarantees of the simulators and the scenario engine: the
+// same seed must reproduce the same experiment bit for bit — histories,
+// event traces, and scenario results (wall time aside). The serializations
+// below use hexfloat so the comparison is exact at the bit level.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synthetic_digits.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "sim/async_simulator.hpp"
+#include "sim/experiment.hpp"
+#include "sim/models.hpp"
+#include "sim/simulator.hpp"
+
+namespace specdag {
+namespace {
+
+data::FederatedDataset tiny_dataset(std::uint64_t seed = 42) {
+  data::SyntheticDigitsConfig config;
+  config.num_clients = 6;
+  config.samples_per_client = 40;
+  config.image_size = 8;
+  config.seed = seed;
+  return data::make_fmnist_clustered(config);
+}
+
+nn::ModelFactory tiny_factory(const data::FederatedDataset& ds) {
+  return sim::make_mlp_factory(shape_numel(ds.element_shape), 16, ds.num_classes);
+}
+
+void serialize_result(std::ostream& out, const fl::DagRoundResult& result) {
+  out << result.client_id << '|' << result.published << '|' << result.reference << '|';
+  for (dag::TxId parent : result.parents) out << parent << ',';
+  out << '|' << std::hexfloat << result.trained_eval.accuracy << '|'
+      << result.trained_eval.loss << '|' << result.reference_eval.accuracy << '|'
+      << result.reference_eval.loss << '|' << result.train_loss << '|' << std::defaultfloat
+      << result.walk_stats.steps << '|' << result.walk_stats.evaluations << ';';
+}
+
+// Everything in a round history except wall-clock walk timings.
+std::string serialize_history(const std::vector<sim::RoundRecord>& history) {
+  std::ostringstream out;
+  for (const auto& record : history) {
+    out << "round " << record.round << ": ";
+    for (const auto& result : record.results) serialize_result(out, result);
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string serialize_trace(const std::vector<sim::AsyncStepRecord>& records) {
+  std::ostringstream out;
+  for (const auto& record : records) {
+    out << std::hexfloat << record.time << std::defaultfloat << '@' << record.client_id << ' ';
+    serialize_result(out, record.result);
+    out << '\n';
+  }
+  return out.str();
+}
+
+TEST(Determinism, RoundHistoryIsByteIdentical) {
+  auto run = [](bool parallel) {
+    auto ds = tiny_dataset();
+    sim::SimulatorConfig config;
+    config.client.train = {1, 4, 8, 0.05};
+    config.clients_per_round = 3;
+    config.seed = 99;
+    config.parallel_prepare = parallel;
+    sim::DagSimulator simulator(std::move(ds), tiny_factory(tiny_dataset()), config);
+    simulator.run_rounds(6);
+    return serialize_history(simulator.history());
+  };
+  const std::string first = run(true);
+  EXPECT_EQ(first, run(true));
+  // Thread scheduling must not leak into results: the parallel and serial
+  // prepare paths produce the same history.
+  EXPECT_EQ(first, run(false));
+}
+
+TEST(Determinism, RoundHistoryChangesWithSeed) {
+  auto run = [](std::uint64_t seed) {
+    auto ds = tiny_dataset();
+    sim::SimulatorConfig config;
+    config.client.train = {1, 4, 8, 0.05};
+    config.clients_per_round = 3;
+    config.seed = seed;
+    sim::DagSimulator simulator(std::move(ds), tiny_factory(tiny_dataset()), config);
+    simulator.run_rounds(4);
+    return serialize_history(simulator.history());
+  };
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Determinism, AsyncEventTraceIsByteIdentical) {
+  auto run = [] {
+    auto ds = tiny_dataset();
+    sim::AsyncSimulatorConfig config;
+    config.client.train = {1, 4, 8, 0.05};
+    config.broadcast_latency = 0.5;
+    config.seed = 1234;
+    std::vector<sim::AsyncClientProfile> profiles(6);
+    profiles[1].mean_step_interval = 3.0;  // heterogeneous rates included
+    sim::AsyncDagSimulator simulator(std::move(ds), tiny_factory(tiny_dataset()), config,
+                                     profiles);
+    return serialize_trace(simulator.run_steps(25));
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Determinism, ScenarioResultsAreReproducible) {
+  scenario::ScenarioSpec spec = scenario::get_scenario("churn");
+  spec.num_clients = 6;
+  spec.samples_per_client = 40;
+  spec.rounds = 8;
+  spec.clients_per_round = 3;
+  spec.client.train = {1, 4, 8, 0.05};
+  spec.dynamics.churn = {0.34, 2, 6};
+
+  auto fingerprint = [&] {
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    std::ostringstream out;
+    out << std::hexfloat;
+    out << result.dag_size << '|' << result.final_accuracy << '|' << result.pureness << '|'
+        << result.modularity << '|' << result.communities << '|'
+        << result.mean_cumulative_weight << '\n';
+    for (const auto& point : result.series) {
+      out << point.round << ',' << point.mean_accuracy << ',' << point.mean_loss << ','
+          << point.publishes << ',' << point.dag_size << ',' << point.active_clients << ';';
+    }
+    return out.str();
+  };
+  EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+TEST(Determinism, AsyncScenarioWithDynamicsIsReproducible) {
+  scenario::ScenarioSpec spec = scenario::get_scenario("stragglers");
+  spec.num_clients = 6;
+  spec.samples_per_client = 40;
+  spec.rounds = 5;
+  spec.client.train = {1, 4, 8, 0.05};
+
+  auto fingerprint = [&] {
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    std::ostringstream out;
+    out << std::hexfloat;
+    for (const auto& point : result.series) {
+      out << point.round << ',' << point.mean_accuracy << ',' << point.publishes << ','
+          << point.dag_size << ';';
+    }
+    return out.str();
+  };
+  EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+}  // namespace
+}  // namespace specdag

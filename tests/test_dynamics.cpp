@@ -1,0 +1,238 @@
+// Network-dynamics hook points: per-client visibility masks on the tip
+// selectors, churn (active sets) and partitions in both simulators, and the
+// dag_weight_summary metrics helper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic_digits.hpp"
+#include "metrics/dag_metrics.hpp"
+#include "sim/async_simulator.hpp"
+#include "sim/models.hpp"
+#include "sim/simulator.hpp"
+#include "tipsel/tip_selector.hpp"
+
+namespace specdag {
+namespace {
+
+data::FederatedDataset tiny_dataset(std::size_t clients = 6) {
+  data::SyntheticDigitsConfig config;
+  config.num_clients = clients;
+  config.samples_per_client = 40;
+  config.image_size = 8;
+  return data::make_fmnist_clustered(config);
+}
+
+nn::ModelFactory tiny_factory(const data::FederatedDataset& ds) {
+  return sim::make_mlp_factory(shape_numel(ds.element_shape), 16, ds.num_classes);
+}
+
+fl::DagClientConfig tiny_config() {
+  fl::DagClientConfig config;
+  config.train = {1, 4, 8, 0.05};
+  return config;
+}
+
+dag::WeightsPtr payload(float v = 0.0f) {
+  return std::make_shared<const nn::WeightVector>(nn::WeightVector{v});
+}
+
+// ------------------------------------------------------- visibility masks --
+
+TEST(VisibilityMask, WalkNeverEntersMaskedSubgraph) {
+  // genesis <- a (publisher 0) <- c (publisher 0)
+  // genesis <- b (publisher 1)
+  dag::Dag dag({0.0f});
+  const dag::TxId a = dag.add_transaction({dag::kGenesisTx}, payload(), 0, 1);
+  const dag::TxId b = dag.add_transaction({dag::kGenesisTx}, payload(), 1, 1);
+  const dag::TxId c = dag.add_transaction({a}, payload(), 0, 2);
+
+  tipsel::RandomTipSelector selector;
+  selector.set_visibility_mask([](const dag::Dag& d, dag::TxId id) {
+    return d.publisher(id) != 1;  // hide publisher 1's transactions
+  });
+  Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    const auto tips = selector.select_tips(dag, 2, rng);
+    for (dag::TxId tip : tips) EXPECT_NE(tip, b);
+  }
+
+  // Masking everything non-genesis turns genesis into the only "tip".
+  selector.set_visibility_mask(
+      [](const dag::Dag& d, dag::TxId id) { return d.publisher(id) < 0; });
+  EXPECT_EQ(selector.select_tips(dag, 1, rng), std::vector<dag::TxId>{dag::kGenesisTx});
+
+  // Clearing the mask restores full reachability of real tips.
+  selector.set_visibility_mask(nullptr);
+  for (int i = 0; i < 25; ++i) {
+    for (dag::TxId tip : selector.select_tips(dag, 2, rng)) {
+      EXPECT_TRUE(tip == b || tip == c);
+    }
+  }
+}
+
+TEST(VisibilityMask, VisibleInteriorNodeActsAsTip) {
+  // a's only child c is masked: a walk stopping rule must return a itself.
+  dag::Dag dag({0.0f});
+  const dag::TxId a = dag.add_transaction({dag::kGenesisTx}, payload(), 0, 1);
+  const dag::TxId c = dag.add_transaction({a}, payload(), 1, 2);
+  (void)c;
+  tipsel::RandomTipSelector selector;
+  selector.set_visibility_mask(
+      [](const dag::Dag& d, dag::TxId id) { return d.publisher(id) != 1; });
+  Rng rng(6);
+  EXPECT_EQ(selector.select_tips(dag, 1, rng), std::vector<dag::TxId>{a});
+}
+
+// ------------------------------------------------------------- round churn --
+
+TEST(DagSimulatorDynamics, InactiveClientsNeverPublish) {
+  auto ds = tiny_dataset();
+  sim::SimulatorConfig config;
+  config.client = tiny_config();
+  config.clients_per_round = 4;
+  config.seed = 31;
+  sim::DagSimulator simulator(std::move(ds), tiny_factory(tiny_dataset()), config);
+
+  simulator.set_client_active(0, false);
+  simulator.set_client_active(1, false);
+  EXPECT_EQ(simulator.active_client_count(), 4u);
+  EXPECT_FALSE(simulator.client_active(0));
+  simulator.run_rounds(4);
+  for (dag::TxId id : simulator.dag().all_ids()) {
+    const int publisher = simulator.dag().publisher(id);
+    EXPECT_NE(publisher, 0);
+    EXPECT_NE(publisher, 1);
+  }
+
+  // Rejoined clients participate again.
+  simulator.set_client_active(0, true);
+  simulator.set_client_active(1, true);
+  EXPECT_EQ(simulator.active_client_count(), 6u);
+  simulator.run_rounds(4);
+  EXPECT_THROW(simulator.set_client_active(99, false), std::out_of_range);
+}
+
+TEST(DagSimulatorDynamics, FewActiveClientsShrinkTheRound) {
+  auto ds = tiny_dataset();
+  sim::SimulatorConfig config;
+  config.client = tiny_config();
+  config.clients_per_round = 4;
+  config.seed = 33;
+  sim::DagSimulator simulator(std::move(ds), tiny_factory(tiny_dataset()), config);
+  for (int i = 0; i < 4; ++i) simulator.set_client_active(i, false);
+  const sim::RoundRecord& record = simulator.run_round();
+  EXPECT_EQ(record.results.size(), 2u);  // only 2 active clients remain
+}
+
+// --------------------------------------------------------- round partition --
+
+TEST(DagSimulatorDynamics, PartitionIsolatesGroupsUntilHealed) {
+  auto ds = tiny_dataset(6);
+  sim::SimulatorConfig config;
+  config.client = tiny_config();
+  config.client.publish_gate = false;  // publish every round: denser DAG
+  config.clients_per_round = 6;
+  config.seed = 37;
+  sim::DagSimulator simulator(std::move(ds), tiny_factory(tiny_dataset(6)), config);
+  simulator.run_rounds(2);
+
+  std::vector<int> groups = {0, 1, 0, 1, 0, 1};
+  const std::size_t partition_round = simulator.current_round();
+  simulator.begin_partition(groups);
+  EXPECT_TRUE(simulator.partitioned());
+  simulator.run_rounds(4);
+
+  // During the partition no transaction approves a cross-group transaction
+  // that was published after the cut.
+  for (dag::TxId id : simulator.dag().all_ids()) {
+    const int publisher = simulator.dag().publisher(id);
+    if (publisher < 0 || simulator.dag().round(id) < partition_round) continue;
+    for (dag::TxId parent : simulator.dag().parents(id)) {
+      const int parent_publisher = simulator.dag().publisher(parent);
+      if (parent_publisher < 0) continue;
+      if (simulator.dag().round(parent) < partition_round) continue;
+      EXPECT_EQ(groups[static_cast<std::size_t>(parent_publisher)],
+                groups[static_cast<std::size_t>(publisher)])
+          << "tx " << id << " approved across the partition";
+    }
+  }
+
+  simulator.heal_partition();
+  EXPECT_FALSE(simulator.partitioned());
+  simulator.run_rounds(2);
+  EXPECT_THROW(simulator.begin_partition({0, 1}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- async dynamics --
+
+TEST(AsyncSimulatorDynamics, ChurnStopsAndRestartsClocks) {
+  auto ds = tiny_dataset();
+  sim::AsyncSimulatorConfig config;
+  config.client = tiny_config();
+  config.seed = 41;
+  sim::AsyncDagSimulator simulator(std::move(ds), tiny_factory(tiny_dataset()), config);
+
+  simulator.set_client_active(2, false);
+  EXPECT_EQ(simulator.active_client_count(), 5u);
+  for (const auto& record : simulator.run_until(6.0)) {
+    EXPECT_NE(record.client_id, 2);
+  }
+
+  simulator.set_client_active(2, true);
+  bool seen = false;
+  for (const auto& record : simulator.run_until(20.0)) {
+    if (record.client_id == 2) seen = true;
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(AsyncSimulatorDynamics, PartitionMasksApply) {
+  auto ds = tiny_dataset(6);
+  sim::AsyncSimulatorConfig config;
+  config.client = tiny_config();
+  config.client.publish_gate = false;
+  config.seed = 43;
+  sim::AsyncDagSimulator simulator(std::move(ds), tiny_factory(tiny_dataset(6)), config);
+  simulator.run_until(2.0);
+
+  std::vector<int> groups = {0, 0, 0, 1, 1, 1};
+  simulator.begin_partition(groups);
+  EXPECT_TRUE(simulator.partitioned());
+  // run_until left now at exactly 2.0, so the cutoff is 2: everything
+  // committed from the partition call on is masked cross-group.
+  const auto cut = static_cast<std::size_t>(std::ceil(simulator.now()));
+  EXPECT_EQ(cut, 2u);
+  simulator.run_until(8.0);
+
+  for (dag::TxId id : simulator.dag().all_ids()) {
+    const int publisher = simulator.dag().publisher(id);
+    if (publisher < 0 || simulator.dag().round(id) < cut) continue;
+    for (dag::TxId parent : simulator.dag().parents(id)) {
+      const int parent_publisher = simulator.dag().publisher(parent);
+      if (parent_publisher < 0) continue;
+      if (simulator.dag().round(parent) < cut) continue;
+      EXPECT_EQ(groups[static_cast<std::size_t>(parent_publisher)],
+                groups[static_cast<std::size_t>(publisher)]);
+    }
+  }
+  simulator.heal_partition();
+  EXPECT_FALSE(simulator.partitioned());
+}
+
+// ----------------------------------------------------------------- metrics --
+
+TEST(DagWeightSummary, MatchesManualComputation) {
+  dag::Dag dag({0.0f});
+  const dag::TxId a = dag.add_transaction({dag::kGenesisTx}, payload(), 0, 1);
+  const dag::TxId b = dag.add_transaction({dag::kGenesisTx}, payload(), 1, 1);
+  dag.add_transaction({a, b}, payload(), 2, 2);
+  const metrics::DagWeightSummary summary = metrics::dag_weight_summary(dag);
+  EXPECT_EQ(summary.transactions, 4u);
+  EXPECT_EQ(summary.tips, 1u);
+  EXPECT_EQ(summary.max_cumulative_weight, 2u);       // a and b
+  EXPECT_DOUBLE_EQ(summary.mean_cumulative_weight, (2 + 2 + 1) / 3.0);
+}
+
+}  // namespace
+}  // namespace specdag

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "scenario/config.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sweep.hpp"
+
+namespace specdag {
+namespace {
+
+// ------------------------------------------------------------------ JSON ---
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(scenario::Json::parse("null").is_null());
+  EXPECT_EQ(scenario::Json::parse("true").as_bool(), true);
+  EXPECT_EQ(scenario::Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(scenario::Json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(scenario::Json::parse("42").as_uint(), 42u);
+  EXPECT_EQ(scenario::Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto doc = scenario::Json::parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  EXPECT_EQ(doc.as_object().size(), 3u);
+  EXPECT_EQ(doc.find("a")->as_array().size(), 3u);
+  EXPECT_TRUE(doc.find("a")->as_array()[2].find("b")->as_bool());
+  EXPECT_TRUE(doc.find("c")->find("d")->is_null());
+}
+
+TEST(Json, StringEscapes) {
+  const auto doc = scenario::Json::parse(R"("a\"b\\c\nA\té")");
+  EXPECT_EQ(doc.as_string(), "a\"b\\c\nA\t\xc3\xa9");
+  // Escapes survive a dump -> parse round trip.
+  EXPECT_EQ(scenario::Json::parse(doc.dump()).as_string(), doc.as_string());
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  const std::string text =
+      R"({"name":"x","values":[1,2.5,true,null,"s"],"nested":{"k":-3}})";
+  const auto doc = scenario::Json::parse(text);
+  EXPECT_EQ(scenario::Json::parse(doc.dump()), doc);
+  EXPECT_EQ(scenario::Json::parse(doc.dump(2)), doc);  // pretty-print too
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(scenario::Json::parse(""), scenario::JsonError);
+  EXPECT_THROW(scenario::Json::parse("{\"a\": 1,}"), scenario::JsonError);
+  EXPECT_THROW(scenario::Json::parse("[1 2]"), scenario::JsonError);
+  EXPECT_THROW(scenario::Json::parse("1 2"), scenario::JsonError);
+  EXPECT_THROW(scenario::Json::parse("{\"a\":1,\"a\":2}"), scenario::JsonError);
+  EXPECT_THROW(scenario::Json::parse("nan"), scenario::JsonError);
+  EXPECT_THROW(scenario::Json::parse("\"unterminated"), scenario::JsonError);
+}
+
+TEST(Json, SetPathCreatesIntermediateObjects) {
+  auto doc = scenario::Json::make_object();
+  doc.set_path("client.train.batch_size", scenario::Json(20));
+  doc.set_path("client.alpha", scenario::Json(5.0));
+  EXPECT_EQ(doc.find("client")->find("train")->find("batch_size")->as_uint(), 20u);
+  EXPECT_DOUBLE_EQ(doc.find("client")->find("alpha")->as_number(), 5.0);
+  // Overwrite through a path.
+  doc.set_path("client.alpha", scenario::Json(7.0));
+  EXPECT_DOUBLE_EQ(doc.find("client")->find("alpha")->as_number(), 7.0);
+}
+
+// ------------------------------------------------------------------ specs ---
+
+scenario::ScenarioSpec full_spec() {
+  scenario::ScenarioSpec spec;
+  spec.name = "round-trip";
+  spec.description = "all the knobs";
+  spec.dataset = scenario::DatasetPreset::kFmnistRelaxed;
+  spec.simulator = scenario::SimKind::kRound;
+  spec.rounds = 17;
+  spec.clients_per_round = 4;
+  spec.visibility_delay_rounds = 2;
+  spec.num_clients = 9;
+  spec.samples_per_client = 40;
+  spec.seed = 1234;
+  spec.parallel_prepare = false;
+  spec.evaluate_consensus = true;
+  spec.client.alpha = 55.0;
+  spec.client.selector = fl::SelectorKind::kWeighted;
+  spec.client.normalization = tipsel::Normalization::kDynamic;
+  spec.client.num_parents = 3;
+  spec.client.walk_start = tipsel::WalkStart::kDepthSampled;
+  spec.client.start_depth_min = 4;
+  spec.client.start_depth_max = 9;
+  spec.client.publish_gate = false;
+  spec.client.reference_walks = 2;
+  spec.client.train = {2, 7, 5, 0.125};
+  spec.dynamics.churn = {0.25, 3, 8};
+  spec.dynamics.partition = {2, true, 2, 9};
+  return spec;
+}
+
+TEST(ScenarioSpec, JsonRoundTripIsIdentity) {
+  const scenario::ScenarioSpec spec = full_spec();
+  const scenario::Json json = scenario::spec_to_json(spec);
+  const scenario::ScenarioSpec reparsed = scenario::spec_from_json(json);
+  // Serialize -> parse -> serialize is the identity on the JSON level.
+  EXPECT_EQ(scenario::spec_to_json(reparsed), json);
+  // And a parse of the pretty-printed text agrees too.
+  const scenario::ScenarioSpec reparsed2 =
+      scenario::spec_from_json(scenario::Json::parse(json.dump(2)));
+  EXPECT_EQ(scenario::spec_to_json(reparsed2), json);
+}
+
+TEST(ScenarioSpec, RejectsUnknownKeys) {
+  EXPECT_THROW(scenario::spec_from_json(scenario::Json::parse(R"({"rouns": 10})")),
+               scenario::JsonError);
+  EXPECT_THROW(
+      scenario::spec_from_json(scenario::Json::parse(R"({"client": {"alhpa": 1}})")),
+      scenario::JsonError);
+  EXPECT_THROW(scenario::spec_from_json(
+                   scenario::Json::parse(R"({"dynamics": {"churns": {}}})")),
+               scenario::JsonError);
+}
+
+TEST(ScenarioSpec, ValidatesDynamicsCombinations) {
+  scenario::ScenarioSpec spec;
+  spec.dynamics.stragglers = {0.5, 4.0, 1.5};
+  spec.simulator = scenario::SimKind::kRound;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.simulator = scenario::SimKind::kAsync;
+  EXPECT_NO_THROW(spec.validate());
+
+  scenario::ScenarioSpec churny;
+  churny.dynamics.churn = {1.5, 2, 0};
+  EXPECT_THROW(churny.validate(), std::invalid_argument);
+  churny.dynamics.churn = {0.5, 5, 3};  // rejoin before leave
+  EXPECT_THROW(churny.validate(), std::invalid_argument);
+
+  scenario::ScenarioSpec party;
+  party.dynamics.partition = {2, false, 10, 5};  // heal before start
+  EXPECT_THROW(party.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, RejectsSeedsThatCannotRoundTripThroughJson) {
+  scenario::ScenarioSpec spec;
+  spec.seed = (std::uint64_t{1} << 53) + 1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.seed = std::uint64_t{1} << 53;
+  EXPECT_NO_THROW(spec.validate());
+  // The Json layer refuses non-representable integers outright.
+  EXPECT_THROW(scenario::Json((std::uint64_t{1} << 53) + 2), scenario::JsonError);
+}
+
+// --------------------------------------------------------------- registry ---
+
+TEST(Registry, HasTheRequiredScenarios) {
+  const auto& scenarios = scenario::builtin_scenarios();
+  EXPECT_GE(scenarios.size(), 6u);
+  for (const char* name : {"fmnist-clustered", "churn", "stragglers", "partition"}) {
+    ASSERT_NE(scenario::find_scenario(name), nullptr) << name;
+  }
+  EXPECT_TRUE(scenario::find_scenario("churn")->dynamics.churn.enabled());
+  EXPECT_TRUE(scenario::find_scenario("stragglers")->dynamics.stragglers.enabled());
+  EXPECT_TRUE(scenario::find_scenario("partition")->dynamics.partition.enabled());
+  // Every built-in validates and survives the JSON round trip.
+  for (const auto& spec : scenarios) {
+    EXPECT_NO_THROW(spec.validate()) << spec.name;
+    const scenario::Json json = scenario::spec_to_json(spec);
+    EXPECT_EQ(scenario::spec_to_json(scenario::spec_from_json(json)), json) << spec.name;
+  }
+  EXPECT_THROW(scenario::get_scenario("no-such-scenario"), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- runner ---
+
+scenario::ScenarioSpec tiny_spec(const std::string& base) {
+  scenario::ScenarioSpec spec = scenario::get_scenario(base);
+  spec.num_clients = 6;
+  spec.samples_per_client = 40;
+  spec.rounds = 5;
+  spec.clients_per_round = 3;
+  spec.client.train = {1, 4, 8, 0.05};
+  return spec;
+}
+
+TEST(Runner, RoundScenarioProducesSeriesAndSummary) {
+  scenario::ScenarioSpec spec = tiny_spec("fmnist-clustered");
+  spec.evaluate_consensus = true;
+  const scenario::ScenarioResult result = scenario::run_scenario(spec);
+  EXPECT_EQ(result.series.size(), 5u);
+  EXPECT_EQ(result.clients, 6u);
+  EXPECT_GT(result.dag_size, 1u);
+  EXPECT_GE(result.final_accuracy, 0.0);
+  EXPECT_GE(result.consensus_accuracy, 0.0);
+  EXPECT_EQ(result.series.back().dag_size, result.dag_size);
+  // Summary JSON has the headline fields.
+  const scenario::Json json = scenario::result_to_json(result, true);
+  EXPECT_EQ(json.find("summary")->find("dag_size")->as_uint(), result.dag_size);
+  EXPECT_EQ(json.find("series")->as_array().size(), 5u);
+}
+
+TEST(Runner, ChurnRemovesAndRestoresClients) {
+  scenario::ScenarioSpec spec = tiny_spec("fmnist-clustered");
+  spec.name = "churn-test";
+  spec.rounds = 8;
+  spec.dynamics.churn = {0.34, 2, 6};
+  const scenario::ScenarioResult result = scenario::run_scenario(spec);
+  // floor(0.34 * 6) = 2 clients leave in [2, 6).
+  EXPECT_EQ(result.series[0].active_clients, 6u);
+  EXPECT_EQ(result.series[3].active_clients, 4u);
+  EXPECT_EQ(result.series[7].active_clients, 6u);
+}
+
+TEST(Runner, PartitionRespectsGroupVisibility) {
+  scenario::ScenarioSpec spec = tiny_spec("fmnist-clustered");
+  spec.name = "partition-test";
+  spec.rounds = 6;
+  spec.client.publish_gate = false;  // every client publishes every round
+  spec.dynamics.partition = {3, true, 2, 0};  // never heals
+  const scenario::ScenarioResult result = scenario::run_scenario(spec);
+  EXPECT_FALSE(result.series[0].partitioned);
+  EXPECT_TRUE(result.series.back().partitioned);
+  EXPECT_GT(result.dag_size, 1u);
+}
+
+TEST(Runner, AsyncScenarioWithStragglersRuns) {
+  scenario::ScenarioSpec spec = tiny_spec("stragglers");
+  spec.rounds = 6;
+  const scenario::ScenarioResult result = scenario::run_scenario(spec);
+  EXPECT_EQ(result.series.size(), 6u);
+  EXPECT_GT(result.dag_size, 1u);
+  EXPECT_EQ(result.simulator, "async");
+}
+
+// ------------------------------------------------------------------ sweep ---
+
+TEST(Sweep, GridExpansionAndParallelExecution) {
+  scenario::SweepSpec sweep;
+  sweep.base = scenario::spec_to_json(tiny_spec("fmnist-clustered"));
+  sweep.base.set("rounds", scenario::Json(3));
+  sweep.axes.push_back({"client.alpha", {scenario::Json(1.0), scenario::Json(10.0)}});
+  sweep.axes.push_back({"clients_per_round", {scenario::Json(2), scenario::Json(3)}});
+  sweep.threads = 2;
+  sweep.out_path = "test_sweep_out.jsonl";
+
+  const auto grid = scenario::expand_grid(sweep);
+  ASSERT_EQ(grid.size(), 4u);
+  std::set<std::uint64_t> seeds;
+  for (const auto& [params, seed] : grid) seeds.insert(seed);
+  EXPECT_EQ(seeds.size(), 4u);  // derived seeds are distinct
+
+  const std::vector<scenario::SweepRun> runs = scenario::run_sweep(sweep);
+  ASSERT_EQ(runs.size(), 4u);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].run_index, i);
+    EXPECT_EQ(runs[i].seed, grid[i].second);
+    EXPECT_GT(runs[i].result.dag_size, 1u);
+  }
+
+  // The JSONL sink has one parseable line per run with the seed recorded.
+  std::ifstream in(sweep.out_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::set<std::uint64_t> written_seeds;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    const scenario::Json doc = scenario::Json::parse(line);
+    written_seeds.insert(doc.find("seed")->as_uint());
+    EXPECT_NE(doc.find("params"), nullptr);
+    EXPECT_NE(doc.find("result")->find("summary"), nullptr);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+  EXPECT_EQ(written_seeds, seeds);
+  std::remove(sweep.out_path.c_str());
+}
+
+TEST(Sweep, FixedSeedModeReusesBaseSeed) {
+  scenario::SweepSpec sweep;
+  sweep.base = scenario::spec_to_json(tiny_spec("fmnist-clustered"));
+  sweep.derive_seeds = false;
+  sweep.axes.push_back({"client.alpha", {scenario::Json(1.0), scenario::Json(10.0)}});
+  const auto grid = scenario::expand_grid(sweep);
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid[0].second, grid[1].second);
+}
+
+TEST(Sweep, FromJsonResolvesRegistryBase) {
+  const auto doc = scenario::Json::parse(
+      R"({"base": "churn", "axes": {"rounds": [2, 3]}, "repeats": 2, "out": "x.jsonl"})");
+  const scenario::SweepSpec sweep = scenario::sweep_from_json(doc);
+  EXPECT_EQ(sweep.num_runs(), 4u);
+  EXPECT_EQ(sweep.base.string_or("name", ""), "churn");
+  EXPECT_THROW(scenario::sweep_from_json(scenario::Json::parse(R"({"axes": {}})")),
+               scenario::JsonError);
+  EXPECT_THROW(
+      scenario::sweep_from_json(scenario::Json::parse(R"({"base": "churn", "axis": {}})")),
+      scenario::JsonError);
+}
+
+}  // namespace
+}  // namespace specdag
