@@ -5,8 +5,13 @@
 // Paper shape: alpha=1 -> decreasing/low modularity, 1 big partition, high
 // misclassification; alpha=100 -> high modularity but too many partitions;
 // alpha=10 -> rising modularity, ~3 partitions, misclassification -> 0.
+//
+// Runs through the scenario engine: the base configuration comes from the
+// registry's "fmnist-clustered" scenario with the runner's
+// community_metrics_every tracking supplying the per-round Louvain series.
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
 
@@ -22,32 +27,26 @@ int main(int argc, char** argv) {
                               "misclassification"});
 
   for (double alpha : alphas) {
-    sim::ExperimentPreset preset = sim::fmnist_clustered_preset({args.seed, false});
-    // Paper §5.3.1: the Figure 5 experiments use a subset of 100 clients.
-    data::SyntheticDigitsConfig data_config;
-    data_config.seed = args.seed;
-    data_config.num_clients = 99;  // divisible into the 3 clusters
-    preset.dataset = data::make_fmnist_clustered(data_config);
-    preset.sim.client.alpha = alpha;
-    const auto true_clusters = [&] {
-      std::vector<int> tc;
-      for (const auto& c : preset.dataset.clients) tc.push_back(c.true_cluster);
-      return tc;
-    }();
-    sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
+    scenario::ScenarioSpec spec = scenario::get_scenario("fmnist-clustered");
+    spec.seed = args.seed;
+    spec.rounds = rounds;
+    // Paper §5.3.1: the Figure 5 experiments use a subset of 100 clients
+    // (99 divides into the 3 clusters).
+    spec.num_clients = 99;
+    spec.client.alpha = alpha;
+    spec.community_metrics_every = 5;
 
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
     std::cout << "\n--- alpha = " << alpha << "\nround  modularity  partitions  misclass\n";
-    for (std::size_t round = 1; round <= rounds; ++round) {
-      simulator.run_round();
-      if (round % 5 != 0) continue;
-      const auto louvain = simulator.louvain_communities();
-      const double misclass =
-          metrics::misclassification_fraction(louvain.partition, true_clusters);
-      csv.row({bench::fmt(alpha, 1), std::to_string(round), bench::fmt(louvain.modularity),
-               std::to_string(louvain.num_communities), bench::fmt(misclass)});
-      if (round % 20 == 0) {
-        std::cout << round << "     " << bench::fmt(louvain.modularity) << "       "
-                  << louvain.num_communities << "           " << bench::fmt(misclass) << "\n";
+    for (const scenario::ScenarioPoint& point : result.series) {
+      if (!point.has_community_metrics) continue;
+      csv.row({bench::fmt(alpha, 1), std::to_string(point.round),
+               bench::fmt(point.modularity), std::to_string(point.communities),
+               bench::fmt(point.misclassification)});
+      if (point.round % 20 == 0) {
+        std::cout << point.round << "     " << bench::fmt(point.modularity) << "       "
+                  << point.communities << "           "
+                  << bench::fmt(point.misclassification) << "\n";
       }
     }
   }

@@ -2,8 +2,13 @@
 // alpha=1 case: accuracy per round for alpha in {0.1, 1, 10, 100} with the
 // dynamic normalization, plus the paper's §5.3.1 pureness comparison
 // (standard 0.40 -> dynamic 0.51 at alpha=1).
+//
+// Runs through the scenario engine: the registry's "fmnist-clustered"
+// scenario with only (alpha, normalization) varied per run; accuracy comes
+// from the runner's series and pureness from its summary.
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
 
@@ -12,21 +17,22 @@ namespace {
 // Runs one configuration and returns (accuracy@20, final pureness).
 std::pair<double, double> run(double alpha, tipsel::Normalization norm, std::size_t rounds,
                               std::uint64_t seed, CsvWriter* csv) {
-  sim::ExperimentPreset preset = sim::fmnist_clustered_preset({seed, false});
-  preset.sim.client.alpha = alpha;
-  preset.sim.client.normalization = norm;
-  sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
+  scenario::ScenarioSpec spec = scenario::get_scenario("fmnist-clustered");
+  spec.seed = seed;
+  spec.rounds = rounds;
+  spec.client.alpha = alpha;
+  spec.client.normalization = norm;
+  const scenario::ScenarioResult result = scenario::run_scenario(spec);
   double at20 = 0.0;
-  for (std::size_t round = 1; round <= rounds; ++round) {
-    const auto& record = simulator.run_round();
-    if (round == 20) at20 = record.mean_trained_accuracy();
+  for (const scenario::ScenarioPoint& point : result.series) {
+    if (point.round == 20) at20 = point.mean_accuracy;
     if (csv != nullptr) {
       csv->row({bench::fmt(alpha, 1),
                 norm == tipsel::Normalization::kDynamic ? "dynamic" : "standard",
-                std::to_string(round), bench::fmt(record.mean_trained_accuracy())});
+                std::to_string(point.round), bench::fmt(point.mean_accuracy)});
     }
   }
-  return {at20, simulator.approval_pureness().pureness};
+  return {at20, result.pureness};
 }
 
 }  // namespace

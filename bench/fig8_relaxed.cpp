@@ -4,8 +4,12 @@
 // Paper shape: the relaxation helps the model generalize faster, improving
 // the low-alpha curves; high-alpha still improves accuracy earlier, but the
 // gap between alphas narrows compared to the fully clustered dataset.
+//
+// Runs through the scenario engine: the registry's "fmnist-clustered" and
+// "fmnist-relaxed" scenarios with only alpha varied per run.
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
 
@@ -26,21 +30,21 @@ int main(int argc, char** argv) {
     std::cout << "\n=== dataset: " << name << "\n";
     double acc20_low = 0.0, acc20_high = 0.0;
     for (double alpha : alphas) {
-      sim::ExperimentPreset preset = relaxed
-                                         ? sim::fmnist_relaxed_preset({args.seed, false})
-                                         : sim::fmnist_clustered_preset({args.seed, false});
-      preset.sim.client.alpha = alpha;
-      sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
-      double at20 = 0.0, at100 = 0.0;
-      for (std::size_t round = 1; round <= rounds; ++round) {
-        const auto& record = simulator.run_round();
-        csv.row({name, bench::fmt(alpha, 1), std::to_string(round),
-                 bench::fmt(record.mean_trained_accuracy())});
-        if (round == 20) at20 = record.mean_trained_accuracy();
-        at100 = record.mean_trained_accuracy();
+      scenario::ScenarioSpec spec =
+          scenario::get_scenario(relaxed ? "fmnist-relaxed" : "fmnist-clustered");
+      spec.seed = args.seed;
+      spec.rounds = rounds;
+      spec.client.alpha = alpha;
+      const scenario::ScenarioResult result = scenario::run_scenario(spec);
+      double at20 = 0.0, at_final = 0.0;
+      for (const scenario::ScenarioPoint& point : result.series) {
+        csv.row({name, bench::fmt(alpha, 1), std::to_string(point.round),
+                 bench::fmt(point.mean_accuracy)});
+        if (point.round == 20) at20 = point.mean_accuracy;
+        at_final = point.mean_accuracy;
       }
       std::cout << "alpha=" << alpha << "  acc@20=" << bench::fmt(at20)
-                << "  acc@final=" << bench::fmt(at100) << "\n";
+                << "  acc@final=" << bench::fmt(at_final) << "\n";
       if (alpha == alphas.front()) acc20_low = at20;
       if (alpha == alphas.back()) acc20_high = at20;
     }

@@ -3,20 +3,28 @@
 //   specdag list                     show the built-in scenario registry
 //   specdag show <name>              print a built-in spec as JSON
 //   specdag run <name|spec.json>     run one scenario
+//   specdag export <name|spec.json>  run a scenario and export its DAG
 //   specdag sweep <grid.json>        run a parameter grid in parallel
 //
 // `run` options:
 //   --rounds N     override the spec's round count / async horizon
 //   --seed N       override the spec's seed
+//   --clients N    override the spec's client count (resizable presets)
+//   --delta on|off override the payload store's delta encoding
 //   --series       include the per-round series in the JSON output
 //   --csv PATH     also write the series as CSV
 //   --quiet        suppress the progress lines
+// `export` options: --rounds/--seed/--clients/--delta/--quiet as above, plus
+//   --dot PATH     write the final DAG as Graphviz DOT
+//   --jsonl PATH   write the final DAG as a JSONL transaction log
+//   (without --dot/--jsonl both default to exports/<name>.{dot,jsonl})
 // `sweep` options:
 //   --out PATH     override the grid's JSONL output path
 //   --threads N    override the grid's worker count
 //   --dry-run      print the expanded grid without running it
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -36,7 +44,12 @@ int usage(std::ostream& out, int code) {
          "  list                    show the built-in scenario registry\n"
          "  show <name>             print a built-in spec as JSON\n"
          "  run <name|spec.json>    run one scenario (--rounds N --seed N\n"
-         "                          --series --csv PATH --quiet)\n"
+         "                          --clients N --delta on|off --series\n"
+         "                          --csv PATH --quiet)\n"
+         "  export <name|spec.json> run a scenario and export its DAG\n"
+         "                          (--dot PATH --jsonl PATH --rounds N\n"
+         "                          --seed N --clients N --delta on|off\n"
+         "                          --quiet)\n"
          "  sweep <grid.json>       run a parameter grid (--out PATH\n"
          "                          --threads N --dry-run)\n";
   return code;
@@ -74,6 +87,46 @@ scenario::ScenarioSpec resolve_spec(const std::string& name_or_path) {
   return scenario::spec_from_json(scenario::Json::parse_file(name_or_path));
 }
 
+// Spec overrides shared by `run` and `export`: --rounds, --seed, --clients,
+// --delta. Returns true when `flag` was consumed; `next` yields the flag's
+// value (exiting with usage error when missing).
+bool apply_spec_override(const std::string& flag,
+                         const std::function<const std::string&()>& next,
+                         scenario::ScenarioSpec& spec) {
+  if (flag == "--rounds") {
+    spec.rounds = std::strtoull(next().c_str(), nullptr, 10);
+  } else if (flag == "--seed") {
+    spec.seed = std::strtoull(next().c_str(), nullptr, 10);
+  } else if (flag == "--clients") {
+    spec.num_clients = std::strtoull(next().c_str(), nullptr, 10);
+  } else if (flag == "--delta") {
+    const std::string& value = next();
+    if (value == "on" || value == "true" || value == "1") {
+      spec.store.delta = true;
+    } else if (value == "off" || value == "false" || value == "0") {
+      spec.store.delta = false;
+    } else {
+      std::cerr << "--delta expects on|off\n";
+      std::exit(2);
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Builds the standard missing-value guard for one option-parsing loop.
+std::function<const std::string&()> value_getter(const std::vector<std::string>& args,
+                                                 std::size_t& i, const char* command) {
+  return [&args, &i, command]() -> const std::string& {
+    if (i + 1 >= args.size()) {
+      std::cerr << command << ": missing value for " << args[i] << "\n";
+      std::exit(2);
+    }
+    return args[++i];
+  };
+}
+
 int cmd_run(const std::vector<std::string>& args) {
   if (args.empty()) {
     std::cerr << "run: missing scenario name or spec file\n";
@@ -85,17 +138,8 @@ int cmd_run(const std::vector<std::string>& args) {
   std::string csv_path;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& flag = args[i];
-    auto next = [&]() -> const std::string& {
-      if (i + 1 >= args.size()) {
-        std::cerr << "run: missing value for " << flag << "\n";
-        std::exit(2);
-      }
-      return args[++i];
-    };
-    if (flag == "--rounds") {
-      spec.rounds = std::strtoull(next().c_str(), nullptr, 10);
-    } else if (flag == "--seed") {
-      spec.seed = std::strtoull(next().c_str(), nullptr, 10);
+    auto next = value_getter(args, i, "run");
+    if (apply_spec_override(flag, next, spec)) {
     } else if (flag == "--series") {
       include_series = true;
     } else if (flag == "--csv") {
@@ -121,6 +165,55 @@ int cmd_run(const std::vector<std::string>& args) {
     if (!quiet) std::cerr << "series written to " << csv_path << "\n";
   }
   std::cout << scenario::result_to_json(result, include_series).dump(2) << "\n";
+  return 0;
+}
+
+int cmd_export(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "export: missing scenario name or spec file\n";
+    return 2;
+  }
+  scenario::ScenarioSpec spec = resolve_spec(args[0]);
+  scenario::RunOptions options;
+  bool quiet = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto next = value_getter(args, i, "export");
+    if (apply_spec_override(flag, next, spec)) {
+    } else if (flag == "--dot") {
+      options.export_dot = next();
+    } else if (flag == "--jsonl") {
+      options.export_jsonl = next();
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "export: unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+  spec.validate();
+  if (options.export_dot.empty() && options.export_jsonl.empty()) {
+    options.export_dot = "exports/" + spec.name + ".dot";
+    options.export_jsonl = "exports/" + spec.name + ".jsonl";
+  }
+  for (const std::string& path : {options.export_dot, options.export_jsonl}) {
+    if (path.empty()) continue;
+    const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+  }
+
+  if (!quiet) {
+    std::cerr << "running \"" << spec.name << "\" (" << scenario::to_string(spec.simulator)
+              << ", " << spec.rounds << " rounds, seed " << spec.seed << ") for export...\n";
+  }
+  const scenario::ScenarioResult result = scenario::run_scenario(spec, options);
+  if (!quiet) {
+    if (!options.export_dot.empty()) std::cerr << "DAG written to " << options.export_dot << "\n";
+    if (!options.export_jsonl.empty()) {
+      std::cerr << "transaction log written to " << options.export_jsonl << "\n";
+    }
+  }
+  std::cout << scenario::result_to_json(result, false).dump(2) << "\n";
   return 0;
 }
 
@@ -182,6 +275,7 @@ int main(int argc, char** argv) {
       return cmd_show(args[0]);
     }
     if (command == "run") return cmd_run(args);
+    if (command == "export") return cmd_export(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "--help" || command == "-h" || command == "help") {
       return usage(std::cout, 0);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "store/eval_cache_view.hpp"
+
 namespace specdag::core {
 namespace {
 
@@ -15,11 +17,12 @@ nn::WeightVector make_genesis_weights(const nn::ModelFactory& factory, std::uint
 }  // namespace
 
 SpecializingDag::SpecializingDag(nn::ModelFactory factory, fl::DagClientConfig default_config,
-                                 std::uint64_t seed)
+                                 std::uint64_t seed, store::StoreConfig store_config)
     : factory_(std::move(factory)),
       default_config_(default_config),
       root_rng_(seed),
-      dag_(make_genesis_weights(factory_, seed)) {}
+      dag_(make_genesis_weights(factory_, seed), store_config),
+      eval_cache_(std::make_shared<store::ShardedEvalCache>(store_config.eval_cache_shards)) {}
 
 int SpecializingDag::register_client(const data::ClientData* client_data) {
   return register_client(client_data, default_config_);
@@ -29,8 +32,10 @@ int SpecializingDag::register_client(const data::ClientData* client_data,
                                      const fl::DagClientConfig& config) {
   const int handle = static_cast<int>(clients_.size());
   Rng client_rng = root_rng_.fork(0xC0DE0000ULL + static_cast<std::uint64_t>(handle));
-  clients_.push_back(
-      std::make_unique<fl::DagClient>(client_data, factory_, config, client_rng));
+  auto cache_view = std::make_shared<store::ClientEvalCacheView>(
+      eval_cache_, client_data != nullptr ? client_data->client_id : handle);
+  clients_.push_back(std::make_unique<fl::DagClient>(client_data, factory_, config, client_rng,
+                                                     std::move(cache_view)));
   return handle;
 }
 

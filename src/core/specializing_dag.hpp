@@ -17,15 +17,18 @@
 
 #include "dag/dag.hpp"
 #include "fl/dag_client.hpp"
+#include "store/eval_cache.hpp"
 
 namespace specdag::core {
 
 class SpecializingDag {
  public:
   // The genesis transaction holds freshly initialized weights drawn from
-  // `factory` with a deterministic RNG derived from `seed`.
+  // `factory` with a deterministic RNG derived from `seed`. `store_config`
+  // configures the payload store (delta encoding, LRU) and the shard count
+  // of the network-wide evaluation cache.
   SpecializingDag(nn::ModelFactory factory, fl::DagClientConfig default_config,
-                  std::uint64_t seed);
+                  std::uint64_t seed, store::StoreConfig store_config = {});
 
   // Registers a participant. The pointed-to data must outlive this object.
   // Returns the client handle. Pass a config to override the default (e.g.
@@ -59,11 +62,15 @@ class SpecializingDag {
   dag::Dag& dag() { return dag_; }
   fl::DagClient& client(int handle);
 
+  // The sharded evaluation cache shared by every registered client.
+  const std::shared_ptr<store::ShardedEvalCache>& eval_cache() const { return eval_cache_; }
+
  private:
   nn::ModelFactory factory_;
   fl::DagClientConfig default_config_;
   Rng root_rng_;
   dag::Dag dag_;
+  std::shared_ptr<store::ShardedEvalCache> eval_cache_;
   std::vector<std::unique_ptr<fl::DagClient>> clients_;
 };
 

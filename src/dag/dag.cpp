@@ -7,10 +7,12 @@
 
 namespace specdag::dag {
 
-Dag::Dag(nn::WeightVector initial_weights) {
+Dag::Dag(nn::WeightVector initial_weights, store::StoreConfig store_config)
+    : store_(store_config) {
   Transaction genesis;
   genesis.id = kGenesisTx;
-  genesis.weights = std::make_shared<const nn::WeightVector>(std::move(initial_weights));
+  genesis.payload =
+      store_.put(std::make_shared<const nn::WeightVector>(std::move(initial_weights)), {});
   genesis.publisher = -1;
   genesis.round = 0;
   transactions_.push_back(std::move(genesis));
@@ -40,11 +42,16 @@ TxId Dag::add_transaction(std::vector<TxId> parents, WeightsPtr weights, int pub
       throw std::invalid_argument("Dag::add_transaction: unknown parent " + std::to_string(p));
     }
   }
+  // Intern the payload, delta-encoded against the average of the parents'
+  // payloads — the exact base the publisher trained from.
+  std::vector<store::PayloadId> bases;
+  bases.reserve(parents.size());
+  for (TxId p : parents) bases.push_back(transactions_[p].payload);
   const TxId id = transactions_.size();
   Transaction tx;
   tx.id = id;
   tx.parents = parents;
-  tx.weights = std::move(weights);
+  tx.payload = store_.put(std::move(weights), bases);
   tx.publisher = publisher;
   tx.round = round;
   tx.poisoned_publisher = poisoned_publisher;
@@ -68,8 +75,22 @@ Transaction Dag::transaction(TxId id) const {
 }
 
 WeightsPtr Dag::weights(TxId id) const {
-  std::shared_lock lock(mutex_);
-  return tx_locked(id).weights;
+  store::PayloadId payload;
+  {
+    std::shared_lock lock(mutex_);
+    payload = tx_locked(id).payload;
+  }
+  // Materialize outside the DAG lock — the store synchronizes itself.
+  return store_.get(payload);
+}
+
+store::ContentHash Dag::payload_hash(TxId id) const {
+  store::PayloadId payload;
+  {
+    std::shared_lock lock(mutex_);
+    payload = tx_locked(id).payload;
+  }
+  return store_.hash_of(payload);
 }
 
 std::vector<TxId> Dag::parents(TxId id) const {
@@ -144,6 +165,43 @@ std::vector<std::size_t> Dag::cumulative_weights_all() const {
     }
     for (std::size_t id = 0; id < n; ++id) {
       // Descendants only: drop the transaction's own bit before counting.
+      std::uint64_t mask = reach[id];
+      if (id >= chunk && id < chunk_end) mask &= ~(std::uint64_t{1} << (id - chunk));
+      weights[id] += static_cast<std::size_t>(std::popcount(mask));
+    }
+  }
+  return weights;
+}
+
+std::vector<std::size_t> Dag::cumulative_weights_all(const std::vector<char>& visible) const {
+  std::shared_lock lock(mutex_);
+  const std::size_t n = transactions_.size();
+  const auto is_visible = [&](std::size_t id) { return id < visible.size() && visible[id]; };
+  // Same bit-parallel sweep as the unmasked variant, but reach masks only
+  // flow through visible transactions: a descendant counts towards an
+  // ancestor only when a chain of visible transactions connects them —
+  // exactly the masked walker's BFS view.
+  std::vector<std::size_t> weights(n, 0);
+  std::vector<std::uint64_t> reach(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    if (is_visible(id)) weights[id] = 1;
+  }
+  for (std::size_t chunk = 0; chunk < n; chunk += 64) {
+    std::fill(reach.begin(), reach.end(), 0);
+    const std::size_t chunk_end = std::min(chunk + 64, n);
+    for (std::size_t id = n; id-- > 0;) {
+      if (!is_visible(id)) {
+        reach[id] = 0;  // paths through an invisible transaction are broken
+        continue;
+      }
+      std::uint64_t mask = reach[id];
+      if (id >= chunk && id < chunk_end) mask |= std::uint64_t{1} << (id - chunk);
+      if (mask == 0) continue;
+      reach[id] = mask;
+      for (TxId p : transactions_[id].parents) reach[p] |= mask;
+    }
+    for (std::size_t id = 0; id < n; ++id) {
+      if (!is_visible(id)) continue;
       std::uint64_t mask = reach[id];
       if (id >= chunk && id < chunk_end) mask &= ~(std::uint64_t{1} << (id - chunk));
       weights[id] += static_cast<std::size_t>(std::popcount(mask));

@@ -25,7 +25,8 @@ namespace specdag::dag {
 class Dag {
  public:
   // Creates the DAG with a genesis transaction carrying `initial_weights`.
-  explicit Dag(nn::WeightVector initial_weights);
+  // `store_config` controls the payload store (delta encoding, LRU size).
+  explicit Dag(nn::WeightVector initial_weights, store::StoreConfig store_config = {});
 
   Dag(const Dag&) = delete;
   Dag& operator=(const Dag&) = delete;
@@ -40,8 +41,16 @@ class Dag {
   // Copy of the transaction record. Throws on unknown id.
   Transaction transaction(TxId id) const;
 
-  // Payload access without copying the record.
+  // Payload access without copying the record; materializes delta-encoded
+  // payloads through the store's LRU. The returned vector is bit-identical
+  // to the one passed to add_transaction.
   WeightsPtr weights(TxId id) const;
+
+  // Content hash of the transaction's payload (the evaluation-cache key).
+  store::ContentHash payload_hash(TxId id) const;
+
+  // The payload store backing this DAG (memory statistics, configuration).
+  const store::ModelStore& store() const { return store_; }
 
   std::vector<TxId> parents(TxId id) const;
   std::vector<TxId> children(TxId id) const;
@@ -68,6 +77,13 @@ class Dag {
   // Use this on metrics paths that need many weights at once.
   std::vector<std::size_t> cumulative_weights_all() const;
 
+  // Masked variant for the per-walk batching of the tip selectors: only
+  // transactions with `visible[id] != 0` count, and reachability must pass
+  // exclusively through visible transactions (matching a masked walker's
+  // BFS view). Ids at or beyond visible.size() are treated as invisible;
+  // invisible ids get weight 0.
+  std::vector<std::size_t> cumulative_weights_all(const std::vector<char>& visible) const;
+
   // All ids in the past cone of `id` (ancestors via approvals), excluding
   // `id` itself. Used to count approved poisoned transactions (Figure 13).
   std::vector<TxId> past_cone(TxId id) const;
@@ -87,6 +103,7 @@ class Dag {
  private:
   const Transaction& tx_locked(TxId id) const;
 
+  store::ModelStore store_;  // owns every payload (internally synchronized)
   mutable std::shared_mutex mutex_;
   std::vector<Transaction> transactions_;  // id == index
   std::unordered_map<TxId, std::vector<TxId>> children_;

@@ -1,9 +1,11 @@
 // Transactions of the model DAG.
 //
 // Each node of the DAG ("transaction" in ledger terms, paper §1) carries a
-// full set of model weights plus the approvals (edges) to the transactions
-// whose averaged weights it was trained from. Payloads are shared immutable
-// vectors: averaging and walking never copy weights.
+// model payload plus the approvals (edges) to the transactions whose
+// averaged weights it was trained from. Payloads live in the DAG's
+// store::ModelStore — transactions hold content-addressed handles, and
+// readers receive shared immutable vectors: averaging and walking never
+// copy weights.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "nn/model.hpp"
+#include "store/model_store.hpp"
 
 namespace specdag::dag {
 
@@ -24,7 +27,7 @@ using WeightsPtr = std::shared_ptr<const nn::WeightVector>;
 struct Transaction {
   TxId id = kInvalidTx;
   std::vector<TxId> parents;  // approved transactions (empty only for genesis)
-  WeightsPtr weights;
+  store::PayloadId payload = store::kInvalidPayload;  // handle into the model store
   int publisher = -1;         // client id; -1 for genesis
   std::size_t round = 0;      // simulation round of publication
   // Evaluation-only bookkeeping: whether the publisher trained on poisoned

@@ -7,15 +7,18 @@
 namespace specdag::fl {
 
 DagClient::DagClient(const data::ClientData* client, nn::ModelFactory factory,
-                     DagClientConfig config, Rng rng)
+                     DagClientConfig config, Rng rng,
+                     std::shared_ptr<tipsel::AccuracyCache> shared_cache)
     : client_(client),
       factory_(std::move(factory)),
       config_(config),
       rng_(rng),
       model_(factory_()),
       eval_model_(factory_()),
-      cache_(config.persistent_accuracy_cache ? std::make_shared<tipsel::AccuracyCache>()
-                                              : nullptr) {
+      cache_(config.persistent_accuracy_cache
+                 ? (shared_cache ? std::move(shared_cache)
+                                 : std::make_shared<tipsel::TxAccuracyCache>())
+                 : nullptr) {
   if (client_ == nullptr) throw std::invalid_argument("DagClient: null client data");
   if (config_.num_parents == 0) throw std::invalid_argument("DagClient: zero parents");
   if (client_->num_test() == 0) {

@@ -74,9 +74,13 @@ struct DagRoundResult {
 class DagClient {
  public:
   // `client` must outlive the DagClient. The client trains a private model
-  // replica created by `factory`.
+  // replica created by `factory`. `shared_cache` (optional) is a view into
+  // the simulation-wide sharded evaluation cache
+  // (store::ClientEvalCacheView); without one the client falls back to a
+  // private per-transaction map. Either way the cache is only consulted
+  // when `config.persistent_accuracy_cache` is set.
   DagClient(const data::ClientData* client, nn::ModelFactory factory, DagClientConfig config,
-            Rng rng);
+            Rng rng, std::shared_ptr<tipsel::AccuracyCache> shared_cache = nullptr);
 
   // Executes steps 1-4. Mutates only the client's own state; `publish` on
   // the DAG happens through the returned result when the caller commits it

@@ -88,6 +88,37 @@ std::vector<ScenarioSpec> make_builtins() {
     scenarios.push_back(spec);
   }
   {
+    // New workload: the §5.3.5 / Figure 15 scalability regime at paper
+    // scale — 2000 concurrently training clients on the event-driven
+    // simulator. Depth-sampled walk starts bound the walk cost (Popov's
+    // 15-25 window) and the payload store keeps memory sub-linear: deltas
+    // against the averaged parents plus a small materialization LRU.
+    // Run with store.delta=false to measure the full-vector baseline.
+    ScenarioSpec spec;
+    spec.name = "scale-2k";
+    spec.description = "2000 async clients, delta-encoded payload store (SS5.3.5 scale)";
+    spec.dataset = DatasetPreset::kFmnistByAuthor;
+    spec.simulator = SimKind::kAsync;
+    spec.rounds = 3;  // virtual-time horizon: ~3 training steps per client
+    spec.broadcast_latency = 0.3;
+    spec.num_clients = 2000;
+    spec.samples_per_client = 30;
+    spec.client.selector = fl::SelectorKind::kWeighted;
+    spec.client.alpha = 1.0;
+    spec.client.walk_start = tipsel::WalkStart::kDepthSampled;
+    // One light SGD step per publication: the workload stresses transaction
+    // throughput and memory, not learning progress, and small local updates
+    // are the regime where delta encoding pays (converged deployments).
+    spec.client.train = {1, 1, 10, 0.0005};
+    spec.store.delta = true;
+    // Longer delta chains before an anchor: at this scale raw anchors are
+    // the dominant resident cost, and the 93%+ LRU hit rate keeps the
+    // deeper reconstruction cheap.
+    spec.store.anchor_interval = 16;
+    spec.store.lru_bytes = std::size_t{16} << 20;
+    scenarios.push_back(spec);
+  }
+  {
     // New workload: a network partition aligned with the data clusters from
     // round 5 to round 25. During the partition each cluster trains on its
     // own sub-DAG; after healing the walks must reconcile the lineages.

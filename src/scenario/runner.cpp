@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "dag/export.hpp"
 #include "metrics/client_graph.hpp"
 #include "metrics/community.hpp"
 #include "metrics/dag_metrics.hpp"
@@ -152,10 +153,27 @@ std::vector<std::size_t> cluster_sizes(const data::FederatedDataset& dataset) {
   return result;
 }
 
+// Louvain community metrics for one series point (Figure 5 curves).
+void fill_community_metrics(const ScenarioSpec& spec, const data::FederatedDataset& dataset,
+                            const dag::Dag& dag, std::size_t unit, ScenarioPoint& point) {
+  const std::size_t every = spec.community_metrics_every;
+  if (every == 0 || point.round % every != 0) return;
+  const metrics::ClientGraph graph = metrics::build_client_graph(dag, dataset.clients.size());
+  Rng rng = Rng(spec.seed).fork(0x10CA0000ULL + unit);
+  const metrics::LouvainResult louvain = metrics::louvain(graph, rng);
+  std::vector<int> true_clusters;
+  for (const auto& client : dataset.clients) true_clusters.push_back(client.true_cluster);
+  point.has_community_metrics = true;
+  point.modularity = louvain.modularity;
+  point.communities = louvain.num_communities;
+  point.misclassification =
+      metrics::misclassification_fraction(louvain.partition, true_clusters);
+}
+
 // Shared final-metrics computation over the (finished) DAG network.
 void finalize_result(const ScenarioSpec& spec, const data::FederatedDataset& dataset,
                      const nn::ModelFactory& factory, core::SpecializingDag& net,
-                     ScenarioResult& result) {
+                     const RunOptions& options, ScenarioResult& result) {
   std::vector<int> true_clusters;
   for (const auto& client : dataset.clients) true_clusters.push_back(client.true_cluster);
 
@@ -185,9 +203,22 @@ void finalize_result(const ScenarioSpec& spec, const data::FederatedDataset& dat
     }
     result.consensus_accuracy = sum / static_cast<double>(dataset.clients.size());
   }
+
+  result.store_stats = net.dag().store().stats();
+  result.eval_cache_stats = net.eval_cache()->stats();
+
+  if (!options.export_dot.empty()) {
+    dag::DotOptions dot;
+    dot.client_clusters = true_clusters;
+    dag::save_dot(options.export_dot, net.dag(), dot);
+  }
+  if (!options.export_jsonl.empty()) {
+    dag::save_jsonl(options.export_jsonl, net.dag());
+  }
 }
 
-ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPreset preset) {
+ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPreset preset,
+                                  const RunOptions& options) {
   ScenarioResult result;
   const std::size_t num_clients = preset.dataset.clients.size();
 
@@ -198,6 +229,10 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   config.parallel_prepare = spec.parallel_prepare;
   config.visibility_delay_rounds = spec.visibility_delay_rounds;
   config.seed = spec.seed;
+  config.store = spec.store;
+  // The runner only consumes run_round()'s return value; keeping every
+  // round's trained payloads alive would defeat the payload store.
+  config.keep_history = false;
 
   sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, config);
 
@@ -215,14 +250,17 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
     point.dag_size = simulator.dag().size();
     point.active_clients = simulator.active_client_count();
     point.partitioned = simulator.partitioned();
+    fill_community_metrics(spec, simulator.dataset(), simulator.dag(), round + 1, point);
     result.series.push_back(point);
   }
 
-  finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), result);
+  finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), options,
+                  result);
   return result;
 }
 
-ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPreset preset) {
+ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPreset preset,
+                                  const RunOptions& options) {
   ScenarioResult result;
   const std::size_t num_clients = preset.dataset.clients.size();
 
@@ -230,6 +268,7 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   config.client = spec.client;
   config.broadcast_latency = spec.broadcast_latency;
   config.seed = spec.seed;
+  config.store = spec.store;
 
   sim::AsyncDagSimulator simulator(std::move(preset.dataset), preset.factory, config,
                                    straggler_profiles(spec, num_clients));
@@ -260,23 +299,27 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
     previous_dag_size = point.dag_size;
     point.active_clients = simulator.active_client_count();
     point.partitioned = simulator.partitioned();
+    fill_community_metrics(spec, simulator.dataset(), simulator.dag(), unit + 1, point);
     result.series.push_back(point);
   }
 
-  finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), result);
+  finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), options,
+                  result);
   return result;
 }
 
 }  // namespace
 
-ScenarioResult run_scenario(const ScenarioSpec& spec) {
+ScenarioResult run_scenario(const ScenarioSpec& spec) { return run_scenario(spec, RunOptions{}); }
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   spec.validate();
   Timer timer;
   sim::ExperimentPreset preset = build_preset(spec);
 
   ScenarioResult result = spec.simulator == SimKind::kRound
-                              ? run_round_scenario(spec, std::move(preset))
-                              : run_async_scenario(spec, std::move(preset));
+                              ? run_round_scenario(spec, std::move(preset), options)
+                              : run_async_scenario(spec, std::move(preset), options);
   result.scenario = spec.name;
   result.seed = spec.seed;
   result.simulator = to_string(spec.simulator);
@@ -306,6 +349,29 @@ Json result_to_json(const ScenarioResult& result, bool include_series) {
     summary.set("consensus_accuracy", result.consensus_accuracy);
   }
   summary.set("wall_seconds", result.wall_seconds);
+
+  Json store = Json::make_object();
+  store.set("payloads", result.store_stats.payloads);
+  store.set("anchors", result.store_stats.anchors);
+  store.set("deltas", result.store_stats.deltas);
+  store.set("dedup_hits", result.store_stats.dedup_hits);
+  store.set("resident_payload_bytes", result.store_stats.resident_payload_bytes);
+  store.set("full_payload_bytes", result.store_stats.full_payload_bytes);
+  store.set("delta_ratio", result.store_stats.delta_ratio());
+  store.set("lru_bytes", result.store_stats.lru_bytes);
+  store.set("lru_entries", result.store_stats.lru_entries);
+  store.set("lru_hit_rate", result.store_stats.lru_hit_rate());
+  store.set("decoded_payloads", result.store_stats.decoded_payloads);
+  summary.set("store", std::move(store));
+
+  Json eval_cache = Json::make_object();
+  eval_cache.set("hits", result.eval_cache_stats.hits);
+  eval_cache.set("misses", result.eval_cache_stats.misses);
+  eval_cache.set("entries", result.eval_cache_stats.entries);
+  eval_cache.set("hit_rate", result.eval_cache_stats.hit_rate());
+  eval_cache.set("invalidations", result.eval_cache_stats.invalidations);
+  summary.set("eval_cache", std::move(eval_cache));
+
   json.set("summary", std::move(summary));
 
   if (include_series) {
@@ -319,6 +385,11 @@ Json result_to_json(const ScenarioResult& result, bool include_series) {
       row.set("dag_size", point.dag_size);
       row.set("active_clients", point.active_clients);
       if (point.partitioned) row.set("partitioned", true);
+      if (point.has_community_metrics) {
+        row.set("modularity", point.modularity);
+        row.set("communities", point.communities);
+        row.set("misclassification", point.misclassification);
+      }
       series.as_array().push_back(std::move(row));
     }
     json.set("series", std::move(series));

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "scenario/spec.hpp"
+#include "store/eval_cache.hpp"
 
 namespace specdag::scenario {
 
@@ -20,6 +21,11 @@ struct ScenarioPoint {
   std::size_t dag_size = 0;
   std::size_t active_clients = 0;
   bool partitioned = false;
+  // Filled on every spec.community_metrics_every-th point (Figure 5 curves).
+  bool has_community_metrics = false;
+  double modularity = 0.0;
+  std::size_t communities = 0;
+  double misclassification = 0.0;  // Louvain partition vs ground-truth clusters
 };
 
 struct ScenarioResult {
@@ -41,10 +47,22 @@ struct ScenarioResult {
   double consensus_accuracy = -1.0;  // -1 unless spec.evaluate_consensus
   double wall_seconds = 0.0;
 
+  // Model-store and evaluation-cache statistics of the run (delta encoding
+  // effectiveness, materialization LRU, sharded cache hit rates).
+  store::StoreStats store_stats;
+  store::EvalCacheStats eval_cache_stats;
+
   std::vector<ScenarioPoint> series;
 };
 
+// Side outputs of a run (empty string = skip).
+struct RunOptions {
+  std::string export_dot;    // write the final DAG as Graphviz DOT
+  std::string export_jsonl;  // write the final DAG as a JSONL transaction log
+};
+
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options);
 
 // {"scenario": ..., "summary": {...}} plus a "series" array when requested.
 Json result_to_json(const ScenarioResult& result, bool include_series = false);

@@ -154,6 +154,27 @@ DynamicsSpec dynamics_from_json(const Json& json) {
   return dynamics;
 }
 
+store::StoreConfig store_from_json(const Json& json, store::StoreConfig store) {
+  check_known_keys(json, {"delta", "anchor_interval", "lru_mb", "eval_cache_shards"}, "store");
+  store.delta = json.bool_or("delta", store.delta);
+  store.anchor_interval =
+      static_cast<std::size_t>(json.uint_or("anchor_interval", store.anchor_interval));
+  store.lru_bytes =
+      static_cast<std::size_t>(json.uint_or("lru_mb", store.lru_bytes >> 20)) << 20;
+  store.eval_cache_shards =
+      static_cast<std::size_t>(json.uint_or("eval_cache_shards", store.eval_cache_shards));
+  return store;
+}
+
+Json store_to_json(const store::StoreConfig& store) {
+  Json json = Json::make_object();
+  json.set("delta", store.delta);
+  json.set("anchor_interval", store.anchor_interval);
+  json.set("lru_mb", store.lru_bytes >> 20);
+  json.set("eval_cache_shards", store.eval_cache_shards);
+  return json;
+}
+
 Json dynamics_to_json(const DynamicsSpec& dynamics) {
   Json json = Json::make_object();
   if (dynamics.churn.enabled()) {
@@ -252,6 +273,17 @@ void ScenarioSpec::validate() const {
       dynamics.partition.heal_round <= dynamics.partition.start_round) {
     throw std::invalid_argument("scenario: partition.heal_round must be after start_round");
   }
+  if (store.anchor_interval == 0) {
+    throw std::invalid_argument("scenario: store.anchor_interval must be > 0");
+  }
+  if (store.eval_cache_shards == 0) {
+    throw std::invalid_argument("scenario: store.eval_cache_shards must be > 0");
+  }
+  if (store.delta && store.lru_bytes < (std::size_t{1} << 20)) {
+    // Without a real materialization cache every cold delta read re-decodes
+    // its whole base cone — pathological at any scale worth running.
+    throw std::invalid_argument("scenario: store.lru_mb must be >= 1 when delta is on");
+  }
   if (num_clients > 0 || samples_per_client > 0) {
     const bool resizable = dataset == DatasetPreset::kFmnistClustered ||
                            dataset == DatasetPreset::kFmnistRelaxed ||
@@ -275,7 +307,8 @@ ScenarioSpec spec_from_json(const Json& json) {
                    {"name", "description", "dataset", "paper_scale", "simulator", "rounds",
                     "clients_per_round", "visibility_delay_rounds", "broadcast_latency",
                     "num_clients", "samples_per_client", "seed", "parallel_prepare",
-                    "evaluate_consensus", "client", "dynamics"},
+                    "evaluate_consensus", "community_metrics_every", "client", "dynamics",
+                    "store"},
                    "scenario");
   ScenarioSpec spec;
   spec.name = json.string_or("name", spec.name);
@@ -295,11 +328,16 @@ ScenarioSpec spec_from_json(const Json& json) {
   spec.seed = json.uint_or("seed", spec.seed);
   spec.parallel_prepare = json.bool_or("parallel_prepare", spec.parallel_prepare);
   spec.evaluate_consensus = json.bool_or("evaluate_consensus", spec.evaluate_consensus);
+  spec.community_metrics_every = static_cast<std::size_t>(
+      json.uint_or("community_metrics_every", spec.community_metrics_every));
   if (const Json* client = json.find("client")) {
     spec.client = client_from_json(*client, spec.client);
   }
   if (const Json* dynamics = json.find("dynamics")) {
     spec.dynamics = dynamics_from_json(*dynamics);
+  }
+  if (const Json* store = json.find("store")) {
+    spec.store = store_from_json(*store, spec.store);
   }
   spec.validate();
   return spec;
@@ -326,8 +364,12 @@ Json spec_to_json(const ScenarioSpec& spec) {
   json.set("seed", spec.seed);
   if (!spec.parallel_prepare) json.set("parallel_prepare", false);
   if (spec.evaluate_consensus) json.set("evaluate_consensus", true);
+  if (spec.community_metrics_every > 0) {
+    json.set("community_metrics_every", spec.community_metrics_every);
+  }
   json.set("client", client_to_json(spec.client));
   if (spec.dynamics.any()) json.set("dynamics", dynamics_to_json(spec.dynamics));
+  json.set("store", store_to_json(spec.store));
   return json;
 }
 

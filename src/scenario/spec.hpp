@@ -31,12 +31,18 @@
 //       "stragglers": {"fraction": 0.3, "slowdown": 6, "pareto_shape": 1.5},
 //       "partition":  {"num_groups": 3, "by_cluster": true,
 //                      "start_round": 5, "heal_round": 25}
-//     }
+//     },
+//     "store": {            // model payload store (src/store)
+//       "delta": true,      // delta-encode payloads (false = full vectors)
+//       "anchor_interval": 8, "lru_mb": 64, "eval_cache_shards": 16
+//     },
+//     "community_metrics_every": 0   // track Louvain metrics every N rounds
 //   }
 #pragma once
 
 #include "fl/dag_client.hpp"
 #include "scenario/config.hpp"
+#include "store/model_store.hpp"
 
 namespace specdag::scenario {
 
@@ -117,8 +123,15 @@ struct ScenarioSpec {
   // Evaluate every client's personalized consensus model at the end (one
   // biased walk + test-set evaluation per client — the expensive metric).
   bool evaluate_consensus = false;
+  // When > 0, every N-th series point additionally carries Louvain community
+  // metrics over the client graph (modularity, #communities,
+  // misclassification vs ground-truth clusters) — the Figure 5 curves.
+  std::size_t community_metrics_every = 0;
   fl::DagClientConfig client;
   DynamicsSpec dynamics;
+  // Model payload store: delta encoding, materialization LRU, eval-cache
+  // sharding (see src/store/model_store.hpp).
+  store::StoreConfig store;
 
   // Throws std::invalid_argument when the combination is not runnable
   // (e.g. stragglers on the round simulator).

@@ -10,7 +10,7 @@ AsyncDagSimulator::AsyncDagSimulator(data::FederatedDataset dataset, nn::ModelFa
                                      std::vector<AsyncClientProfile> profiles)
     : dataset_(std::move(dataset)),
       config_(config),
-      net_(std::move(factory), config.client, config.seed),
+      net_(std::move(factory), config.client, config.seed, config.store),
       profiles_(std::move(profiles)),
       rng_(Rng(config.seed).fork(0xA57C)) {
   dataset_.validate();

@@ -39,6 +39,8 @@ struct AsyncSimulatorConfig {
   // from publication until it is visible in the DAG). 0 = instantaneous.
   double broadcast_latency = 0.0;
   std::uint64_t seed = 42;
+  // Payload store configuration (delta encoding, LRU, eval-cache shards).
+  store::StoreConfig store;
 };
 
 struct AsyncStepRecord {

@@ -39,7 +39,7 @@ DagSimulator::DagSimulator(data::FederatedDataset dataset, nn::ModelFactory fact
     : dataset_(std::move(dataset)),
       config_(config),
       factory_(factory),
-      net_(std::move(factory), config.client, config.seed),
+      net_(std::move(factory), config.client, config.seed, config.store),
       round_rng_(Rng(config.seed).fork(0x520D)),
       louvain_rng_(Rng(config.seed).fork(0x10CA)) {
   dataset_.validate();
@@ -155,6 +155,7 @@ const RoundRecord& DagSimulator::run_round() {
   }
 
   ++round_;
+  if (!config_.keep_history) history_.clear();
   history_.push_back(std::move(record));
   return history_.back();
 }

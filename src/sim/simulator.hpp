@@ -29,9 +29,18 @@ struct SimulatorConfig {
   // broadcast (the §5.3.5 caveat).
   std::size_t visibility_delay_rounds = 0;
   std::uint64_t seed = 42;
+  // Payload store configuration (delta encoding, LRU, eval-cache shards).
+  store::StoreConfig store;
+  // Keep every RoundRecord (with its full trained payloads) in history().
+  // Disable for long/large runs that only consume run_round()'s return
+  // value — only the latest round is retained then.
+  bool keep_history = true;
 };
 
 struct RoundRecord {
+  // Note: with SimulatorConfig::keep_history disabled, the RoundRecord&
+  // returned by run_round() is only valid until the next run_round() call
+  // (only the latest record is retained).
   std::size_t round = 0;
   std::vector<fl::DagRoundResult> results;  // one per active client
 

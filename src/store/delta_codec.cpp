@@ -1,0 +1,124 @@
+#include "store/delta_codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace specdag::store {
+namespace {
+
+// MSB-first bit writer over a growing byte buffer.
+class BitWriter {
+ public:
+  void put_bit(std::uint32_t bit) {
+    if (shift_ == 0) {
+      bytes_.push_back(0);
+      shift_ = 8;
+    }
+    --shift_;
+    bytes_.back() |= static_cast<std::uint8_t>((bit & 1u) << shift_);
+  }
+
+  // Writes the low `width` bits of `value`, most significant first.
+  void put_bits(std::uint32_t value, std::uint32_t width) {
+    for (std::uint32_t i = width; i-- > 0;) put_bit(value >> i);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint32_t shift_ = 0;  // bits still free in the last byte
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* bytes, std::size_t size) : bytes_(bytes), size_(size) {}
+
+  std::uint32_t get_bit() {
+    if (pos_ >= size_ * 8) {
+      throw std::invalid_argument("decode_delta: truncated stream");
+    }
+    const std::uint32_t bit = (bytes_[pos_ >> 3] >> (7 - (pos_ & 7))) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  std::uint32_t get_bits(std::uint32_t width) {
+    std::uint32_t value = 0;
+    for (std::uint32_t i = 0; i < width; ++i) value = (value << 1) | get_bit();
+    return value;
+  }
+
+ private:
+  const std::uint8_t* bytes_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float bits_float(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_delta(const float* values, const float* base,
+                                       std::size_t count) {
+  BitWriter writer;
+  std::uint32_t window = 0;  // significant-bit width of the previous word; 0 = none yet
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t x = float_bits(values[i]) ^ float_bits(base[i]);
+    if (x == 0) {
+      writer.put_bit(0);
+      continue;
+    }
+    writer.put_bit(1);
+    const auto lz = static_cast<std::uint32_t>(std::countl_zero(x));
+    // Reuse the previous window only when the value fits and wastes at most
+    // 3 leading bits — otherwise one large value would widen the window for
+    // the rest of the stream. The 5+lz-bit header of a fresh narrow window
+    // amortizes quickly.
+    if (window != 0 && lz >= 32 - window && lz - (32 - window) <= 3) {
+      writer.put_bit(0);
+      writer.put_bits(x, window);
+    } else {
+      writer.put_bit(1);
+      writer.put_bits(lz, 5);
+      writer.put_bits(x, 32 - lz);
+      window = 32 - lz;
+    }
+  }
+  return writer.take();
+}
+
+void decode_delta(const std::uint8_t* encoded, std::size_t encoded_size, const float* base,
+                  float* out, std::size_t count) {
+  BitReader reader(encoded, encoded_size);
+  std::uint32_t window = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t x = 0;
+    if (reader.get_bit() != 0) {
+      if (reader.get_bit() == 0) {
+        if (window == 0) throw std::invalid_argument("decode_delta: malformed stream");
+        x = reader.get_bits(window);
+      } else {
+        const std::uint32_t lz = reader.get_bits(5);
+        window = 32 - lz;
+        x = reader.get_bits(window);
+      }
+      if (x == 0) throw std::invalid_argument("decode_delta: malformed stream");
+    }
+    out[i] = bits_float(float_bits(base[i]) ^ x);
+  }
+}
+
+}  // namespace specdag::store

@@ -1,0 +1,22 @@
+#include "store/eval_cache_view.hpp"
+
+#include <stdexcept>
+
+namespace specdag::store {
+
+ClientEvalCacheView::ClientEvalCacheView(std::shared_ptr<ShardedEvalCache> cache, int client)
+    : cache_(std::move(cache)), client_(client) {
+  if (!cache_) throw std::invalid_argument("ClientEvalCacheView: null cache");
+}
+
+std::optional<double> ClientEvalCacheView::lookup(const dag::Dag& dag, dag::TxId id) {
+  return cache_->lookup(client_, dag.payload_hash(id));
+}
+
+void ClientEvalCacheView::store(const dag::Dag& dag, dag::TxId id, double accuracy) {
+  cache_->insert(client_, dag.payload_hash(id), accuracy);
+}
+
+void ClientEvalCacheView::clear() { cache_->invalidate_client(client_); }
+
+}  // namespace specdag::store

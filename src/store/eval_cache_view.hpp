@@ -1,0 +1,28 @@
+// Client-scoped view of the simulation-wide sharded evaluation cache,
+// implementing the tip selectors' AccuracyCache interface. Entries are keyed
+// by payload *content* hash (via the DAG's model store), so re-published or
+// deduplicated payloads share one cached accuracy per client.
+#pragma once
+
+#include <memory>
+
+#include "store/eval_cache.hpp"
+#include "tipsel/tip_selector.hpp"
+
+namespace specdag::store {
+
+class ClientEvalCacheView final : public tipsel::AccuracyCache {
+ public:
+  ClientEvalCacheView(std::shared_ptr<ShardedEvalCache> cache, int client);
+
+  std::optional<double> lookup(const dag::Dag& dag, dag::TxId id) override;
+  void store(const dag::Dag& dag, dag::TxId id, double accuracy) override;
+  // Drops only this client's entries — other clients' data did not change.
+  void clear() override;
+
+ private:
+  std::shared_ptr<ShardedEvalCache> cache_;
+  int client_;
+};
+
+}  // namespace specdag::store

@@ -1,0 +1,209 @@
+#include "store/model_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "store/delta_codec.hpp"
+#include "util/rng.hpp"
+
+namespace specdag::store {
+namespace {
+
+std::uint64_t mix_stream(const nn::WeightVector& weights, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(weights.data());
+  std::size_t remaining = weights.size() * sizeof(float);
+  while (remaining >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes, 8);
+    h = splitmix64(h ^ word);
+    bytes += 8;
+    remaining -= 8;
+  }
+  if (remaining > 0) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, bytes, remaining);
+    h = splitmix64(h ^ word);
+  }
+  // Fold in the length so a zero-padded tail cannot alias a longer vector.
+  return splitmix64(h ^ weights.size());
+}
+
+}  // namespace
+
+ContentHash hash_weights(const nn::WeightVector& weights) {
+  return ContentHash{mix_stream(weights, 0x5EED5EED5EED5EEDULL),
+                     mix_stream(weights, 0xC0FFEE00C0FFEE00ULL)};
+}
+
+ModelStore::ModelStore(StoreConfig config) : config_(config) {
+  if (config_.anchor_interval == 0) {
+    throw std::invalid_argument("ModelStore: anchor_interval must be > 0");
+  }
+}
+
+nn::WeightVector ModelStore::base_vector_locked(const std::vector<PayloadId>& bases) const {
+  std::vector<WeightsPtr> held;
+  std::vector<const nn::WeightVector*> ptrs;
+  held.reserve(bases.size());
+  for (PayloadId base : bases) {
+    held.push_back(materialize_locked(base));
+    ptrs.push_back(held.back().get());
+  }
+  // Matches the base the publishing client trained from (DagClient averages
+  // its deduplicated parent payloads with the same function).
+  return nn::average_weights(ptrs);
+}
+
+PayloadId ModelStore::put(WeightsPtr weights, const std::vector<PayloadId>& bases) {
+  if (!weights) throw std::invalid_argument("ModelStore::put: null payload");
+  const ContentHash hash = hash_weights(*weights);
+
+  std::unique_lock lock(entries_mutex_);
+  if (auto it = by_hash_.find(hash); it != by_hash_.end()) {
+    ++dedup_hits_;
+    return it->second;
+  }
+
+  Entry entry;
+  entry.hash = hash;
+  entry.num_floats = static_cast<std::uint32_t>(weights->size());
+  const std::size_t raw_bytes = weights->size() * sizeof(float);
+
+  std::uint32_t chain_depth = 0;
+  if (config_.delta && !bases.empty()) {
+    for (PayloadId base : bases) {
+      if (base >= entries_.size()) {
+        throw std::invalid_argument("ModelStore::put: unknown base payload");
+      }
+      if (entries_[base].num_floats != entry.num_floats) {
+        throw std::invalid_argument("ModelStore::put: base length mismatch");
+      }
+      chain_depth = std::max(chain_depth, entries_[base].chain_depth + 1);
+    }
+  }
+
+  bool stored_as_delta = false;
+  if (config_.delta && !bases.empty() && chain_depth <= config_.anchor_interval) {
+    const nn::WeightVector base = base_vector_locked(bases);
+    std::vector<std::uint8_t> encoded =
+        encode_delta(weights->data(), base.data(), weights->size());
+    if (encoded.size() < raw_bytes) {
+      entry.chain_depth = chain_depth;
+      entry.bases = bases;
+      entry.encoded = std::move(encoded);
+      stored_as_delta = true;
+    }
+  }
+  if (!stored_as_delta) entry.raw = weights;
+
+  const auto id = static_cast<PayloadId>(entries_.size());
+  full_payload_bytes_ += raw_bytes;
+  if (stored_as_delta) {
+    resident_payload_bytes_ += entry.encoded.size();
+  } else {
+    ++anchor_count_;
+    resident_payload_bytes_ += raw_bytes;
+  }
+  entries_.push_back(std::move(entry));
+  by_hash_.emplace(hash, id);
+  if (stored_as_delta) {
+    // The publisher and its neighbors will read this payload immediately:
+    // seed the LRU so the first walks do not pay a decode.
+    lru_insert(id, std::move(weights));
+  }
+  return id;
+}
+
+WeightsPtr ModelStore::materialize_locked(PayloadId id) const {
+  if (id >= entries_.size()) {
+    throw std::out_of_range("ModelStore: unknown payload " + std::to_string(id));
+  }
+  const Entry& entry = entries_[id];
+  if (entry.raw) return entry.raw;
+
+  {
+    std::lock_guard lru_lock(lru_mutex_);
+    if (auto it = lru_.find(id); it != lru_.end()) {
+      ++lru_hits_;
+      lru_order_.splice(lru_order_.begin(), lru_order_, it->second.position);
+      return it->second.vector;
+    }
+    ++lru_misses_;
+  }
+
+  const nn::WeightVector base = base_vector_locked(entry.bases);
+  auto decoded = std::make_shared<nn::WeightVector>(entry.num_floats);
+  decode_delta(entry.encoded.data(), entry.encoded.size(), base.data(), decoded->data(),
+               entry.num_floats);
+  {
+    std::lock_guard lru_lock(lru_mutex_);
+    ++decoded_payloads_;
+  }
+  WeightsPtr result = std::move(decoded);
+  lru_insert(id, result);
+  return result;
+}
+
+void ModelStore::lru_insert(PayloadId id, WeightsPtr vector) const {
+  std::lock_guard lru_lock(lru_mutex_);
+  if (lru_.count(id) > 0) return;  // a concurrent decode of `id` won the race
+  const std::size_t bytes = vector->size() * sizeof(float);
+  lru_order_.push_front(id);
+  lru_.emplace(id, LruNode{std::move(vector), lru_order_.begin()});
+  lru_bytes_ += bytes;
+  while (lru_bytes_ > config_.lru_bytes && lru_.size() > 1) {
+    const PayloadId victim = lru_order_.back();
+    auto it = lru_.find(victim);
+    lru_bytes_ -= it->second.vector->size() * sizeof(float);
+    lru_.erase(it);
+    lru_order_.pop_back();
+  }
+}
+
+WeightsPtr ModelStore::get(PayloadId id) const {
+  std::shared_lock lock(entries_mutex_);
+  return materialize_locked(id);
+}
+
+ContentHash ModelStore::hash_of(PayloadId id) const {
+  std::shared_lock lock(entries_mutex_);
+  if (id >= entries_.size()) {
+    throw std::out_of_range("ModelStore: unknown payload " + std::to_string(id));
+  }
+  return entries_[id].hash;
+}
+
+std::size_t ModelStore::num_floats(PayloadId id) const {
+  std::shared_lock lock(entries_mutex_);
+  if (id >= entries_.size()) {
+    throw std::out_of_range("ModelStore: unknown payload " + std::to_string(id));
+  }
+  return entries_[id].num_floats;
+}
+
+std::size_t ModelStore::size() const {
+  std::shared_lock lock(entries_mutex_);
+  return entries_.size();
+}
+
+StoreStats ModelStore::stats() const {
+  StoreStats out;
+  std::shared_lock lock(entries_mutex_);
+  out.payloads = entries_.size();
+  out.anchors = anchor_count_;
+  out.deltas = entries_.size() - anchor_count_;
+  out.dedup_hits = dedup_hits_;
+  out.resident_payload_bytes = resident_payload_bytes_;
+  out.full_payload_bytes = full_payload_bytes_;
+  std::lock_guard lru_lock(lru_mutex_);
+  out.lru_bytes = lru_bytes_;
+  out.lru_entries = lru_.size();
+  out.lru_hits = lru_hits_;
+  out.lru_misses = lru_misses_;
+  out.decoded_payloads = decoded_payloads_;
+  return out;
+}
+
+}  // namespace specdag::store

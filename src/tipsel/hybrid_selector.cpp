@@ -12,8 +12,7 @@ HybridTipSelector::HybridTipSelector(double acc_alpha, double cw_alpha,
       cw_alpha_(cw_alpha),
       normalization_(normalization),
       evaluator_(std::move(evaluator)),
-      cache_(std::move(persistent_cache)),
-      persistent_(cache_ != nullptr) {
+      cache_(std::move(persistent_cache)) {
   if (acc_alpha < 0.0 || cw_alpha < 0.0) {
     throw std::invalid_argument("HybridTipSelector: negative alpha");
   }
@@ -21,20 +20,30 @@ HybridTipSelector::HybridTipSelector(double acc_alpha, double cw_alpha,
 }
 
 double HybridTipSelector::evaluate(const dag::Dag& dag, dag::TxId id) {
-  AccuracyCache& cache = persistent_ ? *cache_ : local_cache_;
-  auto it = cache.find(id);
-  if (it != cache.end()) return it->second;
+  if (cache_) {
+    if (const std::optional<double> cached = cache_->lookup(dag, id)) return *cached;
+  } else if (auto it = local_cache_.find(id); it != local_cache_.end()) {
+    return it->second;
+  }
   const double acc = evaluator_(*dag.weights(id));
   if (acc < 0.0 || acc > 1.0 || !std::isfinite(acc)) {
     throw std::runtime_error("HybridTipSelector: evaluator returned accuracy outside [0,1]");
   }
   ++stats_.evaluations;
-  cache.emplace(id, acc);
+  if (cache_) {
+    cache_->store(dag, id, acc);
+  } else {
+    local_cache_.emplace(id, acc);
+  }
   return acc;
 }
 
 dag::TxId HybridTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng) {
-  if (!persistent_) local_cache_.clear();
+  if (!cache_) local_cache_.clear();
+  const std::vector<std::size_t> cw_all = batched_cumulative_weights(dag);
+  const auto weight_of = [&](dag::TxId id) {
+    return id < cw_all.size() ? cw_all[id] : walk_cumulative_weight(dag, id);
+  };
   dag::TxId current = start;
   for (;;) {
     const std::vector<dag::TxId> children = visible_children(dag, current);
@@ -44,7 +53,7 @@ dag::TxId HybridTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng
     double cw_max = 0.0;
     for (std::size_t i = 0; i < children.size(); ++i) {
       accuracies[i] = evaluate(dag, children[i]);
-      cw[i] = static_cast<double>(walk_cumulative_weight(dag, children[i]));
+      cw[i] = static_cast<double>(weight_of(children[i]));
       cw_max = std::max(cw_max, cw[i]);
     }
     std::vector<double> weights =

@@ -36,8 +36,7 @@ class HybridTipSelector final : public TipSelector {
   Normalization normalization_;
   ModelEvaluator evaluator_;
   std::shared_ptr<AccuracyCache> cache_;
-  AccuracyCache local_cache_;
-  bool persistent_;
+  std::unordered_map<dag::TxId, double> local_cache_;  // per-walk, when no cache was given
 };
 
 }  // namespace specdag::tipsel

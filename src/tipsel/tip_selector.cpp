@@ -49,6 +49,21 @@ std::size_t TipSelector::walk_cumulative_weight(const dag::Dag& dag, dag::TxId i
   return visited.size();
 }
 
+std::vector<std::size_t> TipSelector::batched_cumulative_weights(const dag::Dag& dag) const {
+  if (!mask_) return dag.cumulative_weights_all();
+  const std::vector<dag::TxId> ids = dag.all_ids();
+  std::vector<char> visible(ids.size(), 0);
+  for (dag::TxId id : ids) {
+    if (mask_(dag, id)) visible[id] = 1;
+  }
+  std::vector<std::size_t> weights = dag.cumulative_weights_all(visible);
+  // A transaction appended between the two dag calls would land inside
+  // `weights` as invisible (weight 0) even though the mask never saw it.
+  // Clamp to the snapshot so post-snapshot ids hit the per-id fallback.
+  if (weights.size() > visible.size()) weights.resize(visible.size());
+  return weights;
+}
+
 std::vector<dag::TxId> TipSelector::select_tips(const dag::Dag& dag, std::size_t count,
                                                 Rng& rng) {
   if (count == 0) throw std::invalid_argument("TipSelector::select_tips: count == 0");
@@ -87,6 +102,15 @@ WeightedTipSelector::WeightedTipSelector(double alpha) : alpha_(alpha) {
 }
 
 dag::TxId WeightedTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng) {
+  // One bit-parallel sweep per walk instead of a future-cone BFS per step.
+  // The snapshot stays valid for the whole walk: cumulative weights only
+  // change when transactions are appended, and commits are serialized
+  // outside the prepare phase; ids beyond the snapshot (appended
+  // concurrently) fall back to the per-id path.
+  const std::vector<std::size_t> cw_all = batched_cumulative_weights(dag);
+  const auto weight_of = [&](dag::TxId id) {
+    return id < cw_all.size() ? cw_all[id] : walk_cumulative_weight(dag, id);
+  };
   dag::TxId current = start;
   for (;;) {
     const std::vector<dag::TxId> children = visible_children(dag, current);
@@ -94,7 +118,7 @@ dag::TxId WeightedTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& r
     std::vector<double> cw(children.size());
     double cw_max = 0.0;
     for (std::size_t i = 0; i < children.size(); ++i) {
-      cw[i] = static_cast<double>(walk_cumulative_weight(dag, children[i]));
+      cw[i] = static_cast<double>(weight_of(children[i]));
       cw_max = std::max(cw_max, cw[i]);
     }
     std::vector<double> weights(children.size());
@@ -112,23 +136,28 @@ AccuracyTipSelector::AccuracyTipSelector(double alpha, Normalization normalizati
     : alpha_(alpha),
       normalization_(normalization),
       evaluator_(std::move(evaluator)),
-      cache_(std::move(persistent_cache)),
-      persistent_(cache_ != nullptr) {
+      cache_(std::move(persistent_cache)) {
   if (alpha < 0.0) throw std::invalid_argument("AccuracyTipSelector: negative alpha");
   if (!evaluator_) throw std::invalid_argument("AccuracyTipSelector: null evaluator");
 }
 
 double AccuracyTipSelector::evaluate(const dag::Dag& dag, dag::TxId id) {
-  AccuracyCache& cache = persistent_ ? *cache_ : local_cache_;
-  auto it = cache.find(id);
-  if (it != cache.end()) return it->second;
+  if (cache_) {
+    if (const std::optional<double> cached = cache_->lookup(dag, id)) return *cached;
+  } else if (auto it = local_cache_.find(id); it != local_cache_.end()) {
+    return it->second;
+  }
   const dag::WeightsPtr weights = dag.weights(id);
   const double acc = evaluator_(*weights);
   if (acc < 0.0 || acc > 1.0 || !std::isfinite(acc)) {
     throw std::runtime_error("AccuracyTipSelector: evaluator returned accuracy outside [0,1]");
   }
   ++stats_.evaluations;
-  cache.emplace(id, acc);
+  if (cache_) {
+    cache_->store(dag, id, acc);
+  } else {
+    local_cache_.emplace(id, acc);
+  }
   return acc;
 }
 
@@ -153,7 +182,7 @@ std::vector<double> AccuracyTipSelector::walk_weights(const std::vector<double>&
 }
 
 dag::TxId AccuracyTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng) {
-  if (!persistent_) local_cache_.clear();
+  if (!cache_) local_cache_.clear();
   dag::TxId current = start;
   for (;;) {
     const std::vector<dag::TxId> children = visible_children(dag, current);

@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "dag/dag.hpp"
@@ -96,6 +97,13 @@ class TipSelector {
   // candidates by the size of subgraphs it cannot see.
   std::size_t walk_cumulative_weight(const dag::Dag& dag, dag::TxId id) const;
 
+  // Cumulative weight of every transaction at once, respecting the
+  // visibility mask — one bit-parallel sweep per *walk* instead of a BFS
+  // per step (the §5.3.5 walk-cost hot path). Transactions appended after
+  // the snapshot are not covered; callers fall back to
+  // walk_cumulative_weight for ids beyond the returned size.
+  std::vector<std::size_t> batched_cumulative_weights(const dag::Dag& dag) const;
+
   WalkStats stats_;
 
  private:
@@ -135,11 +143,42 @@ enum class Normalization {
 // returns its accuracy in [0, 1].
 using ModelEvaluator = std::function<double(const nn::WeightVector&)>;
 
-// Shared accuracy cache: transaction payloads are immutable, so a model's
-// accuracy on a fixed local dataset never changes. A client may hold a
-// persistent cache across rounds (fast path) or let the selector use a
-// per-call cache (matches the paper's cost model for the Figure 15 timing).
-using AccuracyCache = std::unordered_map<dag::TxId, double>;
+// Accuracy cache interface: transaction payloads are immutable, so a
+// model's accuracy on a fixed local dataset never changes. A client may
+// hold a persistent cache across rounds (fast path) or give the selector
+// none, in which case evaluations are only memoized within a single walk
+// (matches the paper's cost model for the Figure 15 timing).
+//
+// Implementations: TxAccuracyCache below (a private per-client map) and
+// store::ClientEvalCacheView (a client-scoped view of the simulation-wide
+// sharded cache keyed by payload content).
+class AccuracyCache {
+ public:
+  virtual ~AccuracyCache() = default;
+
+  virtual std::optional<double> lookup(const dag::Dag& dag, dag::TxId id) = 0;
+  virtual void store(const dag::Dag& dag, dag::TxId id, double accuracy) = 0;
+  // Invalidates the cached view (the owning client's data changed).
+  virtual void clear() = 0;
+};
+
+// The simple persistent cache: a private map keyed by transaction id.
+class TxAccuracyCache final : public AccuracyCache {
+ public:
+  std::optional<double> lookup(const dag::Dag&, dag::TxId id) override {
+    auto it = map_.find(id);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+  void store(const dag::Dag&, dag::TxId id, double accuracy) override {
+    map_.emplace(id, accuracy);
+  }
+  void clear() override { map_.clear(); }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<dag::TxId, double> map_;
+};
 
 class AccuracyTipSelector final : public TipSelector {
  public:
@@ -166,8 +205,7 @@ class AccuracyTipSelector final : public TipSelector {
   Normalization normalization_;
   ModelEvaluator evaluator_;
   std::shared_ptr<AccuracyCache> cache_;
-  AccuracyCache local_cache_;  // used when no persistent cache was given
-  bool persistent_;
+  std::unordered_map<dag::TxId, double> local_cache_;  // per-walk, when no cache was given
 };
 
 }  // namespace specdag::tipsel

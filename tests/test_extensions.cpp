@@ -138,7 +138,7 @@ TEST(RandomWeightAttacker, PublishesMarkedTransactions) {
     const auto tx = graph.transaction(id);
     EXPECT_TRUE(tx.poisoned_publisher);
     EXPECT_EQ(tx.publisher, 99);
-    EXPECT_EQ(tx.weights->size(), 8u);
+    EXPECT_EQ(graph.weights(id)->size(), 8u);
   }
 }
 

@@ -96,6 +96,11 @@ scenario::ScenarioSpec full_spec() {
   spec.client.train = {2, 7, 5, 0.125};
   spec.dynamics.churn = {0.25, 3, 8};
   spec.dynamics.partition = {2, true, 2, 9};
+  spec.community_metrics_every = 5;
+  spec.store.delta = false;
+  spec.store.anchor_interval = 12;
+  spec.store.lru_bytes = std::size_t{32} << 20;
+  spec.store.eval_cache_shards = 4;
   return spec;
 }
 
@@ -120,6 +125,22 @@ TEST(ScenarioSpec, RejectsUnknownKeys) {
   EXPECT_THROW(scenario::spec_from_json(
                    scenario::Json::parse(R"({"dynamics": {"churns": {}}})")),
                scenario::JsonError);
+  EXPECT_THROW(
+      scenario::spec_from_json(scenario::Json::parse(R"({"store": {"lru_gb": 1}})")),
+      scenario::JsonError);
+}
+
+TEST(ScenarioSpec, ParsesStoreBlock) {
+  const scenario::ScenarioSpec spec = scenario::spec_from_json(scenario::Json::parse(
+      R"({"store": {"delta": false, "anchor_interval": 4, "lru_mb": 8,
+          "eval_cache_shards": 2}})"));
+  EXPECT_FALSE(spec.store.delta);
+  EXPECT_EQ(spec.store.anchor_interval, 4u);
+  EXPECT_EQ(spec.store.lru_bytes, std::size_t{8} << 20);
+  EXPECT_EQ(spec.store.eval_cache_shards, 2u);
+  EXPECT_THROW(
+      scenario::spec_from_json(scenario::Json::parse(R"({"store": {"anchor_interval": 0}})")),
+      std::invalid_argument);
 }
 
 TEST(ScenarioSpec, ValidatesDynamicsCombinations) {
@@ -156,9 +177,14 @@ TEST(ScenarioSpec, RejectsSeedsThatCannotRoundTripThroughJson) {
 TEST(Registry, HasTheRequiredScenarios) {
   const auto& scenarios = scenario::builtin_scenarios();
   EXPECT_GE(scenarios.size(), 6u);
-  for (const char* name : {"fmnist-clustered", "churn", "stragglers", "partition"}) {
+  for (const char* name : {"fmnist-clustered", "churn", "stragglers", "partition", "scale-2k"}) {
     ASSERT_NE(scenario::find_scenario(name), nullptr) << name;
   }
+  // The scalability scenario must be the delta-store regime at >= 2k clients.
+  const scenario::ScenarioSpec* scale = scenario::find_scenario("scale-2k");
+  EXPECT_GE(scale->num_clients, 2000u);
+  EXPECT_EQ(scale->simulator, scenario::SimKind::kAsync);
+  EXPECT_TRUE(scale->store.delta);
   EXPECT_TRUE(scenario::find_scenario("churn")->dynamics.churn.enabled());
   EXPECT_TRUE(scenario::find_scenario("stragglers")->dynamics.stragglers.enabled());
   EXPECT_TRUE(scenario::find_scenario("partition")->dynamics.partition.enabled());
@@ -197,6 +223,79 @@ TEST(Runner, RoundScenarioProducesSeriesAndSummary) {
   const scenario::Json json = scenario::result_to_json(result, true);
   EXPECT_EQ(json.find("summary")->find("dag_size")->as_uint(), result.dag_size);
   EXPECT_EQ(json.find("series")->as_array().size(), 5u);
+}
+
+TEST(Runner, DeltaStorageIsTransparentAndReportsStats) {
+  // The delta-encoded store must not change a single bit of the experiment:
+  // payload reads are bit-exact, so the whole trajectory is identical.
+  scenario::ScenarioSpec spec = tiny_spec("fmnist-clustered");
+  spec.store.delta = true;
+  spec.store.anchor_interval = 4;
+  const scenario::ScenarioResult with_delta = scenario::run_scenario(spec);
+  spec.store.delta = false;
+  const scenario::ScenarioResult baseline = scenario::run_scenario(spec);
+
+  EXPECT_EQ(with_delta.dag_size, baseline.dag_size);
+  EXPECT_EQ(with_delta.final_accuracy, baseline.final_accuracy);
+  EXPECT_EQ(with_delta.pureness, baseline.pureness);
+  for (std::size_t i = 0; i < with_delta.series.size(); ++i) {
+    EXPECT_EQ(with_delta.series[i].mean_accuracy, baseline.series[i].mean_accuracy) << i;
+  }
+
+  EXPECT_EQ(baseline.store_stats.deltas, 0u);
+  EXPECT_DOUBLE_EQ(baseline.store_stats.delta_ratio(), 1.0);
+  EXPECT_GT(with_delta.store_stats.deltas, 0u);
+  EXPECT_LT(with_delta.store_stats.resident_payload_bytes,
+            baseline.store_stats.resident_payload_bytes);
+  EXPECT_EQ(with_delta.store_stats.full_payload_bytes,
+            baseline.store_stats.full_payload_bytes);
+  EXPECT_GT(with_delta.eval_cache_stats.hits + with_delta.eval_cache_stats.misses, 0u);
+
+  // The store block lands in the summary JSON (the sweep's JSONL schema).
+  const scenario::Json json = scenario::result_to_json(with_delta, false);
+  const scenario::Json* store = json.find("summary")->find("store");
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->find("resident_payload_bytes")->as_uint(),
+            with_delta.store_stats.resident_payload_bytes);
+  EXPECT_NE(json.find("summary")->find("eval_cache"), nullptr);
+}
+
+TEST(Runner, CommunityMetricsEveryFillsSeriesPoints) {
+  scenario::ScenarioSpec spec = tiny_spec("fmnist-clustered");
+  spec.rounds = 6;
+  spec.community_metrics_every = 3;
+  const scenario::ScenarioResult result = scenario::run_scenario(spec);
+  ASSERT_EQ(result.series.size(), 6u);
+  for (const scenario::ScenarioPoint& point : result.series) {
+    EXPECT_EQ(point.has_community_metrics, point.round % 3 == 0) << point.round;
+  }
+  const scenario::ScenarioPoint& tracked = result.series[2];  // round 3
+  EXPECT_GE(tracked.communities, 1u);
+  EXPECT_GE(tracked.misclassification, 0.0);
+  EXPECT_LE(tracked.misclassification, 1.0);
+}
+
+TEST(Runner, ExportsDagAfterRun) {
+  scenario::ScenarioSpec spec = tiny_spec("fmnist-clustered");
+  spec.rounds = 3;
+  scenario::RunOptions options;
+  options.export_dot = testing::TempDir() + "/specdag_export_test.dot";
+  options.export_jsonl = testing::TempDir() + "/specdag_export_test.jsonl";
+  const scenario::ScenarioResult result = scenario::run_scenario(spec, options);
+
+  std::ifstream dot(options.export_dot);
+  ASSERT_TRUE(dot.good());
+  std::string first_line;
+  std::getline(dot, first_line);
+  EXPECT_NE(first_line.find("digraph"), std::string::npos);
+
+  std::ifstream jsonl(options.export_jsonl);
+  ASSERT_TRUE(jsonl.good());
+  std::size_t lines = 0;
+  for (std::string line; std::getline(jsonl, line);) {
+    if (!line.empty()) ++lines;
+  }
+  EXPECT_EQ(lines, result.dag_size);
 }
 
 TEST(Runner, ChurnRemovesAndRestoresClients) {

@@ -1,0 +1,335 @@
+// Model store subsystem: delta codec round-trips, content-address dedup,
+// LRU eviction determinism, the sharded evaluation cache under concurrent
+// access, and the store wired into the DAG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "dag/dag.hpp"
+#include "store/delta_codec.hpp"
+#include "store/eval_cache.hpp"
+#include "store/eval_cache_view.hpp"
+#include "store/model_store.hpp"
+#include "util/rng.hpp"
+
+namespace specdag::store {
+namespace {
+
+nn::WeightVector random_vector(Rng& rng, std::size_t n, double stddev = 0.1) {
+  nn::WeightVector v(n);
+  for (float& w : v) w = static_cast<float>(rng.normal(0.0, stddev));
+  return v;
+}
+
+// Perturbs `base` by a small update, mimicking one local SGD step.
+nn::WeightVector perturb(const nn::WeightVector& base, Rng& rng, double stddev = 1e-3) {
+  nn::WeightVector v = base;
+  for (float& w : v) w += static_cast<float>(rng.normal(0.0, stddev));
+  return v;
+}
+
+WeightsPtr share(nn::WeightVector v) {
+  return std::make_shared<const nn::WeightVector>(std::move(v));
+}
+
+// ------------------------------------------------------------ delta codec ---
+
+TEST(DeltaCodec, RoundTripIsBitExact) {
+  Rng rng(1);
+  for (const double update : {1e-6, 1e-3, 1e-1, 10.0}) {
+    const nn::WeightVector base = random_vector(rng, 1337);
+    const nn::WeightVector values = perturb(base, rng, update);
+    const std::vector<std::uint8_t> encoded =
+        encode_delta(values.data(), base.data(), values.size());
+    nn::WeightVector decoded(values.size());
+    decode_delta(encoded.data(), encoded.size(), base.data(), decoded.data(), decoded.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(decoded[i]),
+                std::bit_cast<std::uint32_t>(values[i]))
+          << "update stddev " << update << ", index " << i;
+    }
+  }
+}
+
+TEST(DeltaCodec, RoundTripsSpecialValues) {
+  const nn::WeightVector base = {0.0f, -0.0f, 1.0f, -1.0f, 1e-40f, 3.0f, 0.5f, 0.0f};
+  const nn::WeightVector values = {
+      std::numeric_limits<float>::quiet_NaN(), std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(), std::numeric_limits<float>::denorm_min(),
+      -1e-40f, 3.0f, std::nextafterf(0.5f, 1.0f), -0.0f};
+  const std::vector<std::uint8_t> encoded =
+      encode_delta(values.data(), base.data(), values.size());
+  nn::WeightVector decoded(values.size());
+  decode_delta(encoded.data(), encoded.size(), base.data(), decoded.data(), decoded.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(decoded[i]), std::bit_cast<std::uint32_t>(values[i]))
+        << "index " << i;
+  }
+}
+
+TEST(DeltaCodec, IdenticalVectorsCollapse) {
+  Rng rng(2);
+  const nn::WeightVector base = random_vector(rng, 4096);
+  const std::vector<std::uint8_t> encoded = encode_delta(base.data(), base.data(), base.size());
+  // 4096 zero flags -> 512 bytes, 3% of the 16 KiB raw size.
+  EXPECT_EQ(encoded.size(), base.size() / 8);
+  nn::WeightVector decoded(base.size());
+  decode_delta(encoded.data(), encoded.size(), base.data(), decoded.data(), decoded.size());
+  EXPECT_EQ(decoded, base);
+}
+
+TEST(DeltaCodec, SmallUpdatesCompress) {
+  Rng rng(3);
+  const nn::WeightVector base = random_vector(rng, 8192);
+  // ~1e-5 relative updates (converged training): well below half the raw
+  // size. Larger updates compress less; the store falls back to raw storage
+  // when encoding stops paying, so the codec only needs to win here.
+  const nn::WeightVector values = perturb(base, rng, 1e-6);
+  const std::vector<std::uint8_t> encoded =
+      encode_delta(values.data(), base.data(), values.size());
+  EXPECT_LT(encoded.size(), values.size() * sizeof(float) / 2)
+      << "small-update delta should compress below 50% of raw";
+  // A coarser update still shrinks, just less.
+  const nn::WeightVector coarse = perturb(base, rng, 1e-4);
+  const std::vector<std::uint8_t> coarse_encoded =
+      encode_delta(coarse.data(), base.data(), coarse.size());
+  EXPECT_LT(coarse_encoded.size(), coarse.size() * sizeof(float) * 3 / 4);
+}
+
+TEST(DeltaCodec, TruncatedStreamThrows) {
+  Rng rng(4);
+  const nn::WeightVector base = random_vector(rng, 64);
+  const nn::WeightVector values = perturb(base, rng, 0.5);
+  std::vector<std::uint8_t> encoded = encode_delta(values.data(), base.data(), values.size());
+  encoded.resize(encoded.size() / 2);
+  nn::WeightVector decoded(values.size());
+  EXPECT_THROW(
+      decode_delta(encoded.data(), encoded.size(), base.data(), decoded.data(), decoded.size()),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------------- ModelStore ---
+
+TEST(ModelStore, ContentAddressDedup) {
+  ModelStore store;
+  Rng rng(5);
+  const nn::WeightVector v = random_vector(rng, 128);
+  const PayloadId a = store.put(share(v), {});
+  const StoreStats before = store.stats();
+  const PayloadId b = store.put(share(v), {});  // distinct allocation, same content
+  EXPECT_EQ(a, b);
+  const StoreStats after = store.stats();
+  EXPECT_EQ(after.payloads, before.payloads);
+  EXPECT_EQ(after.resident_payload_bytes, before.resident_payload_bytes);
+  EXPECT_EQ(after.dedup_hits, before.dedup_hits + 1);
+  EXPECT_TRUE(store.hash_of(a) == hash_weights(v));
+}
+
+TEST(ModelStore, DeltaPayloadsRoundTripThroughChains) {
+  StoreConfig config;
+  config.anchor_interval = 4;
+  config.lru_bytes = 1;  // evict aggressively: every get() must decode
+  ModelStore store(config);
+  Rng rng(6);
+
+  nn::WeightVector current = random_vector(rng, 512);
+  std::vector<PayloadId> ids = {store.put(share(current), {})};
+  std::vector<nn::WeightVector> originals = {current};
+  for (int i = 0; i < 20; ++i) {
+    current = perturb(current, rng, 1e-3);
+    ids.push_back(store.put(share(current), {ids.back()}));
+    originals.push_back(current);
+  }
+  const StoreStats stats = store.stats();
+  EXPECT_GT(stats.deltas, 10u);  // most of the chain is delta-encoded
+  EXPECT_GT(stats.anchors, 2u);  // anchor every 4 hops + genesis
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(*store.get(ids[i]), originals[i]) << "payload " << i;
+  }
+}
+
+TEST(ModelStore, MultiBaseDeltaUsesAveragedParents) {
+  ModelStore store;
+  Rng rng(7);
+  const nn::WeightVector a = random_vector(rng, 256);
+  const nn::WeightVector b = random_vector(rng, 256);
+  const PayloadId pa = store.put(share(a), {});
+  const PayloadId pb = store.put(share(b), {});
+  const nn::WeightVector averaged = nn::average_weights(a, b);
+  const nn::WeightVector child = perturb(averaged, rng, 1e-4);
+  const PayloadId pc = store.put(share(child), {pa, pb});
+  EXPECT_EQ(*store.get(pc), child);
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.deltas, 1u);
+  // The delta against the averaged parents is the small training update, so
+  // the child's resident cost must be well below its full size.
+  EXPECT_LT(stats.resident_payload_bytes, 3 * 256 * sizeof(float));
+}
+
+TEST(ModelStore, UncompressiblePayloadsFallBackToRaw) {
+  ModelStore store;
+  Rng rng(8);
+  const PayloadId base = store.put(share(random_vector(rng, 256)), {});
+  // A payload unrelated to its base: the xor stream carries no shared bits,
+  // so the store must keep it raw instead of an expanded delta.
+  const PayloadId unrelated = store.put(share(random_vector(rng, 256, 100.0)), {base});
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.anchors, 2u);
+  EXPECT_EQ(stats.deltas, 0u);
+  EXPECT_EQ(stats.resident_payload_bytes, 2 * 256 * sizeof(float));
+  EXPECT_NE(base, unrelated);
+}
+
+TEST(ModelStore, DeltaOffMatchesFullBaseline) {
+  StoreConfig config;
+  config.delta = false;
+  ModelStore store(config);
+  Rng rng(9);
+  nn::WeightVector current = random_vector(rng, 128);
+  PayloadId id = store.put(share(current), {});
+  for (int i = 0; i < 5; ++i) {
+    current = perturb(current, rng);
+    id = store.put(share(current), {id});
+  }
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.deltas, 0u);
+  EXPECT_EQ(stats.resident_payload_bytes, stats.full_payload_bytes);
+  EXPECT_DOUBLE_EQ(stats.delta_ratio(), 1.0);
+}
+
+// Runs a fixed access pattern and returns the store's final statistics.
+StoreStats run_lru_pattern(std::uint64_t seed) {
+  StoreConfig config;
+  config.lru_bytes = 6 * 256 * sizeof(float);  // room for ~6 materialized payloads
+  ModelStore store(config);
+  Rng rng(seed);
+  nn::WeightVector current = random_vector(rng, 256);
+  std::vector<PayloadId> ids = {store.put(share(current), {})};
+  for (int i = 0; i < 30; ++i) {
+    current = perturb(current, rng, 1e-3);
+    ids.push_back(store.put(share(current), {ids.back()}));
+  }
+  Rng access(seed ^ 0xACCE55);
+  for (int i = 0; i < 200; ++i) {
+    (void)store.get(ids[access.index(ids.size())]);
+  }
+  return store.stats();
+}
+
+TEST(ModelStore, LruEvictionIsDeterministic) {
+  const StoreStats a = run_lru_pattern(42);
+  const StoreStats b = run_lru_pattern(42);
+  EXPECT_EQ(a.lru_hits, b.lru_hits);
+  EXPECT_EQ(a.lru_misses, b.lru_misses);
+  EXPECT_EQ(a.decoded_payloads, b.decoded_payloads);
+  EXPECT_EQ(a.lru_entries, b.lru_entries);
+  EXPECT_EQ(a.lru_bytes, b.lru_bytes);
+  EXPECT_GT(a.lru_misses, 0u);  // the pattern actually exercised eviction
+  EXPECT_LE(a.lru_bytes, 6 * 256 * sizeof(float));
+}
+
+// ------------------------------------------------------- ShardedEvalCache ---
+
+TEST(ShardedEvalCache, InsertLookupInvalidate) {
+  ShardedEvalCache cache(4);
+  const ContentHash h1{1, 2};
+  const ContentHash h2{3, 4};
+  EXPECT_FALSE(cache.lookup(0, h1).has_value());
+  cache.insert(0, h1, 0.25);
+  cache.insert(0, h2, 0.5);
+  cache.insert(1, h1, 0.75);
+  EXPECT_EQ(cache.lookup(0, h1).value(), 0.25);
+  EXPECT_EQ(cache.lookup(1, h1).value(), 0.75);
+  EXPECT_EQ(cache.size(), 3u);
+
+  cache.invalidate_client(0);
+  EXPECT_FALSE(cache.lookup(0, h1).has_value());
+  EXPECT_FALSE(cache.lookup(0, h2).has_value());
+  EXPECT_EQ(cache.lookup(1, h1).value(), 0.75);  // other clients keep entries
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+TEST(ShardedEvalCache, ConcurrentAccessFromManyThreads) {
+  // The shape of the sweep executor's access: many workers hammering the
+  // same cache with interleaved inserts and lookups.
+  ShardedEvalCache cache(8);
+  constexpr int kThreads = 8;
+  constexpr int kKeysPerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int k = 0; k < kKeysPerThread; ++k) {
+        const ContentHash hash{static_cast<std::uint64_t>(t),
+                               static_cast<std::uint64_t>(k)};
+        cache.insert(t, hash, static_cast<double>(k) / kKeysPerThread);
+        // Re-read own keys and probe other threads' keys concurrently.
+        const auto mine = cache.lookup(t, hash);
+        ASSERT_TRUE(mine.has_value());
+        ASSERT_EQ(*mine, static_cast<double>(k) / kKeysPerThread);
+        (void)cache.lookup((t + 1) % kThreads,
+                           ContentHash{static_cast<std::uint64_t>((t + 1) % kThreads),
+                                       static_cast<std::uint64_t>(k)});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kThreads) * kKeysPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int k = 0; k < kKeysPerThread; ++k) {
+      const auto value = cache.lookup(
+          t, ContentHash{static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(k)});
+      ASSERT_TRUE(value.has_value());
+      EXPECT_EQ(*value, static_cast<double>(k) / kKeysPerThread);
+    }
+  }
+}
+
+// ----------------------------------------------------- DAG + store wiring ---
+
+TEST(DagStore, TransactionsRoundTripThroughStore) {
+  Rng rng(10);
+  nn::WeightVector genesis = random_vector(rng, 200);
+  dag::Dag graph(genesis);
+  std::vector<nn::WeightVector> originals = {genesis};
+  std::vector<dag::TxId> ids = {dag::kGenesisTx};
+  for (int i = 0; i < 12; ++i) {
+    // Approve up to two random existing transactions, like real clients.
+    std::vector<dag::TxId> parents = {ids[rng.index(ids.size())]};
+    const dag::TxId other = ids[rng.index(ids.size())];
+    if (other != parents[0]) parents.push_back(other);
+    std::vector<const nn::WeightVector*> ptrs;
+    for (dag::TxId p : parents) ptrs.push_back(&originals[p]);
+    nn::WeightVector trained = perturb(nn::average_weights(ptrs), rng, 1e-3);
+    ids.push_back(graph.add_transaction(parents, share(trained), i % 3, i));
+    originals.push_back(std::move(trained));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(*graph.weights(ids[i]), originals[i]) << "transaction " << i;
+    EXPECT_TRUE(graph.payload_hash(ids[i]) == hash_weights(originals[i]));
+  }
+  const StoreStats stats = graph.store().stats();
+  EXPECT_EQ(stats.payloads, ids.size());
+  EXPECT_GT(stats.deltas, 0u);
+  EXPECT_LT(stats.resident_payload_bytes, stats.full_payload_bytes);
+}
+
+TEST(DagStore, ClientEvalCacheViewScopesInvalidation) {
+  dag::Dag graph(nn::WeightVector{1.0f, 2.0f});
+  auto cache = std::make_shared<ShardedEvalCache>(2);
+  ClientEvalCacheView view0(cache, 0);
+  ClientEvalCacheView view1(cache, 1);
+  view0.store(graph, dag::kGenesisTx, 0.3);
+  view1.store(graph, dag::kGenesisTx, 0.6);
+  EXPECT_EQ(view0.lookup(graph, dag::kGenesisTx).value(), 0.3);
+  view0.clear();
+  EXPECT_FALSE(view0.lookup(graph, dag::kGenesisTx).has_value());
+  EXPECT_EQ(view1.lookup(graph, dag::kGenesisTx).value(), 0.6);
+}
+
+}  // namespace
+}  // namespace specdag::store

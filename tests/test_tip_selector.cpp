@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <map>
+#include <set>
 
 namespace specdag::tipsel {
 namespace {
@@ -184,7 +185,7 @@ TEST(AccuracyTipSelector, CachesEvaluations) {
     ++evaluations;
     return static_cast<double>(w[0]);
   };
-  auto cache = std::make_shared<AccuracyCache>();
+  auto cache = std::make_shared<TxAccuracyCache>();
   AccuracyTipSelector selector(1.0, Normalization::kStandard, counting_evaluator, cache);
   Rng rng(8);
   selector.walk(dag, kGenesisTx, rng);
@@ -277,6 +278,123 @@ TEST(SelectTips, DepthSampledStartUsesWindow) {
   EXPECT_EQ(tips.front(), chain);
   EXPECT_EQ(selector.last_stats().steps, 2u);
   EXPECT_THROW(selector.set_start_depth(3, 1), std::invalid_argument);
+}
+
+// ------------------------------------- batched cumulative-weight walks ------
+
+// Builds a random-ish DAG: each transaction approves 1-2 random earlier
+// transactions, publishers alternate between two groups.
+Dag& random_dag() {
+  static Dag dag({0.0f});
+  if (dag.size() == 1) {
+    Rng rng(77);
+    for (int i = 0; i < 80; ++i) {
+      const auto ids = dag.all_ids();
+      std::vector<TxId> parents = {ids[rng.index(ids.size())]};
+      const TxId other = ids[rng.index(ids.size())];
+      if (other != parents[0]) parents.push_back(other);
+      dag.add_transaction(parents, payload(0.5f), i % 2, 1 + static_cast<std::size_t>(i) / 10);
+    }
+  }
+  return dag;
+}
+
+VisibilityMask even_round_mask() {
+  // Arbitrary but non-trivial: hide transactions published by group 1 from
+  // round 4 on (the shape of a partition mask).
+  return [](const Dag& dag, TxId id) {
+    return dag.publisher(id) != 1 || dag.round(id) < 4;
+  };
+}
+
+// The pre-batching walk: per-step cumulative weights (BFS under a mask).
+TxId reference_weighted_walk(const Dag& dag, double alpha, const VisibilityMask& mask,
+                             Rng& rng) {
+  const auto visible_children = [&](TxId id) {
+    std::vector<TxId> children = dag.children(id);
+    if (mask) std::erase_if(children, [&](TxId c) { return !mask(dag, c); });
+    return children;
+  };
+  const auto masked_cw = [&](TxId id) -> std::size_t {
+    if (!mask) return dag.cumulative_weight(id);
+    std::set<TxId> visited{id};
+    std::vector<TxId> frontier{id};
+    while (!frontier.empty()) {
+      const TxId cur = frontier.back();
+      frontier.pop_back();
+      for (TxId child : visible_children(cur)) {
+        if (visited.insert(child).second) frontier.push_back(child);
+      }
+    }
+    return visited.size();
+  };
+  TxId current = kGenesisTx;
+  for (;;) {
+    const std::vector<TxId> children = visible_children(current);
+    if (children.empty()) return current;
+    std::vector<double> weights(children.size());
+    double cw_max = 0.0;
+    std::vector<double> cw(children.size());
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      cw[i] = static_cast<double>(masked_cw(children[i]));
+      cw_max = std::max(cw_max, cw[i]);
+    }
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      weights[i] = std::exp(alpha * (cw[i] - cw_max));
+    }
+    current = children[rng.weighted_index(weights)];
+  }
+}
+
+TEST(WeightedTipSelector, BatchedWalksMatchPerStepReference) {
+  Dag& dag = random_dag();
+  WeightedTipSelector selector(2.0);
+  Rng walk_rng(123), ref_rng(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(selector.walk(dag, kGenesisTx, walk_rng),
+              reference_weighted_walk(dag, 2.0, nullptr, ref_rng))
+        << "walk " << i;
+  }
+}
+
+TEST(WeightedTipSelector, BatchedMaskedWalksMatchPerStepReference) {
+  Dag& dag = random_dag();
+  WeightedTipSelector selector(2.0);
+  selector.set_visibility_mask(even_round_mask());
+  Rng walk_rng(321), ref_rng(321);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(selector.walk(dag, kGenesisTx, walk_rng),
+              reference_weighted_walk(dag, 2.0, even_round_mask(), ref_rng))
+        << "walk " << i;
+  }
+}
+
+TEST(Dag, MaskedCumulativeWeightsAllMatchesBfs) {
+  Dag& dag = random_dag();
+  const VisibilityMask mask = even_round_mask();
+  std::vector<char> visible(dag.size());
+  for (TxId id : dag.all_ids()) visible[id] = mask(dag, id) ? 1 : 0;
+  const std::vector<std::size_t> batched = dag.cumulative_weights_all(visible);
+
+  RandomTipSelector probe;  // any selector exposes the per-id masked BFS path
+  probe.set_visibility_mask(mask);
+  for (TxId id : dag.all_ids()) {
+    if (!visible[id]) {
+      EXPECT_EQ(batched[id], 0u) << "invisible id " << id;
+      continue;
+    }
+    // Reference: BFS over visible children only.
+    std::set<TxId> visited{id};
+    std::vector<TxId> frontier{id};
+    while (!frontier.empty()) {
+      const TxId cur = frontier.back();
+      frontier.pop_back();
+      for (TxId child : dag.children(cur)) {
+        if (visible[child] && visited.insert(child).second) frontier.push_back(child);
+      }
+    }
+    EXPECT_EQ(batched[id], visited.size()) << "id " << id;
+  }
 }
 
 }  // namespace
