@@ -8,10 +8,11 @@
 // the DAG its width — with instantaneous broadcast the tip set collapses
 // towards a chain, forcing cross-cluster approvals and killing
 // specialization, while moderate latency reproduces the paper's clustering.
+//
+// Thin driver over the registry's "ablation-async-latency" scenario.
 #include "bench_common.hpp"
-#include "data/synthetic_digits.hpp"
-#include "sim/async_simulator.hpp"
-#include "sim/models.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
 
@@ -19,7 +20,6 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Ablation — async broadcast latency vs specialization",
                       "latency sustains DAG width; zero latency collapses specialization");
-  const std::size_t steps = args.rounds ? args.rounds * 5 : 400;
   // Latency as a fraction of the mean client step interval (1.0).
   const std::vector<double> latencies = {0.0, 0.1, 0.3, 1.0};
 
@@ -28,35 +28,18 @@ int main(int argc, char** argv) {
 
   std::cout << "\nlatency  pureness  accuracy  dag_size  tips\n";
   for (double latency : latencies) {
-    data::SyntheticDigitsConfig data_config;
-    data_config.num_clients = 15;
-    data_config.samples_per_client = 100;
-    data_config.image_size = 10;
-    data_config.seed = args.seed;
-    auto ds = data::make_fmnist_clustered(data_config);
-    auto factory = sim::make_mlp_factory(shape_numel(ds.element_shape), 24, 10);
-    sim::AsyncSimulatorConfig config;
-    config.client.train = {1, 10, 10, 0.05};
-    config.client.alpha = 10.0;
-    config.broadcast_latency = latency;
-    config.seed = args.seed;
-    sim::AsyncDagSimulator simulator(std::move(ds), factory, config);
-    const auto records = simulator.run_steps(steps);
+    scenario::ScenarioSpec spec = scenario::get_scenario("ablation-async-latency");
+    spec.seed = args.seed;
+    if (args.rounds) spec.rounds = args.rounds;
+    spec.broadcast_latency = latency;
 
-    double acc = 0.0;
-    std::size_t counted = 0;
-    for (std::size_t i = records.size() - records.size() / 4; i < records.size(); ++i) {
-      acc += records[i].result.trained_eval.accuracy;
-      ++counted;
-    }
-    const double pureness = simulator.approval_pureness().pureness;
-    const std::size_t tips = simulator.dag().tips().size();
-    std::cout << bench::fmt(latency, 1) << "      " << bench::fmt(pureness) << "     "
-              << bench::fmt(acc / static_cast<double>(counted)) << "     "
-              << simulator.dag().size() << "       " << tips << "\n";
-    csv.row({bench::fmt(latency, 1), bench::fmt(pureness),
-             bench::fmt(acc / static_cast<double>(counted)),
-             std::to_string(simulator.dag().size()), std::to_string(tips)});
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    std::cout << bench::fmt(latency, 1) << "      " << bench::fmt(result.pureness) << "     "
+              << bench::fmt(result.final_accuracy) << "     " << result.dag_size << "       "
+              << result.tips << "\n";
+    csv.row({bench::fmt(latency, 1), bench::fmt(result.pureness),
+             bench::fmt(result.final_accuracy), std::to_string(result.dag_size),
+             std::to_string(result.tips)});
   }
   std::cout << "\nShape check: pureness near the 0.33 random base at latency 0, rising"
                "\nsharply once the latency sustains concurrent tips.\n";

@@ -5,10 +5,12 @@
 // generalizes across clusters like FedAvg does; the DAG's accuracy-aware
 // partner selection is what enables specialization. Expectation: DAG's
 // per-client accuracy >= both baselines on clustered data.
+//
+// Thin driver over the registry's "ablation-baselines" scenario: the
+// algorithm backends run behind the same runner, so the sweep is one axis.
 #include "bench_common.hpp"
-#include "fl/fed_server.hpp"
-#include "fl/gossip.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
 
@@ -16,68 +18,33 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Ablation — DAG vs gossip learning vs FedAvg on clustered data",
                       "accuracy-aware DAG specializes; gossip/FedAvg generalize");
-  const std::size_t rounds = args.rounds ? args.rounds : 80;
-  const sim::PresetOptions options{args.seed, false};
 
   auto csv = bench::open_csv(args, "ablation_baselines",
                              {"algorithm", "round", "mean_accuracy"});
 
-  // --- DAG
-  double dag_late = 0.0;
-  {
-    sim::ExperimentPreset preset = sim::fmnist_clustered_preset(options);
-    sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
-    for (std::size_t round = 1; round <= rounds; ++round) {
-      const auto& record = simulator.run_round();
-      csv.row({"dag", std::to_string(round), bench::fmt(record.mean_trained_accuracy())});
-      if (round > rounds - 10) dag_late += record.mean_trained_accuracy();
-    }
-  }
-  dag_late /= 10.0;
+  std::vector<std::pair<std::string, double>> late;
+  for (const scenario::AlgorithmKind algorithm :
+       {scenario::AlgorithmKind::kDag, scenario::AlgorithmKind::kGossip,
+        scenario::AlgorithmKind::kFedAvg}) {
+    scenario::ScenarioSpec spec = scenario::get_scenario("ablation-baselines");
+    spec.seed = args.seed;
+    if (args.rounds) spec.rounds = args.rounds;
+    spec.algorithm = algorithm;
 
-  // --- gossip
-  double gossip_late = 0.0;
-  {
-    sim::ExperimentPreset preset = sim::fmnist_clustered_preset(options);
-    fl::GossipConfig config;
-    config.train = preset.sim.client.train;
-    fl::GossipNetwork net(&preset.dataset, preset.factory, config, Rng(args.seed));
-    Rng select_rng(args.seed ^ 0x6055);
-    for (std::size_t round = 1; round <= rounds; ++round) {
-      const auto active = select_rng.sample_without_replacement(
-          preset.dataset.clients.size(), preset.sim.clients_per_round);
-      const auto evals = net.run_round(active);
-      double mean = 0.0;
-      for (const auto& e : evals) mean += e.accuracy;
-      mean /= static_cast<double>(evals.size());
-      csv.row({"gossip", std::to_string(round), bench::fmt(mean)});
-      if (round > rounds - 10) gossip_late += mean;
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    const std::size_t window = std::min<std::size_t>(10, result.series.size());
+    double tail = 0.0;
+    for (const scenario::ScenarioPoint& point : result.series) {
+      csv.row({result.algorithm, std::to_string(point.round), bench::fmt(point.mean_accuracy)});
+      if (point.round + window > result.series.size()) tail += point.mean_accuracy;
     }
+    late.emplace_back(result.algorithm, tail / static_cast<double>(window));
   }
-  gossip_late /= 10.0;
 
-  // --- FedAvg
-  double fedavg_late = 0.0;
-  {
-    sim::ExperimentPreset preset = sim::fmnist_clustered_preset(options);
-    fl::FedServerConfig config;
-    config.train = preset.sim.client.train;
-    fl::FedServer server(preset.factory, config, Rng(args.seed));
-    for (std::size_t round = 1; round <= rounds; ++round) {
-      const auto result = server.run_round(preset.dataset, preset.sim.clients_per_round);
-      double mean = 0.0;
-      for (const auto& e : result.client_evals) mean += e.accuracy;
-      mean /= static_cast<double>(result.client_evals.size());
-      csv.row({"fedavg", std::to_string(round), bench::fmt(mean)});
-      if (round > rounds - 10) fedavg_late += mean;
-    }
+  std::cout << "late accuracy (mean of last 10 rounds):\n";
+  for (const auto& [algorithm, accuracy] : late) {
+    std::cout << "  " << algorithm << ": " << bench::fmt(accuracy) << "\n";
   }
-  fedavg_late /= 10.0;
-
-  std::cout << "late accuracy (mean of last 10 rounds):\n"
-            << "  dag:    " << bench::fmt(dag_late) << "\n"
-            << "  gossip: " << bench::fmt(gossip_late) << "\n"
-            << "  fedavg: " << bench::fmt(fedavg_late) << "\n";
   std::cout << "\nShape check: dag >= gossip and dag >= fedavg on clustered non-IID data.\n";
   return 0;
 }

@@ -5,8 +5,11 @@
 // per-walk chains (no averaging — no knowledge transfer between lineages);
 // more parents average more models per update, which generalizes harder and
 // can dilute specialization.
+//
+// Thin driver over the registry's "ablation-num-parents" scenario.
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
 
@@ -14,29 +17,31 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Ablation — approvals per transaction (paper: 2)",
                       "2 parents balances mixing and specialization");
-  const std::size_t rounds = args.rounds ? args.rounds : 80;
 
+  // Pureness is an end-of-run metric here (the runner reports it once per
+  // run); the per-round column carries the accuracy series only.
   auto csv = bench::open_csv(args, "ablation_num_parents",
-                             {"parents", "round", "accuracy", "pureness"});
+                             {"parents", "round", "accuracy", "final_pureness"});
 
   std::cout << "parents  late_accuracy  pureness  dag_size\n";
   for (const std::size_t parents : {1u, 2u, 3u, 5u}) {
-    sim::ExperimentPreset preset = sim::fmnist_clustered_preset({args.seed, false});
-    preset.sim.client.num_parents = parents;
-    sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
-    double late_acc = 0.0;
-    for (std::size_t round = 1; round <= rounds; ++round) {
-      const auto& record = simulator.run_round();
-      if (round > rounds - 10) late_acc += record.mean_trained_accuracy();
-      if (round % 10 == 0) {
-        csv.row({std::to_string(parents), std::to_string(round),
-                 bench::fmt(record.mean_trained_accuracy()),
-                 bench::fmt(simulator.approval_pureness().pureness)});
+    scenario::ScenarioSpec spec = scenario::get_scenario("ablation-num-parents");
+    spec.seed = args.seed;
+    if (args.rounds) spec.rounds = args.rounds;
+    spec.client.num_parents = parents;
+
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    for (const scenario::ScenarioPoint& point : result.series) {
+      if (point.round % 10 == 0 && point.round != result.series.size()) {
+        csv.row({std::to_string(parents), std::to_string(point.round),
+                 bench::fmt(point.mean_accuracy), ""});
       }
     }
-    std::cout << parents << "        " << bench::fmt(late_acc / 10.0) << "          "
-              << bench::fmt(simulator.approval_pureness().pureness) << "     "
-              << simulator.dag().size() << "\n";
+    // The final row always carries the end-of-run pureness.
+    csv.row({std::to_string(parents), std::to_string(result.series.size()),
+             bench::fmt(result.series.back().mean_accuracy), bench::fmt(result.pureness)});
+    std::cout << parents << "        " << bench::fmt(result.final_accuracy) << "          "
+              << bench::fmt(result.pureness) << "     " << result.dag_size << "\n";
   }
   std::cout << "\nShape check: accuracy should not collapse for any setting; pureness is"
                "\nhighest for small parent counts (less cross-cluster averaging).\n";

@@ -2,66 +2,45 @@
 // "integrate ideas from multi-task and personalized federated learning such
 // as training only some layers of the machine learning model").
 //
-// Clients first train the full model; after a warm-up the feature layers
-// are frozen and only the classifier head keeps training. Compared against
-// full training throughout: accuracy, pureness, and local training time.
+// Clients train only the classifier head on top of frozen feature layers
+// (the registry's "ablation-partial-training" base), compared against full
+// training: accuracy, pureness, and wall time. Thin driver over the
+// registry scenario; the sweep axis is train.freeze_prefix_params.
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
-#include "util/timer.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
-
-namespace {
-
-struct Outcome {
-  double late_accuracy = 0.0;
-  double pureness = 0.0;
-  double seconds = 0.0;
-};
-
-Outcome run_frozen(std::size_t freeze_prefix, std::size_t rounds, std::uint64_t seed,
-                   CsvWriter& csv, const std::string& label) {
-  sim::ExperimentPreset preset = sim::fmnist_clustered_preset({seed, false});
-  preset.sim.client.train.freeze_prefix_params = freeze_prefix;
-  sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
-  Outcome outcome;
-  Timer timer;
-  for (std::size_t round = 1; round <= rounds; ++round) {
-    simulator.run_round();
-    const auto& record = simulator.history().back();
-    if (round > rounds - 10) outcome.late_accuracy += record.mean_trained_accuracy();
-    if (round % 10 == 0) {
-      csv.row({label, std::to_string(round), bench::fmt(record.mean_trained_accuracy())});
-    }
-  }
-  outcome.seconds = timer.elapsed_seconds();
-  outcome.late_accuracy /= 10.0;
-  outcome.pureness = simulator.approval_pureness().pureness;
-  return outcome;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Ablation — partial-layer training (paper future work)",
                       "head-only training trades some accuracy for cheaper rounds");
-  const std::size_t rounds = args.rounds ? args.rounds : 80;
 
   auto csv = bench::open_csv(args, "ablation_partial_training",
                              {"mode", "round", "accuracy"});
 
-  const Outcome full = run_frozen(0, rounds, args.seed, csv, "full");
+  std::cout << "mode       late_accuracy  pureness  wall_seconds\n";
   // The MLP has 4 parameter tensors; freezing the first two trains only the
   // classifier head on top of fixed random features.
-  const Outcome head_only = run_frozen(2, rounds, args.seed, csv, "head-only");
+  for (const auto& [label, freeze] :
+       {std::pair<const char*, std::size_t>{"full", 0}, {"head-only", 2}}) {
+    scenario::ScenarioSpec spec = scenario::get_scenario("ablation-partial-training");
+    spec.seed = args.seed;
+    if (args.rounds) spec.rounds = args.rounds;
+    spec.client.train.freeze_prefix_params = freeze;
 
-  std::cout << "mode       late_accuracy  pureness  wall_seconds\n";
-  std::cout << "full       " << bench::fmt(full.late_accuracy) << "          "
-            << bench::fmt(full.pureness) << "     " << bench::fmt(full.seconds, 1) << "\n";
-  std::cout << "head-only  " << bench::fmt(head_only.late_accuracy) << "          "
-            << bench::fmt(head_only.pureness) << "     " << bench::fmt(head_only.seconds, 1)
-            << "\n";
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    for (const scenario::ScenarioPoint& point : result.series) {
+      if (point.round % 10 == 0) {
+        csv.row({label, std::to_string(point.round), bench::fmt(point.mean_accuracy)});
+      }
+    }
+    std::cout << label << std::string(11 - std::string(label).size(), ' ')
+              << bench::fmt(result.final_accuracy) << "          "
+              << bench::fmt(result.pureness) << "     " << bench::fmt(result.wall_seconds, 1)
+              << "\n";
+  }
   std::cout << "\nShape check: head-only training remains well above chance (0.1) and"
                "\nstill specializes (pureness above the 0.33 base), at reduced accuracy"
                "\nrelative to full training.\n";

@@ -6,8 +6,11 @@
 // and DAG size. Expectation: without the gate every client publishes every
 // round (larger DAG, including regressions); the gate filters bad updates
 // without slowing convergence.
+//
+// Thin driver over the registry's "ablation-publish-gate" scenario.
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
 
@@ -15,31 +18,29 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Ablation — publish-if-better gate",
                       "gate filters regressive updates at equal or better accuracy");
-  const std::size_t rounds = args.rounds ? args.rounds : 80;
 
   auto csv = bench::open_csv(args, "ablation_publish_gate",
                              {"gate", "round", "accuracy", "published", "dag_size"});
 
   for (const bool gate : {true, false}) {
-    sim::ExperimentPreset preset = sim::fmnist_clustered_preset({args.seed, false});
-    preset.sim.client.publish_gate = gate;
-    sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
-    double late_acc = 0.0;
+    scenario::ScenarioSpec spec = scenario::get_scenario("ablation-publish-gate");
+    spec.seed = args.seed;
+    if (args.rounds) spec.rounds = args.rounds;
+    spec.client.publish_gate = gate;
+
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
     std::size_t published_total = 0;
-    for (std::size_t round = 1; round <= rounds; ++round) {
-      const auto& record = simulator.run_round();
-      published_total += record.publish_count();
-      if (round > rounds - 10) late_acc += record.mean_trained_accuracy();
-      csv.row({gate ? "on" : "off", std::to_string(round),
-               bench::fmt(record.mean_trained_accuracy()),
-               std::to_string(record.publish_count()),
-               std::to_string(simulator.dag().size())});
+    for (const scenario::ScenarioPoint& point : result.series) {
+      published_total += point.publishes;
+      csv.row({gate ? "on" : "off", std::to_string(point.round),
+               bench::fmt(point.mean_accuracy), std::to_string(point.publishes),
+               std::to_string(point.dag_size)});
     }
     std::cout << "gate " << (gate ? "on " : "off") << ": late accuracy "
-              << bench::fmt(late_acc / 10.0) << ", pureness "
-              << bench::fmt(simulator.approval_pureness().pureness) << ", published "
-              << published_total << "/" << rounds * preset.sim.clients_per_round
-              << ", dag size " << simulator.dag().size() << "\n";
+              << bench::fmt(result.final_accuracy) << ", pureness "
+              << bench::fmt(result.pureness) << ", published " << published_total << "/"
+              << result.series.size() * spec.clients_per_round << ", dag size "
+              << result.dag_size << "\n";
   }
   std::cout << "\nShape check: with the gate on, fewer transactions are published while"
                "\nlate accuracy stays at least as high.\n";

@@ -9,10 +9,12 @@
 //
 // Reported per rate: honest consensus accuracy, fraction of honest
 // consensus references that are attacker transactions, and junk share of
-// traffic.
+// traffic. Thin driver over the registry's "ablation-random-weights"
+// scenario: the attack schedule and the takeover metrics run inside the
+// scenario engine; this main only sweeps the rate.
 #include "bench_common.hpp"
-#include "fl/attacker.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
 
@@ -20,7 +22,6 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Ablation — random-weights attack rate",
                       "low-rate junk is routed around; dominating junk takes over");
-  const std::size_t rounds = args.rounds ? args.rounds : 60;
   // Attacker transactions per round (0 = no attack).
   const std::vector<double> rates = {0.0, 0.25, 1.0, 3.0};
 
@@ -30,48 +31,20 @@ int main(int argc, char** argv) {
 
   std::cout << "\nrate/round  junk_share  consensus_acc  junk_refs\n";
   for (double rate : rates) {
-    sim::ExperimentPreset preset = sim::fmnist_clustered_preset({args.seed, false});
-    nn::ModelFactory factory = preset.factory;
-    sim::DagSimulator simulator(std::move(preset.dataset), factory, preset.sim);
+    scenario::ScenarioSpec spec = scenario::get_scenario("ablation-random-weights");
+    spec.seed = args.seed;
+    if (args.rounds) spec.rounds = args.rounds;
+    spec.attacks.random_weights.rate = rate;
 
-    nn::Sequential probe = factory();
-    fl::RandomWeightAttackerConfig attack_config;
-    attack_config.transactions_per_round = 1;
-    fl::RandomWeightAttacker attacker(/*publisher_id=*/1000, probe.num_weights(),
-                                      attack_config, Rng(args.seed ^ 0xBAD));
-
-    std::size_t junk_published = 0;
-    double budget = 0.0;
-    for (std::size_t round = 0; round < rounds; ++round) {
-      simulator.run_round();
-      budget += rate;
-      while (budget >= 1.0) {
-        attacker.attack(simulator.network().dag(), round);
-        ++junk_published;
-        budget -= 1.0;
-      }
-    }
-
-    const auto evals = simulator.evaluate_consensus_all();
-    double mean_acc = 0.0;
-    for (const auto& e : evals) mean_acc += e.accuracy;
-    mean_acc /= static_cast<double>(evals.size());
-
-    std::size_t junk_refs = 0;
-    for (std::size_t i = 0; i < evals.size(); ++i) {
-      const dag::TxId ref = simulator.network().consensus_reference(static_cast<int>(i));
-      if (simulator.dag().transaction(ref).publisher == 1000) ++junk_refs;
-    }
-    const double junk_ref_fraction =
-        static_cast<double>(junk_refs) / static_cast<double>(evals.size());
-    const double junk_share = static_cast<double>(junk_published) /
-                              static_cast<double>(simulator.dag().size() - 1);
-
-    std::cout << bench::fmt(rate, 2) << "        " << bench::fmt(junk_share, 2)
-              << "        " << bench::fmt(mean_acc) << "          "
-              << bench::fmt(junk_ref_fraction, 2) << "\n";
-    csv.row({bench::fmt(rate, 2), bench::fmt(junk_share), bench::fmt(mean_acc),
-             bench::fmt(junk_ref_fraction)});
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    const double junk_share = static_cast<double>(result.attacker_transactions) /
+                              static_cast<double>(result.dag_size - 1);
+    const double junk_refs = rate > 0.0 ? result.junk_reference_fraction : 0.0;
+    std::cout << bench::fmt(rate, 2) << "        " << bench::fmt(junk_share, 2) << "        "
+              << bench::fmt(result.consensus_accuracy) << "          "
+              << bench::fmt(junk_refs, 2) << "\n";
+    csv.row({bench::fmt(rate, 2), bench::fmt(junk_share), bench::fmt(result.consensus_accuracy),
+             bench::fmt(junk_refs)});
   }
   std::cout << "\nShape check: consensus accuracy stays high and junk references stay"
                "\nrare at low rates; both degrade as junk approaches a dominant share"

@@ -1,10 +1,14 @@
 // Shared support for the figure/table reproduction benches.
 //
 // Every bench binary regenerates one table or figure of the paper's
-// evaluation (§5): it runs the corresponding experiment at reduced scale,
-// prints the measured series next to the paper's expected shape, and writes
-// a CSV under results/ for external plotting. All benches are deterministic
-// and accept an optional `--seed N` / `--rounds N` override.
+// evaluation (§5) as a *thin driver* over a registry scenario: it sweeps
+// the figure's remaining axis (dataset, algorithm, alpha, attack rate, ...)
+// through scenario::run_scenario, prints the measured series next to the
+// paper's expected shape, and writes a CSV under results/ for external
+// plotting. All orchestration — simulators, attacks, baselines, metrics —
+// lives in the scenario engine; this header only carries argument parsing
+// and output formatting. All benches are deterministic and accept an
+// optional `--seed N` / `--rounds N` override.
 #pragma once
 
 #include <cstdlib>

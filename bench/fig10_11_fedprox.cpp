@@ -5,53 +5,25 @@
 // Paper shape: the centralized baselines are more consistent early; the DAG
 // is noisier but eventually outperforms FedAvg in both accuracy and loss and
 // comes close to FedProx on loss.
+//
+// Thin driver over the registry's "fig10-11-fedprox" scenario: one run per
+// algorithm, same dataset and seed.
 #include "bench_common.hpp"
-#include "fl/fed_server.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
 
 namespace {
 
-struct Series {
-  std::vector<double> accuracy;
-  std::vector<double> loss;
-};
-
-Series run_dag(sim::ExperimentPreset preset, std::size_t rounds) {
-  sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
-  Series series;
-  for (std::size_t round = 0; round < rounds; ++round) {
-    const auto& record = simulator.run_round();
-    series.accuracy.push_back(record.mean_trained_accuracy());
-    series.loss.push_back(record.mean_trained_loss());
-  }
-  return series;
-}
-
-Series run_fed(sim::ExperimentPreset preset, std::size_t rounds, double mu,
-               std::uint64_t seed) {
-  fl::FedServerConfig config;
-  config.train = preset.sim.client.train;
-  config.proximal_mu = mu;
-  fl::FedServer server(preset.factory, config, Rng(seed));
-  Series series;
-  for (std::size_t round = 0; round < rounds; ++round) {
-    const auto result = server.run_round(preset.dataset, preset.sim.clients_per_round);
-    double acc = 0.0, loss = 0.0;
-    for (const auto& e : result.client_evals) {
-      acc += e.accuracy;
-      loss += e.loss;
-    }
-    series.accuracy.push_back(acc / static_cast<double>(result.client_evals.size()));
-    series.loss.push_back(loss / static_cast<double>(result.client_evals.size()));
-  }
-  return series;
-}
-
-double tail_mean(const std::vector<double>& v, std::size_t n = 10) {
+double tail_mean(const std::vector<scenario::ScenarioPoint>& series, bool loss,
+                 std::size_t n = 10) {
+  n = std::min(n, series.size());
+  if (n == 0) return 0.0;
   double sum = 0.0;
-  for (std::size_t i = v.size() - n; i < v.size(); ++i) sum += v[i];
+  for (std::size_t i = series.size() - n; i < series.size(); ++i) {
+    sum += loss ? series[i].mean_loss : series[i].mean_accuracy;
+  }
   return sum / static_cast<double>(n);
 }
 
@@ -61,39 +33,47 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Figures 10/11 — DAG vs FedAvg vs FedProx on synthetic(0.5, 0.5)",
                       "DAG eventually outperforms FedAvg; loss approaches FedProx");
-  const std::size_t rounds = args.rounds ? args.rounds : 100;
-  const sim::PresetOptions options{args.seed, false};
 
-  const Series dag = run_dag(sim::fedprox_synthetic_preset(options), rounds);
-  const Series fedavg = run_fed(sim::fedprox_synthetic_preset(options), rounds, 0.0, args.seed);
-  // mu = 1 is the FedProx paper's value for the synthetic dataset.
-  const Series fedprox = run_fed(sim::fedprox_synthetic_preset(options), rounds, 1.0, args.seed);
+  std::vector<scenario::ScenarioResult> results;
+  for (const scenario::AlgorithmKind algorithm :
+       {scenario::AlgorithmKind::kDag, scenario::AlgorithmKind::kFedAvg,
+        scenario::AlgorithmKind::kFedProx}) {
+    scenario::ScenarioSpec spec = scenario::get_scenario("fig10-11-fedprox");
+    spec.seed = args.seed;
+    if (args.rounds) spec.rounds = args.rounds;
+    spec.algorithm = algorithm;
+    results.push_back(scenario::run_scenario(spec));
+  }
+  const auto& dag = results[0].series;
+  const auto& fedavg = results[1].series;
+  const auto& fedprox = results[2].series;
 
   auto csv = bench::open_csv(args, "fig10_11_fedprox",
                              {"round", "dag_acc", "fedavg_acc", "fedprox_acc", "dag_loss",
                               "fedavg_loss", "fedprox_loss"});
   std::cout << "\nround  dag_acc  fedavg_acc  fedprox_acc  |  dag_loss  fedavg_loss  "
                "fedprox_loss\n";
-  for (std::size_t r = 0; r < rounds; ++r) {
-    csv.row({std::to_string(r + 1), bench::fmt(dag.accuracy[r]), bench::fmt(fedavg.accuracy[r]),
-             bench::fmt(fedprox.accuracy[r]), bench::fmt(dag.loss[r]),
-             bench::fmt(fedavg.loss[r]), bench::fmt(fedprox.loss[r])});
+  for (std::size_t r = 0; r < dag.size(); ++r) {
+    csv.row({std::to_string(r + 1), bench::fmt(dag[r].mean_accuracy),
+             bench::fmt(fedavg[r].mean_accuracy), bench::fmt(fedprox[r].mean_accuracy),
+             bench::fmt(dag[r].mean_loss), bench::fmt(fedavg[r].mean_loss),
+             bench::fmt(fedprox[r].mean_loss)});
     if ((r + 1) % 20 == 0) {
-      std::cout << r + 1 << "     " << bench::fmt(dag.accuracy[r]) << "    "
-                << bench::fmt(fedavg.accuracy[r]) << "       " << bench::fmt(fedprox.accuracy[r])
-                << "        |  " << bench::fmt(dag.loss[r]) << "     "
-                << bench::fmt(fedavg.loss[r]) << "        " << bench::fmt(fedprox.loss[r])
-                << "\n";
+      std::cout << r + 1 << "     " << bench::fmt(dag[r].mean_accuracy) << "    "
+                << bench::fmt(fedavg[r].mean_accuracy) << "       "
+                << bench::fmt(fedprox[r].mean_accuracy) << "        |  "
+                << bench::fmt(dag[r].mean_loss) << "     " << bench::fmt(fedavg[r].mean_loss)
+                << "        " << bench::fmt(fedprox[r].mean_loss) << "\n";
     }
   }
 
   std::cout << "\nFinal (mean of last 10 rounds):\n"
-            << "  accuracy: dag " << bench::fmt(tail_mean(dag.accuracy)) << ", fedavg "
-            << bench::fmt(tail_mean(fedavg.accuracy)) << ", fedprox "
-            << bench::fmt(tail_mean(fedprox.accuracy)) << "\n"
-            << "  loss:     dag " << bench::fmt(tail_mean(dag.loss)) << ", fedavg "
-            << bench::fmt(tail_mean(fedavg.loss)) << ", fedprox "
-            << bench::fmt(tail_mean(fedprox.loss)) << "\n";
+            << "  accuracy: dag " << bench::fmt(tail_mean(dag, false)) << ", fedavg "
+            << bench::fmt(tail_mean(fedavg, false)) << ", fedprox "
+            << bench::fmt(tail_mean(fedprox, false)) << "\n"
+            << "  loss:     dag " << bench::fmt(tail_mean(dag, true)) << ", fedavg "
+            << bench::fmt(tail_mean(fedavg, true)) << ", fedprox "
+            << bench::fmt(tail_mean(fedprox, true)) << "\n";
   std::cout << "Shape check: dag final accuracy >= fedavg final accuracy; dag final loss"
                "\n<= fedavg final loss (paper Figures 10 and 11).\n";
   return 0;

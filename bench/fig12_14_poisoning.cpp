@@ -15,66 +15,17 @@
 // p=0.3 noticeable but < 30%); the random selector with p=0.2 flips *more*
 // than the accuracy selector with p=0.3; poisoned clients concentrate in
 // poisoned-majority communities.
+//
+// Thin driver over the registry's "fig12-14-poisoning" scenario: the attack
+// schedule and the per-round flip/approval probes run inside the scenario
+// engine; this main only sweeps the fraction and the tip selector.
 #include <map>
 
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
-
-namespace {
-
-struct Scenario {
-  std::string label;
-  double p;
-  fl::SelectorKind selector;
-};
-
-struct ScenarioResult {
-  std::vector<double> flip_rate;        // per post-attack round
-  std::vector<double> approved_poison;  // per post-attack round
-  metrics::LouvainResult louvain;
-  std::vector<bool> client_poisoned;
-};
-
-ScenarioResult run_scenario(const Scenario& scenario, std::size_t clean_rounds,
-                            std::size_t attack_rounds, std::uint64_t seed) {
-  sim::ExperimentPreset preset = sim::fmnist_by_author_preset({seed, false});
-  preset.sim.client.selector = scenario.selector;
-  nn::ModelFactory factory = preset.factory;
-  sim::DagSimulator simulator(std::move(preset.dataset), factory, preset.sim);
-  simulator.run_rounds(clean_rounds);
-  simulator.apply_poisoning(scenario.p, 3, 8);
-
-  ScenarioResult result;
-  nn::Sequential probe = factory();
-  for (std::size_t round = 0; round < attack_rounds; ++round) {
-    simulator.run_round();
-    // Evaluate each benign client's consensus/reference model.
-    double flip_sum = 0.0, poison_sum = 0.0;
-    std::size_t benign = 0;
-    for (std::size_t i = 0; i < simulator.dataset().clients.size(); ++i) {
-      const auto& client = simulator.dataset().clients[i];
-      if (client.poisoned) continue;
-      const dag::TxId reference =
-          simulator.network().consensus_reference(static_cast<int>(i));
-      const auto weights = simulator.dag().weights(reference);
-      flip_sum += fl::flip_rate(probe, *weights, client, 3, 8);
-      poison_sum +=
-          static_cast<double>(metrics::approved_poisoned_count(simulator.dag(), reference));
-      ++benign;
-    }
-    result.flip_rate.push_back(flip_sum / static_cast<double>(benign));
-    result.approved_poison.push_back(poison_sum / static_cast<double>(benign));
-  }
-  result.louvain = simulator.louvain_communities();
-  for (const auto& client : simulator.dataset().clients) {
-    result.client_poisoned.push_back(client.poisoned);
-  }
-  return result;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
@@ -82,10 +33,14 @@ int main(int argc, char** argv) {
       "Figures 12/13/14 — flipped-label poisoning (3 <-> 8)",
       "accuracy selector contains poisoning; random selector at p=0.2 flips more "
       "than accuracy selector at p=0.3; poisoned clients cluster together");
-  const std::size_t clean_rounds = args.rounds ? args.rounds : 40;
-  const std::size_t attack_rounds = args.rounds ? args.rounds : 40;
+  const std::size_t phase_rounds = args.rounds ? args.rounds : 40;
 
-  const std::vector<Scenario> scenarios = {
+  struct Variant {
+    std::string label;
+    double p;
+    fl::SelectorKind selector;
+  };
+  const std::vector<Variant> variants = {
       {"p=0.0", 0.0, fl::SelectorKind::kAccuracy},
       {"p=0.2", 0.2, fl::SelectorKind::kAccuracy},
       {"p=0.2-random", 0.2, fl::SelectorKind::kRandom},
@@ -94,65 +49,58 @@ int main(int argc, char** argv) {
 
   auto csv12 = bench::open_csv(args, "fig12_flip_rate",
                                {"scenario", "round", "flip_rate", "approved_poisoned"});
-  std::map<std::string, ScenarioResult> results;
-  for (const auto& scenario : scenarios) {
-    results[scenario.label] = run_scenario(scenario, clean_rounds, attack_rounds, args.seed);
-    const auto& r = results[scenario.label];
-    for (std::size_t round = 0; round < r.flip_rate.size(); ++round) {
-      csv12.row({scenario.label, std::to_string(clean_rounds + round + 1),
-                 bench::fmt(r.flip_rate[round]), bench::fmt(r.approved_poison[round])});
+  std::map<std::string, scenario::ScenarioResult> results;
+  for (const Variant& variant : variants) {
+    scenario::ScenarioSpec spec = scenario::get_scenario("fig12-14-poisoning");
+    spec.seed = args.seed;
+    spec.rounds = 2 * phase_rounds;
+    spec.attacks.label_flip.start_round = phase_rounds;
+    // p = 0 is the clean control: the probe schedule (metrics_every) is
+    // independent of the fraction, so it measures the identical rounds.
+    spec.attacks.label_flip.fraction = variant.p;
+    spec.client.selector = variant.selector;
+    results.emplace(variant.label, scenario::run_scenario(spec));
+    for (const scenario::ScenarioPoint& point : results.at(variant.label).series) {
+      if (!point.has_attack_metrics) continue;
+      csv12.row({variant.label, std::to_string(point.round), bench::fmt(point.flip_rate),
+                 bench::fmt(point.approved_poisoned)});
     }
   }
 
   std::cout << "\nFigure 12 — mean flip rate over the attack phase:\n";
-  std::map<std::string, double> mean_flip;
-  for (const auto& [label, r] : results) {
-    double mean = 0.0;
-    for (double f : r.flip_rate) mean += f;
-    mean /= static_cast<double>(r.flip_rate.size());
-    mean_flip[label] = mean;
-    std::cout << "  " << label << ": " << bench::fmt(100.0 * mean, 1) << "% flipped\n";
+  for (const auto& [label, result] : results) {
+    std::cout << "  " << label << ": " << bench::fmt(100.0 * result.mean_flip_rate, 1)
+              << "% flipped\n";
   }
 
   std::cout << "\nFigure 13 — mean approved poisoned transactions in the consensus:\n";
-  for (const auto& [label, r] : results) {
+  for (const auto& [label, result] : results) {
     if (label == "p=0.0") continue;
-    double mean = 0.0;
-    for (double c : r.approved_poison) mean += c;
-    mean /= static_cast<double>(r.approved_poison.size());
-    std::cout << "  " << label << ": " << bench::fmt(mean, 1) << " transactions\n";
+    std::cout << "  " << label << ": " << bench::fmt(result.mean_approved_poisoned, 1)
+              << " transactions\n";
   }
 
   std::cout << "\nFigure 14 — poisoned clients per inferred cluster (p=0.3):\n";
   auto csv14 = bench::open_csv(args, "fig14_poison_clusters",
                                {"community", "benign", "poisoned"});
-  const auto& r03 = results["p=0.3"];
-  std::map<int, std::pair<std::size_t, std::size_t>> per_community;  // benign, poisoned
-  for (std::size_t i = 0; i < r03.louvain.partition.size(); ++i) {
-    auto& [benign, poisoned] = per_community[r03.louvain.partition[i]];
-    if (r03.client_poisoned[i]) {
-      ++poisoned;
-    } else {
-      ++benign;
-    }
-  }
+  const scenario::ScenarioResult& r03 = results.at("p=0.3");
   std::size_t poisoned_in_poison_majority = 0, poisoned_total = 0;
-  for (const auto& [community, counts] : per_community) {
-    std::cout << "  community " << community << ": " << counts.first << " benign, "
-              << counts.second << " poisoned\n";
-    csv14.row({std::to_string(community), std::to_string(counts.first),
-               std::to_string(counts.second)});
-    poisoned_total += counts.second;
-    if (counts.second >= counts.first) poisoned_in_poison_majority += counts.second;
+  for (std::size_t c = 0; c < r03.poison_communities.size(); ++c) {
+    const auto& [benign, poisoned] = r03.poison_communities[c];
+    std::cout << "  community " << c << ": " << benign << " benign, " << poisoned
+              << " poisoned\n";
+    csv14.row({std::to_string(c), std::to_string(benign), std::to_string(poisoned)});
+    poisoned_total += poisoned;
+    if (poisoned >= benign) poisoned_in_poison_majority += poisoned;
   }
 
   std::cout << "\nShape checks:\n"
             << "  flip(p=0.2) close to flip(p=0.0): "
-            << bench::fmt(100.0 * mean_flip["p=0.2"], 1) << "% vs "
-            << bench::fmt(100.0 * mean_flip["p=0.0"], 1) << "%\n"
+            << bench::fmt(100.0 * results.at("p=0.2").mean_flip_rate, 1) << "% vs "
+            << bench::fmt(100.0 * results.at("p=0.0").mean_flip_rate, 1) << "%\n"
             << "  flip(p=0.2, random) > flip(p=0.3, accuracy): "
-            << bench::fmt(100.0 * mean_flip["p=0.2-random"], 1) << "% vs "
-            << bench::fmt(100.0 * mean_flip["p=0.3"], 1) << "%\n"
+            << bench::fmt(100.0 * results.at("p=0.2-random").mean_flip_rate, 1) << "% vs "
+            << bench::fmt(100.0 * results.at("p=0.3").mean_flip_rate, 1) << "%\n"
             << "  poisoned clients in poisoned-majority communities: "
             << poisoned_in_poison_majority << "/" << poisoned_total << "\n";
   return 0;

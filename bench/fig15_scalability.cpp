@@ -8,8 +8,14 @@
 // concurrency levels — concurrency has little impact on the walk cost, so
 // the approach scales well. Absolute milliseconds are hardware- and
 // model-size-dependent; the claim is the flat trend.
+//
+// Thin driver over the registry's "fig15-scalability" scenario: the runner
+// records the per-round walk cost; this main only sweeps clients_per_round.
+#include <algorithm>
+
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 #include "util/stats.hpp"
 
 using namespace specdag;
@@ -18,7 +24,6 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Figure 15 — random-walk duration vs concurrently active clients",
                       "walk duration roughly flat in the number of active clients");
-  const std::size_t rounds = args.rounds ? args.rounds : 50;
   const std::vector<std::size_t> active_counts = {5, 10, 20, 40};
 
   auto csv = bench::open_csv(args, "fig15_scalability",
@@ -27,31 +32,18 @@ int main(int argc, char** argv) {
 
   std::vector<double> mean_by_concurrency;
   for (std::size_t active : active_counts) {
-    sim::ExperimentPreset preset = sim::fmnist_by_author_preset({args.seed, false});
-    // Need enough clients for the largest concurrency level.
-    data::SyntheticDigitsConfig data_config;
-    data_config.seed = args.seed;
-    data_config.num_clients = 60;
-    data_config.samples_per_client = 80;
-    preset.dataset = data::make_fmnist_by_author(data_config);
-    preset.sim.clients_per_round = active;
-    // Paper cost model: depth-sampled start, no cross-round evaluation cache.
-    preset.sim.client.walk_start = tipsel::WalkStart::kDepthSampled;
-    preset.sim.client.start_depth_min = 15;
-    preset.sim.client.start_depth_max = 25;
-    preset.sim.client.persistent_accuracy_cache = false;
-    sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
+    scenario::ScenarioSpec spec = scenario::get_scenario("fig15-scalability");
+    spec.seed = args.seed;
+    if (args.rounds) spec.rounds = args.rounds;
+    spec.clients_per_round = active;
 
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
     std::vector<double> walk_ms;
-    for (std::size_t round = 1; round <= rounds; ++round) {
-      const auto& record = simulator.run_round();
-      double evals = 0.0;
-      for (const auto& r : record.results) evals += static_cast<double>(r.walk_stats.evaluations);
-      evals /= static_cast<double>(record.results.size());
-      const double ms = 1e3 * record.mean_walk_seconds();
+    for (const scenario::ScenarioPoint& point : result.series) {
+      const double ms = 1e3 * point.mean_walk_seconds;
       walk_ms.push_back(ms);
-      csv.row({std::to_string(active), std::to_string(round), bench::fmt(ms),
-               bench::fmt(evals, 1), std::to_string(simulator.dag().size())});
+      csv.row({std::to_string(active), std::to_string(point.round), bench::fmt(ms),
+               bench::fmt(point.mean_walk_evaluations, 1), std::to_string(point.dag_size)});
     }
     const Summary s = summarize(walk_ms);
     mean_by_concurrency.push_back(s.mean);

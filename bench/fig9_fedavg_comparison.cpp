@@ -7,9 +7,13 @@
 // variance across clients (FedAvg cannot specialize); on Poets and CIFAR the
 // two reach similar accuracy — the central server can be removed without an
 // accuracy penalty.
+//
+// Thin driver over the registry's "fig9-fedavg-vs-dag" scenario: the runner
+// records the per-client accuracies; this main only varies the dataset and
+// the algorithm and summarizes the 5-round windows.
 #include "bench_common.hpp"
-#include "fl/fed_server.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 #include "util/stats.hpp"
 
 using namespace specdag;
@@ -21,33 +25,14 @@ struct GroupStats {
   Summary summary;
 };
 
-std::vector<GroupStats> run_dag(sim::ExperimentPreset preset, std::size_t rounds) {
-  sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
+std::vector<GroupStats> window_groups(const scenario::ScenarioResult& result) {
   std::vector<GroupStats> groups;
   std::vector<double> window;
-  for (std::size_t round = 1; round <= rounds; ++round) {
-    const auto& record = simulator.run_round();
-    for (const auto& r : record.results) window.push_back(r.trained_eval.accuracy);
-    if (round % 5 == 0) {
-      groups.push_back({round - 4, summarize(window)});
-      window.clear();
-    }
-  }
-  return groups;
-}
-
-std::vector<GroupStats> run_fedavg(sim::ExperimentPreset preset, std::size_t rounds,
-                                   std::uint64_t seed) {
-  fl::FedServerConfig config;
-  config.train = preset.sim.client.train;
-  fl::FedServer server(preset.factory, config, Rng(seed));
-  std::vector<GroupStats> groups;
-  std::vector<double> window;
-  for (std::size_t round = 1; round <= rounds; ++round) {
-    const auto result = server.run_round(preset.dataset, preset.sim.clients_per_round);
-    for (const auto& e : result.client_evals) window.push_back(e.accuracy);
-    if (round % 5 == 0) {
-      groups.push_back({round - 4, summarize(window)});
+  for (const scenario::ScenarioPoint& point : result.series) {
+    window.insert(window.end(), point.client_accuracies.begin(),
+                  point.client_accuracies.end());
+    if (point.round % 5 == 0) {
+      groups.push_back({point.round - 4, summarize(window)});
       window.clear();
     }
   }
@@ -82,27 +67,33 @@ int main(int argc, char** argv) {
                               "mean", "stddev"});
 
   struct Task {
-    std::string name;
-    std::function<sim::ExperimentPreset()> make;
+    std::string dataset;
     std::size_t rounds;
   };
-  const sim::PresetOptions options{args.seed, false};
   const std::vector<Task> tasks = {
-      {"fmnist-clustered", [&] { return sim::fmnist_clustered_preset(options); },
-       args.rounds ? args.rounds : 100},
-      {"poets", [&] { return sim::poets_preset(options); }, args.rounds ? args.rounds : 60},
-      {"cifar100-like", [&] { return sim::cifar_preset(options); },
-       args.rounds ? args.rounds : 40},
+      {"fmnist-clustered", args.rounds ? args.rounds : 100},
+      {"poets", args.rounds ? args.rounds : 60},
+      {"cifar", args.rounds ? args.rounds : 40},
   };
 
   for (const auto& task : tasks) {
-    const auto dag_groups = run_dag(task.make(), task.rounds);
-    print_and_record(task.name, "dag", dag_groups, csv);
-    const auto fed_groups = run_fedavg(task.make(), task.rounds, args.seed);
-    print_and_record(task.name, "fedavg", fed_groups, csv);
+    double dag_final = 0.0, fed_final = 0.0;
+    for (const scenario::AlgorithmKind algorithm :
+         {scenario::AlgorithmKind::kDag, scenario::AlgorithmKind::kFedAvg}) {
+      scenario::ScenarioSpec spec = scenario::get_scenario("fig9-fedavg-vs-dag");
+      spec.seed = args.seed;
+      spec.rounds = task.rounds;
+      spec.dataset = scenario::dataset_preset_from_string(task.dataset);
+      spec.algorithm = algorithm;
+      // Table 1 hyperparameters per dataset column.
+      if (task.dataset == "poets") spec.client.train = {1, 35, 10, 0.8};
+      if (task.dataset == "cifar") spec.client.train = {5, 45, 10, 0.01};
 
-    const double dag_final = dag_groups.back().summary.median;
-    const double fed_final = fed_groups.back().summary.median;
+      const auto groups = window_groups(scenario::run_scenario(spec));
+      print_and_record(task.dataset, scenario::to_string(algorithm), groups, csv);
+      (algorithm == scenario::AlgorithmKind::kDag ? dag_final : fed_final) =
+          groups.empty() ? 0.0 : groups.back().summary.median;
+    }
     std::cout << "final median: dag " << bench::fmt(dag_final) << " vs fedavg "
               << bench::fmt(fed_final) << "\n";
   }

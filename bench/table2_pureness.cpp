@@ -4,36 +4,15 @@
 //   FMNIST-clustered   3          0.33           1.0
 //   Poets              2          0.5            0.95
 //   CIFAR-100          20         0.05           0.51
-#include <functional>
-
+//
+// Thin driver over the registry's "table2-pureness" scenario: one run per
+// dataset preset; pureness and its random-approval base come from the run
+// summary.
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace specdag;
-
-namespace {
-
-struct Row {
-  std::string dataset;
-  std::size_t clusters;
-  double base;
-  double measured;
-  double paper;
-};
-
-Row run(sim::ExperimentPreset preset, std::size_t rounds, double paper_value) {
-  const std::size_t clusters = preset.dataset.num_clusters;
-  std::vector<std::size_t> cluster_sizes(clusters, 0);
-  for (const auto& c : preset.dataset.clients) {
-    cluster_sizes[static_cast<std::size_t>(c.true_cluster)]++;
-  }
-  sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, preset.sim);
-  simulator.run_rounds(rounds);
-  return {preset.name, clusters, metrics::base_pureness(cluster_sizes),
-          simulator.approval_pureness().pureness, paper_value};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
@@ -41,28 +20,38 @@ int main(int argc, char** argv) {
                       "pureness >> base for all datasets; FMNIST ~1.0, Poets ~0.95, "
                       "CIFAR ~0.51 (paper scale)");
 
-  const sim::PresetOptions options{args.seed, false};
-  // CIFAR runs at reduced rounds by default to keep the bench suite fast;
-  // override with --rounds for a full-length run.
-  const std::size_t fmnist_rounds = args.rounds ? args.rounds : 100;
-  const std::size_t poets_rounds = args.rounds ? args.rounds : 100;
-  const std::size_t cifar_rounds = args.rounds ? args.rounds : 60;
-
-  std::vector<Row> rows;
-  rows.push_back(run(sim::fmnist_clustered_preset(options), fmnist_rounds, 1.0));
-  rows.push_back(run(sim::poets_preset(options), poets_rounds, 0.95));
-  rows.push_back(run(sim::cifar_preset(options), cifar_rounds, 0.51));
+  struct Row {
+    std::string dataset;
+    std::size_t rounds;  // CIFAR runs reduced by default to keep the suite fast
+    double paper;
+  };
+  const std::vector<Row> rows = {
+      {"fmnist-clustered", args.rounds ? args.rounds : 100, 1.0},
+      {"poets", args.rounds ? args.rounds : 100, 0.95},
+      {"cifar", args.rounds ? args.rounds : 60, 0.51},
+  };
 
   auto csv = bench::open_csv(args, "table2_pureness",
-                             {"dataset", "clusters", "base_pureness", "measured_pureness",
+                             {"dataset", "base_pureness", "measured_pureness",
                               "paper_pureness"});
-  std::cout << "\ndataset                 clusters  base    measured  paper\n";
-  for (const auto& row : rows) {
-    std::cout << row.dataset << std::string(24 - std::min<std::size_t>(24, row.dataset.size()), ' ')
-              << row.clusters << "         " << bench::fmt(row.base, 2) << "    "
-              << bench::fmt(row.measured, 2) << "      " << bench::fmt(row.paper, 2) << "\n";
-    csv.row({row.dataset, std::to_string(row.clusters), bench::fmt(row.base),
-             bench::fmt(row.measured), bench::fmt(row.paper)});
+  std::cout << "\ndataset                 base    measured  paper\n";
+  for (const Row& row : rows) {
+    scenario::ScenarioSpec spec = scenario::get_scenario("table2-pureness");
+    spec.seed = args.seed;
+    spec.rounds = row.rounds;
+    spec.dataset = scenario::dataset_preset_from_string(row.dataset);
+    // Table 1 hyperparameters per dataset column.
+    if (row.dataset == "poets") spec.client.train = {1, 35, 10, 0.8};
+    if (row.dataset == "cifar") spec.client.train = {5, 45, 10, 0.01};
+
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    std::cout << row.dataset
+              << std::string(24 - std::min<std::size_t>(24, row.dataset.size()), ' ')
+              << bench::fmt(result.base_pureness, 2) << "    "
+              << bench::fmt(result.pureness, 2) << "      " << bench::fmt(row.paper, 2)
+              << "\n";
+    csv.row({row.dataset, bench::fmt(result.base_pureness), bench::fmt(result.pureness),
+             bench::fmt(row.paper)});
   }
   std::cout << "\nShape check: measured pureness must exceed base pureness for every"
                "\ndataset, with FMNIST-clustered the purest (fully disjoint clusters).\n";

@@ -11,8 +11,14 @@
 //   --seed N       override the spec's seed
 //   --clients N    override the spec's client count (resizable presets)
 //   --delta on|off override the payload store's delta encoding
+//   --algorithm A  override the algorithm (dag|fedavg|fedprox|gossip)
+//   --attack SPEC  replace the spec's adversary schedule: none,
+//                  random_weights[=RATE], label_flip[=FRACTION]. Each
+//                  attack starts mid-run (at half the rounds); repeat the
+//                  flag to combine kinds
 //   --series       include the per-round series in the JSON output
 //   --csv PATH     also write the series as CSV
+//   --jsonl PATH   stream the series as JSONL (one line per round)
 //   --quiet        suppress the progress lines
 // `export` options: --rounds/--seed/--clients/--delta/--quiet as above, plus
 //   --dot PATH     write the final DAG as Graphviz DOT
@@ -44,8 +50,11 @@ int usage(std::ostream& out, int code) {
          "  list                    show the built-in scenario registry\n"
          "  show <name>             print a built-in spec as JSON\n"
          "  run <name|spec.json>    run one scenario (--rounds N --seed N\n"
-         "                          --clients N --delta on|off --series\n"
-         "                          --csv PATH --quiet)\n"
+         "                          --clients N --delta on|off\n"
+         "                          --algorithm dag|fedavg|fedprox|gossip\n"
+         "                          --attack none|random_weights[=RATE]|\n"
+         "                          label_flip[=FRACTION] --series\n"
+         "                          --csv PATH --jsonl PATH --quiet)\n"
          "  export <name|spec.json> run a scenario and export its DAG\n"
          "                          (--dot PATH --jsonl PATH --rounds N\n"
          "                          --seed N --clients N --delta on|off\n"
@@ -59,11 +68,16 @@ int cmd_list() {
   std::cout << "built-in scenarios:\n";
   for (const scenario::ScenarioSpec& spec : scenario::builtin_scenarios()) {
     std::string tags = scenario::to_string(spec.simulator);
+    if (spec.algorithm != scenario::AlgorithmKind::kDag) {
+      tags += ", " + scenario::to_string(spec.algorithm);
+    }
     if (spec.dynamics.churn.enabled()) tags += ", churn";
     if (spec.dynamics.stragglers.enabled()) tags += ", stragglers";
     if (spec.dynamics.partition.enabled()) tags += ", partition";
     if (spec.visibility_delay_rounds > 0) tags += ", delayed-visibility";
-    const std::size_t pad = spec.name.size() < 18 ? 18 - spec.name.size() : 1;
+    if (spec.attacks.random_weights.enabled()) tags += ", random-weights";
+    if (spec.attacks.label_flip.enabled()) tags += ", label-flip";
+    const std::size_t pad = spec.name.size() < 26 ? 26 - spec.name.size() : 1;
     std::cout << "  " << spec.name << std::string(pad, ' ') << "[" << tags << "] "
               << spec.description << "\n";
   }
@@ -87,18 +101,64 @@ scenario::ScenarioSpec resolve_spec(const std::string& name_or_path) {
   return scenario::spec_from_json(scenario::Json::parse_file(name_or_path));
 }
 
+// Applies the collected --attack overrides. Deferred until every flag is
+// parsed so the mid-run default start (half the — possibly overridden —
+// rounds) does not depend on flag order. The overrides REPLACE the spec's
+// adversary schedule: the first flag resets the attacks block, then each
+// flag enables its kind with a mid-run start ("none" contributes nothing,
+// so it disables unless followed by another kind).
+void apply_attack_overrides(const std::vector<std::string>& values,
+                            scenario::ScenarioSpec& spec) {
+  if (values.empty()) return;
+  spec.attacks = scenario::AttackSpec{};
+  for (const std::string& value : values) {
+    std::string kind = value;
+    double amount = -1.0;
+    if (const std::size_t eq = value.find('='); eq != std::string::npos) {
+      kind = value.substr(0, eq);
+      const char* amount_text = value.c_str() + eq + 1;
+      char* end = nullptr;
+      amount = std::strtod(amount_text, &end);
+      if (end == amount_text || *end != '\0' || amount < 0.0) {
+        std::cerr << "--attack: \"" << amount_text << "\" is not a valid rate/fraction\n";
+        std::exit(2);
+      }
+    }
+    if (kind == "none") {
+      spec.attacks = scenario::AttackSpec{};
+    } else if (kind == "random_weights") {
+      spec.attacks.random_weights.rate = amount >= 0.0 ? amount : 1.0;
+      spec.attacks.random_weights.start_round = spec.rounds / 2;
+    } else if (kind == "label_flip") {
+      spec.attacks.label_flip.fraction = amount >= 0.0 ? amount : 0.2;
+      spec.attacks.label_flip.start_round = spec.rounds / 2;
+      if (spec.attacks.metrics_every == 0) spec.attacks.metrics_every = 1;
+    } else {
+      std::cerr << "--attack expects none, random_weights[=RATE], or label_flip[=FRACTION]\n";
+      std::exit(2);
+    }
+  }
+}
+
 // Spec overrides shared by `run` and `export`: --rounds, --seed, --clients,
-// --delta. Returns true when `flag` was consumed; `next` yields the flag's
-// value (exiting with usage error when missing).
+// --delta, --algorithm, --attack. Returns true when `flag` was consumed;
+// `next` yields the flag's value (exiting with usage error when missing).
+// --attack values are only collected here; the caller applies them after
+// the whole command line is parsed.
 bool apply_spec_override(const std::string& flag,
                          const std::function<const std::string&()>& next,
-                         scenario::ScenarioSpec& spec) {
+                         scenario::ScenarioSpec& spec,
+                         std::vector<std::string>& attack_overrides) {
   if (flag == "--rounds") {
     spec.rounds = std::strtoull(next().c_str(), nullptr, 10);
   } else if (flag == "--seed") {
     spec.seed = std::strtoull(next().c_str(), nullptr, 10);
   } else if (flag == "--clients") {
     spec.num_clients = std::strtoull(next().c_str(), nullptr, 10);
+  } else if (flag == "--algorithm") {
+    spec.algorithm = scenario::algorithm_from_string(next());
+  } else if (flag == "--attack") {
+    attack_overrides.push_back(next());
   } else if (flag == "--delta") {
     const std::string& value = next();
     if (value == "on" || value == "true" || value == "1") {
@@ -136,14 +196,18 @@ int cmd_run(const std::vector<std::string>& args) {
   bool include_series = false;
   bool quiet = false;
   std::string csv_path;
+  std::string jsonl_path;
+  std::vector<std::string> attack_overrides;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& flag = args[i];
     auto next = value_getter(args, i, "run");
-    if (apply_spec_override(flag, next, spec)) {
+    if (apply_spec_override(flag, next, spec, attack_overrides)) {
     } else if (flag == "--series") {
       include_series = true;
     } else if (flag == "--csv") {
       csv_path = next();
+    } else if (flag == "--jsonl") {
+      jsonl_path = next();
     } else if (flag == "--quiet") {
       quiet = true;
     } else {
@@ -151,18 +215,28 @@ int cmd_run(const std::vector<std::string>& args) {
       return 2;
     }
   }
+  apply_attack_overrides(attack_overrides, spec);
   spec.validate();
 
   if (!quiet) {
     std::cerr << "running \"" << spec.name << "\" (" << scenario::to_string(spec.simulator)
-              << ", " << spec.rounds << " rounds, seed " << spec.seed << ")...\n";
+              << ", " << scenario::to_string(spec.algorithm) << ", " << spec.rounds
+              << " rounds, seed " << spec.seed << ")...\n";
   }
   const scenario::ScenarioResult result = scenario::run_scenario(spec);
-  if (!csv_path.empty()) {
-    const std::filesystem::path path(csv_path);
+  const auto ensure_parent = [](const std::string& path_str) {
+    const std::filesystem::path path(path_str);
     if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  };
+  if (!csv_path.empty()) {
+    ensure_parent(csv_path);
     scenario::write_series_csv(result, csv_path);
     if (!quiet) std::cerr << "series written to " << csv_path << "\n";
+  }
+  if (!jsonl_path.empty()) {
+    ensure_parent(jsonl_path);
+    scenario::write_series_jsonl(result, jsonl_path);
+    if (!quiet) std::cerr << "series written to " << jsonl_path << "\n";
   }
   std::cout << scenario::result_to_json(result, include_series).dump(2) << "\n";
   return 0;
@@ -176,10 +250,11 @@ int cmd_export(const std::vector<std::string>& args) {
   scenario::ScenarioSpec spec = resolve_spec(args[0]);
   scenario::RunOptions options;
   bool quiet = false;
+  std::vector<std::string> attack_overrides;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& flag = args[i];
     auto next = value_getter(args, i, "export");
-    if (apply_spec_override(flag, next, spec)) {
+    if (apply_spec_override(flag, next, spec, attack_overrides)) {
     } else if (flag == "--dot") {
       options.export_dot = next();
     } else if (flag == "--jsonl") {
@@ -191,6 +266,7 @@ int cmd_export(const std::vector<std::string>& args) {
       return 2;
     }
   }
+  apply_attack_overrides(attack_overrides, spec);
   spec.validate();
   if (options.export_dot.empty() && options.export_jsonl.empty()) {
     options.export_dot = "exports/" + spec.name + ".dot";

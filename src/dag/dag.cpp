@@ -144,6 +144,14 @@ std::size_t Dag::cumulative_weight(TxId id) const {
 }
 
 std::vector<std::size_t> Dag::cumulative_weights_all() const {
+  std::vector<std::size_t> weights;
+  std::vector<std::uint64_t> reach;
+  cumulative_weights_all_into(weights, reach);
+  return weights;
+}
+
+void Dag::cumulative_weights_all_into(std::vector<std::size_t>& weights,
+                                      std::vector<std::uint64_t>& reach) const {
   std::shared_lock lock(mutex_);
   const std::size_t n = transactions_.size();
   // weights[x] = 1 + |future cone of x|. Future cones are counted exactly
@@ -151,8 +159,8 @@ std::vector<std::size_t> Dag::cumulative_weights_all() const {
   // chunk of 64 candidate descendants can reach it. Parents always have
   // smaller ids than their children (the DAG is append-only), so a single
   // reverse-insertion-order pass sees every child before its parents.
-  std::vector<std::size_t> weights(n, 1);
-  std::vector<std::uint64_t> reach(n);
+  weights.assign(n, 1);
+  reach.resize(n);
   for (std::size_t chunk = 0; chunk < n; chunk += 64) {
     std::fill(reach.begin(), reach.end(), 0);
     const std::size_t chunk_end = std::min(chunk + 64, n);
@@ -170,10 +178,18 @@ std::vector<std::size_t> Dag::cumulative_weights_all() const {
       weights[id] += static_cast<std::size_t>(std::popcount(mask));
     }
   }
-  return weights;
 }
 
 std::vector<std::size_t> Dag::cumulative_weights_all(const std::vector<char>& visible) const {
+  std::vector<std::size_t> weights;
+  std::vector<std::uint64_t> reach;
+  cumulative_weights_all_into(visible, weights, reach);
+  return weights;
+}
+
+void Dag::cumulative_weights_all_into(const std::vector<char>& visible,
+                                      std::vector<std::size_t>& weights,
+                                      std::vector<std::uint64_t>& reach) const {
   std::shared_lock lock(mutex_);
   const std::size_t n = transactions_.size();
   const auto is_visible = [&](std::size_t id) { return id < visible.size() && visible[id]; };
@@ -181,8 +197,8 @@ std::vector<std::size_t> Dag::cumulative_weights_all(const std::vector<char>& vi
   // flow through visible transactions: a descendant counts towards an
   // ancestor only when a chain of visible transactions connects them —
   // exactly the masked walker's BFS view.
-  std::vector<std::size_t> weights(n, 0);
-  std::vector<std::uint64_t> reach(n);
+  weights.assign(n, 0);
+  reach.resize(n);
   for (std::size_t id = 0; id < n; ++id) {
     if (is_visible(id)) weights[id] = 1;
   }
@@ -207,7 +223,6 @@ std::vector<std::size_t> Dag::cumulative_weights_all(const std::vector<char>& vi
       weights[id] += static_cast<std::size_t>(std::popcount(mask));
     }
   }
-  return weights;
 }
 
 std::vector<TxId> Dag::past_cone(TxId id) const {

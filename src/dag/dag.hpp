@@ -84,6 +84,18 @@ class Dag {
   // invisible ids get weight 0.
   std::vector<std::size_t> cumulative_weights_all(const std::vector<char>& visible) const;
 
+  // Scratch-buffer variants for callers that batch one sweep per walk (the
+  // Weighted/Hybrid tip selectors): `weights` receives the result and
+  // `reach_scratch` holds the sweep's bit masks, both resized as needed and
+  // reusable across calls — no per-walk allocations once they reach the
+  // DAG's high-water size. First step toward incremental cumulative-weight
+  // maintenance on append.
+  void cumulative_weights_all_into(std::vector<std::size_t>& weights,
+                                   std::vector<std::uint64_t>& reach_scratch) const;
+  void cumulative_weights_all_into(const std::vector<char>& visible,
+                                   std::vector<std::size_t>& weights,
+                                   std::vector<std::uint64_t>& reach_scratch) const;
+
   // All ids in the past cone of `id` (ancestors via approvals), excluding
   // `id` itself. Used to count approved poisoned transactions (Figure 13).
   std::vector<TxId> past_cone(TxId id) const;

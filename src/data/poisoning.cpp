@@ -45,4 +45,16 @@ std::vector<int> poison_fraction(FederatedDataset& dataset, double p, int class_
   return ids;
 }
 
+std::vector<int> revert_poisoning(FederatedDataset& dataset, int class_a, int class_b) {
+  std::vector<int> reverted;
+  for (std::size_t i = 0; i < dataset.clients.size(); ++i) {
+    auto& client = dataset.clients[i];
+    if (!client.poisoned) continue;
+    flip_labels(client, class_a, class_b);
+    client.poisoned = false;
+    reverted.push_back(static_cast<int>(i));
+  }
+  return reverted;
+}
+
 }  // namespace specdag::data

@@ -12,6 +12,10 @@
 
 namespace specdag::data {
 
+// The RNG fork tag every poisoning site derives its victim set from. Shared
+// so a DAG run and a baseline run of the same seed poison the same clients.
+inline constexpr std::uint64_t kPoisonForkTag = 0x9015;
+
 // Swaps labels `class_a` <-> `class_b` in train and test data of `client`
 // and marks it poisoned. Returns the number of labels changed.
 std::size_t flip_labels(ClientData& client, int class_a, int class_b);
@@ -20,5 +24,11 @@ std::size_t flip_labels(ClientData& client, int class_a, int class_b);
 // Returns the ids of the poisoned clients.
 std::vector<int> poison_fraction(FederatedDataset& dataset, double p, int class_a, int class_b,
                                  Rng& rng);
+
+// Reverts an earlier flip: restores the original labels of every client
+// marked poisoned (the swap is its own inverse) and clears the flags.
+// Returns the indices of the reverted clients so callers can invalidate
+// their caches.
+std::vector<int> revert_poisoning(FederatedDataset& dataset, int class_a, int class_b);
 
 }  // namespace specdag::data

@@ -6,6 +6,12 @@
 // tip selection" (paper §4.4) — targeting its own poisoned subgraph would
 // limit the blast radius — so the attacker approves tips via the uniformly
 // random walk.
+//
+// Attack payloads publish through Dag::add_transaction and are therefore
+// interned in the DAG's ModelStore like every honest payload: payload_hash
+// is defined for each junk transaction (so the sharded evaluation cache
+// covers them), replayed junk dedups, and noise that does not delta-compress
+// falls back to a raw anchor. tests/test_attacks.cpp pins this down.
 #pragma once
 
 #include "dag/dag.hpp"

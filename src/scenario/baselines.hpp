@@ -1,0 +1,96 @@
+// Non-DAG algorithm backends for the scenario runner.
+//
+// The paper's headline claims are comparative — the accuracy-aware DAG vs
+// FedAvg/FedProx (Figures 9-11) and vs gossip learning (§3.2) — so the
+// runner treats "which algorithm runs" as spec data: every backend executes
+// the same dataset preset, round count, and seed behind the same
+// ScenarioResult surface, which makes DAG-vs-baseline sweeps a one-axis
+// grid. DAG runs keep their specialized paths in runner.cpp; this file
+// provides the centralized (FedAvg/FedProx) and gossip backends.
+#pragma once
+
+#include <memory>
+
+#include "data/poisoning.hpp"
+#include "fl/fed_server.hpp"
+#include "fl/gossip.hpp"
+
+namespace specdag::scenario {
+
+// One per-round step of a baseline: the per-selected-client evaluations the
+// paper plots (FedAvg: the distributed global model before local training;
+// gossip: the post-training local model).
+class BaselineBackend {
+ public:
+  virtual ~BaselineBackend() = default;
+
+  // Runs one round over `clients_per_round` sampled clients.
+  virtual std::vector<fl::EvalResult> run_round() = 0;
+
+  // Mean flipped-prediction rate (classes a<->b) over the benign clients'
+  // inference models — the baseline analogue of the DAG's Figure 12 probe.
+  virtual double mean_benign_flip_rate(int class_a, int class_b) = 0;
+
+  // Mean accuracy over *every* client of the model it would use for
+  // inference (the analogue of the DAG's consensus evaluation).
+  virtual double mean_inference_accuracy() = 0;
+
+  // Label-flip attack hooks with the same semantics as the simulators':
+  // poison a seed-derived fraction, revert restores the original labels.
+  std::vector<int> apply_poisoning(double p, int class_a, int class_b);
+  void revert_poisoning();
+
+  const data::FederatedDataset& dataset() const { return dataset_; }
+
+ protected:
+  BaselineBackend(data::FederatedDataset dataset, std::uint64_t seed);
+
+  data::FederatedDataset dataset_;  // owned: poisoning mutates client shards
+  std::uint64_t seed_;
+
+ private:
+  int poison_class_a_ = 0;
+  int poison_class_b_ = 0;
+};
+
+// FedAvg (McMahan et al.) / FedProx (Li et al., mu > 0). Wraps fl::FedServer
+// with its own client sampling, so a backend round is bit-identical to
+// calling FedServer::run_round(dataset, clients_per_round) directly with the
+// same seed — the parity the tests pin down.
+class FedAvgBackend final : public BaselineBackend {
+ public:
+  FedAvgBackend(data::FederatedDataset dataset, const nn::ModelFactory& factory,
+                fl::TrainConfig train, double proximal_mu, std::size_t clients_per_round,
+                std::uint64_t seed);
+
+  std::vector<fl::EvalResult> run_round() override;
+  double mean_benign_flip_rate(int class_a, int class_b) override;
+  double mean_inference_accuracy() override;
+
+  const fl::FedServer& server() const { return server_; }
+
+ private:
+  fl::FedServer server_;
+  nn::Sequential probe_;
+  std::size_t clients_per_round_;
+};
+
+// Gossip learning (paper §3.2): decentralized averaging with a uniformly
+// random peer, no ledger.
+class GossipBackend final : public BaselineBackend {
+ public:
+  GossipBackend(data::FederatedDataset dataset, const nn::ModelFactory& factory,
+                fl::TrainConfig train, std::size_t clients_per_round, std::uint64_t seed);
+
+  std::vector<fl::EvalResult> run_round() override;
+  double mean_benign_flip_rate(int class_a, int class_b) override;
+  double mean_inference_accuracy() override;
+
+ private:
+  fl::GossipNetwork net_;
+  nn::Sequential probe_;
+  Rng select_rng_;
+  std::size_t clients_per_round_;
+};
+
+}  // namespace specdag::scenario

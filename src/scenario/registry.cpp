@@ -132,6 +132,190 @@ std::vector<ScenarioSpec> make_builtins() {
     scenarios.push_back(spec);
   }
 
+  // --- paper figures and tables (formerly hand-rolled bench mains) --------
+  // Each scenario is the base configuration of one figure/table; the thin
+  // drivers under bench/ sweep the remaining axis (dataset, algorithm,
+  // alpha, ...) over these bases.
+  {
+    // Figure 9: per-client accuracy distributions, DAG vs FedAvg. The driver
+    // flips `algorithm` and `dataset`; the recorded per-client accuracies
+    // supply the quartile boxes.
+    ScenarioSpec spec;
+    spec.name = "fig9-fedavg-vs-dag";
+    spec.description = "Figure 9 base: per-client accuracy distributions (DAG side)";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.rounds = 100;
+    spec.record_client_accuracies = true;
+    spec.client.train = {1, 10, 10, 0.05};
+    scenarios.push_back(spec);
+  }
+  {
+    // Figures 10/11: accuracy and loss per round on the FedProx synthetic
+    // dataset; the driver runs algorithm in {dag, fedavg, fedprox}.
+    ScenarioSpec spec;
+    spec.name = "fig10-11-fedprox";
+    spec.description = "Figures 10/11 base: synthetic(0.5,0.5), DAG vs FedAvg vs FedProx";
+    spec.dataset = DatasetPreset::kFedproxSynthetic;
+    spec.rounds = 100;
+    spec.proximal_mu = 1.0;  // the FedProx paper's mu for this dataset
+    spec.client.train = {1, 10, 10, 0.05};
+    scenarios.push_back(spec);
+  }
+  {
+    // Figures 12/13/14: flipped-label poisoning on the author split. Clean
+    // for the first half, 3<->8 flipped for 20% of clients in the second;
+    // the flip-rate / poisoned-approval probes run every round of the
+    // attack phase. The driver sweeps the fraction and the tip selector.
+    ScenarioSpec spec;
+    spec.name = "fig12-14-poisoning";
+    spec.description = "Figures 12-14: mid-run flipped-label poisoning (3<->8, 20%)";
+    spec.dataset = DatasetPreset::kFmnistByAuthor;
+    spec.rounds = 80;
+    spec.client.train = {1, 10, 10, 0.05};
+    spec.attacks.label_flip = {0.2, 3, 8, 40, 0};
+    spec.attacks.metrics_every = 1;
+    scenarios.push_back(spec);
+  }
+  {
+    // Figure 15: walk cost vs concurrently active clients. Depth-sampled
+    // walk starts (Popov's 15-25) and no cross-round evaluation cache, so
+    // every walk pays its full cost; the driver sweeps clients_per_round.
+    ScenarioSpec spec;
+    spec.name = "fig15-scalability";
+    spec.description = "Figure 15: biased-walk cost, depth-sampled starts, no eval cache";
+    spec.dataset = DatasetPreset::kFmnistByAuthor;
+    spec.rounds = 50;
+    spec.clients_per_round = 10;
+    spec.num_clients = 60;
+    spec.samples_per_client = 80;
+    spec.client.walk_start = tipsel::WalkStart::kDepthSampled;
+    spec.client.start_depth_min = 15;
+    spec.client.start_depth_max = 25;
+    spec.client.persistent_accuracy_cache = false;
+    spec.client.train = {1, 10, 10, 0.05};
+    scenarios.push_back(spec);
+  }
+  {
+    // Table 2: approval pureness after training; the driver also runs the
+    // poets and cifar presets over this base.
+    ScenarioSpec spec;
+    spec.name = "table2-pureness";
+    spec.description = "Table 2 base: approval pureness after 100 rounds";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.rounds = 100;
+    spec.client.train = {1, 10, 10, 0.05};
+    scenarios.push_back(spec);
+  }
+
+  // --- ablations ----------------------------------------------------------
+  {
+    // Broadcast latency vs specialization on the event-driven simulator:
+    // zero latency collapses the tip set towards a chain; the driver sweeps
+    // the latency from 0 upward.
+    ScenarioSpec spec;
+    spec.name = "ablation-async-latency";
+    spec.description = "Ablation: async broadcast latency sustains DAG width";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.simulator = SimKind::kAsync;
+    spec.rounds = 30;
+    spec.broadcast_latency = 0.3;
+    spec.num_clients = 15;
+    spec.samples_per_client = 100;
+    spec.client.train = {1, 10, 10, 0.05};
+    scenarios.push_back(spec);
+  }
+  {
+    // Decentralized alternatives on clustered non-IID data; the driver runs
+    // algorithm in {dag, gossip, fedavg}.
+    ScenarioSpec spec;
+    spec.name = "ablation-baselines";
+    spec.description = "Ablation: DAG vs gossip learning vs FedAvg on clustered data";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.rounds = 80;
+    spec.client.train = {1, 10, 10, 0.05};
+    scenarios.push_back(spec);
+  }
+  {
+    // Approvals per transaction (paper: 2); the driver sweeps num_parents.
+    ScenarioSpec spec;
+    spec.name = "ablation-num-parents";
+    spec.description = "Ablation: approvals per transaction (paper fixes 2)";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.rounds = 80;
+    spec.client.train = {1, 10, 10, 0.05};
+    scenarios.push_back(spec);
+  }
+  {
+    // Partial-layer training (paper future work): the base freezes the
+    // feature layers and trains only the classifier head; the driver
+    // compares against freeze_prefix_params = 0.
+    ScenarioSpec spec;
+    spec.name = "ablation-partial-training";
+    spec.description = "Ablation: head-only training vs full training";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.rounds = 80;
+    spec.client.train = {1, 10, 10, 0.05};
+    spec.client.train.freeze_prefix_params = 2;
+    scenarios.push_back(spec);
+  }
+  {
+    // The publish-if-better gate (paper §4.1); the driver compares gate off.
+    ScenarioSpec spec;
+    spec.name = "ablation-publish-gate";
+    spec.description = "Ablation: the publish-if-better gate filters regressions";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.rounds = 80;
+    spec.client.train = {1, 10, 10, 0.05};
+    scenarios.push_back(spec);
+  }
+  {
+    // Random-weights attack (paper §4.4): one junk transaction per round
+    // from round 0; the driver sweeps the rate. evaluate_consensus supplies
+    // the honest-consensus accuracy, the attack summary the junk-reference
+    // takeover fraction.
+    ScenarioSpec spec;
+    spec.name = "ablation-random-weights";
+    spec.description = "Ablation: random-weight junk transactions vs the accuracy walk";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.rounds = 60;
+    spec.evaluate_consensus = true;
+    spec.client.train = {1, 10, 10, 0.05};
+    spec.attacks.random_weights = {1.0, 0.1, 2, 0, 0};
+    scenarios.push_back(spec);
+  }
+
+  // --- CI smokes ----------------------------------------------------------
+  {
+    // Tiny adversarial run for CI: label flip mid-run with per-round probes.
+    ScenarioSpec spec;
+    spec.name = "poisoning-smoke";
+    spec.description = "CI smoke: tiny label-flip attack with per-round probes";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.rounds = 6;
+    spec.clients_per_round = 3;
+    spec.num_clients = 6;
+    spec.samples_per_client = 40;
+    spec.client.train = {1, 4, 8, 0.05};
+    spec.attacks.label_flip = {0.34, 3, 8, 2, 0};
+    spec.attacks.metrics_every = 1;
+    scenarios.push_back(spec);
+  }
+  {
+    // Tiny baseline run for CI: the fedavg backend behind the runner.
+    ScenarioSpec spec;
+    spec.name = "fedavg-smoke";
+    spec.description = "CI smoke: tiny FedAvg run through the scenario runner";
+    spec.dataset = DatasetPreset::kFmnistClustered;
+    spec.algorithm = AlgorithmKind::kFedAvg;
+    spec.rounds = 5;
+    spec.clients_per_round = 3;
+    spec.num_clients = 6;
+    spec.samples_per_client = 40;
+    spec.evaluate_consensus = true;
+    spec.client.train = {1, 4, 8, 0.05};
+    scenarios.push_back(spec);
+  }
+
   for (const ScenarioSpec& spec : scenarios) spec.validate();
   return scenarios;
 }

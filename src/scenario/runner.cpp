@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
 
 #include "dag/export.hpp"
+#include "scenario/baselines.hpp"
 #include "metrics/client_graph.hpp"
 #include "metrics/community.hpp"
 #include "metrics/dag_metrics.hpp"
@@ -131,6 +136,35 @@ void apply_dynamics_at(const ScenarioSpec& spec, const std::vector<int>& churned
   }
 }
 
+// Fires the label-flip schedule for `unit`. `target` is either simulator or
+// a BaselineBackend — all three expose the same poisoning hooks.
+template <typename Target>
+void apply_label_flip_at(const ScenarioSpec& spec, std::size_t unit, Target& target,
+                         ScenarioResult& result) {
+  const LabelFlipAttackSpec& flip = spec.attacks.label_flip;
+  if (!flip.enabled()) return;
+  if (unit == flip.start_round) {
+    result.poisoned_clients =
+        target.apply_poisoning(flip.fraction, flip.class_a, flip.class_b).size();
+  }
+  if (flip.stop_round != 0 && unit == flip.stop_round) target.revert_poisoning();
+}
+
+// Attack steps shared by the round and async DAG loops: publish the junk
+// transactions due this unit, then run the label-flip probes when scheduled.
+void run_attack_step(std::size_t unit, AttackController& attacks, core::SpecializingDag& net,
+                     const data::FederatedDataset& dataset,
+                     std::optional<nn::Sequential>& probe, const nn::ModelFactory& factory,
+                     ScenarioPoint& point) {
+  point.attacker_transactions = attacks.run_random_weights(unit, net.dag());
+  if (!attacks.measure_at(unit)) return;
+  if (!probe) probe.emplace(factory());
+  const LabelFlipProbe measured = attacks.probe_label_flip(net, dataset, *probe);
+  point.has_attack_metrics = true;
+  point.flip_rate = measured.flip_rate;
+  point.approved_poisoned = measured.approved_poisoned;
+}
+
 double tail_mean_accuracy(const std::vector<ScenarioPoint>& series) {
   if (series.empty()) return 0.0;
   const std::size_t tail = std::max<std::size_t>(1, series.size() / 10);
@@ -173,7 +207,8 @@ void fill_community_metrics(const ScenarioSpec& spec, const data::FederatedDatas
 // Shared final-metrics computation over the (finished) DAG network.
 void finalize_result(const ScenarioSpec& spec, const data::FederatedDataset& dataset,
                      const nn::ModelFactory& factory, core::SpecializingDag& net,
-                     const RunOptions& options, ScenarioResult& result) {
+                     AttackController& attacks, const RunOptions& options,
+                     ScenarioResult& result) {
   std::vector<int> true_clusters;
   for (const auto& client : dataset.clients) true_clusters.push_back(client.true_cluster);
 
@@ -189,6 +224,32 @@ void finalize_result(const ScenarioSpec& spec, const data::FederatedDataset& dat
   const metrics::LouvainResult louvain = metrics::louvain(graph, louvain_rng);
   result.modularity = louvain.modularity;
   result.communities = louvain.num_communities;
+
+  result.attacker_transactions = attacks.total_published();
+  if (spec.attacks.random_weights.enabled()) {
+    result.junk_reference_fraction =
+        attacks.junk_reference_fraction(net, dataset.clients.size());
+  }
+  if (spec.attacks.label_flip.enabled()) {
+    // Figure 14: how the (still-)poisoned clients distribute over the
+    // Louvain-inferred communities. Empty when the attack was reverted.
+    std::map<int, std::pair<std::size_t, std::size_t>> per_community;
+    bool any_poisoned = false;
+    for (std::size_t i = 0; i < dataset.clients.size(); ++i) {
+      auto& [benign, poisoned] = per_community[louvain.partition[i]];
+      if (dataset.clients[i].poisoned) {
+        ++poisoned;
+        any_poisoned = true;
+      } else {
+        ++benign;
+      }
+    }
+    if (any_poisoned) {
+      for (const auto& [community, counts] : per_community) {
+        result.poison_communities.push_back(counts);
+      }
+    }
+  }
 
   const metrics::DagWeightSummary weights = metrics::dag_weight_summary(net.dag());
   result.mean_cumulative_weight = weights.mean_cumulative_weight;
@@ -237,9 +298,12 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   sim::DagSimulator simulator(std::move(preset.dataset), preset.factory, config);
 
   const std::vector<int> churned = churn_targets(spec, num_clients);
+  AttackController attacks(spec.attacks, spec.seed, num_clients);
+  std::optional<nn::Sequential> probe;
 
   for (std::size_t round = 0; round < spec.rounds; ++round) {
     apply_dynamics_at(spec, churned, round, simulator);
+    apply_label_flip_at(spec, round, simulator, result);
 
     const sim::RoundRecord& record = simulator.run_round();
     ScenarioPoint point;
@@ -247,15 +311,28 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
     point.mean_accuracy = record.mean_trained_accuracy();
     point.mean_loss = record.mean_trained_loss();
     point.publishes = record.publish_count();
-    point.dag_size = simulator.dag().size();
     point.active_clients = simulator.active_client_count();
     point.partitioned = simulator.partitioned();
+    point.mean_walk_seconds = record.mean_walk_seconds();
+    if (!record.results.empty()) {
+      double evals = 0.0;
+      for (const auto& r : record.results) {
+        evals += static_cast<double>(r.walk_stats.evaluations);
+        if (spec.record_client_accuracies) {
+          point.client_accuracies.push_back(r.trained_eval.accuracy);
+        }
+      }
+      point.mean_walk_evaluations = evals / static_cast<double>(record.results.size());
+    }
+    run_attack_step(round, attacks, simulator.network(), simulator.dataset(), probe,
+                    preset.factory, point);
+    point.dag_size = simulator.dag().size();
     fill_community_metrics(spec, simulator.dataset(), simulator.dag(), round + 1, point);
     result.series.push_back(point);
   }
 
-  finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), options,
-                  result);
+  finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), attacks,
+                  options, result);
   return result;
 }
 
@@ -274,28 +351,42 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
                                    straggler_profiles(spec, num_clients));
 
   const std::vector<int> churned = churn_targets(spec, num_clients);
+  AttackController attacks(spec.attacks, spec.seed, num_clients);
+  std::optional<nn::Sequential> probe;
 
   std::size_t previous_dag_size = simulator.dag().size();
   for (std::size_t unit = 0; unit < spec.rounds; ++unit) {
-    // Dynamics fire at virtual-time boundaries, mirroring the round-based
-    // schedule ("round" == one unit of virtual time).
+    // Dynamics and attacks fire at virtual-time boundaries, mirroring the
+    // round-based schedule ("round" == one unit of virtual time).
     apply_dynamics_at(spec, churned, unit, simulator);
+    apply_label_flip_at(spec, unit, simulator, result);
 
     const std::vector<sim::AsyncStepRecord> records =
         simulator.run_until(static_cast<double>(unit + 1));
     ScenarioPoint point;
     point.round = unit + 1;
     if (!records.empty()) {
-      double acc = 0.0, loss = 0.0;
+      double acc = 0.0, loss = 0.0, walk_seconds = 0.0, walk_evals = 0.0;
       for (const auto& record : records) {
         acc += record.result.trained_eval.accuracy;
         loss += record.result.trained_eval.loss;
+        walk_seconds += record.result.walk_stats.seconds;
+        walk_evals += static_cast<double>(record.result.walk_stats.evaluations);
+        if (spec.record_client_accuracies) {
+          point.client_accuracies.push_back(record.result.trained_eval.accuracy);
+        }
       }
       point.mean_accuracy = acc / static_cast<double>(records.size());
       point.mean_loss = loss / static_cast<double>(records.size());
+      point.mean_walk_seconds = walk_seconds / static_cast<double>(records.size());
+      point.mean_walk_evaluations = walk_evals / static_cast<double>(records.size());
     }
+    // Honest publications of this unit; the attacker's junk is counted
+    // separately in attacker_transactions.
+    point.publishes = simulator.dag().size() - previous_dag_size;
+    run_attack_step(unit, attacks, simulator.network(), simulator.dataset(), probe,
+                    preset.factory, point);
     point.dag_size = simulator.dag().size();
-    point.publishes = point.dag_size - previous_dag_size;
     previous_dag_size = point.dag_size;
     point.active_clients = simulator.active_client_count();
     point.partitioned = simulator.partitioned();
@@ -303,8 +394,74 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
     result.series.push_back(point);
   }
 
-  finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), options,
-                  result);
+  finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), attacks,
+                  options, result);
+  return result;
+}
+
+// FedAvg/FedProx/gossip behind the same series/summary surface: identical
+// dataset preset, rounds, and seed as a DAG run of the same spec, so one
+// sweep axis flips the algorithm.
+ScenarioResult run_baseline_scenario(const ScenarioSpec& spec, sim::ExperimentPreset preset,
+                                     const RunOptions& options) {
+  if (!options.export_dot.empty() || !options.export_jsonl.empty()) {
+    throw std::invalid_argument("scenario: the " + to_string(spec.algorithm) +
+                                " baseline builds no DAG to export");
+  }
+  ScenarioResult result;
+  const std::size_t num_clients = preset.dataset.clients.size();
+  const std::size_t per_round = std::min(spec.clients_per_round, num_clients);
+
+  std::unique_ptr<BaselineBackend> backend;
+  switch (spec.algorithm) {
+    case AlgorithmKind::kFedAvg:
+      backend = std::make_unique<FedAvgBackend>(std::move(preset.dataset), preset.factory,
+                                                spec.client.train, /*proximal_mu=*/0.0,
+                                                per_round, spec.seed);
+      break;
+    case AlgorithmKind::kFedProx:
+      backend = std::make_unique<FedAvgBackend>(std::move(preset.dataset), preset.factory,
+                                                spec.client.train, spec.proximal_mu, per_round,
+                                                spec.seed);
+      break;
+    case AlgorithmKind::kGossip:
+      backend = std::make_unique<GossipBackend>(std::move(preset.dataset), preset.factory,
+                                                spec.client.train, per_round, spec.seed);
+      break;
+    case AlgorithmKind::kDag:
+      throw std::logic_error("run_baseline_scenario: dag is not a baseline");
+  }
+
+  const LabelFlipAttackSpec& flip = spec.attacks.label_flip;
+  for (std::size_t round = 0; round < spec.rounds; ++round) {
+    apply_label_flip_at(spec, round, *backend, result);
+
+    const std::vector<fl::EvalResult> evals = backend->run_round();
+    ScenarioPoint point;
+    point.round = round + 1;
+    if (!evals.empty()) {
+      double acc = 0.0, loss = 0.0;
+      for (const auto& eval : evals) {
+        acc += eval.accuracy;
+        loss += eval.loss;
+        if (spec.record_client_accuracies) point.client_accuracies.push_back(eval.accuracy);
+      }
+      point.mean_accuracy = acc / static_cast<double>(evals.size());
+      point.mean_loss = loss / static_cast<double>(evals.size());
+    }
+    point.active_clients = num_clients;
+    if (spec.attacks.measure_at(round)) {
+      point.has_attack_metrics = true;
+      point.flip_rate = backend->mean_benign_flip_rate(flip.class_a, flip.class_b);
+    }
+    result.series.push_back(std::move(point));
+  }
+
+  result.clients = num_clients;
+  result.final_accuracy = tail_mean_accuracy(result.series);
+  if (spec.evaluate_consensus) {
+    result.consensus_accuracy = backend->mean_inference_accuracy();
+  }
   return result;
 }
 
@@ -317,80 +474,165 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options)
   Timer timer;
   sim::ExperimentPreset preset = build_preset(spec);
 
-  ScenarioResult result = spec.simulator == SimKind::kRound
-                              ? run_round_scenario(spec, std::move(preset), options)
-                              : run_async_scenario(spec, std::move(preset), options);
+  ScenarioResult result;
+  if (spec.algorithm != AlgorithmKind::kDag) {
+    result = run_baseline_scenario(spec, std::move(preset), options);
+  } else {
+    result = spec.simulator == SimKind::kRound
+                 ? run_round_scenario(spec, std::move(preset), options)
+                 : run_async_scenario(spec, std::move(preset), options);
+  }
   result.scenario = spec.name;
   result.seed = spec.seed;
   result.simulator = to_string(spec.simulator);
+  result.algorithm = to_string(spec.algorithm);
   result.rounds = spec.rounds;
+  result.attacked = spec.attacks.any();
+  // Attack-phase means over the measured points (Figures 12/13 headline
+  // numbers, independent of the backend). Probes taken after the label-flip
+  // window healed stay in the series (recovery data) but are excluded here.
+  const std::size_t flip_stop = spec.attacks.label_flip.stop_round;
+  double flip_sum = 0.0, poison_sum = 0.0;
+  std::size_t measured = 0, poison_measured = 0;
+  for (const ScenarioPoint& point : result.series) {
+    if (!point.has_attack_metrics) continue;
+    if (flip_stop != 0 && point.round - 1 >= flip_stop) continue;
+    flip_sum += point.flip_rate;
+    ++measured;
+    if (point.approved_poisoned >= 0.0) {
+      poison_sum += point.approved_poisoned;
+      ++poison_measured;
+    }
+  }
+  if (measured > 0) result.mean_flip_rate = flip_sum / static_cast<double>(measured);
+  if (poison_measured > 0) {
+    result.mean_approved_poisoned = poison_sum / static_cast<double>(poison_measured);
+  }
   result.wall_seconds = timer.elapsed_seconds();
   return result;
 }
+
+namespace {
+
+// One series point as a JSON object (shared by the summary's series array
+// and the JSONL stream).
+Json point_to_json(const ScenarioPoint& point) {
+  Json row = Json::make_object();
+  row.set("round", point.round);
+  row.set("mean_accuracy", point.mean_accuracy);
+  row.set("mean_loss", point.mean_loss);
+  row.set("publishes", point.publishes);
+  row.set("dag_size", point.dag_size);
+  row.set("active_clients", point.active_clients);
+  if (point.partitioned) row.set("partitioned", true);
+  if (point.mean_walk_seconds > 0.0) {
+    row.set("mean_walk_seconds", point.mean_walk_seconds);
+    row.set("mean_walk_evaluations", point.mean_walk_evaluations);
+  }
+  if (point.attacker_transactions > 0) {
+    row.set("attacker_transactions", point.attacker_transactions);
+  }
+  if (point.has_attack_metrics) {
+    row.set("flip_rate", point.flip_rate);
+    if (point.approved_poisoned >= 0.0) row.set("approved_poisoned", point.approved_poisoned);
+  }
+  if (!point.client_accuracies.empty()) {
+    Json accuracies = Json::make_array();
+    for (double accuracy : point.client_accuracies) {
+      accuracies.as_array().push_back(Json(accuracy));
+    }
+    row.set("client_accuracies", std::move(accuracies));
+  }
+  if (point.has_community_metrics) {
+    row.set("modularity", point.modularity);
+    row.set("communities", point.communities);
+    row.set("misclassification", point.misclassification);
+  }
+  return row;
+}
+
+}  // namespace
 
 Json result_to_json(const ScenarioResult& result, bool include_series) {
   Json json = Json::make_object();
   json.set("scenario", result.scenario);
   json.set("seed", result.seed);
   json.set("simulator", result.simulator);
+  json.set("algorithm", result.algorithm);
   json.set("rounds", result.rounds);
   json.set("clients", result.clients);
 
   Json summary = Json::make_object();
-  summary.set("dag_size", result.dag_size);
   summary.set("final_accuracy", result.final_accuracy);
-  summary.set("pureness", result.pureness);
-  summary.set("base_pureness", result.base_pureness);
-  summary.set("modularity", result.modularity);
-  summary.set("communities", result.communities);
-  summary.set("mean_cumulative_weight", result.mean_cumulative_weight);
-  summary.set("tips", result.tips);
   if (result.consensus_accuracy >= 0.0) {
     summary.set("consensus_accuracy", result.consensus_accuracy);
   }
   summary.set("wall_seconds", result.wall_seconds);
 
-  Json store = Json::make_object();
-  store.set("payloads", result.store_stats.payloads);
-  store.set("anchors", result.store_stats.anchors);
-  store.set("deltas", result.store_stats.deltas);
-  store.set("dedup_hits", result.store_stats.dedup_hits);
-  store.set("resident_payload_bytes", result.store_stats.resident_payload_bytes);
-  store.set("full_payload_bytes", result.store_stats.full_payload_bytes);
-  store.set("delta_ratio", result.store_stats.delta_ratio());
-  store.set("lru_bytes", result.store_stats.lru_bytes);
-  store.set("lru_entries", result.store_stats.lru_entries);
-  store.set("lru_hit_rate", result.store_stats.lru_hit_rate());
-  store.set("decoded_payloads", result.store_stats.decoded_payloads);
-  summary.set("store", std::move(store));
+  // DAG-structure metrics only exist for the dag algorithm (every DAG run
+  // holds at least the genesis transaction).
+  if (result.dag_size > 0) {
+    summary.set("dag_size", result.dag_size);
+    summary.set("pureness", result.pureness);
+    summary.set("base_pureness", result.base_pureness);
+    summary.set("modularity", result.modularity);
+    summary.set("communities", result.communities);
+    summary.set("mean_cumulative_weight", result.mean_cumulative_weight);
+    summary.set("tips", result.tips);
 
-  Json eval_cache = Json::make_object();
-  eval_cache.set("hits", result.eval_cache_stats.hits);
-  eval_cache.set("misses", result.eval_cache_stats.misses);
-  eval_cache.set("entries", result.eval_cache_stats.entries);
-  eval_cache.set("hit_rate", result.eval_cache_stats.hit_rate());
-  eval_cache.set("invalidations", result.eval_cache_stats.invalidations);
-  summary.set("eval_cache", std::move(eval_cache));
+    Json store = Json::make_object();
+    store.set("payloads", result.store_stats.payloads);
+    store.set("anchors", result.store_stats.anchors);
+    store.set("deltas", result.store_stats.deltas);
+    store.set("dedup_hits", result.store_stats.dedup_hits);
+    store.set("resident_payload_bytes", result.store_stats.resident_payload_bytes);
+    store.set("full_payload_bytes", result.store_stats.full_payload_bytes);
+    store.set("delta_ratio", result.store_stats.delta_ratio());
+    store.set("lru_bytes", result.store_stats.lru_bytes);
+    store.set("lru_entries", result.store_stats.lru_entries);
+    store.set("lru_hit_rate", result.store_stats.lru_hit_rate());
+    store.set("decoded_payloads", result.store_stats.decoded_payloads);
+    summary.set("store", std::move(store));
+
+    Json eval_cache = Json::make_object();
+    eval_cache.set("hits", result.eval_cache_stats.hits);
+    eval_cache.set("misses", result.eval_cache_stats.misses);
+    eval_cache.set("entries", result.eval_cache_stats.entries);
+    eval_cache.set("hit_rate", result.eval_cache_stats.hit_rate());
+    eval_cache.set("invalidations", result.eval_cache_stats.invalidations);
+    summary.set("eval_cache", std::move(eval_cache));
+  }
+
+  if (result.attacked) {
+    Json attack = Json::make_object();
+    attack.set("attacker_transactions", result.attacker_transactions);
+    if (result.junk_reference_fraction >= 0.0) {
+      attack.set("junk_reference_fraction", result.junk_reference_fraction);
+    }
+    attack.set("poisoned_clients", result.poisoned_clients);
+    if (result.mean_flip_rate >= 0.0) attack.set("mean_flip_rate", result.mean_flip_rate);
+    if (result.mean_approved_poisoned >= 0.0) {
+      attack.set("mean_approved_poisoned", result.mean_approved_poisoned);
+    }
+    if (!result.poison_communities.empty()) {
+      Json communities = Json::make_array();
+      for (const auto& [benign, poisoned] : result.poison_communities) {
+        Json row = Json::make_object();
+        row.set("benign", benign);
+        row.set("poisoned", poisoned);
+        communities.as_array().push_back(std::move(row));
+      }
+      attack.set("poison_communities", std::move(communities));
+    }
+    summary.set("attack", std::move(attack));
+  }
 
   json.set("summary", std::move(summary));
 
   if (include_series) {
     Json series = Json::make_array();
     for (const ScenarioPoint& point : result.series) {
-      Json row = Json::make_object();
-      row.set("round", point.round);
-      row.set("mean_accuracy", point.mean_accuracy);
-      row.set("mean_loss", point.mean_loss);
-      row.set("publishes", point.publishes);
-      row.set("dag_size", point.dag_size);
-      row.set("active_clients", point.active_clients);
-      if (point.partitioned) row.set("partitioned", true);
-      if (point.has_community_metrics) {
-        row.set("modularity", point.modularity);
-        row.set("communities", point.communities);
-        row.set("misclassification", point.misclassification);
-      }
-      series.as_array().push_back(std::move(row));
+      series.as_array().push_back(point_to_json(point));
     }
     json.set("series", std::move(series));
   }
@@ -399,12 +641,29 @@ Json result_to_json(const ScenarioResult& result, bool include_series) {
 
 void write_series_csv(const ScenarioResult& result, const std::string& path) {
   CsvWriter csv(path, {"round", "mean_accuracy", "mean_loss", "publishes", "dag_size",
-                       "active_clients", "partitioned"});
+                       "active_clients", "partitioned", "attacker_transactions", "flip_rate",
+                       "approved_poisoned"});
   for (const ScenarioPoint& point : result.series) {
     csv.row({std::to_string(point.round), std::to_string(point.mean_accuracy),
              std::to_string(point.mean_loss), std::to_string(point.publishes),
              std::to_string(point.dag_size), std::to_string(point.active_clients),
-             point.partitioned ? "1" : "0"});
+             point.partitioned ? "1" : "0", std::to_string(point.attacker_transactions),
+             point.has_attack_metrics ? std::to_string(point.flip_rate) : "",
+             point.has_attack_metrics && point.approved_poisoned >= 0.0
+                 ? std::to_string(point.approved_poisoned)
+                 : ""});
+  }
+}
+
+void write_series_jsonl(const ScenarioResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_series_jsonl: cannot open " + path);
+  for (const ScenarioPoint& point : result.series) {
+    Json row = point_to_json(point);
+    row.set("scenario", result.scenario);
+    row.set("algorithm", result.algorithm);
+    row.set("seed", result.seed);
+    out << row.dump() << "\n";
   }
 }
 

@@ -21,6 +21,20 @@ struct ScenarioPoint {
   std::size_t dag_size = 0;
   std::size_t active_clients = 0;
   bool partitioned = false;
+  // Walk instrumentation (DAG algorithm only; the Figure 15 cost data).
+  double mean_walk_seconds = 0.0;
+  double mean_walk_evaluations = 0.0;
+  // Junk transactions the random-weights attacker published this unit.
+  std::size_t attacker_transactions = 0;
+  // Label-flip probes, filled every spec.attacks.metrics_every-th unit from
+  // the attack start (Figures 12/13). approved_poisoned is -1 for the
+  // baseline backends (no DAG to count approvals in).
+  bool has_attack_metrics = false;
+  double flip_rate = 0.0;
+  double approved_poisoned = -1.0;
+  // Per-active-client accuracies (spec.record_client_accuracies — Figure 9
+  // distribution data).
+  std::vector<double> client_accuracies;
   // Filled on every spec.community_metrics_every-th point (Figure 5 curves).
   bool has_community_metrics = false;
   double modularity = 0.0;
@@ -32,6 +46,7 @@ struct ScenarioResult {
   std::string scenario;
   std::uint64_t seed = 0;
   std::string simulator;
+  std::string algorithm;  // dag | fedavg | fedprox | gossip
   std::size_t rounds = 0;
   std::size_t clients = 0;
 
@@ -46,6 +61,19 @@ struct ScenarioResult {
   std::size_t tips = 0;
   double consensus_accuracy = -1.0;  // -1 unless spec.evaluate_consensus
   double wall_seconds = 0.0;
+
+  // Attack outcome summary (meaningful only when spec.attacks.any()).
+  bool attacked = false;
+  std::size_t attacker_transactions = 0;   // total junk published
+  double junk_reference_fraction = -1.0;   // clients whose consensus ref is junk
+  std::size_t poisoned_clients = 0;
+  // Means over the probes inside the label-flip window [start, stop) only;
+  // post-heal probes remain in the series but are excluded here.
+  double mean_flip_rate = -1.0;
+  double mean_approved_poisoned = -1.0;
+  // (benign, poisoned) client counts per Louvain community — the Figure 14
+  // distribution. Filled when clients are still poisoned at the end.
+  std::vector<std::pair<std::size_t, std::size_t>> poison_communities;
 
   // Model-store and evaluation-cache statistics of the run (delta encoding
   // effectiveness, materialization LRU, sharded cache hit rates).
@@ -68,7 +96,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options)
 Json result_to_json(const ScenarioResult& result, bool include_series = false);
 
 // Writes the series as CSV (round, mean_accuracy, mean_loss, publishes,
-// dag_size, active_clients, partitioned).
+// dag_size, active_clients, partitioned, attacker_transactions, flip_rate,
+// approved_poisoned).
 void write_series_csv(const ScenarioResult& result, const std::string& path);
+
+// Streams the series as JSONL: one self-contained line per point carrying
+// the scenario/algorithm/seed context plus every per-round metric (incl.
+// the attack fields) — the format the CI smoke runs assert and archive.
+void write_series_jsonl(const ScenarioResult& result, const std::string& path);
 
 }  // namespace specdag::scenario

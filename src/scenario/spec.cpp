@@ -154,6 +154,60 @@ DynamicsSpec dynamics_from_json(const Json& json) {
   return dynamics;
 }
 
+AttackSpec attacks_from_json(const Json& json) {
+  check_known_keys(json, {"metrics_every", "random_weights", "label_flip"}, "attacks");
+  AttackSpec attacks;
+  attacks.metrics_every =
+      static_cast<std::size_t>(json.uint_or("metrics_every", attacks.metrics_every));
+  if (const Json* junk = json.find("random_weights")) {
+    check_known_keys(*junk,
+                     {"rate", "weight_stddev", "num_parents", "start_round", "stop_round"},
+                     "attacks.random_weights");
+    RandomWeightsAttackSpec& spec = attacks.random_weights;
+    spec.rate = junk->number_or("rate", spec.rate);
+    spec.weight_stddev = junk->number_or("weight_stddev", spec.weight_stddev);
+    spec.num_parents = static_cast<std::size_t>(junk->uint_or("num_parents", spec.num_parents));
+    spec.start_round = static_cast<std::size_t>(junk->uint_or("start_round", spec.start_round));
+    spec.stop_round = static_cast<std::size_t>(junk->uint_or("stop_round", spec.stop_round));
+  }
+  if (const Json* flip = json.find("label_flip")) {
+    check_known_keys(*flip,
+                     {"fraction", "class_a", "class_b", "start_round", "stop_round"},
+                     "attacks.label_flip");
+    LabelFlipAttackSpec& spec = attacks.label_flip;
+    spec.fraction = flip->number_or("fraction", spec.fraction);
+    spec.class_a = static_cast<int>(flip->uint_or("class_a", static_cast<std::uint64_t>(spec.class_a)));
+    spec.class_b = static_cast<int>(flip->uint_or("class_b", static_cast<std::uint64_t>(spec.class_b)));
+    spec.start_round = static_cast<std::size_t>(flip->uint_or("start_round", spec.start_round));
+    spec.stop_round = static_cast<std::size_t>(flip->uint_or("stop_round", spec.stop_round));
+  }
+  return attacks;
+}
+
+Json attacks_to_json(const AttackSpec& attacks) {
+  Json json = Json::make_object();
+  if (attacks.metrics_every > 0) json.set("metrics_every", attacks.metrics_every);
+  if (attacks.random_weights.enabled()) {
+    Json junk = Json::make_object();
+    junk.set("rate", attacks.random_weights.rate);
+    junk.set("weight_stddev", attacks.random_weights.weight_stddev);
+    junk.set("num_parents", attacks.random_weights.num_parents);
+    junk.set("start_round", attacks.random_weights.start_round);
+    junk.set("stop_round", attacks.random_weights.stop_round);
+    json.set("random_weights", std::move(junk));
+  }
+  if (attacks.label_flip.enabled()) {
+    Json flip = Json::make_object();
+    flip.set("fraction", attacks.label_flip.fraction);
+    flip.set("class_a", static_cast<std::uint64_t>(attacks.label_flip.class_a));
+    flip.set("class_b", static_cast<std::uint64_t>(attacks.label_flip.class_b));
+    flip.set("start_round", attacks.label_flip.start_round);
+    flip.set("stop_round", attacks.label_flip.stop_round);
+    json.set("label_flip", std::move(flip));
+  }
+  return json;
+}
+
 store::StoreConfig store_from_json(const Json& json, store::StoreConfig store) {
   check_known_keys(json, {"delta", "anchor_interval", "lru_mb", "eval_cache_shards"}, "store");
   store.delta = json.bool_or("delta", store.delta);
@@ -220,10 +274,29 @@ std::string to_string(DatasetPreset preset) {
   throw JsonError("invalid dataset preset");
 }
 
+std::string to_string(AlgorithmKind algorithm) {
+  switch (algorithm) {
+    case AlgorithmKind::kDag: return "dag";
+    case AlgorithmKind::kFedAvg: return "fedavg";
+    case AlgorithmKind::kFedProx: return "fedprox";
+    case AlgorithmKind::kGossip: return "gossip";
+  }
+  throw JsonError("invalid algorithm kind");
+}
+
 SimKind sim_kind_from_string(const std::string& name) {
   if (name == "round") return SimKind::kRound;
   if (name == "async") return SimKind::kAsync;
   throw JsonError("unknown simulator \"" + name + "\" (expected \"round\" or \"async\")");
+}
+
+AlgorithmKind algorithm_from_string(const std::string& name) {
+  if (name == "dag") return AlgorithmKind::kDag;
+  if (name == "fedavg") return AlgorithmKind::kFedAvg;
+  if (name == "fedprox") return AlgorithmKind::kFedProx;
+  if (name == "gossip") return AlgorithmKind::kGossip;
+  throw JsonError("unknown algorithm \"" + name +
+                  "\" (expected dag, fedavg, fedprox, or gossip)");
 }
 
 DatasetPreset dataset_preset_from_string(const std::string& name) {
@@ -273,6 +346,54 @@ void ScenarioSpec::validate() const {
       dynamics.partition.heal_round <= dynamics.partition.start_round) {
     throw std::invalid_argument("scenario: partition.heal_round must be after start_round");
   }
+  if (algorithm != AlgorithmKind::kDag) {
+    if (simulator != SimKind::kRound) {
+      throw std::invalid_argument(
+          "scenario: the " + to_string(algorithm) +
+          " baseline runs in synchronous rounds (simulator must be \"round\")");
+    }
+    if (dynamics.any()) {
+      throw std::invalid_argument(
+          "scenario: dynamics (churn/stragglers/partition) are DAG-network "
+          "workloads; the baselines do not model them");
+    }
+    if (attacks.random_weights.enabled()) {
+      throw std::invalid_argument(
+          "scenario: the random-weights attack publishes DAG transactions; "
+          "it requires algorithm \"dag\"");
+    }
+    if (community_metrics_every > 0) {
+      throw std::invalid_argument(
+          "scenario: community metrics derive from the DAG's approval graph; "
+          "they require algorithm \"dag\"");
+    }
+  }
+  if (algorithm == AlgorithmKind::kFedProx && proximal_mu <= 0.0) {
+    throw std::invalid_argument("scenario: fedprox requires proximal_mu > 0");
+  }
+  if (attacks.random_weights.enabled()) {
+    const RandomWeightsAttackSpec& junk = attacks.random_weights;
+    if (junk.rate < 0.0 || junk.weight_stddev <= 0.0 || junk.num_parents == 0) {
+      throw std::invalid_argument("scenario: bad random_weights attack parameters");
+    }
+    if (junk.stop_round != 0 && junk.stop_round <= junk.start_round) {
+      throw std::invalid_argument(
+          "scenario: random_weights.stop_round must be after start_round");
+    }
+  }
+  if (attacks.label_flip.enabled()) {
+    const LabelFlipAttackSpec& flip = attacks.label_flip;
+    if (flip.fraction >= 1.0) {
+      throw std::invalid_argument(
+          "scenario: label_flip.fraction must be < 1 (someone must stay benign)");
+    }
+    if (flip.class_a == flip.class_b) {
+      throw std::invalid_argument("scenario: label_flip classes must differ");
+    }
+    if (flip.stop_round != 0 && flip.stop_round <= flip.start_round) {
+      throw std::invalid_argument("scenario: label_flip.stop_round must be after start_round");
+    }
+  }
   if (store.anchor_interval == 0) {
     throw std::invalid_argument("scenario: store.anchor_interval must be > 0");
   }
@@ -308,7 +429,8 @@ ScenarioSpec spec_from_json(const Json& json) {
                     "clients_per_round", "visibility_delay_rounds", "broadcast_latency",
                     "num_clients", "samples_per_client", "seed", "parallel_prepare",
                     "evaluate_consensus", "community_metrics_every", "client", "dynamics",
-                    "store"},
+                    "store", "algorithm", "proximal_mu", "attacks",
+                    "record_client_accuracies"},
                    "scenario");
   ScenarioSpec spec;
   spec.name = json.string_or("name", spec.name);
@@ -330,6 +452,13 @@ ScenarioSpec spec_from_json(const Json& json) {
   spec.evaluate_consensus = json.bool_or("evaluate_consensus", spec.evaluate_consensus);
   spec.community_metrics_every = static_cast<std::size_t>(
       json.uint_or("community_metrics_every", spec.community_metrics_every));
+  spec.algorithm = algorithm_from_string(json.string_or("algorithm", to_string(spec.algorithm)));
+  spec.proximal_mu = json.number_or("proximal_mu", spec.proximal_mu);
+  spec.record_client_accuracies =
+      json.bool_or("record_client_accuracies", spec.record_client_accuracies);
+  if (const Json* attacks = json.find("attacks")) {
+    spec.attacks = attacks_from_json(*attacks);
+  }
   if (const Json* client = json.find("client")) {
     spec.client = client_from_json(*client, spec.client);
   }
@@ -366,6 +495,16 @@ Json spec_to_json(const ScenarioSpec& spec) {
   if (spec.evaluate_consensus) json.set("evaluate_consensus", true);
   if (spec.community_metrics_every > 0) {
     json.set("community_metrics_every", spec.community_metrics_every);
+  }
+  if (spec.algorithm != AlgorithmKind::kDag) {
+    json.set("algorithm", to_string(spec.algorithm));
+    if (spec.algorithm == AlgorithmKind::kFedProx) json.set("proximal_mu", spec.proximal_mu);
+  }
+  if (spec.record_client_accuracies) json.set("record_client_accuracies", true);
+  // metrics_every alone is meaningful: a clean control run probing the
+  // label-flip schedule without an attack.
+  if (spec.attacks.any() || spec.attacks.metrics_every > 0) {
+    json.set("attacks", attacks_to_json(spec.attacks));
   }
   json.set("client", client_to_json(spec.client));
   if (spec.dynamics.any()) json.set("dynamics", dynamics_to_json(spec.dynamics));

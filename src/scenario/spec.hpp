@@ -36,17 +36,33 @@
 //       "delta": true,      // delta-encode payloads (false = full vectors)
 //       "anchor_interval": 8, "lru_mb": 64, "eval_cache_shards": 16
 //     },
+//     "algorithm": "dag" | "fedavg" | "fedprox" | "gossip",
+//     "proximal_mu": 1.0,            // fedprox only
+//     "attacks": {                   // adversary schedules (attacks.hpp)
+//       "metrics_every": 1,
+//       "random_weights": {"rate": 1.0, "weight_stddev": 0.1,
+//                           "num_parents": 2, "start_round": 10, "stop_round": 0},
+//       "label_flip": {"fraction": 0.2, "class_a": 3, "class_b": 8,
+//                       "start_round": 40, "stop_round": 0}
+//     },
+//     "record_client_accuracies": false,  // per-client accuracy distributions
 //     "community_metrics_every": 0   // track Louvain metrics every N rounds
 //   }
 #pragma once
 
 #include "fl/dag_client.hpp"
+#include "scenario/attacks.hpp"
 #include "scenario/config.hpp"
 #include "store/model_store.hpp"
 
 namespace specdag::scenario {
 
 enum class SimKind { kRound, kAsync };
+
+// Which learning algorithm the runner executes. kDag is the paper's
+// contribution; the rest are the comparison baselines of Figures 9-11 and
+// §3.2, run behind the same ScenarioResult surface (see baselines.hpp).
+enum class AlgorithmKind { kDag, kFedAvg, kFedProx, kGossip };
 
 enum class DatasetPreset {
   kFmnistClustered,
@@ -127,8 +143,21 @@ struct ScenarioSpec {
   // metrics over the client graph (modularity, #communities,
   // misclassification vs ground-truth clusters) — the Figure 5 curves.
   std::size_t community_metrics_every = 0;
+  // Which algorithm runs the experiment. Non-DAG backends require the round
+  // simulator and support dataset presets, label-flip attacks, and the
+  // record_client_accuracies distributions, but no DAG-specific knobs
+  // (dynamics, store, random-weight attacks, community metrics).
+  AlgorithmKind algorithm = AlgorithmKind::kDag;
+  double proximal_mu = 1.0;  // FedProx proximal term (fedprox backend only)
+  // Record the per-client trained/evaluated accuracies of every series point
+  // (the Figure 9 distribution data). Off by default: it grows the series by
+  // one double per active client per round.
+  bool record_client_accuracies = false;
   fl::DagClientConfig client;
   DynamicsSpec dynamics;
+  // Adversary schedules: mid-run random-weight junk and flipped-label
+  // poisoning with start/stop windows (see scenario/attacks.hpp).
+  AttackSpec attacks;
   // Model payload store: delta encoding, materialization LRU, eval-cache
   // sharding (see src/store/model_store.hpp).
   store::StoreConfig store;
@@ -141,8 +170,10 @@ struct ScenarioSpec {
 // Enum <-> string helpers (throw JsonError on unknown names).
 std::string to_string(SimKind kind);
 std::string to_string(DatasetPreset preset);
+std::string to_string(AlgorithmKind algorithm);
 SimKind sim_kind_from_string(const std::string& name);
 DatasetPreset dataset_preset_from_string(const std::string& name);
+AlgorithmKind algorithm_from_string(const std::string& name);
 
 // Deserialization rejects unknown keys (typo safety for experiment configs).
 ScenarioSpec spec_from_json(const Json& json);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "data/poisoning.hpp"
+
 namespace specdag::sim {
 
 AsyncDagSimulator::AsyncDagSimulator(data::FederatedDataset dataset, nn::ModelFactory factory,
@@ -147,6 +149,26 @@ std::vector<AsyncStepRecord> AsyncDagSimulator::run_until(double until) {
   }
   now_ = until;
   return records;
+}
+
+std::vector<int> AsyncDagSimulator::apply_poisoning(double p, int class_a, int class_b) {
+  Rng poison_rng = Rng(config_.seed).fork(data::kPoisonForkTag);
+  const std::vector<int> ids =
+      data::poison_fraction(dataset_, p, class_a, class_b, poison_rng);
+  poison_class_a_ = class_a;
+  poison_class_b_ = class_b;
+  // Invalidate by dataset index (handle order), not by client_id — the two
+  // need not coincide for custom datasets.
+  for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
+    if (dataset_.clients[i].poisoned) net_.invalidate_client_cache(static_cast<int>(i));
+  }
+  return ids;
+}
+
+void AsyncDagSimulator::revert_poisoning() {
+  for (int idx : data::revert_poisoning(dataset_, poison_class_a_, poison_class_b_)) {
+    net_.invalidate_client_cache(idx);
+  }
 }
 
 std::vector<int> AsyncDagSimulator::true_clusters() const {

@@ -73,6 +73,13 @@ class AsyncDagSimulator {
   std::vector<int> true_clusters() const;
   metrics::PurenessResult approval_pureness() const;
 
+  // Flipped-label poisoning with the same semantics (and seed-derived victim
+  // set) as DagSimulator: apply flips class_a <-> class_b for fraction `p`
+  // of the clients and invalidates their caches; revert restores the
+  // original labels and flags.
+  std::vector<int> apply_poisoning(double p, int class_a, int class_b);
+  void revert_poisoning();
+
   // --- network-dynamics hooks (scenario engine) ---------------------------
 
   // Client churn. Deactivating stops the client's training clock (its next
@@ -121,6 +128,8 @@ class AsyncDagSimulator {
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t total_steps_ = 0;
+  int poison_class_a_ = 0;  // classes of the last apply_poisoning (for revert)
+  int poison_class_b_ = 0;
 };
 
 }  // namespace specdag::sim

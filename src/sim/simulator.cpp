@@ -165,14 +165,26 @@ void DagSimulator::run_rounds(std::size_t n) {
 }
 
 std::vector<int> DagSimulator::apply_poisoning(double p, int class_a, int class_b) {
-  Rng poison_rng = Rng(config_.seed).fork(0x9015);
+  Rng poison_rng = Rng(config_.seed).fork(data::kPoisonForkTag);
   const std::vector<int> ids =
       data::poison_fraction(dataset_, p, class_a, class_b, poison_rng);
+  poison_class_a_ = class_a;
+  poison_class_b_ = class_b;
   // The poisoned clients' local data changed: cached model accuracies are
   // stale for them. (Other clients' caches stay valid — their data did not
   // change; new poisoned *transactions* are evaluated fresh anyway.)
-  for (int id : ids) net_.invalidate_client_cache(id);
+  // Invalidate by dataset index — client handles are registration order, and
+  // poison_fraction returns client_id values, which need not match.
+  for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
+    if (dataset_.clients[i].poisoned) net_.invalidate_client_cache(static_cast<int>(i));
+  }
   return ids;
+}
+
+void DagSimulator::revert_poisoning() {
+  for (int idx : data::revert_poisoning(dataset_, poison_class_a_, poison_class_b_)) {
+    net_.invalidate_client_cache(idx);
+  }
 }
 
 std::vector<int> DagSimulator::true_clusters() const {

@@ -67,6 +67,12 @@ class DagSimulator {
   // round 100). Returns poisoned client ids.
   std::vector<int> apply_poisoning(double p, int class_a, int class_b);
 
+  // Reverts an earlier apply_poisoning: restores the original labels (the
+  // swap is its own inverse), clears the poisoned flags, and invalidates the
+  // affected caches again. Transactions published while poisoned keep their
+  // poisoned_publisher mark — history is immutable.
+  void revert_poisoning();
+
   // --- network-dynamics hooks (scenario engine) ---------------------------
 
   // Client churn: inactive clients are excluded from the per-round sample
@@ -127,6 +133,8 @@ class DagSimulator {
   std::vector<char> active_;  // churn: 1 = participating this experiment phase
   bool partitioned_ = false;
   std::size_t round_ = 0;
+  int poison_class_a_ = 0;  // classes of the last apply_poisoning (for revert)
+  int poison_class_b_ = 0;
 };
 
 }  // namespace specdag::sim

@@ -40,7 +40,7 @@ double HybridTipSelector::evaluate(const dag::Dag& dag, dag::TxId id) {
 
 dag::TxId HybridTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng) {
   if (!cache_) local_cache_.clear();
-  const std::vector<std::size_t> cw_all = batched_cumulative_weights(dag);
+  const std::vector<std::size_t>& cw_all = batched_cumulative_weights(dag);
   const auto weight_of = [&](dag::TxId id) {
     return id < cw_all.size() ? cw_all[id] : walk_cumulative_weight(dag, id);
   };

@@ -49,19 +49,22 @@ std::size_t TipSelector::walk_cumulative_weight(const dag::Dag& dag, dag::TxId i
   return visited.size();
 }
 
-std::vector<std::size_t> TipSelector::batched_cumulative_weights(const dag::Dag& dag) const {
-  if (!mask_) return dag.cumulative_weights_all();
-  const std::vector<dag::TxId> ids = dag.all_ids();
-  std::vector<char> visible(ids.size(), 0);
-  for (dag::TxId id : ids) {
-    if (mask_(dag, id)) visible[id] = 1;
+const std::vector<std::size_t>& TipSelector::batched_cumulative_weights(const dag::Dag& dag) {
+  if (!mask_) {
+    dag.cumulative_weights_all_into(cw_scratch_, reach_scratch_);
+    return cw_scratch_;
   }
-  std::vector<std::size_t> weights = dag.cumulative_weights_all(visible);
+  const std::vector<dag::TxId> ids = dag.all_ids();
+  visible_scratch_.assign(ids.size(), 0);
+  for (dag::TxId id : ids) {
+    if (mask_(dag, id)) visible_scratch_[id] = 1;
+  }
+  dag.cumulative_weights_all_into(visible_scratch_, cw_scratch_, reach_scratch_);
   // A transaction appended between the two dag calls would land inside
-  // `weights` as invisible (weight 0) even though the mask never saw it.
+  // the result as invisible (weight 0) even though the mask never saw it.
   // Clamp to the snapshot so post-snapshot ids hit the per-id fallback.
-  if (weights.size() > visible.size()) weights.resize(visible.size());
-  return weights;
+  if (cw_scratch_.size() > visible_scratch_.size()) cw_scratch_.resize(visible_scratch_.size());
+  return cw_scratch_;
 }
 
 std::vector<dag::TxId> TipSelector::select_tips(const dag::Dag& dag, std::size_t count,
@@ -107,7 +110,7 @@ dag::TxId WeightedTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& r
   // change when transactions are appended, and commits are serialized
   // outside the prepare phase; ids beyond the snapshot (appended
   // concurrently) fall back to the per-id path.
-  const std::vector<std::size_t> cw_all = batched_cumulative_weights(dag);
+  const std::vector<std::size_t>& cw_all = batched_cumulative_weights(dag);
   const auto weight_of = [&](dag::TxId id) {
     return id < cw_all.size() ? cw_all[id] : walk_cumulative_weight(dag, id);
   };

@@ -101,8 +101,11 @@ class TipSelector {
   // visibility mask — one bit-parallel sweep per *walk* instead of a BFS
   // per step (the §5.3.5 walk-cost hot path). Transactions appended after
   // the snapshot are not covered; callers fall back to
-  // walk_cumulative_weight for ids beyond the returned size.
-  std::vector<std::size_t> batched_cumulative_weights(const dag::Dag& dag) const;
+  // walk_cumulative_weight for ids beyond the returned size. The returned
+  // reference points into selector-owned scratch buffers reused across
+  // walks (selectors are per-client and walk sequentially), so steady-state
+  // walks allocate nothing; it stays valid until the next call.
+  const std::vector<std::size_t>& batched_cumulative_weights(const dag::Dag& dag);
 
   WalkStats stats_;
 
@@ -111,6 +114,11 @@ class TipSelector {
   std::size_t min_depth_ = 15;
   std::size_t max_depth_ = 25;
   VisibilityMask mask_;
+  // Scratch for batched_cumulative_weights: result, sweep bit masks, and
+  // the visibility snapshot. Sized once per DAG high-water mark.
+  std::vector<std::size_t> cw_scratch_;
+  std::vector<std::uint64_t> reach_scratch_;
+  std::vector<char> visible_scratch_;
 };
 
 // Uniformly random walk.

@@ -176,10 +176,22 @@ TEST(ScenarioSpec, RejectsSeedsThatCannotRoundTripThroughJson) {
 
 TEST(Registry, HasTheRequiredScenarios) {
   const auto& scenarios = scenario::builtin_scenarios();
-  EXPECT_GE(scenarios.size(), 6u);
+  EXPECT_GE(scenarios.size(), 20u);
   for (const char* name : {"fmnist-clustered", "churn", "stragglers", "partition", "scale-2k"}) {
     ASSERT_NE(scenario::find_scenario(name), nullptr) << name;
   }
+  // Every formerly hand-rolled bench main has a registry base now.
+  for (const char* name :
+       {"fig9-fedavg-vs-dag", "fig10-11-fedprox", "fig12-14-poisoning", "fig15-scalability",
+        "table2-pureness", "ablation-async-latency", "ablation-baselines",
+        "ablation-num-parents", "ablation-partial-training", "ablation-publish-gate",
+        "ablation-random-weights", "poisoning-smoke", "fedavg-smoke"}) {
+    ASSERT_NE(scenario::find_scenario(name), nullptr) << name;
+  }
+  EXPECT_TRUE(scenario::find_scenario("fig12-14-poisoning")->attacks.label_flip.enabled());
+  EXPECT_TRUE(scenario::find_scenario("ablation-random-weights")->attacks.random_weights.enabled());
+  EXPECT_EQ(scenario::find_scenario("fedavg-smoke")->algorithm,
+            scenario::AlgorithmKind::kFedAvg);
   // The scalability scenario must be the delta-store regime at >= 2k clients.
   const scenario::ScenarioSpec* scale = scenario::find_scenario("scale-2k");
   EXPECT_GE(scale->num_clients, 2000u);
