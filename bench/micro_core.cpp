@@ -3,6 +3,8 @@
 // per-step cost of the biased walk), tip selection, and Louvain.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "data/synthetic_digits.hpp"
 #include "fl/evaluation.hpp"
 #include "metrics/client_graph.hpp"
@@ -142,6 +144,76 @@ void BM_Louvain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Louvain)->Arg(30)->Arg(100);
+
+// Builds a random 2-parent DAG of `size` transactions (tiny payloads).
+// Dag is neither copyable nor movable, hence the unique_ptr.
+std::unique_ptr<dag::Dag> build_random_dag(std::size_t size, std::uint64_t seed) {
+  auto dag = std::make_unique<dag::Dag>(nn::WeightVector{0.0f});
+  Rng build_rng(seed);
+  for (std::size_t i = 1; i < size; ++i) {
+    const std::size_t parents_count = std::min<std::size_t>(2, dag->size());
+    const auto parent_idx = build_rng.sample_without_replacement(dag->size(), parents_count);
+    dag->add_transaction({parent_idx.begin(), parent_idx.end()},
+                         std::make_shared<const nn::WeightVector>(nn::WeightVector{0.0f}),
+                         static_cast<int>(i % 10), i);
+  }
+  return dag;
+}
+
+// Append cost including the incremental weight-index maintenance (one
+// past-cone BFS per append). Each iteration appends a 64-transaction slab
+// onto a DAG pre-grown to the argument size.
+void BM_DagAppend(benchmark::State& state) {
+  const auto dag_size = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kSlab = 64;
+  std::uint64_t rebuild = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto dag = build_random_dag(dag_size, 13 + rebuild++);
+    Rng rng(21);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < kSlab; ++i) {
+      const auto parent_idx = rng.sample_without_replacement(dag->size(), 2);
+      dag->add_transaction({parent_idx.begin(), parent_idx.end()},
+                           std::make_shared<const nn::WeightVector>(nn::WeightVector{0.0f}),
+                           0, dag_size + i);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSlab));
+}
+BENCHMARK(BM_DagAppend)->Arg(1000)->Arg(5000);
+
+// Weighted (cumulative-weight biased) tip selection on a large pre-built
+// DAG — the Algorithm-1 hot path the incremental index accelerates. The
+// acceptance target: >= 10x over the per-walk bit-parallel sweep at 5000+
+// transactions (compare BENCH_PR4.json against the previous trajectory
+// point).
+void BM_SelectTipsLargeDag(benchmark::State& state) {
+  const auto dag_size = static_cast<std::size_t>(state.range(0));
+  const auto dag = build_random_dag(dag_size, 14);
+  tipsel::WeightedTipSelector selector(0.5);
+  Rng rng(22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select_tips(*dag, 2, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SelectTipsLargeDag)->Arg(1000)->Arg(5000)->Arg(10000);
+
+// The same workload against the retained bit-parallel sweep oracle: the
+// before/after pair BENCH_PR4.json records for the 10x acceptance check.
+void BM_CumulativeWeightsSweepReference(benchmark::State& state) {
+  const auto dag_size = static_cast<std::size_t>(state.range(0));
+  const auto dag = build_random_dag(dag_size, 14);
+  std::vector<std::size_t> weights;
+  std::vector<std::uint64_t> reach;
+  for (auto _ : state) {
+    dag->cumulative_weights_reference_into(weights, reach);
+    benchmark::DoNotOptimize(weights.data());
+  }
+}
+BENCHMARK(BM_CumulativeWeightsSweepReference)->Arg(1000)->Arg(5000)->Arg(10000);
 
 void BM_CumulativeWeight(benchmark::State& state) {
   const auto dag_size = static_cast<std::size_t>(state.range(0));

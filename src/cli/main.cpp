@@ -10,6 +10,8 @@
 //   --rounds N     override the spec's round count / async horizon
 //   --seed N       override the spec's seed
 //   --clients N    override the spec's client count (resizable presets)
+//   --threads N    prepare-phase workers (0 = hardware, 1 = serial);
+//                  results are bit-identical across values
 //   --delta on|off override the payload store's delta encoding
 //   --algorithm A  override the algorithm (dag|fedavg|fedprox|gossip)
 //   --attack SPEC  replace the spec's adversary schedule: none,
@@ -50,7 +52,7 @@ int usage(std::ostream& out, int code) {
          "  list                    show the built-in scenario registry\n"
          "  show <name>             print a built-in spec as JSON\n"
          "  run <name|spec.json>    run one scenario (--rounds N --seed N\n"
-         "                          --clients N --delta on|off\n"
+         "                          --clients N --threads N --delta on|off\n"
          "                          --algorithm dag|fedavg|fedprox|gossip\n"
          "                          --attack none|random_weights[=RATE]|\n"
          "                          label_flip[=FRACTION] --series\n"
@@ -155,6 +157,8 @@ bool apply_spec_override(const std::string& flag,
     spec.seed = std::strtoull(next().c_str(), nullptr, 10);
   } else if (flag == "--clients") {
     spec.num_clients = std::strtoull(next().c_str(), nullptr, 10);
+  } else if (flag == "--threads") {
+    spec.threads = std::strtoull(next().c_str(), nullptr, 10);
   } else if (flag == "--algorithm") {
     spec.algorithm = scenario::algorithm_from_string(next());
   } else if (flag == "--attack") {

@@ -17,6 +17,7 @@ Dag::Dag(nn::WeightVector initial_weights, store::StoreConfig store_config)
   genesis.round = 0;
   transactions_.push_back(std::move(genesis));
   tips_.insert(kGenesisTx);
+  cum_weights_.push_back(1);
 }
 
 const Transaction& Dag::tx_locked(TxId id) const {
@@ -61,12 +62,42 @@ TxId Dag::add_transaction(std::vector<TxId> parents, WeightsPtr weights, int pub
     tips_.erase(p);
   }
   tips_.insert(id);
+
+  // Incremental weight maintenance: the new transaction is the one and only
+  // new descendant of every transaction in its past cone, so each ancestor's
+  // cumulative weight grows by exactly one. BFS over parent edges with a
+  // reusable seen-bitmap; the diamond dedup makes the count exact.
+  cum_weights_.push_back(1);
+  cone_seen_.assign(transactions_.size(), 0);
+  cone_frontier_.clear();
+  for (TxId p : parents) {
+    if (!cone_seen_[p]) {
+      cone_seen_[p] = 1;
+      cone_frontier_.push_back(p);
+    }
+  }
+  for (std::size_t head = 0; head < cone_frontier_.size(); ++head) {
+    const TxId cur = cone_frontier_[head];
+    ++cum_weights_[cur];
+    for (TxId p : transactions_[cur].parents) {
+      if (!cone_seen_[p]) {
+        cone_seen_[p] = 1;
+        cone_frontier_.push_back(p);
+      }
+    }
+  }
+  ++version_;
   return id;
 }
 
 std::size_t Dag::size() const {
   std::shared_lock lock(mutex_);
   return transactions_.size();
+}
+
+std::uint64_t Dag::version() const {
+  std::shared_lock lock(mutex_);
+  return version_;
 }
 
 Transaction Dag::transaction(TxId id) const {
@@ -103,6 +134,14 @@ std::vector<TxId> Dag::children(TxId id) const {
   tx_locked(id);  // bounds check
   auto it = children_.find(id);
   return it == children_.end() ? std::vector<TxId>{} : it->second;
+}
+
+void Dag::children_into(TxId id, std::vector<TxId>& out) const {
+  std::shared_lock lock(mutex_);
+  tx_locked(id);  // bounds check
+  out.clear();
+  auto it = children_.find(id);
+  if (it != children_.end()) out.assign(it->second.begin(), it->second.end());
 }
 
 int Dag::publisher(TxId id) const {
@@ -144,14 +183,25 @@ std::size_t Dag::cumulative_weight(TxId id) const {
 }
 
 std::vector<std::size_t> Dag::cumulative_weights_all() const {
+  std::shared_lock lock(mutex_);
+  return cum_weights_;
+}
+
+std::uint64_t Dag::cumulative_weights_snapshot(std::vector<std::size_t>& weights) const {
+  std::shared_lock lock(mutex_);
+  weights.assign(cum_weights_.begin(), cum_weights_.end());
+  return version_;
+}
+
+std::vector<std::size_t> Dag::cumulative_weights_reference() const {
   std::vector<std::size_t> weights;
   std::vector<std::uint64_t> reach;
-  cumulative_weights_all_into(weights, reach);
+  cumulative_weights_reference_into(weights, reach);
   return weights;
 }
 
-void Dag::cumulative_weights_all_into(std::vector<std::size_t>& weights,
-                                      std::vector<std::uint64_t>& reach) const {
+void Dag::cumulative_weights_reference_into(std::vector<std::size_t>& weights,
+                                            std::vector<std::uint64_t>& reach) const {
   std::shared_lock lock(mutex_);
   const std::size_t n = transactions_.size();
   // weights[x] = 1 + |future cone of x|. Future cones are counted exactly
@@ -193,7 +243,7 @@ void Dag::cumulative_weights_all_into(const std::vector<char>& visible,
   std::shared_lock lock(mutex_);
   const std::size_t n = transactions_.size();
   const auto is_visible = [&](std::size_t id) { return id < visible.size() && visible[id]; };
-  // Same bit-parallel sweep as the unmasked variant, but reach masks only
+  // Same bit-parallel sweep as the reference variant, but reach masks only
   // flow through visible transactions: a descendant counts towards an
   // ancestor only when a chain of visible transactions connects them —
   // exactly the masked walker's BFS view.
@@ -268,19 +318,59 @@ std::unordered_map<TxId, std::size_t> Dag::depths_from_tips() const {
   return depth;
 }
 
+void Dag::refresh_walk_index_locked() const {
+  if (walk_index_version_ == version_) return;
+  const std::size_t n = transactions_.size();
+  constexpr std::size_t kUnset = ~std::size_t{0};
+  depth_index_.assign(n, kUnset);
+  depth_frontier_.clear();
+  for (TxId tip : tips_) {
+    depth_index_[tip] = 0;
+    depth_frontier_.push_back(tip);
+  }
+  // Plain BFS along parent edges: every transaction is an ancestor of some
+  // tip (or a tip itself), so the whole id range gets its minimum distance
+  // to the tip set — the same values depths_from_tips() computes.
+  for (std::size_t head = 0; head < depth_frontier_.size(); ++head) {
+    const TxId cur = depth_frontier_[head];
+    const std::size_t d = depth_index_[cur];
+    for (TxId p : transactions_[cur].parents) {
+      if (depth_index_[p] == kUnset || depth_index_[p] > d + 1) {
+        depth_index_[p] = d + 1;
+        depth_frontier_.push_back(p);
+      }
+    }
+  }
+  start_candidates_.clear();
+  walk_index_version_ = version_;
+}
+
 TxId Dag::sample_walk_start(Rng& rng, std::size_t min_depth, std::size_t max_depth) const {
   if (min_depth > max_depth) {
     throw std::invalid_argument("Dag::sample_walk_start: min_depth > max_depth");
   }
-  const auto depth = depths_from_tips();
-  std::vector<TxId> candidates;
-  for (const auto& [id, d] : depth) {
-    if (d >= min_depth && d <= max_depth) candidates.push_back(id);
+  std::shared_lock lock(mutex_);
+  std::lock_guard index_lock(walk_index_mutex_);
+  refresh_walk_index_locked();
+  const std::vector<TxId>* candidates = nullptr;
+  for (const auto& [window, ids] : start_candidates_) {
+    if (window.first == min_depth && window.second == max_depth) {
+      candidates = &ids;
+      break;
+    }
   }
-  if (candidates.empty()) return kGenesisTx;
-  // Sort for determinism: unordered_map iteration order is unspecified.
-  std::sort(candidates.begin(), candidates.end());
-  return candidates[rng.index(candidates.size())];
+  if (candidates == nullptr) {
+    // Ascending id scan yields the candidates already sorted — identical to
+    // the historical collect-then-sort over depths_from_tips().
+    std::vector<TxId> ids;
+    for (TxId id = 0; id < depth_index_.size(); ++id) {
+      if (depth_index_[id] >= min_depth && depth_index_[id] <= max_depth) ids.push_back(id);
+    }
+    start_candidates_.emplace_back(std::make_pair(min_depth, max_depth), std::move(ids));
+    candidates = &start_candidates_.back().second;
+  }
+  if (candidates->empty()) return kGenesisTx;
+  return (*candidates)[rng.index(candidates->size())];
 }
 
 std::vector<TxId> Dag::all_ids() const {

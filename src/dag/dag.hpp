@@ -6,6 +6,16 @@
 // the direction the random walk travels), the current tip set, and helpers
 // for depth-based walk starts and past-cone queries used by the evaluation.
 //
+// Weight index: cumulative weights are maintained *incrementally* — each
+// append adds exactly one new descendant (the appended transaction) to
+// every transaction in its past cone, so add_transaction bumps those
+// entries by one and the full table is always current. A monotonically
+// increasing version() counter (one tick per append) lets consumers reuse
+// a snapshot across walks until the DAG actually changes. The historical
+// bit-parallel sweep is retained as the masked-visibility path (per-client
+// partition views cannot be maintained incrementally) and as the reference
+// oracle for tests.
+//
 // Thread safety: reads and writes are internally synchronized with a
 // shared_mutex; the simulator trains the active clients of a round in
 // parallel while they walk the same DAG.
@@ -38,6 +48,11 @@ class Dag {
 
   std::size_t size() const;
 
+  // Structure version: starts at 0 (genesis only) and increments by one per
+  // append. Consumers key cached views (weight snapshots, depth indices) on
+  // this counter.
+  std::uint64_t version() const;
+
   // Copy of the transaction record. Throws on unknown id.
   Transaction transaction(TxId id) const;
 
@@ -54,6 +69,9 @@ class Dag {
 
   std::vector<TxId> parents(TxId id) const;
   std::vector<TxId> children(TxId id) const;
+  // Copies the children of `id` into `out` (cleared first) without
+  // allocating a fresh vector — the walk-loop accessor.
+  void children_into(TxId id, std::vector<TxId>& out) const;
   bool is_tip(TxId id) const;
 
   // Lightweight metadata accessors (no record copy) — used by per-client
@@ -66,32 +84,35 @@ class Dag {
 
   // Number of transactions that directly or indirectly approve `id`,
   // plus one for the transaction itself — the classic cumulative weight
-  // ("weight of transaction", Figure 3). Exact (BFS over the future cone).
+  // ("weight of transaction", Figure 3). Exact (BFS over the future cone,
+  // independent of the incremental index — kept as a per-id oracle).
   std::size_t cumulative_weight(TxId id) const;
 
-  // Cumulative weight of *every* transaction, indexed by id. Exact: counts
-  // the future cone of each transaction with bit-parallel reverse-insertion-
-  // order sweeps (64 descendant candidates per sweep), so the whole table
-  // costs O((n + edges) * n / 64) instead of the n BFS traversals
-  // (O(n * (n + edges))) that per-id cumulative_weight() calls would need.
-  // Use this on metrics paths that need many weights at once.
+  // Cumulative weight of *every* transaction, indexed by id — a copy of the
+  // incrementally maintained index (O(n) copy, no recomputation).
   std::vector<std::size_t> cumulative_weights_all() const;
+
+  // Scratch-buffer variant: copies the index into `weights` (resized as
+  // needed) and returns the version the snapshot corresponds to, atomically
+  // under one lock. Callers reuse the snapshot until version() moves.
+  std::uint64_t cumulative_weights_snapshot(std::vector<std::size_t>& weights) const;
+
+  // Reference implementation: recomputes the full table with bit-parallel
+  // reverse-insertion-order sweeps (64 descendant candidates per sweep,
+  // O((n + edges) * n / 64)). This was the pre-index hot path; it is kept
+  // as the oracle the incremental index is tested against. `reach_scratch`
+  // holds the sweep's bit masks and is reusable across calls.
+  std::vector<std::size_t> cumulative_weights_reference() const;
+  void cumulative_weights_reference_into(std::vector<std::size_t>& weights,
+                                         std::vector<std::uint64_t>& reach_scratch) const;
 
   // Masked variant for the per-walk batching of the tip selectors: only
   // transactions with `visible[id] != 0` count, and reachability must pass
   // exclusively through visible transactions (matching a masked walker's
   // BFS view). Ids at or beyond visible.size() are treated as invisible;
-  // invisible ids get weight 0.
+  // invisible ids get weight 0. Masks are per-client and change round to
+  // round, so this stays a bit-parallel sweep (no incremental index).
   std::vector<std::size_t> cumulative_weights_all(const std::vector<char>& visible) const;
-
-  // Scratch-buffer variants for callers that batch one sweep per walk (the
-  // Weighted/Hybrid tip selectors): `weights` receives the result and
-  // `reach_scratch` holds the sweep's bit masks, both resized as needed and
-  // reusable across calls — no per-walk allocations once they reach the
-  // DAG's high-water size. First step toward incremental cumulative-weight
-  // maintenance on append.
-  void cumulative_weights_all_into(std::vector<std::size_t>& weights,
-                                   std::vector<std::uint64_t>& reach_scratch) const;
   void cumulative_weights_all_into(const std::vector<char>& visible,
                                    std::vector<std::size_t>& weights,
                                    std::vector<std::uint64_t>& reach_scratch) const;
@@ -107,6 +128,9 @@ class Dag {
   // Samples a walk-start transaction uniformly among those at depth in
   // [min_depth, max_depth] from the tips (paper §5.3.5 / Popov: 15-25).
   // Falls back to genesis when the DAG is shallower than min_depth.
+  // Backed by a version-checked depth index: the depth BFS and the sorted
+  // candidate list are rebuilt at most once per append instead of once per
+  // walk, so concurrent per-walk calls cost O(1) on an unchanged DAG.
   TxId sample_walk_start(Rng& rng, std::size_t min_depth, std::size_t max_depth) const;
 
   // All transaction ids in insertion order (genesis first).
@@ -114,12 +138,34 @@ class Dag {
 
  private:
   const Transaction& tx_locked(TxId id) const;
+  // Rebuilds depth_index_ / start candidates when stale. Caller must hold
+  // mutex_ (shared suffices) and walk_index_mutex_.
+  void refresh_walk_index_locked() const;
 
   store::ModelStore store_;  // owns every payload (internally synchronized)
   mutable std::shared_mutex mutex_;
   std::vector<Transaction> transactions_;  // id == index
   std::unordered_map<TxId, std::vector<TxId>> children_;
   std::unordered_set<TxId> tips_;
+
+  // --- incremental weight index (guarded by mutex_) -----------------------
+  std::uint64_t version_ = 0;
+  std::vector<std::size_t> cum_weights_;  // exact, unmasked, id-indexed
+  std::vector<char> cone_seen_;           // scratch for the append-time cone BFS
+  std::vector<TxId> cone_frontier_;
+
+  // --- walk-start depth index ---------------------------------------------
+  // Lazily rebuilt caches; guarded by walk_index_mutex_ *in addition to* a
+  // shared hold of mutex_ (rebuilds read transactions_/tips_). The critical
+  // section is O(1) between appends.
+  mutable std::mutex walk_index_mutex_;
+  mutable std::uint64_t walk_index_version_ = ~std::uint64_t{0};
+  mutable std::vector<std::size_t> depth_index_;  // id -> depth from tips
+  mutable std::vector<TxId> depth_frontier_;      // rebuild scratch
+  // Sorted candidate ids per (min_depth, max_depth) window, valid at
+  // walk_index_version_. A handful of distinct windows exist per run.
+  mutable std::vector<std::pair<std::pair<std::size_t, std::size_t>, std::vector<TxId>>>
+      start_candidates_;
 };
 
 }  // namespace specdag::dag

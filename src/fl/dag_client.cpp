@@ -97,10 +97,14 @@ DagRoundResult DagClient::prepare_round(const dag::Dag& dag) {
   // 3. Train the averaged model on local data.
   model_.set_weights(averaged);
   Rng train_rng = rng_.fork(0x7EA10000ULL + dag.size());
+  Timer train_timer;
   result.train_loss = train_local_sgd(model_, *client_, config_.train, train_rng);
+  result.train_seconds = train_timer.elapsed_seconds();
   result.trained_weights = std::make_shared<const nn::WeightVector>(model_.get_weights());
+  Timer eval_timer;
   result.trained_eval =
       evaluate_weights_on_test(eval_model_, *result.trained_weights, *client_);
+  result.eval_seconds = eval_timer.elapsed_seconds();
 
   // 4. Publish gate: compare against the consensus/reference model obtained
   //    by another biased walk.
@@ -110,7 +114,9 @@ DagRoundResult DagClient::prepare_round(const dag::Dag& dag) {
   result.walk_stats.evaluations += ref_stats.evaluations;
   result.walk_stats.seconds += ref_stats.seconds;
   const dag::WeightsPtr ref_weights = dag.weights(result.reference);
+  eval_timer.reset();
   result.reference_eval = evaluate_weights_on_test(eval_model_, *ref_weights, *client_);
+  result.eval_seconds += eval_timer.elapsed_seconds();
   return result;
 }
 

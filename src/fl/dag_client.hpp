@@ -60,6 +60,11 @@ struct DagRoundResult {
   EvalResult reference_eval;               // reference model on local test data
   double train_loss = 0.0;
   tipsel::WalkStats walk_stats;            // aggregated over all walks this round
+  // Wall time inside local SGD and inside the out-of-walk model evaluations
+  // (trained + reference + reference-walk candidates). Walk-internal
+  // evaluation time is part of walk_stats.seconds. Feeds sim::PhaseTimings.
+  double train_seconds = 0.0;
+  double eval_seconds = 0.0;
 
   bool did_publish() const { return published != dag::kInvalidTx; }
 

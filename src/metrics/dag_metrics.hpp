@@ -31,9 +31,10 @@ double base_pureness(const std::vector<std::size_t>& cluster_sizes);
 std::size_t approved_poisoned_count(const dag::Dag& dag, dag::TxId reference);
 
 // Structural summary of the DAG: cumulative-weight distribution plus tip
-// count. Backed by Dag::cumulative_weights_all() — one bit-parallel sweep
-// over the whole DAG instead of a BFS per transaction, so it stays cheap on
-// the per-round metrics path of the scenario engine.
+// count. Backed by Dag::cumulative_weights_all() — a copy of the DAG's
+// incrementally maintained weight index, so the per-round metrics path of
+// the scenario engine costs O(n) instead of a sweep or a BFS per
+// transaction.
 struct DagWeightSummary {
   std::size_t transactions = 0;
   std::size_t tips = 0;

@@ -284,6 +284,28 @@ std::vector<ScenarioSpec> make_builtins() {
     scenarios.push_back(spec);
   }
 
+  {
+    // Perf workload: cumulative-weight-biased walks on a DAG that keeps
+    // growing (the gate is off, so every prepare publishes). Training is one
+    // tiny SGD step — wall clock is dominated by tip selection, which makes
+    // this the regression canary for the incremental weight index and the
+    // parallel prepare phase. CI runs it as the perf smoke; scale it up with
+    // --rounds/--clients/--threads for real measurements.
+    ScenarioSpec spec;
+    spec.name = "walk-bench";
+    spec.description = "Perf: weighted walks on a growing DAG (weight-index canary)";
+    spec.dataset = DatasetPreset::kFmnistByAuthor;
+    spec.rounds = 25;
+    spec.clients_per_round = 20;
+    spec.num_clients = 40;
+    spec.samples_per_client = 30;
+    spec.client.selector = fl::SelectorKind::kWeighted;
+    spec.client.alpha = 1.0;
+    spec.client.publish_gate = false;
+    spec.client.train = {1, 1, 10, 0.0005};
+    scenarios.push_back(spec);
+  }
+
   // --- CI smokes ----------------------------------------------------------
   {
     // Tiny adversarial run for CI: label flip mid-run with per-round probes.

@@ -288,6 +288,7 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   config.rounds = spec.rounds;
   config.clients_per_round = std::min(spec.clients_per_round, num_clients);
   config.parallel_prepare = spec.parallel_prepare;
+  config.threads = spec.threads;
   config.visibility_delay_rounds = spec.visibility_delay_rounds;
   config.seed = spec.seed;
   config.store = spec.store;
@@ -331,6 +332,8 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
     result.series.push_back(point);
   }
 
+  result.perf = simulator.perf();
+  result.prepare_threads = simulator.prepare_threads();
   finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), attacks,
                   options, result);
   return result;
@@ -345,6 +348,7 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   config.client = spec.client;
   config.broadcast_latency = spec.broadcast_latency;
   config.seed = spec.seed;
+  config.threads = spec.parallel_prepare ? spec.threads : 1;
   config.store = spec.store;
 
   sim::AsyncDagSimulator simulator(std::move(preset.dataset), preset.factory, config,
@@ -394,6 +398,8 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
     result.series.push_back(point);
   }
 
+  result.perf = simulator.perf();
+  result.prepare_threads = simulator.prepare_threads();
   finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), attacks,
                   options, result);
   return result;
@@ -601,6 +607,21 @@ Json result_to_json(const ScenarioResult& result, bool include_series) {
     eval_cache.set("hit_rate", result.eval_cache_stats.hit_rate());
     eval_cache.set("invalidations", result.eval_cache_stats.invalidations);
     summary.set("eval_cache", std::move(eval_cache));
+
+    // Per-phase timing breakdown of the simulation (see sim/perf.hpp):
+    // tipsel/train/eval are aggregate busy seconds over the prepared
+    // clients, commit is serialized wall time.
+    if (result.perf.prepares > 0) {
+      Json perf = Json::make_object();
+      perf.set("tipsel_seconds", result.perf.tipsel_seconds);
+      perf.set("train_seconds", result.perf.train_seconds);
+      perf.set("eval_seconds", result.perf.eval_seconds);
+      perf.set("commit_seconds", result.perf.commit_seconds);
+      perf.set("prepares", result.perf.prepares);
+      perf.set("commits", result.perf.commits);
+      perf.set("threads", result.prepare_threads);
+      summary.set("perf", std::move(perf));
+    }
   }
 
   if (result.attacked) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "scenario/spec.hpp"
+#include "sim/perf.hpp"
 #include "store/eval_cache.hpp"
 
 namespace specdag::scenario {
@@ -79,6 +80,12 @@ struct ScenarioResult {
   // effectiveness, materialization LRU, sharded cache hit rates).
   store::StoreStats store_stats;
   store::EvalCacheStats eval_cache_stats;
+
+  // Per-phase timing breakdown (tipsel / train / eval / commit) and the
+  // worker count the prepare phase ran with (DAG algorithm only; the
+  // baselines have no walk/commit phases to break down).
+  sim::PhaseTimings perf;
+  std::size_t prepare_threads = 0;
 
   std::vector<ScenarioPoint> series;
 };

@@ -427,7 +427,7 @@ ScenarioSpec spec_from_json(const Json& json) {
   check_known_keys(json,
                    {"name", "description", "dataset", "paper_scale", "simulator", "rounds",
                     "clients_per_round", "visibility_delay_rounds", "broadcast_latency",
-                    "num_clients", "samples_per_client", "seed", "parallel_prepare",
+                    "num_clients", "samples_per_client", "seed", "parallel_prepare", "threads",
                     "evaluate_consensus", "community_metrics_every", "client", "dynamics",
                     "store", "algorithm", "proximal_mu", "attacks",
                     "record_client_accuracies"},
@@ -449,6 +449,7 @@ ScenarioSpec spec_from_json(const Json& json) {
       static_cast<std::size_t>(json.uint_or("samples_per_client", spec.samples_per_client));
   spec.seed = json.uint_or("seed", spec.seed);
   spec.parallel_prepare = json.bool_or("parallel_prepare", spec.parallel_prepare);
+  spec.threads = static_cast<std::size_t>(json.uint_or("threads", spec.threads));
   spec.evaluate_consensus = json.bool_or("evaluate_consensus", spec.evaluate_consensus);
   spec.community_metrics_every = static_cast<std::size_t>(
       json.uint_or("community_metrics_every", spec.community_metrics_every));
@@ -492,6 +493,7 @@ Json spec_to_json(const ScenarioSpec& spec) {
   if (spec.samples_per_client > 0) json.set("samples_per_client", spec.samples_per_client);
   json.set("seed", spec.seed);
   if (!spec.parallel_prepare) json.set("parallel_prepare", false);
+  if (spec.threads > 0) json.set("threads", spec.threads);
   if (spec.evaluate_consensus) json.set("evaluate_consensus", true);
   if (spec.community_metrics_every > 0) {
     json.set("community_metrics_every", spec.community_metrics_every);

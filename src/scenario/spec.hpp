@@ -17,6 +17,7 @@
 //     "num_clients": 0,              // 0 = preset default (fmnist/fedprox)
 //     "samples_per_client": 0,       // 0 = preset default (fmnist only)
 //     "seed": 42,
+//     "threads": 0,                  // prepare workers: 0 = hardware, 1 = serial
 //     "client": {
 //       "alpha": 10, "selector": "accuracy" | "random" | "weighted",
 //       "normalization": "standard" | "dynamic", "num_parents": 2,
@@ -136,6 +137,11 @@ struct ScenarioSpec {
   std::size_t samples_per_client = 0;
   std::uint64_t seed = 42;
   bool parallel_prepare = true;
+  // Worker threads for the simulators' parallel prepare phase (round: the
+  // per-round client batch; async: serially-equivalent step batches).
+  // 0 = one per hardware thread, 1 = serial. Bit-identical results across
+  // values — this is a wall-clock knob, not a semantic one.
+  std::size_t threads = 0;
   // Evaluate every client's personalized consensus model at the end (one
   // biased walk + test-set evaluation per client — the expensive metric).
   bool evaluate_consensus = false;

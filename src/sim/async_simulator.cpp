@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "data/poisoning.hpp"
+#include "util/timer.hpp"
 
 namespace specdag::sim {
 
@@ -36,6 +38,11 @@ AsyncDagSimulator::AsyncDagSimulator(data::FederatedDataset dataset, nn::ModelFa
     net_.register_client(&dataset_.clients[i]);
     schedule_client_step(static_cast<int>(i));
   }
+  // Batched prepares need a visibility gap to overlap inside (see the
+  // header comment); with instantaneous broadcast the event loop is an
+  // inherent chain of prepare -> commit dependencies.
+  // threads == 0: one worker per hardware thread (ThreadPool's convention).
+  if (config_.threads != 1 && config_.broadcast_latency > 0.0) pool_.emplace(config_.threads);
 }
 
 void AsyncDagSimulator::schedule_client_step(int client) {
@@ -104,7 +111,12 @@ void AsyncDagSimulator::process_event(Event event, std::vector<AsyncStepRecord>&
     // The transaction reaches the network: insert it into the DAG. The
     // gate was already evaluated against the publisher's view at prepare
     // time; the virtual round is the event time floored.
-    net_.commit(event.client, event.result, static_cast<std::size_t>(now_));
+    Timer commit_timer;
+    if (net_.commit(event.client, event.result, static_cast<std::size_t>(now_)) !=
+        dag::kInvalidTx) {
+      ++perf_.commits;
+    }
+    perf_.commit_seconds += commit_timer.elapsed_seconds();
     return;
   }
 
@@ -118,8 +130,15 @@ void AsyncDagSimulator::process_event(Event event, std::vector<AsyncStepRecord>&
   // Client training completion: walk, average, train against the *current*
   // DAG; publish (possibly delayed by broadcast latency).
   fl::DagRoundResult result = net_.prepare(event.client);
+  perf_.tipsel_seconds += result.walk_stats.seconds;
+  perf_.train_seconds += result.train_seconds;
+  perf_.eval_seconds += result.eval_seconds;
+  ++perf_.prepares;
   if (config_.broadcast_latency == 0.0) {
+    Timer commit_timer;
     result.published = net_.commit(event.client, result, static_cast<std::size_t>(now_));
+    perf_.commit_seconds += commit_timer.elapsed_seconds();
+    if (result.published != dag::kInvalidTx) ++perf_.commits;
   } else {
     events_.push(Event{now_ + config_.broadcast_latency, next_seq_++,
                        Event::Kind::kBroadcast, event.client, result});
@@ -129,13 +148,109 @@ void AsyncDagSimulator::process_event(Event event, std::vector<AsyncStepRecord>&
   schedule_client_step(event.client);
 }
 
+void AsyncDagSimulator::process_step_batch(std::vector<AsyncStepRecord>& records,
+                                           std::size_t max_records,
+                                           std::optional<double> until) {
+  // Replays the serial event loop's bookkeeping eagerly — pops, clock
+  // re-arms, broadcast scheduling, record slots, RNG draws, all in exact
+  // event order — while deferring only the expensive prepares. The batch
+  // ends where the serial loop would hit its first cross-event dependency:
+  // a broadcast (a commit the next prepare must observe), the record quota,
+  // or the virtual-time horizon. Events spawned by batch members (a fast
+  // client's next completion) join the batch naturally because each
+  // iteration re-reads the queue top.
+  struct DeferredStep {
+    int client;
+    std::size_t record_index;
+    std::uint64_t broadcast_seq;  // the placeholder awaiting this result
+  };
+  std::vector<DeferredStep> steps;
+  // Broadcast placeholders cannot sit in the priority queue while their
+  // results are still being computed (the queue hands out copies), so the
+  // placeholders are parked here and pushed once the prepares finish. The
+  // loop below stops before any event the earliest parked broadcast would
+  // precede in queue order, so parking never reorders commits.
+  std::vector<Event> pending_broadcasts;
+  std::size_t produced = 0;
+
+  while (!events_.empty() && produced < max_records) {
+    const Event& top = events_.top();
+    if (top.kind != Event::Kind::kClientStep) break;
+    if (until && top.time > *until) break;
+    // A parked broadcast due before (or tied ahead of, by sequence) the next
+    // step is a commit that step's prepare must observe: end the batch and
+    // let the outer loop run it. pending_broadcasts is (time, seq)-ordered
+    // by construction, so front() is the earliest.
+    if (!pending_broadcasts.empty() && top > pending_broadcasts.front()) break;
+    Event event = top;
+    events_.pop();
+    now_ = event.time;
+    const auto idx = static_cast<std::size_t>(event.client);
+    if (!active_[idx]) {
+      clock_armed_[idx] = 0;
+      continue;
+    }
+    const std::uint64_t broadcast_seq = next_seq_++;
+    pending_broadcasts.push_back(Event{now_ + config_.broadcast_latency, broadcast_seq,
+                                       Event::Kind::kBroadcast, event.client, {}});
+    records.push_back({now_, event.client, {}});
+    steps.push_back({event.client, records.size() - 1, broadcast_seq});
+    ++produced;
+    ++total_steps_;
+    schedule_client_step(event.client);
+  }
+
+  // Prepare phase: all deferred steps observe the same DAG (no commit
+  // happened since the batch began). Steps of the same client are chained
+  // in event order — client state (model replica, walk RNG) is sequential.
+  std::vector<std::vector<std::size_t>> per_client;  // indices into `steps`
+  std::unordered_map<int, std::size_t> client_slot;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    auto [it, inserted] = client_slot.emplace(steps[i].client, per_client.size());
+    if (inserted) per_client.emplace_back();
+    per_client[it->second].push_back(i);
+  }
+  std::vector<fl::DagRoundResult> results(steps.size());
+  const auto prepare_chain = [&](std::size_t chain) {
+    for (std::size_t i : per_client[chain]) {
+      results[i] = net_.prepare(steps[i].client);
+    }
+  };
+  if (pool_ && per_client.size() > 1) {
+    pool_->parallel_for(per_client.size(), prepare_chain);
+  } else {
+    for (std::size_t chain = 0; chain < per_client.size(); ++chain) prepare_chain(chain);
+  }
+
+  // Publish the results into the record slots and the parked broadcasts,
+  // then release the broadcasts into the queue. steps and
+  // pending_broadcasts were appended in lockstep; the seq check enforces
+  // that alignment.
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (pending_broadcasts[i].seq != steps[i].broadcast_seq) {
+      throw std::logic_error("AsyncDagSimulator: batch broadcast misaligned");
+    }
+    perf_.tipsel_seconds += results[i].walk_stats.seconds;
+    perf_.train_seconds += results[i].train_seconds;
+    perf_.eval_seconds += results[i].eval_seconds;
+    records[steps[i].record_index].result = results[i];
+    pending_broadcasts[i].result = std::move(results[i]);
+  }
+  perf_.prepares += steps.size();
+  for (Event& broadcast : pending_broadcasts) events_.push(std::move(broadcast));
+}
+
 std::vector<AsyncStepRecord> AsyncDagSimulator::run_steps(std::size_t num_steps) {
   std::vector<AsyncStepRecord> records;
   while (records.size() < num_steps) {
     if (events_.empty()) throw std::logic_error("AsyncDagSimulator: event queue drained");
-    Event event = events_.top();
-    events_.pop();
-    process_event(std::move(event), records);
+    if (pool_ && events_.top().kind == Event::Kind::kClientStep) {
+      process_step_batch(records, num_steps - records.size(), std::nullopt);
+    } else {
+      Event event = events_.top();
+      events_.pop();
+      process_event(std::move(event), records);
+    }
   }
   return records;
 }
@@ -143,9 +258,13 @@ std::vector<AsyncStepRecord> AsyncDagSimulator::run_steps(std::size_t num_steps)
 std::vector<AsyncStepRecord> AsyncDagSimulator::run_until(double until) {
   std::vector<AsyncStepRecord> records;
   while (!events_.empty() && events_.top().time <= until) {
-    Event event = events_.top();
-    events_.pop();
-    process_event(std::move(event), records);
+    if (pool_ && events_.top().kind == Event::Kind::kClientStep) {
+      process_step_batch(records, ~std::size_t{0}, until);
+    } else {
+      Event event = events_.top();
+      events_.pop();
+      process_event(std::move(event), records);
+    }
   }
   now_ = until;
   return records;

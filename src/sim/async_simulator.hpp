@@ -18,13 +18,23 @@
 // emerge. Latency comparable to the clients' step interval keeps several
 // transactions concurrently in flight, reproducing the concurrency the
 // paper's round-based simulation provides implicitly.
+// Parallel prepares: client training completions that are adjacent in the
+// event queue — no broadcast (commit) event between them, all earlier than
+// the first completion's own broadcast — all observe the same DAG, so they
+// are prepared concurrently on a thread pool and their results applied in
+// exact event order. The schedule is chosen by event times alone (never by
+// thread timing), so any thread count reproduces the serial trace bit for
+// bit.
 #pragma once
 
+#include <optional>
 #include <queue>
 
 #include "core/specializing_dag.hpp"
 #include "data/dataset.hpp"
 #include "metrics/dag_metrics.hpp"
+#include "sim/perf.hpp"
+#include "util/thread_pool.hpp"
 
 namespace specdag::sim {
 
@@ -39,6 +49,12 @@ struct AsyncSimulatorConfig {
   // from publication until it is visible in the DAG). 0 = instantaneous.
   double broadcast_latency = 0.0;
   std::uint64_t seed = 42;
+  // Worker threads for the batched prepare phase (see the header comment).
+  // 0 = one per hardware thread; 1 = serial. Results are bit-identical
+  // across thread counts. Batching needs broadcast_latency > 0 — with
+  // instantaneous visibility every completion commits before the next one
+  // prepares, so execution stays serial regardless.
+  std::size_t threads = 0;
   // Payload store configuration (delta encoding, LRU, eval-cache shards).
   store::StoreConfig store;
 };
@@ -97,6 +113,12 @@ class AsyncDagSimulator {
 
   const std::vector<AsyncClientProfile>& profiles() const { return profiles_; }
 
+  // Accumulated per-phase timings (tipsel / train / eval / commit) over
+  // every step processed so far. See sim/perf.hpp for bucket semantics.
+  const PhaseTimings& perf() const { return perf_; }
+  // Worker threads the batched prepare phase actually uses (1 = serial).
+  std::size_t prepare_threads() const { return pool_ ? pool_->size() : 1; }
+
  private:
   struct Event {
     double time;
@@ -115,12 +137,21 @@ class AsyncDagSimulator {
 
   void schedule_client_step(int client);
   void process_event(Event event, std::vector<AsyncStepRecord>& records);
+  // Pops the maximal serially-equivalent run of client-step events (see the
+  // header comment), prepares the active ones on the pool, and applies the
+  // results in event order. `max_records` caps the records produced so
+  // run_steps stops exactly where the serial loop would; `until` (if set)
+  // excludes events past the virtual-time horizon.
+  void process_step_batch(std::vector<AsyncStepRecord>& records, std::size_t max_records,
+                          std::optional<double> until);
 
   data::FederatedDataset dataset_;
   AsyncSimulatorConfig config_;
   core::SpecializingDag net_;
   std::vector<AsyncClientProfile> profiles_;
   Rng rng_;
+  std::optional<ThreadPool> pool_;
+  PhaseTimings perf_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::vector<char> active_;        // churn: 1 = clock running
   std::vector<char> clock_armed_;   // 1 = a kClientStep event is in flight

@@ -1,0 +1,38 @@
+// Per-phase timing breakdown of a simulation run.
+//
+// Both simulators account wall time into four buckets per client step:
+//   * tipsel — biased random walks (approval walks + the reference walk),
+//   * train  — local SGD on the averaged parent model,
+//   * eval   — trained/reference model evaluations outside the walks
+//              (per-step candidate evaluations inside a walk count as
+//              tipsel; they are part of Algorithm 1's walk cost),
+//   * commit — serialized DAG appends (payload interning included).
+//
+// tipsel/train/eval are summed across clients, so with a parallel prepare
+// phase they report aggregate busy time (they can exceed the wall clock);
+// commit is always serialized and therefore wall time.
+#pragma once
+
+#include <cstddef>
+
+namespace specdag::sim {
+
+struct PhaseTimings {
+  double tipsel_seconds = 0.0;
+  double train_seconds = 0.0;
+  double eval_seconds = 0.0;
+  double commit_seconds = 0.0;
+  std::size_t prepares = 0;  // client steps prepared
+  std::size_t commits = 0;   // transactions appended through the simulator
+
+  void merge(const PhaseTimings& other) {
+    tipsel_seconds += other.tipsel_seconds;
+    train_seconds += other.train_seconds;
+    eval_seconds += other.eval_seconds;
+    commit_seconds += other.commit_seconds;
+    prepares += other.prepares;
+    commits += other.commits;
+  }
+};
+
+}  // namespace specdag::sim

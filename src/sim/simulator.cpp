@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/timer.hpp"
+
 namespace specdag::sim {
 
 double RoundRecord::mean_trained_accuracy() const {
@@ -50,7 +52,9 @@ DagSimulator::DagSimulator(data::FederatedDataset dataset, nn::ModelFactory fact
     net_.register_client(&client);
   }
   active_.assign(dataset_.clients.size(), 1);
-  if (config_.parallel_prepare) pool_.emplace();
+  // threads == 0: one worker per hardware thread (ThreadPool's convention);
+  // threads == 1 degenerates to the serial path — no pool at all.
+  if (config_.parallel_prepare && config_.threads != 1) pool_.emplace(config_.threads);
 }
 
 void DagSimulator::set_client_active(int client, bool active) {
@@ -94,14 +98,19 @@ void DagSimulator::heal_partition() {
 
 void DagSimulator::flush_due_commits() {
   std::vector<PendingCommit> still_pending;
+  Timer commit_timer;
   // Pending commits are already in deterministic (insertion) order.
   for (auto& pending : pending_) {
     if (pending.release_round <= round_) {
-      net_.commit(pending.handle, pending.result, pending.publish_round);
+      if (net_.commit(pending.handle, pending.result, pending.publish_round) !=
+          dag::kInvalidTx) {
+        ++perf_.commits;
+      }
     } else {
       still_pending.push_back(std::move(pending));
     }
   }
+  perf_.commit_seconds += commit_timer.elapsed_seconds();
   pending_ = std::move(still_pending);
 }
 
@@ -136,6 +145,15 @@ const RoundRecord& DagSimulator::run_round() {
     }
   }
 
+  // Phase accounting: tipsel/train/eval are summed over the prepared
+  // clients (aggregate busy time under a parallel prepare).
+  for (const auto& result : record.results) {
+    perf_.tipsel_seconds += result.walk_stats.seconds;
+    perf_.train_seconds += result.train_seconds;
+    perf_.eval_seconds += result.eval_seconds;
+  }
+  perf_.prepares += record.results.size();
+
   // Commit phase: deterministic order (ascending client index). With a
   // visibility delay the prepared transactions are queued instead and enter
   // the DAG `visibility_delay_rounds` rounds later (their `published` id in
@@ -144,15 +162,18 @@ const RoundRecord& DagSimulator::run_round() {
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return active[a] < active[b]; });
+  Timer commit_timer;
   for (std::size_t i : order) {
     if (config_.visibility_delay_rounds == 0) {
       record.results[i].published =
           net_.commit(static_cast<int>(active[i]), record.results[i], round_);
+      if (record.results[i].did_publish()) ++perf_.commits;
     } else {
       pending_.push_back({static_cast<int>(active[i]), record.results[i], round_,
                           round_ + config_.visibility_delay_rounds});
     }
   }
+  perf_.commit_seconds += commit_timer.elapsed_seconds();
 
   ++round_;
   if (!config_.keep_history) history_.clear();

@@ -14,6 +14,7 @@
 #include "data/poisoning.hpp"
 #include "metrics/community.hpp"
 #include "metrics/dag_metrics.hpp"
+#include "sim/perf.hpp"
 #include "util/thread_pool.hpp"
 
 namespace specdag::sim {
@@ -23,6 +24,11 @@ struct SimulatorConfig {
   std::size_t rounds = 100;
   std::size_t clients_per_round = 10;
   bool parallel_prepare = true;
+  // Worker threads for the parallel prepare phase. 0 = one per hardware
+  // thread; 1 = serial (equivalent to parallel_prepare = false). Results
+  // are bit-identical across thread counts: prepares are independent and
+  // commits stay serialized in client order.
+  std::size_t threads = 0;
   // Network propagation model: transactions published in round r become
   // visible to other clients' walks in round r + delay. 0 models the
   // paper's "ideal network conditions"; larger values simulate slow
@@ -108,6 +114,12 @@ class DagSimulator {
   const std::vector<RoundRecord>& history() const { return history_; }
   std::size_t current_round() const { return round_; }
 
+  // Accumulated per-phase timings (tipsel / train / eval / commit) over
+  // every round run so far. See sim/perf.hpp for bucket semantics.
+  const PhaseTimings& perf() const { return perf_; }
+  // Worker threads the prepare phase actually uses (1 = serial).
+  std::size_t prepare_threads() const { return pool_ ? pool_->size() : 1; }
+
   // Transactions prepared but not yet visible (visibility_delay_rounds > 0).
   std::size_t pending_transactions() const { return pending_.size(); }
 
@@ -128,6 +140,7 @@ class DagSimulator {
   Rng round_rng_;
   Rng louvain_rng_;
   std::optional<ThreadPool> pool_;
+  PhaseTimings perf_;
   std::vector<RoundRecord> history_;
   std::vector<PendingCommit> pending_;
   std::vector<char> active_;  // churn: 1 = participating this experiment phase

@@ -46,22 +46,21 @@ dag::TxId HybridTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng
   };
   dag::TxId current = start;
   for (;;) {
-    const std::vector<dag::TxId> children = visible_children(dag, current);
-    if (children.empty()) return current;
-    std::vector<double> accuracies(children.size());
-    std::vector<double> cw(children.size());
+    visible_children_into(dag, current, children_);
+    if (children_.empty()) return current;
+    accuracies_.resize(children_.size());
+    cw_.resize(children_.size());
     double cw_max = 0.0;
-    for (std::size_t i = 0; i < children.size(); ++i) {
-      accuracies[i] = evaluate(dag, children[i]);
-      cw[i] = static_cast<double>(weight_of(children[i]));
-      cw_max = std::max(cw_max, cw[i]);
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      accuracies_[i] = evaluate(dag, children_[i]);
+      cw_[i] = static_cast<double>(weight_of(children_[i]));
+      cw_max = std::max(cw_max, cw_[i]);
     }
-    std::vector<double> weights =
-        AccuracyTipSelector::walk_weights(accuracies, acc_alpha_, normalization_);
-    for (std::size_t i = 0; i < children.size(); ++i) {
-      weights[i] *= std::exp(cw_alpha_ * (cw[i] - cw_max));
+    AccuracyTipSelector::walk_weights_into(accuracies_, acc_alpha_, normalization_, weights_);
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      weights_[i] *= std::exp(cw_alpha_ * (cw_[i] - cw_max));
     }
-    current = children[rng.weighted_index(weights)];
+    current = children_[rng.weighted_index(weights_)];
     ++stats_.steps;
   }
 }

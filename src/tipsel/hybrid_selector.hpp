@@ -37,6 +37,12 @@ class HybridTipSelector final : public TipSelector {
   ModelEvaluator evaluator_;
   std::shared_ptr<AccuracyCache> cache_;
   std::unordered_map<dag::TxId, double> local_cache_;  // per-walk, when no cache was given
+  // Per-step scratch: candidate children, accuracies, cumulative weights,
+  // and the combined walk weights — reused across steps and walks.
+  std::vector<dag::TxId> children_;
+  std::vector<double> accuracies_;
+  std::vector<double> cw_;
+  std::vector<double> weights_;
 };
 
 }  // namespace specdag::tipsel

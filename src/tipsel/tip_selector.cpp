@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "util/timer.hpp"
 
@@ -17,6 +16,13 @@ void TipSelector::set_start_depth(std::size_t min_depth, std::size_t max_depth) 
   max_depth_ = max_depth;
 }
 
+void TipSelector::set_visibility_mask(VisibilityMask mask) {
+  mask_ = std::move(mask);
+  // The cw scratch may hold a masked sweep or a snapshot for the old mask
+  // state; never reuse it across a mask change.
+  cw_version_ = kNoVersion;
+}
+
 VisibilityMask make_group_visibility_mask(std::shared_ptr<const std::vector<int>> groups,
                                           int my_group, std::size_t start_round) {
   return [groups = std::move(groups), my_group, start_round](const dag::Dag& dag,
@@ -28,35 +34,54 @@ VisibilityMask make_group_visibility_mask(std::shared_ptr<const std::vector<int>
   };
 }
 
-std::vector<dag::TxId> TipSelector::visible_children(const dag::Dag& dag, dag::TxId id) const {
-  std::vector<dag::TxId> children = dag.children(id);
-  if (!mask_) return children;
-  std::erase_if(children, [&](dag::TxId child) { return !mask_(dag, child); });
-  return children;
+void TipSelector::visible_children_into(const dag::Dag& dag, dag::TxId id,
+                                        std::vector<dag::TxId>& out) const {
+  dag.children_into(id, out);
+  if (!mask_) return;
+  std::erase_if(out, [&](dag::TxId child) { return !mask_(dag, child); });
 }
 
-std::size_t TipSelector::walk_cumulative_weight(const dag::Dag& dag, dag::TxId id) const {
+std::size_t TipSelector::walk_cumulative_weight(const dag::Dag& dag, dag::TxId id) {
   if (!mask_) return dag.cumulative_weight(id);
-  std::unordered_set<dag::TxId> visited{id};
-  std::vector<dag::TxId> frontier{id};
-  while (!frontier.empty()) {
-    const dag::TxId cur = frontier.back();
-    frontier.pop_back();
-    for (dag::TxId child : visible_children(dag, cur)) {
-      if (visited.insert(child).second) frontier.push_back(child);
+  // Epoch-marked visited array: bumping the epoch invalidates every mark
+  // from previous calls without touching the memory.
+  if (bfs_mark_.size() <= id) bfs_mark_.resize(id + 1, 0);
+  ++bfs_epoch_;
+  bfs_mark_[id] = bfs_epoch_;
+  bfs_frontier_.assign(1, id);
+  std::size_t count = 1;
+  while (!bfs_frontier_.empty()) {
+    const dag::TxId cur = bfs_frontier_.back();
+    bfs_frontier_.pop_back();
+    visible_children_into(dag, cur, bfs_children_);
+    for (dag::TxId child : bfs_children_) {
+      if (bfs_mark_.size() <= child) bfs_mark_.resize(child + 1, 0);
+      if (bfs_mark_[child] != bfs_epoch_) {
+        bfs_mark_[child] = bfs_epoch_;
+        bfs_frontier_.push_back(child);
+        ++count;
+      }
     }
   }
-  return visited.size();
+  return count;
 }
 
 const std::vector<std::size_t>& TipSelector::batched_cumulative_weights(const dag::Dag& dag) {
   if (!mask_) {
-    dag.cumulative_weights_all_into(cw_scratch_, reach_scratch_);
+    // Version-checked reuse of the DAG's incremental index: as long as no
+    // transaction was appended since the last snapshot (of this DAG — two
+    // DAGs of equal size share a version value), the previous copy is
+    // still exact and the call is O(1).
+    if (cw_dag_ != &dag || cw_version_ == kNoVersion || dag.version() != cw_version_) {
+      cw_version_ = dag.cumulative_weights_snapshot(cw_scratch_);
+      cw_dag_ = &dag;
+    }
     return cw_scratch_;
   }
-  const std::vector<dag::TxId> ids = dag.all_ids();
-  visible_scratch_.assign(ids.size(), 0);
-  for (dag::TxId id : ids) {
+  cw_version_ = kNoVersion;  // masked sweeps must not be reused as snapshots
+  const std::size_t n = dag.size();
+  visible_scratch_.assign(n, 0);
+  for (dag::TxId id = 0; id < n; ++id) {
     if (mask_(dag, id)) visible_scratch_[id] = 1;
   }
   dag.cumulative_weights_all_into(visible_scratch_, cw_scratch_, reach_scratch_);
@@ -93,9 +118,9 @@ std::vector<dag::TxId> TipSelector::select_tips(const dag::Dag& dag, std::size_t
 dag::TxId RandomTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng) {
   dag::TxId current = start;
   for (;;) {
-    const std::vector<dag::TxId> children = visible_children(dag, current);
-    if (children.empty()) return current;
-    current = children[rng.index(children.size())];
+    visible_children_into(dag, current, children_);
+    if (children_.empty()) return current;
+    current = children_[rng.index(children_.size())];
     ++stats_.steps;
   }
 }
@@ -105,10 +130,10 @@ WeightedTipSelector::WeightedTipSelector(double alpha) : alpha_(alpha) {
 }
 
 dag::TxId WeightedTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& rng) {
-  // One bit-parallel sweep per walk instead of a future-cone BFS per step.
-  // The snapshot stays valid for the whole walk: cumulative weights only
-  // change when transactions are appended, and commits are serialized
-  // outside the prepare phase; ids beyond the snapshot (appended
+  // One version-checked index snapshot per walk instead of a future-cone BFS
+  // per step. The snapshot stays valid for the whole walk: cumulative
+  // weights only change when transactions are appended, and commits are
+  // serialized outside the prepare phase; ids beyond the snapshot (appended
   // concurrently) fall back to the per-id path.
   const std::vector<std::size_t>& cw_all = batched_cumulative_weights(dag);
   const auto weight_of = [&](dag::TxId id) {
@@ -116,19 +141,19 @@ dag::TxId WeightedTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& r
   };
   dag::TxId current = start;
   for (;;) {
-    const std::vector<dag::TxId> children = visible_children(dag, current);
-    if (children.empty()) return current;
-    std::vector<double> cw(children.size());
+    visible_children_into(dag, current, children_);
+    if (children_.empty()) return current;
+    cw_.resize(children_.size());
     double cw_max = 0.0;
-    for (std::size_t i = 0; i < children.size(); ++i) {
-      cw[i] = static_cast<double>(weight_of(children[i]));
-      cw_max = std::max(cw_max, cw[i]);
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      cw_[i] = static_cast<double>(weight_of(children_[i]));
+      cw_max = std::max(cw_max, cw_[i]);
     }
-    std::vector<double> weights(children.size());
-    for (std::size_t i = 0; i < children.size(); ++i) {
-      weights[i] = std::exp(alpha_ * (cw[i] - cw_max));
+    weights_.resize(children_.size());
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      weights_[i] = std::exp(alpha_ * (cw_[i] - cw_max));
     }
-    current = children[rng.weighted_index(weights)];
+    current = children_[rng.weighted_index(weights_)];
     ++stats_.steps;
   }
 }
@@ -164,13 +189,13 @@ double AccuracyTipSelector::evaluate(const dag::Dag& dag, dag::TxId id) {
   return acc;
 }
 
-std::vector<double> AccuracyTipSelector::walk_weights(const std::vector<double>& accuracies,
-                                                      double alpha,
-                                                      Normalization normalization) {
+void AccuracyTipSelector::walk_weights_into(const std::vector<double>& accuracies,
+                                            double alpha, Normalization normalization,
+                                            std::vector<double>& out) {
   if (accuracies.empty()) throw std::invalid_argument("walk_weights: empty accuracies");
   const auto [mn_it, mx_it] = std::minmax_element(accuracies.begin(), accuracies.end());
   const double mn = *mn_it, mx = *mx_it;
-  std::vector<double> weights(accuracies.size());
+  out.resize(accuracies.size());
   for (std::size_t i = 0; i < accuracies.size(); ++i) {
     double normalized = accuracies[i] - mx;  // Eq. 1: <= 0
     if (normalization == Normalization::kDynamic) {
@@ -179,8 +204,15 @@ std::vector<double> AccuracyTipSelector::walk_weights(const std::vector<double>&
       const double spread = mx - mn;
       normalized = spread > 0.0 ? normalized / spread : 0.0;
     }
-    weights[i] = std::exp(normalized * alpha);  // Eq. 2, in (0, 1]
+    out[i] = std::exp(normalized * alpha);  // Eq. 2, in (0, 1]
   }
+}
+
+std::vector<double> AccuracyTipSelector::walk_weights(const std::vector<double>& accuracies,
+                                                      double alpha,
+                                                      Normalization normalization) {
+  std::vector<double> weights;
+  walk_weights_into(accuracies, alpha, normalization, weights);
   return weights;
 }
 
@@ -188,16 +220,16 @@ dag::TxId AccuracyTipSelector::walk(const dag::Dag& dag, dag::TxId start, Rng& r
   if (!cache_) local_cache_.clear();
   dag::TxId current = start;
   for (;;) {
-    const std::vector<dag::TxId> children = visible_children(dag, current);
-    if (children.empty()) return current;
+    visible_children_into(dag, current, children_);
+    if (children_.empty()) return current;
     // Algorithm 1: evaluate every reachable next model on local data, then
     // make a weighted random choice.
-    std::vector<double> accuracies(children.size());
-    for (std::size_t i = 0; i < children.size(); ++i) {
-      accuracies[i] = evaluate(dag, children[i]);
+    accuracies_.resize(children_.size());
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      accuracies_[i] = evaluate(dag, children_[i]);
     }
-    const std::vector<double> weights = walk_weights(accuracies, alpha_, normalization_);
-    current = children[rng.weighted_index(weights)];
+    walk_weights_into(accuracies_, alpha_, normalization_, weights_);
+    current = children_[rng.weighted_index(weights_)];
     ++stats_.steps;
   }
 }

@@ -12,6 +12,11 @@
 //                               client's local test data (Algorithm 1),
 //                               with the standard (Eq. 1-2) or dynamic
 //                               (Eq. 3) normalization.
+//
+// Selectors are per-client and walk sequentially, so every buffer the walk
+// inner loops need (children, per-step weights, BFS scratch) is owned by
+// the selector and reused across steps and walks — steady-state walks
+// allocate nothing.
 #pragma once
 
 #include <functional>
@@ -79,52 +84,74 @@ class TipSelector {
   std::size_t max_start_depth() const { return max_depth_; }
 
   // Restricts walks to the masked subgraph (empty mask = no restriction).
-  void set_visibility_mask(VisibilityMask mask) { mask_ = std::move(mask); }
+  void set_visibility_mask(VisibilityMask mask);
   bool has_visibility_mask() const { return static_cast<bool>(mask_); }
 
   const WalkStats& last_stats() const { return stats_; }
 
  protected:
-  // Children of `id` that pass the visibility mask. A visible transaction
-  // whose children are all masked acts as a tip of the visible subgraph.
-  std::vector<dag::TxId> visible_children(const dag::Dag& dag, dag::TxId id) const;
+  // Children of `id` that pass the visibility mask, copied into `out`
+  // (cleared first). A visible transaction whose children are all masked
+  // acts as a tip of the visible subgraph. `out` must be a selector-owned
+  // scratch distinct from any buffer live in the caller's loop.
+  void visible_children_into(const dag::Dag& dag, dag::TxId id,
+                             std::vector<dag::TxId>& out) const;
   bool visible(const dag::Dag& dag, dag::TxId id) const {
     return !mask_ || mask_(dag, id);
   }
 
   // Cumulative weight as this walker perceives it: with a mask set, only
   // the visible future cone counts — a partitioned client must not rank
-  // candidates by the size of subgraphs it cannot see.
-  std::size_t walk_cumulative_weight(const dag::Dag& dag, dag::TxId id) const;
+  // candidates by the size of subgraphs it cannot see. Uses selector-owned
+  // BFS scratch (epoch-marked visited array), so repeated calls allocate
+  // nothing once the buffers reach the DAG's high-water size.
+  std::size_t walk_cumulative_weight(const dag::Dag& dag, dag::TxId id);
 
   // Cumulative weight of every transaction at once, respecting the
-  // visibility mask — one bit-parallel sweep per *walk* instead of a BFS
-  // per step (the §5.3.5 walk-cost hot path). Transactions appended after
-  // the snapshot are not covered; callers fall back to
-  // walk_cumulative_weight for ids beyond the returned size. The returned
-  // reference points into selector-owned scratch buffers reused across
-  // walks (selectors are per-client and walk sequentially), so steady-state
-  // walks allocate nothing; it stays valid until the next call.
+  // visibility mask (the §5.3.5 walk-cost hot path). Unmasked, this is a
+  // version-checked copy of the DAG's incremental weight index — reused
+  // across walks (and rounds) until the DAG appends a transaction, so
+  // steady-state walks neither sweep nor copy. With a mask set it falls
+  // back to one bit-parallel sweep per walk (masks are per-client state the
+  // DAG cannot index). Transactions appended after the snapshot are not
+  // covered; callers fall back to walk_cumulative_weight for ids beyond the
+  // returned size. The returned reference points into selector-owned
+  // scratch and stays valid until the next call.
   const std::vector<std::size_t>& batched_cumulative_weights(const dag::Dag& dag);
 
   WalkStats stats_;
 
  private:
+  static constexpr std::uint64_t kNoVersion = ~std::uint64_t{0};
+
   WalkStart start_mode_ = WalkStart::kGenesis;
   std::size_t min_depth_ = 15;
   std::size_t max_depth_ = 25;
   VisibilityMask mask_;
-  // Scratch for batched_cumulative_weights: result, sweep bit masks, and
-  // the visibility snapshot. Sized once per DAG high-water mark.
+  // Scratch for batched_cumulative_weights: result, sweep bit masks, the
+  // visibility snapshot, and the index version the unmasked snapshot
+  // corresponds to. Sized once per DAG high-water mark.
   std::vector<std::size_t> cw_scratch_;
   std::vector<std::uint64_t> reach_scratch_;
   std::vector<char> visible_scratch_;
+  std::uint64_t cw_version_ = kNoVersion;
+  const dag::Dag* cw_dag_ = nullptr;  // snapshot identity: versions of distinct DAGs collide
+  // Scratch for walk_cumulative_weight's BFS: epoch-marked visited array
+  // (no O(n) clear per call), frontier, and a children buffer separate from
+  // the walk loops' buffers (the BFS runs while a walk iterates its own).
+  std::vector<std::uint64_t> bfs_mark_;
+  std::uint64_t bfs_epoch_ = 0;
+  std::vector<dag::TxId> bfs_frontier_;
+  std::vector<dag::TxId> bfs_children_;
 };
 
 // Uniformly random walk.
 class RandomTipSelector final : public TipSelector {
  public:
   dag::TxId walk(const dag::Dag& dag, dag::TxId start, Rng& rng) override;
+
+ private:
+  std::vector<dag::TxId> children_;  // per-step scratch
 };
 
 // Cumulative-weight biased walk: P(child) ∝ exp(alpha * (cw - cw_max)),
@@ -139,6 +166,11 @@ class WeightedTipSelector final : public TipSelector {
 
  private:
   double alpha_;
+  // Per-step scratch: candidate children, their cumulative weights, and the
+  // exp-bias weights — reused across steps and walks.
+  std::vector<dag::TxId> children_;
+  std::vector<double> cw_;
+  std::vector<double> weights_;
 };
 
 // Normalization variants of the accuracy bias (paper Eq. 1-3).
@@ -204,9 +236,12 @@ class AccuracyTipSelector final : public TipSelector {
   double evaluate(const dag::Dag& dag, dag::TxId id);
 
   // Computes the walk weights for a set of candidate accuracies — exposed
-  // for unit tests of Eq. 1-3.
+  // for unit tests of Eq. 1-3. `walk_weights_into` is the allocation-free
+  // variant the walk loops use.
   static std::vector<double> walk_weights(const std::vector<double>& accuracies, double alpha,
                                           Normalization normalization);
+  static void walk_weights_into(const std::vector<double>& accuracies, double alpha,
+                                Normalization normalization, std::vector<double>& out);
 
  private:
   double alpha_;
@@ -214,6 +249,10 @@ class AccuracyTipSelector final : public TipSelector {
   ModelEvaluator evaluator_;
   std::shared_ptr<AccuracyCache> cache_;
   std::unordered_map<dag::TxId, double> local_cache_;  // per-walk, when no cache was given
+  // Per-step scratch: candidate children, accuracies, walk weights.
+  std::vector<dag::TxId> children_;
+  std::vector<double> accuracies_;
+  std::vector<double> weights_;
 };
 
 }  // namespace specdag::tipsel

@@ -6,6 +6,9 @@
 namespace specdag {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
+  // 0 = one worker per hardware thread (which itself may report 0 on
+  // exotic platforms, hence the final clamp to at least one worker).
+  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
   num_threads = std::max<std::size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {

@@ -18,7 +18,8 @@ namespace specdag {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t num_threads = std::thread::hardware_concurrency());
+  // num_threads == 0 means one worker per hardware thread.
+  explicit ThreadPool(std::size_t num_threads = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

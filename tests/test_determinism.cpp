@@ -61,22 +61,26 @@ std::string serialize_trace(const std::vector<sim::AsyncStepRecord>& records) {
 }
 
 TEST(Determinism, RoundHistoryIsByteIdentical) {
-  auto run = [](bool parallel) {
+  auto run = [](bool parallel, std::size_t threads) {
     auto ds = tiny_dataset();
     sim::SimulatorConfig config;
     config.client.train = {1, 4, 8, 0.05};
     config.clients_per_round = 3;
     config.seed = 99;
     config.parallel_prepare = parallel;
+    config.threads = threads;
     sim::DagSimulator simulator(std::move(ds), tiny_factory(tiny_dataset()), config);
     simulator.run_rounds(6);
     return serialize_history(simulator.history());
   };
-  const std::string first = run(true);
-  EXPECT_EQ(first, run(true));
+  const std::string first = run(true, 0);
+  EXPECT_EQ(first, run(true, 0));
   // Thread scheduling must not leak into results: the parallel and serial
-  // prepare paths produce the same history.
-  EXPECT_EQ(first, run(false));
+  // prepare paths produce the same history, at any worker count.
+  EXPECT_EQ(first, run(false, 0));
+  EXPECT_EQ(first, run(true, 1));
+  EXPECT_EQ(first, run(true, 3));
+  EXPECT_EQ(first, run(true, 8));
 }
 
 TEST(Determinism, RoundHistoryChangesWithSeed) {
@@ -94,19 +98,48 @@ TEST(Determinism, RoundHistoryChangesWithSeed) {
 }
 
 TEST(Determinism, AsyncEventTraceIsByteIdentical) {
-  auto run = [] {
+  auto run = [](std::size_t threads) {
     auto ds = tiny_dataset();
     sim::AsyncSimulatorConfig config;
     config.client.train = {1, 4, 8, 0.05};
     config.broadcast_latency = 0.5;
     config.seed = 1234;
+    config.threads = threads;
     std::vector<sim::AsyncClientProfile> profiles(6);
     profiles[1].mean_step_interval = 3.0;  // heterogeneous rates included
     sim::AsyncDagSimulator simulator(std::move(ds), tiny_factory(tiny_dataset()), config,
                                      profiles);
     return serialize_trace(simulator.run_steps(25));
   };
-  EXPECT_EQ(run(), run());
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(1));
+  // The batched prepare phase replays the serial event schedule exactly:
+  // any worker count reproduces the serial trace byte for byte.
+  EXPECT_EQ(serial, run(0));
+  EXPECT_EQ(serial, run(4));
+}
+
+TEST(Determinism, AsyncBatchedPrepareMatchesSerialAcrossLatencies) {
+  // Sweep the latency across regimes (dense interleaving, long visibility
+  // gaps): the batch boundaries move, the trace must not. run_until slices
+  // the horizon the way the scenario runner does.
+  for (double latency : {0.05, 0.3, 2.0}) {
+    auto run = [&](std::size_t threads) {
+      auto ds = tiny_dataset();
+      sim::AsyncSimulatorConfig config;
+      config.client.train = {1, 2, 8, 0.05};
+      config.broadcast_latency = latency;
+      config.seed = 77;
+      config.threads = threads;
+      sim::AsyncDagSimulator simulator(std::move(ds), tiny_factory(tiny_dataset()), config);
+      std::string trace;
+      for (int unit = 1; unit <= 6; ++unit) {
+        trace += serialize_trace(simulator.run_until(static_cast<double>(unit)));
+      }
+      return trace;
+    };
+    EXPECT_EQ(run(1), run(4)) << "latency " << latency;
+  }
 }
 
 TEST(Determinism, ScenarioResultsAreReproducible) {

@@ -1,0 +1,255 @@
+// The incremental cumulative-weight index and the version-checked walk-start
+// depth index: equivalence against the retained bit-parallel sweep oracle and
+// the per-id BFS, under randomized growth, masking, and concurrent appends.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "dag/dag.hpp"
+#include "metrics/dag_metrics.hpp"
+#include "tipsel/tip_selector.hpp"
+
+namespace specdag::dag {
+namespace {
+
+WeightsPtr payload(float v = 0.0f) {
+  return std::make_shared<const nn::WeightVector>(nn::WeightVector{v});
+}
+
+// Appends one random 1-2 parent transaction.
+TxId grow(Dag& dag, Rng& rng, std::size_t round) {
+  const std::size_t parents_count = std::min<std::size_t>(2, dag.size());
+  const auto parent_idx = rng.sample_without_replacement(dag.size(), parents_count);
+  return dag.add_transaction({parent_idx.begin(), parent_idx.end()}, payload(),
+                             static_cast<int>(round % 7), round);
+}
+
+TEST(WeightIndex, MatchesSweepOracleDuringRandomizedGrowth) {
+  Dag dag({0.0f});
+  Rng rng(101);
+  // Check at every intermediate size for the first stretch (the index is
+  // maintained per append, so off-by-one bugs surface immediately), then at
+  // coarser checkpoints across several 64-wide sweep chunks.
+  for (std::size_t i = 1; i < 300; ++i) {
+    grow(dag, rng, i);
+    if (i < 40 || i % 37 == 0) {
+      EXPECT_EQ(dag.cumulative_weights_all(), dag.cumulative_weights_reference())
+          << "size " << dag.size();
+    }
+  }
+  // Final state: index == sweep oracle == per-id BFS.
+  const std::vector<std::size_t> index = dag.cumulative_weights_all();
+  ASSERT_EQ(index, dag.cumulative_weights_reference());
+  for (TxId id : dag.all_ids()) {
+    EXPECT_EQ(index[id], dag.cumulative_weight(id)) << "id " << id;
+  }
+  EXPECT_EQ(index[kGenesisTx], dag.size());
+}
+
+TEST(WeightIndex, VersionCountsAppendsAndSnapshotIsConsistent) {
+  Dag dag({0.0f});
+  EXPECT_EQ(dag.version(), 0u);
+  Rng rng(102);
+  std::vector<std::size_t> snapshot;
+  for (std::size_t i = 1; i <= 50; ++i) {
+    grow(dag, rng, i);
+    EXPECT_EQ(dag.version(), i);
+    const std::uint64_t version = dag.cumulative_weights_snapshot(snapshot);
+    EXPECT_EQ(version, i);
+    EXPECT_EQ(snapshot.size(), dag.size());
+  }
+}
+
+TEST(WeightIndex, MaskedSweepWithFullVisibilityMatchesIndex) {
+  Dag dag({0.0f});
+  Rng rng(103);
+  for (std::size_t i = 1; i < 150; ++i) grow(dag, rng, i);
+  const std::vector<char> all_visible(dag.size(), 1);
+  EXPECT_EQ(dag.cumulative_weights_all(all_visible), dag.cumulative_weights_all());
+}
+
+TEST(WeightIndex, MaskedSweepMatchesMaskedBfsUnderRandomMasks) {
+  // The masked path stays a sweep; pin it against a straightforward
+  // visible-only BFS (the masked walker's view) on random masks.
+  Dag dag({0.0f});
+  Rng rng(104);
+  for (std::size_t i = 1; i < 120; ++i) grow(dag, rng, i);
+  const std::size_t n = dag.size();
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<char> visible(n, 0);
+    for (std::size_t id = 0; id < n; ++id) visible[id] = rng.bernoulli(0.7) ? 1 : 0;
+    const std::vector<std::size_t> masked = dag.cumulative_weights_all(visible);
+    for (TxId id = 0; id < n; ++id) {
+      if (!visible[id]) {
+        EXPECT_EQ(masked[id], 0u);
+        continue;
+      }
+      // BFS over children restricted to visible transactions.
+      std::vector<char> seen(n, 0);
+      std::vector<TxId> frontier{id};
+      seen[id] = 1;
+      std::size_t count = 1;
+      while (!frontier.empty()) {
+        const TxId cur = frontier.back();
+        frontier.pop_back();
+        for (TxId child : dag.children(cur)) {
+          if (child < n && visible[child] && !seen[child]) {
+            seen[child] = 1;
+            frontier.push_back(child);
+            ++count;
+          }
+        }
+      }
+      EXPECT_EQ(masked[id], count) << "trial " << trial << " id " << id;
+    }
+  }
+}
+
+TEST(WeightIndex, ConcurrentAppendsKeepSnapshotsCoherent) {
+  Dag dag({0.0f});
+  const TxId a = dag.add_transaction({kGenesisTx}, payload(), 0, 1);
+  std::atomic<bool> stop{false};
+  // Readers continuously snapshot while a writer appends: every snapshot
+  // must be internally consistent — genesis counts everything, and the
+  // version matches the snapshot's length (version == size - 1).
+  std::thread reader([&] {
+    std::vector<std::size_t> snapshot;
+    while (!stop.load()) {
+      const std::uint64_t version = dag.cumulative_weights_snapshot(snapshot);
+      ASSERT_EQ(snapshot.size(), static_cast<std::size_t>(version) + 1);
+      ASSERT_EQ(snapshot[kGenesisTx], snapshot.size());
+      Rng rng(7);
+      (void)dag.sample_walk_start(rng, 1, 3);
+    }
+  });
+  Rng rng(105);
+  for (std::size_t i = 0; i < 400; ++i) {
+    const std::size_t parents_count = std::min<std::size_t>(2, dag.size());
+    const auto parent_idx = rng.sample_without_replacement(dag.size(), parents_count);
+    dag.add_transaction({parent_idx.begin(), parent_idx.end()}, payload(),
+                        static_cast<int>(i % 3), 2);
+  }
+  stop = true;
+  reader.join();
+  (void)a;
+  EXPECT_EQ(dag.cumulative_weights_all(), dag.cumulative_weights_reference());
+}
+
+TEST(WeightIndex, SampleWalkStartMatchesDepthsFromTipsReference) {
+  // The version-checked depth index must sample exactly what the historical
+  // per-walk depths_from_tips + sort implementation sampled: identical
+  // candidate sets in identical (sorted) order, one rng draw per call.
+  Dag dag({0.0f});
+  Rng grow_rng(106);
+  Rng sample_rng(55);
+  Rng reference_rng(55);
+  for (std::size_t i = 1; i < 200; ++i) {
+    grow(dag, grow_rng, i);
+    const TxId sampled = dag.sample_walk_start(sample_rng, 2, 5);
+
+    const auto depth = dag.depths_from_tips();
+    std::vector<TxId> candidates;
+    for (const auto& [id, d] : depth) {
+      if (d >= 2 && d <= 5) candidates.push_back(id);
+    }
+    TxId expected = kGenesisTx;
+    if (!candidates.empty()) {
+      std::sort(candidates.begin(), candidates.end());
+      expected = candidates[reference_rng.index(candidates.size())];
+    }
+    EXPECT_EQ(sampled, expected) << "size " << dag.size();
+  }
+}
+
+TEST(WeightIndex, SampleWalkStartServesMultipleDepthWindows) {
+  Dag dag({0.0f});
+  TxId chain = kGenesisTx;
+  for (int i = 0; i < 12; ++i) chain = dag.add_transaction({chain}, payload(), 0, 1);
+  Rng rng(66);
+  const auto depth = dag.depths_from_tips();
+  // Alternate between two windows against the same cached depth index.
+  for (int i = 0; i < 20; ++i) {
+    const TxId shallow = dag.sample_walk_start(rng, 1, 3);
+    EXPECT_GE(depth.at(shallow), 1u);
+    EXPECT_LE(depth.at(shallow), 3u);
+    const TxId deep = dag.sample_walk_start(rng, 6, 9);
+    EXPECT_GE(depth.at(deep), 6u);
+    EXPECT_LE(depth.at(deep), 9u);
+  }
+  // A window beyond the DAG's depth falls back to genesis.
+  EXPECT_EQ(dag.sample_walk_start(rng, 40, 50), kGenesisTx);
+}
+
+TEST(WeightIndex, DagWeightSummaryUsesIndexConsistently) {
+  Dag dag({0.0f});
+  Rng rng(107);
+  for (std::size_t i = 1; i < 90; ++i) grow(dag, rng, i);
+  const metrics::DagWeightSummary summary = metrics::dag_weight_summary(dag);
+  const std::vector<std::size_t> reference = dag.cumulative_weights_reference();
+  EXPECT_EQ(summary.transactions, reference.size());
+  std::size_t max_cw = 0;
+  double sum = 0.0;
+  for (std::size_t id = 1; id < reference.size(); ++id) {
+    sum += static_cast<double>(reference[id]);
+    max_cw = std::max(max_cw, reference[id]);
+  }
+  EXPECT_EQ(summary.max_cumulative_weight, max_cw);
+  EXPECT_DOUBLE_EQ(summary.mean_cumulative_weight,
+                   sum / static_cast<double>(reference.size() - 1));
+}
+
+// The Weighted selector's version-checked snapshot reuse must survive a
+// mask being set and cleared (the scratch must not leak masked weights into
+// unmasked walks or vice versa).
+TEST(WeightIndex, SelectorSnapshotSurvivesMaskTransitions) {
+  Dag dag({0.0f});
+  Rng rng(108);
+  for (std::size_t i = 1; i < 80; ++i) grow(dag, rng, i);
+
+  tipsel::WeightedTipSelector masked_then_unmasked(2.0);
+  tipsel::WeightedTipSelector always_unmasked(2.0);
+  // Odd-id transactions hidden (genesis stays visible).
+  masked_then_unmasked.set_visibility_mask(
+      [](const dag::Dag&, dag::TxId id) { return id % 2 == 0; });
+  Rng walk_rng_a(9);
+  (void)masked_then_unmasked.select_tips(dag, 2, walk_rng_a);
+
+  // After clearing the mask the selector must walk exactly like a fresh
+  // unmasked selector with the same rng stream.
+  masked_then_unmasked.set_visibility_mask(nullptr);
+  Rng walk_rng_b(10);
+  Rng walk_rng_c(10);
+  EXPECT_EQ(masked_then_unmasked.select_tips(dag, 3, walk_rng_b),
+            always_unmasked.select_tips(dag, 3, walk_rng_c));
+
+  // And growing the DAG invalidates the cached snapshot (version check).
+  for (std::size_t i = 0; i < 30; ++i) grow(dag, rng, 90 + i);
+  Rng walk_rng_d(11);
+  Rng walk_rng_e(11);
+  EXPECT_EQ(masked_then_unmasked.select_tips(dag, 3, walk_rng_d),
+            always_unmasked.select_tips(dag, 3, walk_rng_e));
+}
+
+// Equal-sized DAGs share a version value; the selector's snapshot cache
+// must key on DAG identity too, or a reused selector would walk DAG B with
+// DAG A's weights.
+TEST(WeightIndex, SelectorSnapshotNotReusedAcrossDags) {
+  Rng rng_a(201), rng_b(202);
+  Dag dag_a({0.0f}), dag_b({0.0f});
+  for (std::size_t i = 1; i < 60; ++i) {
+    grow(dag_a, rng_a, i);
+    grow(dag_b, rng_b, i);
+  }
+  ASSERT_EQ(dag_a.version(), dag_b.version());
+
+  tipsel::WeightedTipSelector reused(2.0);
+  tipsel::WeightedTipSelector fresh(2.0);
+  Rng warm(12);
+  (void)reused.select_tips(dag_a, 2, warm);  // caches dag_a's snapshot
+  Rng walk_a(13), walk_b(13);
+  EXPECT_EQ(reused.select_tips(dag_b, 3, walk_a), fresh.select_tips(dag_b, 3, walk_b));
+}
+
+}  // namespace
+}  // namespace specdag::dag
