@@ -13,6 +13,7 @@
 #include "nn/dense.hpp"
 #include "nn/loss.hpp"
 #include "nn/lstm.hpp"
+#include "store/delta_codec.hpp"
 #include "sim/models.hpp"
 #include "tensor/ops.hpp"
 #include "tipsel/tip_selector.hpp"
@@ -250,6 +251,72 @@ void BM_CumulativeWeightsAll(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CumulativeWeightsAll)->Arg(1000);
+
+// ----------------------------------------------------------- delta codec ---
+
+// One converged-style payload pair: a small local update on a shared base.
+void make_codec_payload(std::size_t n, nn::WeightVector& base, nn::WeightVector& values) {
+  Rng rng(0xC0DEC);
+  base.resize(n);
+  values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base[i] = static_cast<float>(rng.normal(0.0, 0.1));
+    // ~30% untouched weights (zero xor words) as converged updates show.
+    values[i] = rng.uniform() < 0.3
+                    ? base[i]
+                    : base[i] + static_cast<float>(rng.normal(0.0, 1e-4));
+  }
+}
+
+void BM_EncodeDelta(benchmark::State& state) {
+  nn::WeightVector base, values;
+  make_codec_payload(static_cast<std::size_t>(state.range(0)), base, values);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store::encode_delta(values.data(), base.data(), values.size()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EncodeDelta)->Arg(100'000);
+
+void BM_EncodeDeltaScalar(benchmark::State& state) {
+  nn::WeightVector base, values;
+  make_codec_payload(static_cast<std::size_t>(state.range(0)), base, values);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store::encode_delta_scalar(values.data(), base.data(), values.size()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EncodeDeltaScalar)->Arg(100'000);
+
+void BM_DecodeDelta(benchmark::State& state) {
+  nn::WeightVector base, values;
+  make_codec_payload(static_cast<std::size_t>(state.range(0)), base, values);
+  const std::vector<std::uint8_t> encoded =
+      store::encode_delta(values.data(), base.data(), values.size());
+  nn::WeightVector out(values.size());
+  for (auto _ : state) {
+    store::decode_delta(encoded.data(), encoded.size(), base.data(), out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DecodeDelta)->Arg(100'000);
+
+void BM_DecodeDeltaScalar(benchmark::State& state) {
+  nn::WeightVector base, values;
+  make_codec_payload(static_cast<std::size_t>(state.range(0)), base, values);
+  const std::vector<std::uint8_t> encoded =
+      store::encode_delta(values.data(), base.data(), values.size());
+  nn::WeightVector out(values.size());
+  for (auto _ : state) {
+    store::decode_delta_scalar(encoded.data(), encoded.size(), base.data(), out.data(),
+                               out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DecodeDeltaScalar)->Arg(100'000);
 
 }  // namespace
 

@@ -13,6 +13,9 @@
 //   --threads N    prepare-phase workers (0 = hardware, 1 = serial);
 //                  results are bit-identical across values
 //   --delta on|off override the payload store's delta encoding
+//   --sync-encode  encode deltas inline on the commit path instead of the
+//                  background pipeline (results are bit-identical; this is
+//                  the attribution/debug switch for store.async_encode)
 //   --algorithm A  override the algorithm (dag|fedavg|fedprox|gossip)
 //   --attack SPEC  replace the spec's adversary schedule: none,
 //                  random_weights[=RATE], label_flip[=FRACTION]. Each
@@ -53,6 +56,7 @@ int usage(std::ostream& out, int code) {
          "  show <name>             print a built-in spec as JSON\n"
          "  run <name|spec.json>    run one scenario (--rounds N --seed N\n"
          "                          --clients N --threads N --delta on|off\n"
+         "                          --sync-encode\n"
          "                          --algorithm dag|fedavg|fedprox|gossip\n"
          "                          --attack none|random_weights[=RATE]|\n"
          "                          label_flip[=FRACTION] --series\n"
@@ -60,7 +64,7 @@ int usage(std::ostream& out, int code) {
          "  export <name|spec.json> run a scenario and export its DAG\n"
          "                          (--dot PATH --jsonl PATH --rounds N\n"
          "                          --seed N --clients N --delta on|off\n"
-         "                          --quiet)\n"
+         "                          --sync-encode --quiet)\n"
          "  sweep <grid.json>       run a parameter grid (--out PATH\n"
          "                          --threads N --dry-run)\n";
   return code;
@@ -143,7 +147,8 @@ void apply_attack_overrides(const std::vector<std::string>& values,
 }
 
 // Spec overrides shared by `run` and `export`: --rounds, --seed, --clients,
-// --delta, --algorithm, --attack. Returns true when `flag` was consumed;
+// --threads, --delta, --sync-encode, --algorithm, --attack. Returns true
+// when `flag` was consumed;
 // `next` yields the flag's value (exiting with usage error when missing).
 // --attack values are only collected here; the caller applies them after
 // the whole command line is parsed.
@@ -173,6 +178,8 @@ bool apply_spec_override(const std::string& flag,
       std::cerr << "--delta expects on|off\n";
       std::exit(2);
     }
+  } else if (flag == "--sync-encode") {
+    spec.store.async_encode = false;
   } else {
     return false;
   }

@@ -111,6 +111,11 @@ std::vector<ScenarioSpec> make_builtins() {
     // are the regime where delta encoding pays (converged deployments).
     spec.client.train = {1, 1, 10, 0.0005};
     spec.store.delta = true;
+    // Encode deltas off the commit path (PR 5): the codec was the commit
+    // phase's dominant cost at this scale. `specdag run scale-2k
+    // --sync-encode` restores inline encoding; results are bit-identical
+    // either way.
+    spec.store.async_encode = true;
     // Longer delta chains before an anchor: at this scale raw anchors are
     // the dominant resident cost, and the 93%+ LRU hit rate keeps the
     // deeper reconstruction cheap.

@@ -165,6 +165,19 @@ void run_attack_step(std::size_t unit, AttackController& attacks, core::Speciali
   point.approved_poisoned = measured.approved_poisoned;
 }
 
+// One raw-vs-delta residency sample for the store time series (queue depth
+// of the async encode pipeline, raw/delta entry split, resident bytes).
+StoreResidencyPoint sample_store_residency(std::size_t round, const dag::Dag& dag) {
+  const store::StoreStats stats = dag.store().stats();
+  StoreResidencyPoint point;
+  point.round = round;
+  point.pending_encodes = stats.pending_encodes;
+  point.raw_payloads = stats.anchors + stats.pending_encodes;
+  point.delta_payloads = stats.deltas;
+  point.resident_bytes = stats.resident_payload_bytes;
+  return point;
+}
+
 double tail_mean_accuracy(const std::vector<ScenarioPoint>& series) {
   if (series.empty()) return 0.0;
   const std::size_t tail = std::max<std::size_t>(1, series.size() / 10);
@@ -330,12 +343,20 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
     point.dag_size = simulator.dag().size();
     fill_community_metrics(spec, simulator.dataset(), simulator.dag(), round + 1, point);
     result.series.push_back(point);
+    result.store_series.push_back(sample_store_residency(round + 1, simulator.dag()));
   }
 
+  // Barrier: let queued async encodes settle so the final store stats (and
+  // delta_ratio) match a synchronous run of the same spec.
+  simulator.dag().store().drain();
   result.perf = simulator.perf();
   result.prepare_threads = simulator.prepare_threads();
   finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), attacks,
                   options, result);
+  // The store's own measurement covers every encode site (inline commits,
+  // background workers, attacker-published payloads), so it supersedes the
+  // commit-section sampling accumulated by the simulator.
+  result.perf.encode_seconds = result.store_stats.encode_seconds;
   return result;
 }
 
@@ -396,12 +417,20 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
     point.partitioned = simulator.partitioned();
     fill_community_metrics(spec, simulator.dataset(), simulator.dag(), unit + 1, point);
     result.series.push_back(point);
+    result.store_series.push_back(sample_store_residency(unit + 1, simulator.dag()));
   }
 
+  // Barrier: let queued async encodes settle so the final store stats (and
+  // delta_ratio) match a synchronous run of the same spec.
+  simulator.dag().store().drain();
   result.perf = simulator.perf();
   result.prepare_threads = simulator.prepare_threads();
   finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), attacks,
                   options, result);
+  // The store's own measurement covers every encode site (inline commits,
+  // background workers, attacker-published payloads), so it supersedes the
+  // commit-section sampling accumulated by the simulator.
+  result.perf.encode_seconds = result.store_stats.encode_seconds;
   return result;
 }
 
@@ -598,6 +627,25 @@ Json result_to_json(const ScenarioResult& result, bool include_series) {
     store.set("lru_entries", result.store_stats.lru_entries);
     store.set("lru_hit_rate", result.store_stats.lru_hit_rate());
     store.set("decoded_payloads", result.store_stats.decoded_payloads);
+    // Async encode pipeline: pending_encodes is 0 after the runner's drain
+    // barrier; the peak and the per-point residency array show how deep the
+    // queue ran and how the raw-vs-delta split evolved during the run.
+    store.set("pending_encodes", result.store_stats.pending_encodes);
+    store.set("peak_pending_encodes", result.store_stats.peak_pending_encodes);
+    store.set("async_encoded", result.store_stats.async_encoded);
+    if (!result.store_series.empty()) {
+      Json residency = Json::make_array();
+      for (const StoreResidencyPoint& sample : result.store_series) {
+        Json row = Json::make_object();
+        row.set("round", sample.round);
+        row.set("pending_encodes", sample.pending_encodes);
+        row.set("raw_payloads", sample.raw_payloads);
+        row.set("delta_payloads", sample.delta_payloads);
+        row.set("resident_bytes", sample.resident_bytes);
+        residency.as_array().push_back(std::move(row));
+      }
+      store.set("residency", std::move(residency));
+    }
     summary.set("store", std::move(store));
 
     Json eval_cache = Json::make_object();
@@ -617,6 +665,8 @@ Json result_to_json(const ScenarioResult& result, bool include_series) {
       perf.set("train_seconds", result.perf.train_seconds);
       perf.set("eval_seconds", result.perf.eval_seconds);
       perf.set("commit_seconds", result.perf.commit_seconds);
+      perf.set("encode_seconds", result.perf.encode_seconds);
+      perf.set("total_seconds", result.perf.total_seconds);
       perf.set("prepares", result.perf.prepares);
       perf.set("commits", result.perf.commits);
       perf.set("threads", result.prepare_threads);
@@ -679,6 +729,10 @@ void write_series_csv(const ScenarioResult& result, const std::string& path) {
 void write_series_jsonl(const ScenarioResult& result, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("write_series_jsonl: cannot open " + path);
+  write_series_jsonl(result, out);
+}
+
+void write_series_jsonl(const ScenarioResult& result, std::ostream& out) {
   for (const ScenarioPoint& point : result.series) {
     Json row = point_to_json(point);
     row.set("scenario", result.scenario);

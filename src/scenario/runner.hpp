@@ -6,6 +6,8 @@
 // JSONL sink and to CSV for plotting.
 #pragma once
 
+#include <iosfwd>
+
 #include "scenario/spec.hpp"
 #include "sim/perf.hpp"
 #include "store/eval_cache.hpp"
@@ -43,6 +45,20 @@ struct ScenarioPoint {
   double misclassification = 0.0;  // Louvain partition vs ground-truth clusters
 };
 
+// Payload-store residency sampled at one series point: how much of the
+// store still sits raw (anchors + payloads awaiting their async encode)
+// versus delta-encoded, and how deep the encode queue is. With synchronous
+// encoding pending_encodes is always 0. Reported under summary.store as
+// `residency` — deliberately kept out of the per-point series/JSONL, which
+// stays bit-identical between sync and async encoding.
+struct StoreResidencyPoint {
+  std::size_t round = 0;
+  std::size_t pending_encodes = 0;
+  std::size_t raw_payloads = 0;    // anchors + pending entries
+  std::size_t delta_payloads = 0;
+  std::size_t resident_bytes = 0;
+};
+
 struct ScenarioResult {
   std::string scenario;
   std::uint64_t seed = 0;
@@ -77,9 +93,14 @@ struct ScenarioResult {
   std::vector<std::pair<std::size_t, std::size_t>> poison_communities;
 
   // Model-store and evaluation-cache statistics of the run (delta encoding
-  // effectiveness, materialization LRU, sharded cache hit rates).
+  // effectiveness, materialization LRU, sharded cache hit rates). Sampled
+  // after the runner's drain() barrier, so pending_encodes is 0 and
+  // delta_ratio matches a synchronous run of the same spec.
   store::StoreStats store_stats;
   store::EvalCacheStats eval_cache_stats;
+  // Raw-vs-delta residency and encode-queue depth over time (one sample per
+  // series point; DAG algorithm only).
+  std::vector<StoreResidencyPoint> store_series;
 
   // Per-phase timing breakdown (tipsel / train / eval / commit) and the
   // worker count the prepare phase ran with (DAG algorithm only; the
@@ -110,6 +131,9 @@ void write_series_csv(const ScenarioResult& result, const std::string& path);
 // Streams the series as JSONL: one self-contained line per point carrying
 // the scenario/algorithm/seed context plus every per-round metric (incl.
 // the attack fields) — the format the CI smoke runs assert and archive.
+// The stream is bit-identical across store.async_encode / thread settings
+// (volatile store sampling lives in summary.store, not here).
 void write_series_jsonl(const ScenarioResult& result, const std::string& path);
+void write_series_jsonl(const ScenarioResult& result, std::ostream& out);
 
 }  // namespace specdag::scenario

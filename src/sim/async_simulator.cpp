@@ -111,12 +111,11 @@ void AsyncDagSimulator::process_event(Event event, std::vector<AsyncStepRecord>&
     // The transaction reaches the network: insert it into the DAG. The
     // gate was already evaluated against the publisher's view at prepare
     // time; the virtual round is the event time floored.
-    Timer commit_timer;
+    ScopedCommitTimer commit_timer(net_.dag().store(), perf_);
     if (net_.commit(event.client, event.result, static_cast<std::size_t>(now_)) !=
         dag::kInvalidTx) {
       ++perf_.commits;
     }
-    perf_.commit_seconds += commit_timer.elapsed_seconds();
     return;
   }
 
@@ -135,9 +134,10 @@ void AsyncDagSimulator::process_event(Event event, std::vector<AsyncStepRecord>&
   perf_.eval_seconds += result.eval_seconds;
   ++perf_.prepares;
   if (config_.broadcast_latency == 0.0) {
-    Timer commit_timer;
-    result.published = net_.commit(event.client, result, static_cast<std::size_t>(now_));
-    perf_.commit_seconds += commit_timer.elapsed_seconds();
+    {
+      ScopedCommitTimer commit_timer(net_.dag().store(), perf_);
+      result.published = net_.commit(event.client, result, static_cast<std::size_t>(now_));
+    }
     if (result.published != dag::kInvalidTx) ++perf_.commits;
   } else {
     events_.push(Event{now_ + config_.broadcast_latency, next_seq_++,
@@ -241,6 +241,7 @@ void AsyncDagSimulator::process_step_batch(std::vector<AsyncStepRecord>& records
 }
 
 std::vector<AsyncStepRecord> AsyncDagSimulator::run_steps(std::size_t num_steps) {
+  Timer total_timer;
   std::vector<AsyncStepRecord> records;
   while (records.size() < num_steps) {
     if (events_.empty()) throw std::logic_error("AsyncDagSimulator: event queue drained");
@@ -252,10 +253,12 @@ std::vector<AsyncStepRecord> AsyncDagSimulator::run_steps(std::size_t num_steps)
       process_event(std::move(event), records);
     }
   }
+  perf_.total_seconds += total_timer.elapsed_seconds();
   return records;
 }
 
 std::vector<AsyncStepRecord> AsyncDagSimulator::run_until(double until) {
+  Timer total_timer;
   std::vector<AsyncStepRecord> records;
   while (!events_.empty() && events_.top().time <= until) {
     if (pool_ && events_.top().kind == Event::Kind::kClientStep) {
@@ -267,6 +270,7 @@ std::vector<AsyncStepRecord> AsyncDagSimulator::run_until(double until) {
     }
   }
   now_ = until;
+  perf_.total_seconds += total_timer.elapsed_seconds();
   return records;
 }
 

@@ -98,23 +98,25 @@ void DagSimulator::heal_partition() {
 
 void DagSimulator::flush_due_commits() {
   std::vector<PendingCommit> still_pending;
-  Timer commit_timer;
-  // Pending commits are already in deterministic (insertion) order.
-  for (auto& pending : pending_) {
-    if (pending.release_round <= round_) {
-      if (net_.commit(pending.handle, pending.result, pending.publish_round) !=
-          dag::kInvalidTx) {
-        ++perf_.commits;
+  {
+    ScopedCommitTimer commit_timer(net_.dag().store(), perf_);
+    // Pending commits are already in deterministic (insertion) order.
+    for (auto& pending : pending_) {
+      if (pending.release_round <= round_) {
+        if (net_.commit(pending.handle, pending.result, pending.publish_round) !=
+            dag::kInvalidTx) {
+          ++perf_.commits;
+        }
+      } else {
+        still_pending.push_back(std::move(pending));
       }
-    } else {
-      still_pending.push_back(std::move(pending));
     }
   }
-  perf_.commit_seconds += commit_timer.elapsed_seconds();
   pending_ = std::move(still_pending);
 }
 
 const RoundRecord& DagSimulator::run_round() {
+  Timer round_timer;
   if (config_.visibility_delay_rounds > 0) flush_due_commits();
   // Sample among the currently active clients (churn support). With everyone
   // active this draws exactly the same indices as sampling [0, n) directly,
@@ -162,22 +164,24 @@ const RoundRecord& DagSimulator::run_round() {
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return active[a] < active[b]; });
-  Timer commit_timer;
-  for (std::size_t i : order) {
-    if (config_.visibility_delay_rounds == 0) {
-      record.results[i].published =
-          net_.commit(static_cast<int>(active[i]), record.results[i], round_);
-      if (record.results[i].did_publish()) ++perf_.commits;
-    } else {
-      pending_.push_back({static_cast<int>(active[i]), record.results[i], round_,
-                          round_ + config_.visibility_delay_rounds});
+  {
+    ScopedCommitTimer commit_timer(net_.dag().store(), perf_);
+    for (std::size_t i : order) {
+      if (config_.visibility_delay_rounds == 0) {
+        record.results[i].published =
+            net_.commit(static_cast<int>(active[i]), record.results[i], round_);
+        if (record.results[i].did_publish()) ++perf_.commits;
+      } else {
+        pending_.push_back({static_cast<int>(active[i]), record.results[i], round_,
+                            round_ + config_.visibility_delay_rounds});
+      }
     }
   }
-  perf_.commit_seconds += commit_timer.elapsed_seconds();
 
   ++round_;
   if (!config_.keep_history) history_.clear();
   history_.push_back(std::move(record));
+  perf_.total_seconds += round_timer.elapsed_seconds();
   return history_.back();
 }
 

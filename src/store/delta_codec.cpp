@@ -1,13 +1,22 @@
 #include "store/delta_codec.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <stdexcept>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SPECDAG_CODEC_X86 1
+#include <immintrin.h>
+#endif
+
 namespace specdag::store {
 namespace {
 
-// MSB-first bit writer over a growing byte buffer.
+// ------------------------------------------------------- scalar bit I/O ---
+
+// MSB-first bit writer over a growing byte buffer (one bit at a time; the
+// reference implementation the fast writer below must match exactly).
 class BitWriter {
  public:
   void put_bit(std::uint32_t bit) {
@@ -25,7 +34,6 @@ class BitWriter {
   }
 
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
-  std::size_t size() const { return bytes_.size(); }
 
  private:
   std::vector<std::uint8_t> bytes_;
@@ -57,6 +65,125 @@ class BitReader {
   std::size_t pos_ = 0;
 };
 
+// --------------------------------------------------------- fast bit I/O ---
+
+// Word-accumulating MSB-first writer: bits collect in a 64-bit accumulator
+// and leave as big-endian 32-bit chunks, producing the exact stream
+// BitWriter produces bit by bit. Invariant: fewer than 32 bits buffered
+// between calls, so one put_bits of up to 32 bits always fits in the
+// accumulator.
+class FastBitWriter {
+ public:
+  explicit FastBitWriter(std::size_t size_hint) { bytes_.reserve(size_hint + 8); }
+
+  // Writes the low `width` (<= 32) bits of `value`, most significant first.
+  void put_bits(std::uint32_t value, std::uint32_t width) {
+    const std::uint64_t masked =
+        width >= 32 ? value : (value & ((std::uint64_t{1} << width) - 1));
+    acc_ = (acc_ << width) | masked;
+    bits_ += width;
+    if (bits_ >= 32) {
+      bits_ -= 32;
+      store_chunk(static_cast<std::uint32_t>(acc_ >> bits_));
+    }
+  }
+
+  // Appends `count` zero bits (a run of '0' control flags).
+  void put_zeros(std::size_t count) {
+    while (count >= 32) {
+      put_bits(0, 32);
+      count -= 32;
+    }
+    if (count > 0) put_bits(0, static_cast<std::uint32_t>(count));
+  }
+
+  std::vector<std::uint8_t> take() {
+    while (bits_ >= 8) {
+      bits_ -= 8;
+      bytes_.push_back(static_cast<std::uint8_t>(acc_ >> bits_));
+    }
+    if (bits_ > 0) {
+      bytes_.push_back(static_cast<std::uint8_t>(acc_ << (8 - bits_)));
+      bits_ = 0;
+    }
+    return std::move(bytes_);
+  }
+
+ private:
+  void store_chunk(std::uint32_t chunk) {
+    // Append the chunk big-endian (the stream is MSB-first).
+    const std::uint8_t be[4] = {
+        static_cast<std::uint8_t>(chunk >> 24), static_cast<std::uint8_t>(chunk >> 16),
+        static_cast<std::uint8_t>(chunk >> 8), static_cast<std::uint8_t>(chunk)};
+    bytes_.insert(bytes_.end(), be, be + 4);
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;
+  std::uint32_t bits_ = 0;  // bits buffered in acc_, always < 32 between calls
+};
+
+// Word-refilling MSB-first reader with the same truncation semantics as
+// BitReader: a read whose first missing bit lies past the stream throws.
+class FastBitReader {
+ public:
+  FastBitReader(const std::uint8_t* bytes, std::size_t size) : bytes_(bytes), size_(size) {}
+
+  // Reads `width` (<= 32) bits, most significant first.
+  std::uint32_t get_bits(std::uint32_t width) {
+    if (bits_ < width) {
+      refill();
+      if (bits_ < width) throw std::invalid_argument("decode_delta: truncated stream");
+    }
+    bits_ -= width;
+    if (width == 0) return 0;
+    return static_cast<std::uint32_t>((acc_ >> bits_) & ((std::uint64_t{1} << width) - 1));
+  }
+
+  std::uint32_t get_bit() { return get_bits(1); }
+
+  // Consumes the run of consecutive '0' bits at the cursor, up to `max`
+  // bits, stopping before the first '1' (left unconsumed) or at the end of
+  // the stream. Returns the run length.
+  std::size_t zero_run(std::size_t max) {
+    std::size_t run = 0;
+    while (run < max) {
+      if (bits_ == 0) {
+        refill();
+        if (bits_ == 0) return run;  // stream exhausted: caller's next read throws
+      }
+      // The unread bits sit in the low `bits_` positions of acc_;
+      // left-align them so countl_zero sees only live stream bits.
+      const std::uint64_t window = acc_ << (64 - bits_);
+      const std::uint32_t zeros =
+          window == 0 ? bits_
+                      : std::min<std::uint32_t>(
+                            static_cast<std::uint32_t>(std::countl_zero(window)), bits_);
+      const auto take = static_cast<std::uint32_t>(
+          std::min<std::size_t>(zeros, max - run));
+      bits_ -= take;
+      run += take;
+      if (take < zeros) break;          // hit the `max` cap with a 1 still buffered
+      if (zeros < bits_ + take) break;  // found a 1 inside the buffered window
+    }
+    return run;
+  }
+
+ private:
+  void refill() {
+    while (bits_ <= 56 && pos_ < size_) {
+      acc_ = (acc_ << 8) | bytes_[pos_++];
+      bits_ += 8;
+    }
+  }
+
+  const std::uint8_t* bytes_;
+  std::size_t size_;
+  std::size_t pos_ = 0;   // next byte to pull into the accumulator
+  std::uint64_t acc_ = 0;
+  std::uint32_t bits_ = 0;  // unread bits buffered in the low end of acc_
+};
+
 std::uint32_t float_bits(float f) {
   std::uint32_t u;
   std::memcpy(&u, &f, sizeof(u));
@@ -69,10 +196,161 @@ float bits_float(std::uint32_t u) {
   return f;
 }
 
+// ------------------------------------------------------- XOR word kernels ---
+//
+// The codec operates on the integer XOR of the two bit patterns; computing
+// those words in bulk is pure integer SIMD (no FP semantics involved), so
+// every backend yields identical words.
+
+[[maybe_unused]] void xor_words_word64(const float* values, const float* base,
+                                       std::uint32_t* out, std::size_t count) {
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    std::uint64_t a, b;
+    std::memcpy(&a, values + i, 8);
+    std::memcpy(&b, base + i, 8);
+    const std::uint64_t x = a ^ b;
+    std::memcpy(out + i, &x, 8);
+  }
+  if (i < count) out[i] = float_bits(values[i]) ^ float_bits(base[i]);
+}
+
+#if defined(SPECDAG_CODEC_X86)
+
+void xor_words_sse2(const float* values, const float* base, std::uint32_t* out,
+                    std::size_t count) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(base + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), _mm_xor_si128(a, b));
+  }
+  for (; i < count; ++i) out[i] = float_bits(values[i]) ^ float_bits(base[i]);
+}
+
+__attribute__((target("avx2"))) void xor_words_avx2(const float* values, const float* base,
+                                                    std::uint32_t* out, std::size_t count) {
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), _mm256_xor_si256(a, b));
+  }
+  for (; i < count; ++i) out[i] = float_bits(values[i]) ^ float_bits(base[i]);
+}
+
+#endif  // SPECDAG_CODEC_X86
+
+using XorWordsFn = void (*)(const float*, const float*, std::uint32_t*, std::size_t);
+
+struct XorBackend {
+  XorWordsFn fn;
+  const char* name;
+};
+
+XorBackend pick_xor_backend() {
+#if defined(SPECDAG_CODEC_X86)
+  if (__builtin_cpu_supports("avx2")) return {xor_words_avx2, "avx2"};
+  return {xor_words_sse2, "sse2"};  // SSE2 is the x86-64 baseline
+#else
+  return {xor_words_word64, "word64"};
+#endif
+}
+
+const XorBackend& xor_backend() {
+  static const XorBackend backend = pick_xor_backend();
+  return backend;
+}
+
+// XOR scratch block: large enough to amortize the dispatch, small enough to
+// stay in L1.
+constexpr std::size_t kBlockWords = 2048;
+
 }  // namespace
+
+const char* delta_codec_backend() { return xor_backend().name; }
 
 std::vector<std::uint8_t> encode_delta(const float* values, const float* base,
                                        std::size_t count) {
+  // Typical converged-update streams land near half the raw size; reserving
+  // that avoids most growth reallocations without overshooting small inputs.
+  FastBitWriter writer(count * 2 + 16);
+  const XorWordsFn xor_words = xor_backend().fn;
+  std::uint32_t window = 0;  // significant-bit width of the previous word; 0 = none yet
+  std::uint32_t xors[kBlockWords];
+  for (std::size_t start = 0; start < count; start += kBlockWords) {
+    const std::size_t n = std::min(kBlockWords, count - start);
+    xor_words(values + start, base + start, xors, n);
+    std::size_t i = 0;
+    while (i < n) {
+      if (xors[i] == 0) {
+        // Run-length the zero flags: identical words are the common case
+        // once training converges.
+        std::size_t run = 1;
+        while (i + run < n && xors[i + run] == 0) ++run;
+        writer.put_zeros(run);
+        i += run;
+        continue;
+      }
+      const std::uint32_t x = xors[i];
+      const auto lz = static_cast<std::uint32_t>(std::countl_zero(x));
+      // Reuse the previous window only when the value fits and wastes at most
+      // 3 leading bits — otherwise one large value would widen the window for
+      // the rest of the stream. The 5+lz-bit header of a fresh narrow window
+      // amortizes quickly.
+      if (window != 0 && lz >= 32 - window && lz - (32 - window) <= 3) {
+        writer.put_bits(0b10, 2);
+        writer.put_bits(x, window);
+      } else {
+        writer.put_bits(0b11, 2);
+        writer.put_bits(lz, 5);
+        writer.put_bits(x, 32 - lz);
+        window = 32 - lz;
+      }
+      ++i;
+    }
+  }
+  return writer.take();
+}
+
+void decode_delta(const std::uint8_t* encoded, std::size_t encoded_size, const float* base,
+                  float* out, std::size_t count) {
+  FastBitReader reader(encoded, encoded_size);
+  std::uint32_t window = 0;
+  std::size_t i = 0;
+  while (i < count) {
+    // Zero flags mean "equal to base": copy the run wholesale.
+    const std::size_t run = reader.zero_run(count - i);
+    if (run > 0) {
+      std::memcpy(out + i, base + i, run * sizeof(float));
+      i += run;
+      if (i == count) break;
+    }
+    // The cursor now sits on a '1' flag (or the stream is truncated, in
+    // which case this read throws exactly like the scalar reader; zero_run
+    // never stops on an unconsumed '0').
+    if (reader.get_bit() != 1) {
+      throw std::logic_error("decode_delta: zero-run invariant violated");
+    }
+    std::uint32_t x;
+    if (reader.get_bit() == 0) {
+      if (window == 0) throw std::invalid_argument("decode_delta: malformed stream");
+      x = reader.get_bits(window);
+    } else {
+      const std::uint32_t lz = reader.get_bits(5);
+      window = 32 - lz;
+      x = reader.get_bits(window);
+    }
+    if (x == 0) throw std::invalid_argument("decode_delta: malformed stream");
+    out[i] = bits_float(float_bits(base[i]) ^ x);
+    ++i;
+  }
+}
+
+// ------------------------------------------------------ scalar reference ---
+
+std::vector<std::uint8_t> encode_delta_scalar(const float* values, const float* base,
+                                              std::size_t count) {
   BitWriter writer;
   std::uint32_t window = 0;  // significant-bit width of the previous word; 0 = none yet
   for (std::size_t i = 0; i < count; ++i) {
@@ -83,10 +361,6 @@ std::vector<std::uint8_t> encode_delta(const float* values, const float* base,
     }
     writer.put_bit(1);
     const auto lz = static_cast<std::uint32_t>(std::countl_zero(x));
-    // Reuse the previous window only when the value fits and wastes at most
-    // 3 leading bits — otherwise one large value would widen the window for
-    // the rest of the stream. The 5+lz-bit header of a fresh narrow window
-    // amortizes quickly.
     if (window != 0 && lz >= 32 - window && lz - (32 - window) <= 3) {
       writer.put_bit(0);
       writer.put_bits(x, window);
@@ -100,8 +374,8 @@ std::vector<std::uint8_t> encode_delta(const float* values, const float* base,
   return writer.take();
 }
 
-void decode_delta(const std::uint8_t* encoded, std::size_t encoded_size, const float* base,
-                  float* out, std::size_t count) {
+void decode_delta_scalar(const std::uint8_t* encoded, std::size_t encoded_size,
+                         const float* base, float* out, std::size_t count) {
   BitReader reader(encoded, encoded_size);
   std::uint32_t window = 0;
   for (std::size_t i = 0; i < count; ++i) {

@@ -15,6 +15,16 @@
 // denormals included). Typical encoded size for converged federated updates
 // is 35-60% of the raw 4 bytes/weight; uncorrelated payloads cost up to
 // ~107% (callers should fall back to raw storage when that happens).
+//
+// Two implementations produce the exact same bit stream:
+//
+//   * encode_delta / decode_delta — the fast path: the XOR words are
+//     computed in SIMD blocks (AVX2 when the CPU has it, SSE2 on any
+//     x86-64, an unrolled 64-bit word loop elsewhere) and the control
+//     stream moves through 64-bit accumulators with run-length handling of
+//     zero words instead of single-bit loops;
+//   * encode_delta_scalar / decode_delta_scalar — the original bit-at-a-time
+//     implementation, kept as the oracle the fast path is fuzzed against.
 #pragma once
 
 #include <cstddef>
@@ -31,5 +41,16 @@ std::vector<std::uint8_t> encode_delta(const float* values, const float* base,
 // used at encode time. Throws std::invalid_argument on a truncated stream.
 void decode_delta(const std::uint8_t* encoded, std::size_t encoded_size, const float* base,
                   float* out, std::size_t count);
+
+// Scalar reference implementations — bit-identical to the fast path above,
+// kept as the test oracle (and the fallback semantics definition).
+std::vector<std::uint8_t> encode_delta_scalar(const float* values, const float* base,
+                                              std::size_t count);
+void decode_delta_scalar(const std::uint8_t* encoded, std::size_t encoded_size,
+                         const float* base, float* out, std::size_t count);
+
+// Name of the XOR fast-path backend selected at startup:
+// "avx2", "sse2", or "word64".
+const char* delta_codec_backend();
 
 }  // namespace specdag::store

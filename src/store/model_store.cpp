@@ -6,6 +6,7 @@
 
 #include "store/delta_codec.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace specdag::store {
 namespace {
@@ -30,6 +31,10 @@ std::uint64_t mix_stream(const nn::WeightVector& weights, std::uint64_t seed) {
   return splitmix64(h ^ weights.size());
 }
 
+std::uint64_t elapsed_nanos(const Timer& timer) {
+  return static_cast<std::uint64_t>(timer.elapsed_seconds() * 1e9);
+}
+
 }  // namespace
 
 ContentHash hash_weights(const nn::WeightVector& weights) {
@@ -41,6 +46,15 @@ ModelStore::ModelStore(StoreConfig config) : config_(config) {
   if (config_.anchor_interval == 0) {
     throw std::invalid_argument("ModelStore: anchor_interval must be > 0");
   }
+  if (config_.delta && config_.async_encode) {
+    encode_pool_ = std::make_unique<ThreadPool>(config_.encode_threads);
+  }
+}
+
+ModelStore::~ModelStore() {
+  // The pool's destructor completes every queued encode, but wait here too
+  // so the store is quiescent before any member teardown begins.
+  if (encode_pool_) drain();
 }
 
 nn::WeightVector ModelStore::base_vector_locked(const std::vector<PayloadId>& bases) const {
@@ -84,12 +98,55 @@ PayloadId ModelStore::put(WeightsPtr weights, const std::vector<PayloadId>& base
     }
   }
 
+  const auto id = static_cast<PayloadId>(entries_.size());
+  const bool encodable = config_.delta && !bases.empty();
+
+  if (encodable && encode_pool_) {
+    // Async pipeline: commit the raw payload now, encode in the background.
+    // The chain-depth computed above may be provisional (a base could still
+    // be pending and fall back to an anchor); the worker recomputes it from
+    // the bases' settled states, reproducing the synchronous decision.
+    entry.state = EntryState::kEncoding;
+    entry.bases = bases;
+    entry.raw = std::move(weights);
+    full_payload_bytes_ += raw_bytes;
+    resident_payload_bytes_ += raw_bytes;  // raw until the delta lands
+    entries_.push_back(std::move(entry));
+    by_hash_.emplace(hash, id);
+    {
+      std::lock_guard encode_lock(encode_mutex_);
+      unsettled_.insert(id);
+      peak_pending_ = std::max(peak_pending_, unsettled_.size());
+    }
+    try {
+      encode_pool_->post([this, id] { encode_async(id); });
+    } catch (...) {
+      // Enqueue failed (allocation / pool shutdown): degrade to a raw
+      // anchor exactly like the worker's own fallback — the payload is
+      // already committed raw, and settling here keeps drain() from
+      // waiting forever on an entry no worker will ever pick up.
+      Entry& orphan = entries_[id];
+      orphan.state = EntryState::kAnchor;
+      orphan.bases.clear();
+      ++anchor_count_;
+      {
+        std::lock_guard encode_lock(encode_mutex_);
+        unsettled_.erase(id);
+      }
+      encode_cv_.notify_all();
+    }
+    return id;
+  }
+
   bool stored_as_delta = false;
-  if (config_.delta && !bases.empty() && chain_depth <= config_.anchor_interval) {
+  if (encodable && chain_depth <= config_.anchor_interval) {
+    Timer encode_timer;
     const nn::WeightVector base = base_vector_locked(bases);
     std::vector<std::uint8_t> encoded =
         encode_delta(weights->data(), base.data(), weights->size());
+    encode_nanos_inline_.fetch_add(elapsed_nanos(encode_timer), std::memory_order_relaxed);
     if (encoded.size() < raw_bytes) {
+      entry.state = EntryState::kDelta;
       entry.chain_depth = chain_depth;
       entry.bases = bases;
       entry.encoded = std::move(encoded);
@@ -98,7 +155,6 @@ PayloadId ModelStore::put(WeightsPtr weights, const std::vector<PayloadId>& base
   }
   if (!stored_as_delta) entry.raw = weights;
 
-  const auto id = static_cast<PayloadId>(entries_.size());
   full_payload_bytes_ += raw_bytes;
   if (stored_as_delta) {
     resident_payload_bytes_ += entry.encoded.size();
@@ -116,12 +172,123 @@ PayloadId ModelStore::put(WeightsPtr weights, const std::vector<PayloadId>& base
   return id;
 }
 
+void ModelStore::encode_async(PayloadId id) {
+  try {
+    encode_async_impl(id);
+  } catch (...) {
+    // The pool's post() contract forbids escaping exceptions (they would
+    // terminate the worker). An encode that failed — realistically only
+    // bad_alloc from the codec's buffers — degrades the entry to a raw
+    // anchor: its content is already served from `raw`, and settling here
+    // keeps drain() from hanging. (The synchronous path surfaces the same
+    // condition as an exception from put() instead.)
+    std::unique_lock lock(entries_mutex_);
+    Entry& entry = entries_[id];
+    if (entry.state == EntryState::kEncoding) {
+      entry.state = EntryState::kAnchor;
+      entry.bases.clear();
+      ++anchor_count_;
+      ++async_encoded_;
+      std::lock_guard encode_lock(encode_mutex_);
+      unsettled_.erase(id);
+    }
+    lock.unlock();
+    encode_cv_.notify_all();
+  }
+}
+
+void ModelStore::encode_async_impl(PayloadId id) {
+  std::vector<PayloadId> bases;
+  WeightsPtr raw;
+  {
+    std::shared_lock lock(entries_mutex_);
+    bases = entries_[id].bases;
+    raw = entries_[id].raw;
+  }
+
+  // Wait for every base to settle: the delta/anchor decision below must see
+  // the bases' *final* chain depths to reproduce the synchronous outcome.
+  // Bases were enqueued before this entry (FIFO pool), so the wait is
+  // bounded by in-flight work and cannot deadlock.
+  {
+    std::unique_lock encode_lock(encode_mutex_);
+    encode_cv_.wait(encode_lock, [&] {
+      for (PayloadId base : bases) {
+        if (unsettled_.count(base) > 0) return false;
+      }
+      return true;
+    });
+  }
+
+  // Time only the real encode work (not the wait above), and publish the
+  // nanos before settling so a drain()-then-stats() sees the full cost.
+  Timer encode_timer;
+  std::uint32_t chain_depth = 0;
+  {
+    std::shared_lock lock(entries_mutex_);
+    for (PayloadId base : bases) {
+      chain_depth = std::max(chain_depth, entries_[base].chain_depth + 1);
+    }
+  }
+
+  std::vector<std::uint8_t> encoded;
+  bool stored_as_delta = false;
+  const std::size_t raw_bytes = raw->size() * sizeof(float);
+  if (chain_depth <= config_.anchor_interval) {
+    nn::WeightVector base;
+    {
+      std::shared_lock lock(entries_mutex_);
+      base = base_vector_locked(bases);
+    }
+    encoded = encode_delta(raw->data(), base.data(), raw->size());
+    stored_as_delta = encoded.size() < raw_bytes;
+  }
+  encode_nanos_async_.fetch_add(elapsed_nanos(encode_timer), std::memory_order_relaxed);
+
+  {
+    std::unique_lock lock(entries_mutex_);
+    Entry& entry = entries_[id];
+    if (stored_as_delta) {
+      entry.state = EntryState::kDelta;
+      entry.chain_depth = chain_depth;
+      entry.encoded = std::move(encoded);
+      entry.raw = nullptr;
+      resident_payload_bytes_ -= raw_bytes;
+      resident_payload_bytes_ += entry.encoded.size();
+    } else {
+      entry.state = EntryState::kAnchor;
+      entry.bases.clear();
+      ++anchor_count_;  // residency already counted raw at put()
+    }
+    ++async_encoded_;
+    // Settle while still holding the exclusive lock: stats() (shared +
+    // encode_mutex_) then never observes the flip and the queue removal out
+    // of step with each other.
+    std::lock_guard encode_lock(encode_mutex_);
+    unsettled_.erase(id);
+  }
+  encode_cv_.notify_all();
+  if (stored_as_delta) {
+    // Mirror the synchronous path: the fresh payload is about to be read by
+    // the publisher's neighbors, so seed the LRU with the raw vector.
+    lru_insert(id, std::move(raw));
+  }
+}
+
+void ModelStore::drain() const {
+  std::unique_lock encode_lock(encode_mutex_);
+  encode_cv_.wait(encode_lock, [&] { return unsettled_.empty(); });
+}
+
 WeightsPtr ModelStore::materialize_locked(PayloadId id) const {
   if (id >= entries_.size()) {
     throw std::out_of_range("ModelStore: unknown payload " + std::to_string(id));
   }
   const Entry& entry = entries_[id];
-  if (entry.raw) return entry.raw;
+  // The entry's state machine is the authority: anchors and entries still
+  // awaiting their async encode (raw, encoding) serve the retained raw
+  // vector; only settled deltas take the LRU/decode path below.
+  if (entry.state != EntryState::kDelta) return entry.raw;
 
   {
     std::lock_guard lru_lock(lru_mutex_);
@@ -193,10 +360,20 @@ StoreStats ModelStore::stats() const {
   std::shared_lock lock(entries_mutex_);
   out.payloads = entries_.size();
   out.anchors = anchor_count_;
-  out.deltas = entries_.size() - anchor_count_;
+  out.async_encoded = async_encoded_;
   out.dedup_hits = dedup_hits_;
   out.resident_payload_bytes = resident_payload_bytes_;
   out.full_payload_bytes = full_payload_bytes_;
+  {
+    std::lock_guard encode_lock(encode_mutex_);
+    out.pending_encodes = unsettled_.size();
+    out.peak_pending_encodes = peak_pending_;
+  }
+  out.deltas = entries_.size() - anchor_count_ - out.pending_encodes;
+  out.encode_seconds =
+      static_cast<double>(encode_nanos_inline_.load(std::memory_order_relaxed) +
+                          encode_nanos_async_.load(std::memory_order_relaxed)) *
+      1e-9;
   std::lock_guard lru_lock(lru_mutex_);
   out.lru_bytes = lru_bytes_;
   out.lru_entries = lru_.size();

@@ -26,15 +26,21 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  std::future<void> fut = packaged.get_future();
+  // std::function requires copyable targets, so the packaged_task rides in
+  // a shared_ptr.
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> fut = packaged->get_future();
+  post([packaged] { (*packaged)(); });
+  return fut;
+}
+
+void ThreadPool::post(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_) throw std::runtime_error("ThreadPool: submit after shutdown");
-    tasks_.push(std::move(packaged));
+    tasks_.push(std::move(task));
   }
   cv_.notify_one();
-  return fut;
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
@@ -48,7 +54,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });

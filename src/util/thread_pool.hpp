@@ -30,6 +30,12 @@ class ThreadPool {
   // Enqueues a task; the returned future rethrows any exception it raised.
   std::future<void> submit(std::function<void()> task);
 
+  // Fire-and-forget enqueue (no future, no promise allocation). The task
+  // must not throw — an escaped exception terminates the worker. Tasks run
+  // in FIFO order relative to every other submit/post (the store's encode
+  // pipeline relies on this to settle base payloads before their deltas).
+  void post(std::function<void()> task);
+
   // Runs fn(i) for i in [0, n), blocking until all complete. Exceptions from
   // tasks are rethrown (the first one encountered).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
@@ -38,7 +44,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

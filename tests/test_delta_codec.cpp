@@ -1,0 +1,152 @@
+// Delta codec fast path vs scalar oracle: the SIMD/word64 implementation
+// must produce the exact byte stream of the bit-at-a-time reference and
+// decode it back bit-exactly, over randomized payloads covering every IEEE
+// corner (NaN payloads, infinities, denormals, signed zeros), all-zero
+// deltas, and lengths that are not multiples of any vector width.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "store/delta_codec.hpp"
+#include "util/rng.hpp"
+
+namespace specdag::store {
+namespace {
+
+void expect_bit_equal(const nn::WeightVector& actual, const nn::WeightVector& expected,
+                      const char* label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(actual[i]),
+              std::bit_cast<std::uint32_t>(expected[i]))
+        << label << ", index " << i;
+  }
+}
+
+// Cross-checks all four codec combinations on one (values, base) pair:
+// fast and scalar encoders emit identical bytes; each decoder round-trips
+// the other encoder's stream bit-exactly.
+void check_pair(const nn::WeightVector& values, const nn::WeightVector& base) {
+  const std::vector<std::uint8_t> fast =
+      encode_delta(values.data(), base.data(), values.size());
+  const std::vector<std::uint8_t> scalar =
+      encode_delta_scalar(values.data(), base.data(), values.size());
+  ASSERT_EQ(fast, scalar) << "encoders diverged at count " << values.size();
+
+  nn::WeightVector decoded(values.size());
+  decode_delta(fast.data(), fast.size(), base.data(), decoded.data(), decoded.size());
+  expect_bit_equal(decoded, values, "fast decode");
+
+  nn::WeightVector decoded_scalar(values.size());
+  decode_delta_scalar(fast.data(), fast.size(), base.data(), decoded_scalar.data(),
+                      decoded_scalar.size());
+  expect_bit_equal(decoded_scalar, values, "scalar decode of fast stream");
+}
+
+// A payload value from the full grab bag of IEEE shapes, keyed by `kind`.
+float special_value(Rng& rng, int kind, float base_value) {
+  switch (kind) {
+    case 0: return base_value;  // zero delta
+    case 1: return base_value + static_cast<float>(rng.normal(0.0, 1e-4));
+    case 2: return std::numeric_limits<float>::quiet_NaN();
+    case 3: return rng.uniform() < 0.5 ? std::numeric_limits<float>::infinity()
+                                       : -std::numeric_limits<float>::infinity();
+    case 4:
+      return std::numeric_limits<float>::denorm_min() *
+             static_cast<float>(1 + rng.index(9));
+    case 5: return rng.uniform() < 0.5 ? 0.0f : -0.0f;
+    case 6: return static_cast<float>(rng.normal(0.0, 100.0));  // uncorrelated
+    default: return std::nextafterf(base_value, base_value + 1.0f);
+  }
+}
+
+TEST(DeltaCodecFuzz, FastPathMatchesScalarOracleOnRandomPayloads) {
+  Rng rng(0xC0DEC);
+  // Lengths straddle every vector width (AVX2 = 8 words, SSE2 = 4, word64
+  // = 2) plus the encoder's internal block size of 2048 words.
+  const std::size_t lengths[] = {0,    1,    2,    3,    5,    7,    8,    9,
+                                 13,   31,   63,   64,   65,   127,  257,  1000,
+                                 2047, 2048, 2049, 4099};
+  for (const std::size_t n : lengths) {
+    for (int repeat = 0; repeat < 8; ++repeat) {
+      nn::WeightVector base(n), values(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        base[i] = static_cast<float>(rng.normal(0.0, 0.1));
+        values[i] = special_value(rng, static_cast<int>(rng.index(8)), base[i]);
+      }
+      check_pair(values, base);
+    }
+  }
+}
+
+TEST(DeltaCodecFuzz, AllZeroAndAllEqualTensors) {
+  Rng rng(0xA110);
+  for (const std::size_t n : {1, 9, 64, 777, 4096}) {
+    const nn::WeightVector zeros(n, 0.0f);
+    check_pair(zeros, zeros);  // zero tensor against zero base
+
+    nn::WeightVector base(n);
+    for (float& v : base) v = static_cast<float>(rng.normal(0.0, 0.5));
+    check_pair(base, base);  // identical vectors: pure zero-flag stream
+
+    // The all-zero stream run-lengths to exactly one flag bit per word.
+    const std::vector<std::uint8_t> encoded = encode_delta(base.data(), base.data(), n);
+    EXPECT_EQ(encoded.size(), (n + 7) / 8);
+  }
+}
+
+TEST(DeltaCodecFuzz, MixedZeroRunsAndWindowResets) {
+  // Long zero runs interleaved with bursts of wildly different magnitudes
+  // stress the run-length paths and the window-reset heuristic on both
+  // sides of every block boundary.
+  Rng rng(0x5EED);
+  const std::size_t n = 6000;
+  nn::WeightVector base(n), values(n);
+  for (std::size_t i = 0; i < n; ++i) base[i] = static_cast<float>(rng.normal(0.0, 0.1));
+  values = base;
+  std::size_t i = 0;
+  while (i < n) {
+    i += rng.index(600);  // skip: leaves a zero run
+    const std::size_t burst = std::min(n - i, 1 + rng.index(20));
+    for (std::size_t k = 0; k < burst && i < n; ++k, ++i) {
+      const double scale = rng.uniform() < 0.3 ? 10.0 : 1e-5;
+      values[i] = base[i] + static_cast<float>(rng.normal(0.0, scale));
+    }
+  }
+  check_pair(values, base);
+}
+
+TEST(DeltaCodecFuzz, TruncatedStreamsThrowInBothImplementations) {
+  Rng rng(0x7125);
+  const std::size_t n = 512;
+  nn::WeightVector base(n), values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base[i] = static_cast<float>(rng.normal(0.0, 0.1));
+    values[i] = base[i] + static_cast<float>(rng.normal(0.0, 0.5));
+  }
+  const std::vector<std::uint8_t> encoded =
+      encode_delta(values.data(), base.data(), values.size());
+  nn::WeightVector out(n);
+  for (const std::size_t keep : {std::size_t{0}, encoded.size() / 3, encoded.size() - 1}) {
+    std::vector<std::uint8_t> cut(encoded.begin(), encoded.begin() + keep);
+    EXPECT_THROW(decode_delta(cut.data(), cut.size(), base.data(), out.data(), n),
+                 std::invalid_argument)
+        << "fast, keep " << keep;
+    EXPECT_THROW(decode_delta_scalar(cut.data(), cut.size(), base.data(), out.data(), n),
+                 std::invalid_argument)
+        << "scalar, keep " << keep;
+  }
+}
+
+TEST(DeltaCodec, ReportsABackend) {
+  const std::string backend = delta_codec_backend();
+  EXPECT_TRUE(backend == "avx2" || backend == "sse2" || backend == "word64") << backend;
+}
+
+}  // namespace
+}  // namespace specdag::store

@@ -167,6 +167,55 @@ TEST(Determinism, ScenarioResultsAreReproducible) {
   EXPECT_EQ(fingerprint(), fingerprint());
 }
 
+TEST(Determinism, AsyncEncodePipelineIsBitIdenticalToSynchronous) {
+  // A shrunken scale-2k: the async simulator with the delta store — the
+  // configuration whose encoding moved off the commit path. The JSONL
+  // series, final accuracies, and (post-drain) store decisions must be
+  // bit-identical across encode modes, encode worker counts, and prepare
+  // thread counts. Only wall-clock timing fields may differ.
+  auto run = [](bool async_encode, std::size_t encode_threads, std::size_t threads) {
+    scenario::ScenarioSpec spec = scenario::get_scenario("scale-2k");
+    spec.num_clients = 40;
+    spec.samples_per_client = 20;
+    spec.rounds = 2;
+    spec.threads = threads;
+    spec.store.async_encode = async_encode;
+    spec.store.encode_threads = encode_threads;
+    return scenario::run_scenario(spec);
+  };
+
+  // write_series_jsonl minus the wall-clock fields (walk timing differs
+  // between any two runs of the same binary, encoding aside).
+  auto jsonl_fingerprint = [](const scenario::ScenarioResult& result) {
+    scenario::ScenarioResult stripped = result;
+    for (scenario::ScenarioPoint& point : stripped.series) point.mean_walk_seconds = 0.0;
+    std::ostringstream out;
+    scenario::write_series_jsonl(stripped, out);
+    return out.str();
+  };
+
+  const scenario::ScenarioResult sync = run(false, 1, 1);
+  const std::string sync_jsonl = jsonl_fingerprint(sync);
+  ASSERT_FALSE(sync_jsonl.empty());
+
+  const std::pair<std::size_t, std::size_t> configs[] = {{1, 1}, {4, 1}, {1, 4}, {4, 4}};
+  for (const auto& [encode_threads, threads] : configs) {
+    const scenario::ScenarioResult async = run(true, encode_threads, threads);
+    EXPECT_EQ(jsonl_fingerprint(async), sync_jsonl)
+        << "encode_threads " << encode_threads << ", threads " << threads;
+    EXPECT_EQ(async.final_accuracy, sync.final_accuracy);
+    EXPECT_EQ(async.dag_size, sync.dag_size);
+    // The runner drains before sampling the final store stats: the async
+    // pipeline must land on the synchronous delta/anchor decisions exactly.
+    EXPECT_EQ(async.store_stats.pending_encodes, 0u);
+    EXPECT_EQ(async.store_stats.anchors, sync.store_stats.anchors);
+    EXPECT_EQ(async.store_stats.deltas, sync.store_stats.deltas);
+    EXPECT_EQ(async.store_stats.resident_payload_bytes,
+              sync.store_stats.resident_payload_bytes);
+    EXPECT_DOUBLE_EQ(async.store_stats.delta_ratio(), sync.store_stats.delta_ratio());
+  }
+}
+
 TEST(Determinism, AsyncScenarioWithDynamicsIsReproducible) {
   scenario::ScenarioSpec spec = scenario::get_scenario("stragglers");
   spec.num_clients = 6;

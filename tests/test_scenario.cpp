@@ -133,11 +133,15 @@ TEST(ScenarioSpec, RejectsUnknownKeys) {
 TEST(ScenarioSpec, ParsesStoreBlock) {
   const scenario::ScenarioSpec spec = scenario::spec_from_json(scenario::Json::parse(
       R"({"store": {"delta": false, "anchor_interval": 4, "lru_mb": 8,
-          "eval_cache_shards": 2}})"));
+          "eval_cache_shards": 2, "async_encode": true, "encode_threads": 3}})"));
   EXPECT_FALSE(spec.store.delta);
+  EXPECT_TRUE(spec.store.async_encode);
+  EXPECT_EQ(spec.store.encode_threads, 3u);
   EXPECT_EQ(spec.store.anchor_interval, 4u);
   EXPECT_EQ(spec.store.lru_bytes, std::size_t{8} << 20);
   EXPECT_EQ(spec.store.eval_cache_shards, 2u);
+  // async_encode defaults off for hand-written specs (scale-2k opts in).
+  EXPECT_FALSE(scenario::ScenarioSpec{}.store.async_encode);
   EXPECT_THROW(
       scenario::spec_from_json(scenario::Json::parse(R"({"store": {"anchor_interval": 0}})")),
       std::invalid_argument);
@@ -270,6 +274,48 @@ TEST(Runner, DeltaStorageIsTransparentAndReportsStats) {
   EXPECT_EQ(store->find("resident_payload_bytes")->as_uint(),
             with_delta.store_stats.resident_payload_bytes);
   EXPECT_NE(json.find("summary")->find("eval_cache"), nullptr);
+}
+
+TEST(Runner, PerfBucketsSplitEncodeOutOfCommitAndSumToTotal) {
+  // The attribution fix: encode time used to hide inside the commit bucket.
+  // In a serial synchronous run every bucket is a disjoint slice of the
+  // simulator's wall clock, so the five buckets can never sum past
+  // total_seconds — and a delta-encoded run must book nonzero encode time
+  // that is no longer part of commit.
+  scenario::ScenarioSpec spec = tiny_spec("fmnist-clustered");
+  spec.rounds = 6;
+  spec.threads = 1;
+  spec.parallel_prepare = false;
+  spec.store.delta = true;
+  const scenario::ScenarioResult result = scenario::run_scenario(spec);
+
+  const sim::PhaseTimings& perf = result.perf;
+  EXPECT_GT(perf.prepares, 0u);
+  EXPECT_GT(perf.total_seconds, 0.0);
+  EXPECT_GT(perf.encode_seconds, 0.0);
+  EXPECT_GE(perf.commit_seconds, 0.0);
+  EXPECT_GT(perf.tipsel_seconds, 0.0);
+  EXPECT_GT(perf.train_seconds, 0.0);
+  // Timer start/stop overhead can push the sum a hair past the outer wall
+  // measurement; 10% + 50ms absorbs that without masking real accounting
+  // bugs (double-counting encode inside commit doubles the sum).
+  EXPECT_LE(perf.phase_sum_seconds(), perf.total_seconds * 1.1 + 0.05);
+
+  // The buckets land in summary.perf (the JSONL schema consumed by CI).
+  const scenario::Json json = scenario::result_to_json(result, false);
+  const scenario::Json* perf_json = json.find("summary")->find("perf");
+  ASSERT_NE(perf_json, nullptr);
+  EXPECT_NE(perf_json->find("encode_seconds"), nullptr);
+  EXPECT_NE(perf_json->find("commit_seconds"), nullptr);
+  EXPECT_NE(perf_json->find("total_seconds"), nullptr);
+
+  // And the store block reports the (drained) pipeline counters plus the
+  // residency-over-time series.
+  const scenario::Json* store_json = json.find("summary")->find("store");
+  ASSERT_NE(store_json, nullptr);
+  EXPECT_EQ(store_json->find("pending_encodes")->as_uint(), 0u);
+  ASSERT_NE(store_json->find("residency"), nullptr);
+  EXPECT_EQ(store_json->find("residency")->as_array().size(), result.series.size());
 }
 
 TEST(Runner, CommunityMetricsEveryFillsSeriesPoints) {

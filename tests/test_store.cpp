@@ -3,8 +3,10 @@
 // access, and the store wired into the DAG.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <thread>
 
 #include "dag/dag.hpp"
@@ -286,6 +288,206 @@ TEST(ShardedEvalCache, ConcurrentAccessFromManyThreads) {
       ASSERT_TRUE(value.has_value());
       EXPECT_EQ(*value, static_cast<double>(k) / kKeysPerThread);
     }
+  }
+}
+
+// --------------------------------------------------- async encode pipeline ---
+
+// Feeds the same deterministic payload graph (chains with an occasional
+// two-base average and one uncompressible junk payload) into a store built
+// with `config`, returning ids in feed order. The decisions a correct store
+// makes are independent of encode scheduling, so a synchronous and an
+// asynchronous store fed by this must agree entry for entry.
+std::vector<PayloadId> feed_payload_graph(ModelStore& store, std::uint64_t seed,
+                                          std::vector<nn::WeightVector>* originals) {
+  Rng rng(seed);
+  std::vector<PayloadId> ids;
+  std::vector<nn::WeightVector> values;
+  nn::WeightVector current = random_vector(rng, 384);
+  values.push_back(current);
+  ids.push_back(store.put(share(current), {}));
+  for (int i = 0; i < 40; ++i) {
+    if (i == 17) {
+      // Uncorrelated junk: must fall back to a raw anchor in either mode.
+      current = random_vector(rng, 384, 100.0);
+      values.push_back(current);
+      ids.push_back(store.put(share(current), {ids.back()}));
+      continue;
+    }
+    if (i % 7 == 3 && ids.size() >= 4) {
+      // Two-base payload trained from the averaged parents.
+      const PayloadId a = ids[ids.size() - 1];
+      const PayloadId b = ids[ids.size() - 3];
+      current = perturb(nn::average_weights(values[a], values[b]), rng, 1e-3);
+      values.push_back(current);
+      ids.push_back(store.put(share(current), {a, b}));
+      continue;
+    }
+    current = perturb(current, rng, 1e-3);
+    values.push_back(current);
+    ids.push_back(store.put(share(current), {ids.back()}));
+  }
+  if (originals != nullptr) *originals = std::move(values);
+  return ids;
+}
+
+TEST(AsyncEncode, DrainedPipelineMatchesSynchronousDecisions) {
+  StoreConfig sync_config;
+  sync_config.anchor_interval = 5;
+  ModelStore sync_store(sync_config);
+  std::vector<nn::WeightVector> originals;
+  feed_payload_graph(sync_store, 21, &originals);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+    StoreConfig config = sync_config;
+    config.async_encode = true;
+    config.encode_threads = workers;
+    ModelStore store(config);
+    const std::vector<PayloadId> ids = feed_payload_graph(store, 21, nullptr);
+    // Reads while encodes are still in flight must already be bit-exact
+    // (they serve the retained raw vector or the settled delta).
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(*store.get(ids[i]), originals[i]) << "pre-drain payload " << i;
+    }
+    store.drain();
+    const StoreStats stats = store.stats();
+    const StoreStats expected = sync_store.stats();
+    EXPECT_EQ(stats.pending_encodes, 0u) << workers;
+    EXPECT_GE(stats.peak_pending_encodes, 1u) << workers;
+    EXPECT_EQ(stats.async_encoded, expected.payloads - 1) << workers;  // all but genesis
+    // The delta/anchor split, the encoded bytes, and therefore delta_ratio
+    // must be exactly the synchronous outcome at any worker count.
+    EXPECT_EQ(stats.anchors, expected.anchors) << workers;
+    EXPECT_EQ(stats.deltas, expected.deltas) << workers;
+    EXPECT_EQ(stats.resident_payload_bytes, expected.resident_payload_bytes) << workers;
+    EXPECT_EQ(stats.full_payload_bytes, expected.full_payload_bytes) << workers;
+    EXPECT_DOUBLE_EQ(stats.delta_ratio(), expected.delta_ratio()) << workers;
+    EXPECT_GT(stats.encode_seconds, 0.0) << workers;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(*store.get(ids[i]), originals[i]) << "post-drain payload " << i;
+    }
+  }
+}
+
+TEST(AsyncEncode, ConcurrentInternAndMaterializeStress) {
+  // Many threads interning their own delta chains while readers hammer
+  // get() on everything already interned and the encoder drains in the
+  // background: every read must return the exact original vector (no torn
+  // reads across the raw -> encoding -> delta flips), and after drain() the
+  // stats must equal a synchronous store fed the same chains.
+  constexpr int kWriters = 4;
+  constexpr int kChain = 25;
+  constexpr std::size_t kFloats = 256;
+
+  // Pre-generate every chain so writers do no RNG work while racing.
+  std::vector<std::vector<nn::WeightVector>> chains(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    Rng rng(1000 + w);
+    chains[w].push_back(random_vector(rng, kFloats));
+    for (int i = 1; i < kChain; ++i) {
+      chains[w].push_back(perturb(chains[w].back(), rng, 1e-3));
+    }
+  }
+
+  auto run = [&](const StoreConfig& config) {
+    ModelStore store(config);
+    std::vector<std::vector<PayloadId>> ids(kWriters);
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    std::mutex ids_mutex;  // readers sample the growing id lists
+
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&, w] {
+        std::vector<PayloadId> mine;
+        for (int i = 0; i < kChain; ++i) {
+          const std::vector<PayloadId> bases =
+              mine.empty() ? std::vector<PayloadId>{} : std::vector<PayloadId>{mine.back()};
+          mine.push_back(store.put(share(chains[w][i]), bases));
+          // Immediately read back through every state of the pipeline.
+          if (*store.get(mine.back()) != chains[w][i]) torn.fetch_add(1);
+          std::lock_guard lock(ids_mutex);
+          ids[w] = mine;
+        }
+      });
+    }
+    for (int r = 0; r < 2; ++r) {
+      threads.emplace_back([&, r] {
+        Rng rng(77 + r);
+        while (!stop.load()) {
+          int w = static_cast<int>(rng.index(kWriters));
+          std::vector<PayloadId> snapshot;
+          {
+            std::lock_guard lock(ids_mutex);
+            snapshot = ids[w];
+          }
+          if (snapshot.empty()) continue;
+          const std::size_t pick = rng.index(snapshot.size());
+          if (*store.get(snapshot[pick]) != chains[w][pick]) torn.fetch_add(1);
+        }
+      });
+    }
+    for (int w = 0; w < kWriters; ++w) threads[w].join();
+    stop.store(true);
+    for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+    store.drain();
+    EXPECT_EQ(torn.load(), 0);
+    // Post-drain, every payload still round-trips bit-exactly.
+    for (int w = 0; w < kWriters; ++w) {
+      for (int i = 0; i < kChain; ++i) {
+        EXPECT_EQ(*store.get(ids[w][i]), chains[w][i]) << w << "/" << i;
+      }
+    }
+    return store.stats();
+  };
+
+  StoreConfig sync_config;
+  sync_config.anchor_interval = 6;
+  const StoreStats sync_stats = run(sync_config);
+
+  StoreConfig async_config = sync_config;
+  async_config.async_encode = true;
+  async_config.encode_threads = 3;
+  const StoreStats async_stats = run(async_config);
+
+  EXPECT_EQ(async_stats.pending_encodes, 0u);
+  EXPECT_EQ(async_stats.payloads, sync_stats.payloads);
+  // Per-chain decisions are independent of interleaving, so the drained
+  // async store must land on the synchronous delta_ratio exactly.
+  EXPECT_EQ(async_stats.anchors, sync_stats.anchors);
+  EXPECT_EQ(async_stats.deltas, sync_stats.deltas);
+  EXPECT_EQ(async_stats.resident_payload_bytes, sync_stats.resident_payload_bytes);
+  EXPECT_DOUBLE_EQ(async_stats.delta_ratio(), sync_stats.delta_ratio());
+}
+
+TEST(AsyncEncode, DagWiringDrainsTransparently) {
+  StoreConfig config;
+  config.async_encode = true;
+  config.encode_threads = 2;
+  config.anchor_interval = 4;
+  Rng rng(31);
+  nn::WeightVector genesis = random_vector(rng, 200);
+  dag::Dag graph(genesis, config);
+  std::vector<nn::WeightVector> originals = {genesis};
+  std::vector<dag::TxId> ids = {dag::kGenesisTx};
+  for (int i = 0; i < 15; ++i) {
+    std::vector<dag::TxId> parents = {ids[rng.index(ids.size())]};
+    const dag::TxId other = ids[rng.index(ids.size())];
+    if (other != parents[0]) parents.push_back(other);
+    std::vector<const nn::WeightVector*> ptrs;
+    for (dag::TxId p : parents) ptrs.push_back(&originals[p]);
+    nn::WeightVector trained = perturb(nn::average_weights(ptrs), rng, 1e-3);
+    ids.push_back(graph.add_transaction(parents, share(trained), i % 3, i));
+    originals.push_back(std::move(trained));
+    // Reads race the pipeline by design.
+    EXPECT_EQ(*graph.weights(ids.back()), originals.back());
+  }
+  graph.store().drain();
+  EXPECT_EQ(graph.store().stats().pending_encodes, 0u);
+  EXPECT_GT(graph.store().stats().deltas, 0u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(*graph.weights(ids[i]), originals[i]) << "transaction " << i;
   }
 }
 
