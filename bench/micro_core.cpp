@@ -13,6 +13,8 @@
 #include "nn/dense.hpp"
 #include "nn/loss.hpp"
 #include "nn/lstm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/delta_codec.hpp"
 #include "sim/models.hpp"
 #include "tensor/ops.hpp"
@@ -317,6 +319,73 @@ void BM_DecodeDeltaScalar(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_DecodeDeltaScalar)->Arg(100'000);
+
+// ------------------------------------------------------------------- obs ---
+
+// One registered-counter increment: the marginal cost of leaving metrics on
+// (ISSUE 6 budget: a few ns — one relaxed flag load + one sharded relaxed
+// fetch_add).
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  obs::Counter& counter = obs::Registry::counter("bench.counter_increment");
+  for (auto _ : state) {
+    counter.add();
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterIncrement)->Threads(1)->Threads(4);
+
+void BM_CounterIncrementDisabled(benchmark::State& state) {
+  obs::set_metrics_enabled(false);
+  obs::Counter& counter = obs::Registry::counter("bench.counter_increment");
+  for (auto _ : state) {
+    counter.add();
+  }
+  obs::set_metrics_enabled(true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterIncrementDisabled);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  obs::Histogram& histogram = obs::Registry::histogram("bench.histogram_record");
+  std::uint64_t value = 0;
+  for (auto _ : state) {
+    histogram.record(value++ & 0xFFFF);
+  }
+  benchmark::DoNotOptimize(histogram.count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord)->Threads(1)->Threads(4);
+
+// Construct+destroy a ScopedSpan with tracing off — the cost every
+// instrumented scope pays in a normal (untraced) run.
+void BM_ScopedSpanUntraced(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span", {{"i", 1}});
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedSpanUntraced);
+
+// The same scope with an active session: buffer append under the global
+// trace mutex (opt-in diagnostic mode, so a lock is acceptable here).
+void BM_ScopedSpan(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    obs::start_trace("/dev/null");
+  }
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span", {{"i", 1}});
+    benchmark::DoNotOptimize(&span);
+  }
+  if (state.thread_index() == 0) {
+    obs::stop_trace();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedSpan)->Threads(1)->Threads(4);
 
 }  // namespace
 

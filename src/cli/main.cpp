@@ -21,10 +21,13 @@
 //                  random_weights[=RATE], label_flip[=FRACTION]. Each
 //                  attack starts mid-run (at half the rounds); repeat the
 //                  flag to combine kinds
+//   --trace PATH   write a Chrome trace-event / Perfetto-compatible trace
+//                  of the run (open it in ui.perfetto.dev)
+//   --obs on|off   toggle the metrics registry (summary.obs); on by default
 //   --series       include the per-round series in the JSON output
 //   --csv PATH     also write the series as CSV
 //   --jsonl PATH   stream the series as JSONL (one line per round)
-//   --quiet        suppress the progress lines
+//   --quiet        suppress the progress lines (log level -> warn)
 // `export` options: --rounds/--seed/--clients/--delta/--quiet as above, plus
 //   --dot PATH     write the final DAG as Graphviz DOT
 //   --jsonl PATH   write the final DAG as a JSONL transaction log
@@ -33,6 +36,9 @@
 //   --out PATH     override the grid's JSONL output path
 //   --threads N    override the grid's worker count
 //   --dry-run      print the expanded grid without running it
+//
+// Global: --log-level debug|info|warn|error|off (any command; the
+// SPECDAG_LOG_LEVEL env var sets the same thing, the flag wins).
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
@@ -43,6 +49,7 @@
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/sweep.hpp"
+#include "util/logging.hpp"
 
 namespace {
 
@@ -59,14 +66,20 @@ int usage(std::ostream& out, int code) {
          "                          --sync-encode\n"
          "                          --algorithm dag|fedavg|fedprox|gossip\n"
          "                          --attack none|random_weights[=RATE]|\n"
-         "                          label_flip[=FRACTION] --series\n"
+         "                          label_flip[=FRACTION]\n"
+         "                          --trace PATH --obs on|off --series\n"
          "                          --csv PATH --jsonl PATH --quiet)\n"
          "  export <name|spec.json> run a scenario and export its DAG\n"
          "                          (--dot PATH --jsonl PATH --rounds N\n"
          "                          --seed N --clients N --delta on|off\n"
          "                          --sync-encode --quiet)\n"
          "  sweep <grid.json>       run a parameter grid (--out PATH\n"
-         "                          --threads N --dry-run)\n";
+         "                          --threads N --dry-run)\n"
+         "\n"
+         "global options:\n"
+         "  --log-level LEVEL       debug|info|warn|error|off (default info;\n"
+         "                          SPECDAG_LOG_LEVEL env var also accepted,\n"
+         "                          the flag wins)\n";
   return code;
 }
 
@@ -147,8 +160,8 @@ void apply_attack_overrides(const std::vector<std::string>& values,
 }
 
 // Spec overrides shared by `run` and `export`: --rounds, --seed, --clients,
-// --threads, --delta, --sync-encode, --algorithm, --attack. Returns true
-// when `flag` was consumed;
+// --threads, --delta, --sync-encode, --algorithm, --attack, --trace, --obs.
+// Returns true when `flag` was consumed;
 // `next` yields the flag's value (exiting with usage error when missing).
 // --attack values are only collected here; the caller applies them after
 // the whole command line is parsed.
@@ -180,6 +193,18 @@ bool apply_spec_override(const std::string& flag,
     }
   } else if (flag == "--sync-encode") {
     spec.store.async_encode = false;
+  } else if (flag == "--trace") {
+    spec.obs.trace = next();
+  } else if (flag == "--obs") {
+    const std::string& value = next();
+    if (value == "on" || value == "true" || value == "1") {
+      spec.obs.metrics = true;
+    } else if (value == "off" || value == "false" || value == "0") {
+      spec.obs.metrics = false;
+    } else {
+      std::cerr << "--obs expects on|off\n";
+      std::exit(2);
+    }
   } else {
     return false;
   }
@@ -205,7 +230,6 @@ int cmd_run(const std::vector<std::string>& args) {
   }
   scenario::ScenarioSpec spec = resolve_spec(args[0]);
   bool include_series = false;
-  bool quiet = false;
   std::string csv_path;
   std::string jsonl_path;
   std::vector<std::string> attack_overrides;
@@ -220,7 +244,7 @@ int cmd_run(const std::vector<std::string>& args) {
     } else if (flag == "--jsonl") {
       jsonl_path = next();
     } else if (flag == "--quiet") {
-      quiet = true;
+      set_log_level(LogLevel::kWarn);
     } else {
       std::cerr << "run: unknown flag " << flag << "\n";
       return 2;
@@ -229,11 +253,10 @@ int cmd_run(const std::vector<std::string>& args) {
   apply_attack_overrides(attack_overrides, spec);
   spec.validate();
 
-  if (!quiet) {
-    std::cerr << "running \"" << spec.name << "\" (" << scenario::to_string(spec.simulator)
-              << ", " << scenario::to_string(spec.algorithm) << ", " << spec.rounds
-              << " rounds, seed " << spec.seed << ")...\n";
-  }
+  SPECDAG_LOG(Info) << "running \"" << spec.name << "\" ("
+                    << scenario::to_string(spec.simulator) << ", "
+                    << scenario::to_string(spec.algorithm) << ", " << spec.rounds
+                    << " rounds, seed " << spec.seed << ")...";
   const scenario::ScenarioResult result = scenario::run_scenario(spec);
   const auto ensure_parent = [](const std::string& path_str) {
     const std::filesystem::path path(path_str);
@@ -242,12 +265,12 @@ int cmd_run(const std::vector<std::string>& args) {
   if (!csv_path.empty()) {
     ensure_parent(csv_path);
     scenario::write_series_csv(result, csv_path);
-    if (!quiet) std::cerr << "series written to " << csv_path << "\n";
+    SPECDAG_LOG(Info) << "series written to " << csv_path;
   }
   if (!jsonl_path.empty()) {
     ensure_parent(jsonl_path);
     scenario::write_series_jsonl(result, jsonl_path);
-    if (!quiet) std::cerr << "series written to " << jsonl_path << "\n";
+    SPECDAG_LOG(Info) << "series written to " << jsonl_path;
   }
   std::cout << scenario::result_to_json(result, include_series).dump(2) << "\n";
   return 0;
@@ -260,7 +283,6 @@ int cmd_export(const std::vector<std::string>& args) {
   }
   scenario::ScenarioSpec spec = resolve_spec(args[0]);
   scenario::RunOptions options;
-  bool quiet = false;
   std::vector<std::string> attack_overrides;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -271,7 +293,7 @@ int cmd_export(const std::vector<std::string>& args) {
     } else if (flag == "--jsonl") {
       options.export_jsonl = next();
     } else if (flag == "--quiet") {
-      quiet = true;
+      set_log_level(LogLevel::kWarn);
     } else {
       std::cerr << "export: unknown flag " << flag << "\n";
       return 2;
@@ -289,16 +311,15 @@ int cmd_export(const std::vector<std::string>& args) {
     if (!parent.empty()) std::filesystem::create_directories(parent);
   }
 
-  if (!quiet) {
-    std::cerr << "running \"" << spec.name << "\" (" << scenario::to_string(spec.simulator)
-              << ", " << spec.rounds << " rounds, seed " << spec.seed << ") for export...\n";
-  }
+  SPECDAG_LOG(Info) << "running \"" << spec.name << "\" ("
+                    << scenario::to_string(spec.simulator) << ", " << spec.rounds
+                    << " rounds, seed " << spec.seed << ") for export...";
   const scenario::ScenarioResult result = scenario::run_scenario(spec, options);
-  if (!quiet) {
-    if (!options.export_dot.empty()) std::cerr << "DAG written to " << options.export_dot << "\n";
-    if (!options.export_jsonl.empty()) {
-      std::cerr << "transaction log written to " << options.export_jsonl << "\n";
-    }
+  if (!options.export_dot.empty()) {
+    SPECDAG_LOG(Info) << "DAG written to " << options.export_dot;
+  }
+  if (!options.export_jsonl.empty()) {
+    SPECDAG_LOG(Info) << "transaction log written to " << options.export_jsonl;
   }
   std::cout << scenario::result_to_json(result, false).dump(2) << "\n";
   return 0;
@@ -339,19 +360,43 @@ int cmd_sweep(const std::vector<std::string>& args) {
     return 0;
   }
 
-  std::cerr << "sweep: " << sweep.num_runs() << " runs -> " << sweep.out_path << "\n";
+  SPECDAG_LOG(Info) << "sweep: " << sweep.num_runs() << " runs -> " << sweep.out_path;
   const std::vector<scenario::SweepRun> runs = scenario::run_sweep(sweep, &std::cerr);
-  std::cerr << "sweep complete: " << runs.size() << " runs written to " << sweep.out_path
-            << "\n";
+  SPECDAG_LOG(Info) << "sweep complete: " << runs.size() << " runs written to "
+                    << sweep.out_path;
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage(std::cerr, 2);
-  const std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  // Level precedence: --log-level flag > SPECDAG_LOG_LEVEL env > info. The
+  // CLI default is info (progress lines on) even though the library default
+  // is warn; --quiet in run/export drops back to warn.
+  set_log_level(LogLevel::kInfo);
+  init_log_level_from_env();
+  std::vector<std::string> raw(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < raw.size();) {
+    if (raw[i] == "--log-level") {
+      if (i + 1 >= raw.size()) {
+        std::cerr << "specdag: missing value for --log-level\n";
+        return 2;
+      }
+      try {
+        set_log_level(log_level_from_string(raw[i + 1]));
+      } catch (const std::invalid_argument& error) {
+        std::cerr << "specdag: " << error.what() << "\n";
+        return 2;
+      }
+      raw.erase(raw.begin() + static_cast<std::ptrdiff_t>(i),
+                raw.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      ++i;
+    }
+  }
+  if (raw.empty()) return usage(std::cerr, 2);
+  const std::string command = raw[0];
+  std::vector<std::string> args(raw.begin() + 1, raw.end());
   try {
     if (command == "list") return cmd_list();
     if (command == "show") {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace specdag::fl {
@@ -81,8 +82,12 @@ DagRoundResult DagClient::prepare_round(const dag::Dag& dag) {
   result.client_id = client_->client_id;
 
   // 1. Biased random walk selects the tips to approve.
-  result.parents = selector_->select_tips(dag, config_.num_parents, rng_);
-  result.walk_stats = selector_->last_stats();
+  {
+    obs::ScopedSpan span("tipsel",
+                         {{"client", static_cast<std::uint64_t>(client_->client_id)}});
+    result.parents = selector_->select_tips(dag, config_.num_parents, rng_);
+    result.walk_stats = selector_->last_stats();
+  }
 
   // 2. Average the selected models. (A single parent — duplicate walks — is
   //    a plain continuation of that model.)
@@ -98,24 +103,40 @@ DagRoundResult DagClient::prepare_round(const dag::Dag& dag) {
   model_.set_weights(averaged);
   Rng train_rng = rng_.fork(0x7EA10000ULL + dag.size());
   Timer train_timer;
-  result.train_loss = train_local_sgd(model_, *client_, config_.train, train_rng);
+  {
+    obs::ScopedSpan span("train",
+                         {{"client", static_cast<std::uint64_t>(client_->client_id)}});
+    result.train_loss = train_local_sgd(model_, *client_, config_.train, train_rng);
+  }
   result.train_seconds = train_timer.elapsed_seconds();
   result.trained_weights = std::make_shared<const nn::WeightVector>(model_.get_weights());
   Timer eval_timer;
-  result.trained_eval =
-      evaluate_weights_on_test(eval_model_, *result.trained_weights, *client_);
+  {
+    obs::ScopedSpan span("eval",
+                         {{"client", static_cast<std::uint64_t>(client_->client_id)}});
+    result.trained_eval =
+        evaluate_weights_on_test(eval_model_, *result.trained_weights, *client_);
+  }
   result.eval_seconds = eval_timer.elapsed_seconds();
 
   // 4. Publish gate: compare against the consensus/reference model obtained
   //    by another biased walk.
-  result.reference = consensus_reference(dag);
+  {
+    obs::ScopedSpan span("tipsel.reference",
+                         {{"client", static_cast<std::uint64_t>(client_->client_id)}});
+    result.reference = consensus_reference(dag);
+  }
   const tipsel::WalkStats ref_stats = selector_->last_stats();
   result.walk_stats.steps += ref_stats.steps;
   result.walk_stats.evaluations += ref_stats.evaluations;
   result.walk_stats.seconds += ref_stats.seconds;
   const dag::WeightsPtr ref_weights = dag.weights(result.reference);
   eval_timer.reset();
-  result.reference_eval = evaluate_weights_on_test(eval_model_, *ref_weights, *client_);
+  {
+    obs::ScopedSpan span("eval",
+                         {{"client", static_cast<std::uint64_t>(client_->client_id)}});
+    result.reference_eval = evaluate_weights_on_test(eval_model_, *ref_weights, *client_);
+  }
   result.eval_seconds += eval_timer.elapsed_seconds();
   return result;
 }

@@ -1,0 +1,184 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace specdag::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+#ifdef SPECDAG_OBS_DISABLED
+  return false;
+#else
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - process_epoch())
+          .count());
+}
+
+namespace detail {
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace detail
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_)
+    for (const auto& bucket : shard.buckets)
+      total += bucket.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& shard : shards_) {
+    for (auto& bucket : shard.buckets) bucket.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+HistogramSnapshot HistogramSnapshot::of(const Histogram& histogram) {
+  HistogramSnapshot snap;
+  for (const auto& shard : histogram.shards_) {
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      snap.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t bucket : snap.buckets) snap.count += bucket;
+  return snap;
+}
+
+std::uint64_t HistogramSnapshot::quantile_upper_bound(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > rank) return Histogram::bucket_upper_bound(i);
+  }
+  return Histogram::bucket_upper_bound(buckets.size() - 1);
+}
+
+std::uint64_t HistogramSnapshot::max_upper_bound() const {
+  for (std::size_t i = buckets.size(); i-- > 0;) {
+    if (buckets[i] != 0) return Histogram::bucket_upper_bound(i);
+  }
+  return 0;
+}
+
+HistogramSnapshot HistogramSnapshot::delta_from(const HistogramSnapshot& earlier) const {
+  HistogramSnapshot delta;
+  delta.count = count - earlier.count;
+  delta.sum = sum - earlier.sum;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    delta.buckets[i] = buckets[i] - earlier.buckets[i];
+  }
+  return delta;
+}
+
+MetricsSnapshot MetricsSnapshot::delta_from(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    delta.counters[name] = value - earlier.counter(name);
+  }
+  for (const auto& [name, snap] : histograms) {
+    delta.histograms[name] = snap.delta_from(earlier.histogram(name));
+  }
+  return delta;
+}
+
+namespace {
+
+// Registered metrics are never destroyed (unique_ptr into leaky maps would
+// also work, but a plain struct keeps the intent obvious): call sites hold
+// references across the whole process lifetime, including static-destruction
+// order at exit.
+struct RegistryState {
+  std::mutex mutex;
+  std::map<std::string, Counter*, std::less<>> counters;
+  std::map<std::string, Histogram*, std::less<>> histograms;
+};
+
+RegistryState& registry_state() {
+  static RegistryState* state = new RegistryState();
+  return *state;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  RegistryState& state = registry_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.counters.find(name);
+  if (it == state.counters.end()) {
+    it = state.counters.emplace(std::string(name), new Counter()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  RegistryState& state = registry_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.histograms.find(name);
+  if (it == state.histograms.end()) {
+    it = state.histograms.emplace(std::string(name), new Histogram()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() {
+  RegistryState& state = registry_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : state.counters) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, histogram] : state.histograms) {
+    snap.histograms[name] = HistogramSnapshot::of(*histogram);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  RegistryState& state = registry_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& [name, counter] : state.counters) counter->reset();
+  for (auto& [name, histogram] : state.histograms) histogram->reset();
+}
+
+}  // namespace specdag::obs

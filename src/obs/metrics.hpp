@@ -1,0 +1,182 @@
+// Lock-free metrics registry: named counters and fixed-bucket histograms
+// for the hot seams of the system (walk lengths, cache hits, store interns,
+// pool busy/idle time). The instrumentation layer the scenario runner
+// snapshots per round into summary.obs.
+//
+// Design constraints, in order:
+//   * zero interference with results — metrics never touch an RNG stream,
+//     never take a lock on a hot path, and never change scheduling, so a
+//     run is bit-identical with obs on or off at any thread count;
+//   * cheap enough to leave on (the default): an increment is one relaxed
+//     fetch_add on a per-thread shard (no cache-line ping-pong between
+//     workers), guarded by one relaxed flag load;
+//   * removable: compiling with SPECDAG_OBS_DISABLED (CMake
+//     -DSPECDAG_ENABLE_OBS=OFF) turns every mutation into an empty inline
+//     function the optimizer deletes, for a 0-overhead baseline build.
+//
+// The registry is process-global and cumulative; per-run attribution is by
+// snapshot deltas (see the scenario runner). Counters/histograms registered
+// once never move, so call sites cache the reference in a local static.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specdag::obs {
+
+// Runtime switch (process-wide, default on). Off turns every counter and
+// histogram mutation into a single relaxed load-and-branch.
+bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+#ifdef SPECDAG_OBS_DISABLED
+inline constexpr bool kObsCompiledIn = false;
+#else
+inline constexpr bool kObsCompiledIn = true;
+#endif
+
+// Nanoseconds on the steady clock since the first call of the process —
+// the shared timebase of the pool accounting and the trace-span layer.
+std::uint64_t now_ns();
+
+namespace detail {
+
+inline constexpr std::size_t kShards = 16;
+
+// Per-thread shard slot: threads are assigned round-robin on first use, so
+// up to kShards concurrent writers never share a cache line.
+std::size_t shard_index();
+
+struct alignas(64) Shard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+#ifndef SPECDAG_OBS_DISABLED
+    if (!metrics_enabled()) return;
+    shards_[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto& shard : shards_) sum += shard.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() {
+    for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::Shard, detail::kShards> shards_;
+};
+
+// Fixed-bucket histogram over unsigned values: bucket i counts values of
+// bit width i (0, 1, 2-3, 4-7, ...), i.e. exponential bounds — one layout
+// serves walk lengths, queue depths, and nanosecond latencies alike.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit_width(uint64) in [0, 64]
+
+  static std::size_t bucket_index(std::uint64_t value) {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+  // Inclusive upper bound of bucket i (the value reported for quantiles).
+  static std::uint64_t bucket_upper_bound(std::size_t index) {
+    return index == 0 ? 0
+           : index >= 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << index) - 1;
+  }
+
+  void record(std::uint64_t value) {
+#ifndef SPECDAG_OBS_DISABLED
+    if (!metrics_enabled()) return;
+    ShardData& shard = shards_[detail::shard_index()];
+    shard.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+  void reset();
+
+ private:
+  friend struct HistogramSnapshot;
+
+  struct alignas(64) ShardData {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<ShardData, detail::kShards> shards_;
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+  static HistogramSnapshot of(const Histogram& histogram);
+
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  // Upper bound of the bucket containing the q-quantile (q in [0, 1]).
+  std::uint64_t quantile_upper_bound(double q) const;
+  // Upper bound of the highest non-empty bucket.
+  std::uint64_t max_upper_bound() const;
+
+  // This snapshot minus an earlier one of the same histogram.
+  HistogramSnapshot delta_from(const HistogramSnapshot& earlier) const;
+};
+
+// Point-in-time copy of every registered metric, keyed by name (ordered,
+// so serialization is deterministic).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // This snapshot minus an earlier one: per-interval attribution on the
+  // cumulative process-global registry. Metrics absent earlier count from 0.
+  MetricsSnapshot delta_from(const MetricsSnapshot& earlier) const;
+
+  std::uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  HistogramSnapshot histogram(const std::string& name) const {
+    auto it = histograms.find(name);
+    return it == histograms.end() ? HistogramSnapshot{} : it->second;
+  }
+};
+
+// Process-global name -> metric table. Lookup takes a mutex; cache the
+// returned reference (it is stable for the process lifetime):
+//
+//   static obs::Counter& walks = obs::Registry::counter("tipsel.walks");
+//   walks.add();
+class Registry {
+ public:
+  static Counter& counter(std::string_view name);
+  static Histogram& histogram(std::string_view name);
+  static MetricsSnapshot snapshot();
+  // Zeroes every registered metric in place (references stay valid).
+  static void reset();
+};
+
+}  // namespace specdag::obs

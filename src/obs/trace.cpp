@@ -1,0 +1,292 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace specdag::obs {
+
+namespace {
+
+// One buffered trace event. Args are stored inline (the instrumentation
+// never needs more than four); string keys are literals, stored by pointer.
+struct Event {
+  char phase;             // 'B','E','s','f','i','C','M'
+  const char* name;       // literal for spans/flows; unused for 'M'
+  std::uint64_t ts_ns;
+  std::uint32_t tid;
+  std::uint64_t id = 0;   // flow id for 's'/'f'
+  std::uint64_t counter_value = 0;  // for 'C'
+  std::string thread_name;          // for 'M'
+  trace_detail::TraceArg args[4];
+  std::size_t num_args = 0;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<Event> events;
+  std::string path;
+  std::uint64_t epoch = 0;  // bumped on every start; spans check it on close
+};
+
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint64_t> g_epoch{0};
+
+TraceState& trace_state() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+// Sequential per-thread id: stable within a process, compact in the viewer.
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::string& thread_name_slot() {
+  thread_local std::string name;
+  return name;
+}
+
+// Appends an event with its timestamp taken under the lock — this is what
+// makes ts monotonic per tid (and globally) without per-thread buffers.
+template <typename Fill>
+void append_event(Fill&& fill) {
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!g_tracing.load(std::memory_order_relaxed)) return;
+  Event event;
+  event.ts_ns = now_ns();
+  event.tid = thread_id();
+  fill(event);
+  state.events.push_back(std::move(event));
+}
+
+void append_json_escaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_args_json(std::string& out, const Event& event) {
+  out += "\"args\":{";
+  for (std::size_t i = 0; i < event.num_args; ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += event.args[i].key;
+    out += "\":";
+    out += std::to_string(event.args[i].value);
+  }
+  out += '}';
+}
+
+// Serializes one event as a trace-viewer JSON object. Timestamps are in
+// microseconds (the trace-event format's unit); ns precision is kept via
+// the fractional part.
+std::string format_ts_us(std::uint64_t ts_ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ts_ns / 1000),
+                static_cast<unsigned long long>(ts_ns % 1000));
+  return buf;
+}
+
+void append_event_json(std::string& out, const Event& event) {
+  out += "{\"ph\":\"";
+  out += event.phase;
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(event.tid);
+  switch (event.phase) {
+    case 'M': {
+      out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      append_json_escaped(out, event.thread_name);
+      out += "\"}}";
+      return;
+    }
+    case 's':
+    case 'f': {
+      out += ",\"ts\":" + format_ts_us(event.ts_ns);
+      out += ",\"name\":\"";
+      out += event.name;
+      out += "\",\"cat\":\"flow\",\"id\":";
+      out += std::to_string(event.id);
+      if (event.phase == 'f') out += ",\"bp\":\"e\"";
+      out += '}';
+      return;
+    }
+    default:
+      break;
+  }
+  out += ",\"ts\":" + format_ts_us(event.ts_ns);
+  out += ",\"name\":\"";
+  out += event.name;
+  out += "\",\"cat\":\"specdag\"";
+  if (event.phase == 'i') out += ",\"s\":\"t\"";
+  if (event.phase == 'C') {
+    out += ",\"args\":{\"value\":" + std::to_string(event.counter_value) + "}}";
+    return;
+  }
+  out += ',';
+  append_args_json(out, event);
+  out += '}';
+}
+
+bool write_trace_file(const std::string& path, const std::vector<Event>& events) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  std::string buffer;
+  buffer.reserve(256);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    buffer.clear();
+    append_event_json(buffer, events[i]);
+    out << buffer;
+    if (i + 1 < events.size()) out << ',';
+    out << '\n';
+  }
+  out << "]}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+namespace trace_detail {
+
+bool enabled_slow() { return g_tracing.load(std::memory_order_relaxed); }
+
+std::uint64_t begin_span(const char* name, std::initializer_list<TraceArg> args) {
+  append_event([&](Event& event) {
+    event.phase = 'B';
+    event.name = name;
+    for (const TraceArg& arg : args) {
+      if (event.num_args < 4) event.args[event.num_args++] = arg;
+    }
+  });
+  return g_epoch.load(std::memory_order_relaxed);
+}
+
+void end_span(const char* name, std::uint64_t epoch, const TraceArg* args,
+              std::size_t num_args) {
+  if (epoch != g_epoch.load(std::memory_order_relaxed)) return;
+  append_event([&](Event& event) {
+    event.phase = 'E';
+    event.name = name;
+    for (std::size_t i = 0; i < num_args && event.num_args < 4; ++i) {
+      event.args[event.num_args++] = args[i];
+    }
+  });
+}
+
+void flow_start(const char* name, std::uint64_t flow_id) {
+  append_event([&](Event& event) {
+    event.phase = 's';
+    event.name = name;
+    event.id = flow_id;
+  });
+}
+
+void flow_finish(const char* name, std::uint64_t flow_id) {
+  append_event([&](Event& event) {
+    event.phase = 'f';
+    event.name = name;
+    event.id = flow_id;
+  });
+}
+
+void instant(const char* name, std::initializer_list<TraceArg> args) {
+  append_event([&](Event& event) {
+    event.phase = 'i';
+    event.name = name;
+    for (const TraceArg& arg : args) {
+      if (event.num_args < 4) event.args[event.num_args++] = arg;
+    }
+  });
+}
+
+void counter_event(const char* name, std::uint64_t value) {
+  append_event([&](Event& event) {
+    event.phase = 'C';
+    event.name = name;
+    event.counter_value = value;
+  });
+}
+
+void thread_name_event(const std::string& name) {
+  append_event([&](Event& event) {
+    event.phase = 'M';
+    event.name = "thread_name";
+    event.thread_name = name;
+  });
+}
+
+}  // namespace trace_detail
+
+void start_trace(const std::string& path) {
+#ifdef SPECDAG_OBS_DISABLED
+  (void)path;
+  SPECDAG_LOG(Warn) << "trace requested but obs is compiled out "
+                       "(SPECDAG_ENABLE_OBS=OFF); no trace will be written";
+#else
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.events.clear();
+  state.path = path;
+  state.epoch = g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  g_tracing.store(true, std::memory_order_relaxed);
+  // Name the calling thread so the viewer's first track is legible even if
+  // set_thread_name was called before the session started.
+  if (!thread_name_slot().empty()) trace_detail::thread_name_event(thread_name_slot());
+#endif
+}
+
+bool stop_trace() {
+#ifdef SPECDAG_OBS_DISABLED
+  return false;
+#else
+  TraceState& state = trace_state();
+  std::vector<Event> events;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!g_tracing.load(std::memory_order_relaxed)) return false;
+    g_tracing.store(false, std::memory_order_relaxed);
+    events.swap(state.events);
+    path = std::move(state.path);
+    state.path.clear();
+  }
+  if (!write_trace_file(path, events)) {
+    SPECDAG_LOG(Warn) << "failed to write trace file: " << path;
+    return false;
+  }
+  SPECDAG_LOG(Info) << "wrote " << events.size() << " trace events to " << path;
+  return true;
+#endif
+}
+
+void set_thread_name(const std::string& name) {
+  thread_name_slot() = name;
+  if (tracing_enabled()) trace_detail::thread_name_event(name);
+}
+
+}  // namespace specdag::obs

@@ -1,0 +1,124 @@
+// Trace-span layer: Chrome trace-event / Perfetto-compatible JSON output.
+//
+// When a trace session is active (`specdag run --trace out.trace.json` or a
+// `"trace"` path in the scenario spec's obs block), instrumented scopes emit
+// duration events (B/E pairs), async-encode hand-offs emit flow events (s/f)
+// linking a put() to its background completion, and the thread pool emits
+// instant events — the resulting file opens directly in ui.perfetto.dev or
+// chrome://tracing.
+//
+// Tracing is off by default and costs one relaxed atomic load per scope when
+// off. When on, events append to a global in-memory buffer under a mutex;
+// the timestamp is taken *inside* the lock, which makes ts monotonic per
+// thread (and globally) by construction — worth the serialization because
+// tracing is an explicitly opt-in diagnostic mode. Like the metrics half,
+// tracing never touches RNG streams or scheduling, so traced runs stay
+// bit-identical with untraced ones; SPECDAG_OBS_DISABLED compiles all of it
+// out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace specdag::obs {
+
+namespace trace_detail {
+
+bool enabled_slow();
+
+struct TraceArg {
+  const char* key;
+  std::uint64_t value;
+};
+
+// All emitters no-op unless a session is active. `epoch` guards against a
+// span opened in one session closing in another (the E would be unmatched).
+std::uint64_t begin_span(const char* name, std::initializer_list<TraceArg> args);
+void end_span(const char* name, std::uint64_t epoch, const TraceArg* args,
+              std::size_t num_args);
+void flow_start(const char* name, std::uint64_t flow_id);
+void flow_finish(const char* name, std::uint64_t flow_id);
+void instant(const char* name, std::initializer_list<TraceArg> args);
+void counter_event(const char* name, std::uint64_t value);
+void thread_name_event(const std::string& name);
+
+}  // namespace trace_detail
+
+inline bool tracing_enabled() {
+#ifdef SPECDAG_OBS_DISABLED
+  return false;
+#else
+  return trace_detail::enabled_slow();
+#endif
+}
+
+// Starts buffering events; stop_trace() writes them to `path` and clears the
+// buffer. One session at a time (start while active restarts the buffer).
+void start_trace(const std::string& path);
+// Ends the session and writes the file. Returns false (and emits a warning
+// log) if the file could not be written. No-op when no session is active.
+bool stop_trace();
+
+// Labels the calling thread in the trace viewer (an `M` metadata event) and
+// in future instant events. Safe to call when tracing is off.
+void set_thread_name(const std::string& name);
+
+// RAII duration event. `name` must be a string literal (stored by pointer).
+//
+//   obs::ScopedSpan span("prepare", {{"round", round}, {"client", id}});
+//   ...
+//   span.arg("tx", published_id);  // attached to the closing E event
+class ScopedSpan {
+ public:
+  using Arg = trace_detail::TraceArg;
+
+  explicit ScopedSpan(const char* name, std::initializer_list<Arg> args = {})
+#ifndef SPECDAG_OBS_DISABLED
+      : name_(name), active_(tracing_enabled()) {
+    if (active_) epoch_ = trace_detail::begin_span(name_, args);
+  }
+#else
+  {
+    (void)name;
+    (void)args;
+  }
+#endif
+
+  ~ScopedSpan() {
+#ifndef SPECDAG_OBS_DISABLED
+    if (active_) {
+      trace_detail::end_span(name_, epoch_, end_args_, num_end_args_);
+    }
+#endif
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attaches a key/value to the closing event (Perfetto merges B and E args
+  // into one slice). Useful for results only known at scope exit.
+  void arg(const char* key, std::uint64_t value) {
+#ifndef SPECDAG_OBS_DISABLED
+    if (active_ && num_end_args_ < kMaxEndArgs) {
+      end_args_[num_end_args_++] = Arg{key, value};
+    }
+#else
+    (void)key;
+    (void)value;
+#endif
+  }
+
+ private:
+#ifndef SPECDAG_OBS_DISABLED
+  static constexpr std::size_t kMaxEndArgs = 3;
+  const char* name_;
+  bool active_;
+  std::uint64_t epoch_ = 0;
+  Arg end_args_[kMaxEndArgs];
+  std::size_t num_end_args_ = 0;
+#endif
+};
+
+}  // namespace specdag::obs

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "dag/export.hpp"
+#include "obs/trace.hpp"
 #include "scenario/baselines.hpp"
 #include "metrics/client_graph.hpp"
 #include "metrics/community.hpp"
@@ -178,6 +179,39 @@ StoreResidencyPoint sample_store_residency(std::size_t round, const dag::Dag& da
   return point;
 }
 
+// Per-round obs sampling: registry deltas attribute the cumulative
+// process-global counters to this run's rounds. Snapshots happen outside
+// the simulators' timed sections, so summary.perf stays comparable.
+class ObsRoundSampler {
+ public:
+  ObsRoundSampler() : enabled_(obs::metrics_enabled()) {
+    if (enabled_) {
+      begin_ = obs::Registry::snapshot();
+      previous_ = begin_;
+    }
+  }
+
+  void sample_round(std::size_t round, ScenarioResult& result) {
+    if (!enabled_) return;
+    obs::MetricsSnapshot now = obs::Registry::snapshot();
+    result.obs_series.push_back({round, now.delta_from(previous_)});
+    previous_ = std::move(now);
+  }
+
+  // Whole-run totals; call after the store's drain barrier so background
+  // encode work between the last round sample and quiescence is included.
+  void finish(ScenarioResult& result) {
+    if (!enabled_) return;
+    result.obs_enabled = true;
+    result.obs_totals = obs::Registry::snapshot().delta_from(begin_);
+  }
+
+ private:
+  bool enabled_;
+  obs::MetricsSnapshot begin_;
+  obs::MetricsSnapshot previous_;
+};
+
 double tail_mean_accuracy(const std::vector<ScenarioPoint>& series) {
   if (series.empty()) return 0.0;
   const std::size_t tail = std::max<std::size_t>(1, series.size() / 10);
@@ -314,6 +348,7 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   const std::vector<int> churned = churn_targets(spec, num_clients);
   AttackController attacks(spec.attacks, spec.seed, num_clients);
   std::optional<nn::Sequential> probe;
+  ObsRoundSampler obs_sampler;
 
   for (std::size_t round = 0; round < spec.rounds; ++round) {
     apply_dynamics_at(spec, churned, round, simulator);
@@ -344,11 +379,13 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
     fill_community_metrics(spec, simulator.dataset(), simulator.dag(), round + 1, point);
     result.series.push_back(point);
     result.store_series.push_back(sample_store_residency(round + 1, simulator.dag()));
+    obs_sampler.sample_round(round + 1, result);
   }
 
   // Barrier: let queued async encodes settle so the final store stats (and
   // delta_ratio) match a synchronous run of the same spec.
   simulator.dag().store().drain();
+  obs_sampler.finish(result);
   result.perf = simulator.perf();
   result.prepare_threads = simulator.prepare_threads();
   finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), attacks,
@@ -378,6 +415,7 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   const std::vector<int> churned = churn_targets(spec, num_clients);
   AttackController attacks(spec.attacks, spec.seed, num_clients);
   std::optional<nn::Sequential> probe;
+  ObsRoundSampler obs_sampler;
 
   std::size_t previous_dag_size = simulator.dag().size();
   for (std::size_t unit = 0; unit < spec.rounds; ++unit) {
@@ -418,11 +456,13 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
     fill_community_metrics(spec, simulator.dataset(), simulator.dag(), unit + 1, point);
     result.series.push_back(point);
     result.store_series.push_back(sample_store_residency(unit + 1, simulator.dag()));
+    obs_sampler.sample_round(unit + 1, result);
   }
 
   // Barrier: let queued async encodes settle so the final store stats (and
   // delta_ratio) match a synchronous run of the same spec.
   simulator.dag().store().drain();
+  obs_sampler.finish(result);
   result.perf = simulator.perf();
   result.prepare_threads = simulator.prepare_threads();
   finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), attacks,
@@ -504,9 +544,39 @@ ScenarioResult run_baseline_scenario(const ScenarioSpec& spec, sim::ExperimentPr
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) { return run_scenario(spec, RunOptions{}); }
 
+namespace {
+
+// Scopes an obs session to one run: applies the spec's metrics flag and
+// opens/closes the trace file. The trace is closed in the destructor, which
+// runs after the dispatched scenario returned — by then the simulators (and
+// their worker pools) are destroyed, so no span is left open in the file.
+class ObsSession {
+ public:
+  explicit ObsSession(const ObsSpec& spec)
+      : metrics_before_(obs::metrics_enabled()), tracing_(!spec.trace.empty()) {
+    obs::set_metrics_enabled(spec.metrics);
+    if (tracing_) obs::start_trace(spec.trace);
+  }
+
+  ~ObsSession() {
+    if (tracing_) obs::stop_trace();
+    obs::set_metrics_enabled(metrics_before_);
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  bool metrics_before_;
+  bool tracing_;
+};
+
+}  // namespace
+
 ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   spec.validate();
   Timer timer;
+  ObsSession obs_session(spec.obs);
   sim::ExperimentPreset preset = build_preset(spec);
 
   ScenarioResult result;
@@ -548,6 +618,33 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options)
 }
 
 namespace {
+
+// Compact JSON for one histogram snapshot: count/sum/mean plus bucket-upper-
+// bound quantiles (exact bucket counts stay in memory only — the exponential
+// bounds make p50/p99/max readable without shipping 65 buckets per metric).
+Json histogram_to_json(const obs::HistogramSnapshot& snapshot) {
+  Json json = Json::make_object();
+  json.set("count", snapshot.count);
+  json.set("sum", snapshot.sum);
+  json.set("mean", snapshot.mean());
+  json.set("p50", snapshot.quantile_upper_bound(0.5));
+  json.set("p99", snapshot.quantile_upper_bound(0.99));
+  json.set("max", snapshot.max_upper_bound());
+  return json;
+}
+
+Json metrics_snapshot_to_json(const obs::MetricsSnapshot& snapshot) {
+  Json json = Json::make_object();
+  Json counters = Json::make_object();
+  for (const auto& [name, value] : snapshot.counters) counters.set(name, value);
+  json.set("counters", std::move(counters));
+  Json histograms = Json::make_object();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    histograms.set(name, histogram_to_json(hist));
+  }
+  json.set("histograms", std::move(histograms));
+  return json;
+}
 
 // One series point as a JSON object (shared by the summary's series array
 // and the JSONL stream).
@@ -670,7 +767,33 @@ Json result_to_json(const ScenarioResult& result, bool include_series) {
       perf.set("prepares", result.perf.prepares);
       perf.set("commits", result.perf.commits);
       perf.set("threads", result.prepare_threads);
+      // Busy-time sum over (wall x threads): normalizes the busy/wall bucket
+      // mix into one comparable number across thread counts.
+      perf.set("utilization",
+               result.perf.utilization(std::max<std::size_t>(1, result.prepare_threads)));
       summary.set("perf", std::move(perf));
+    }
+
+    // Obs metrics rollup (src/obs): whole-run registry deltas plus the
+    // per-round samples. Timing-dependent, so it lives here in the summary
+    // (like store.residency), never in the per-point series/JSONL.
+    if (result.obs_enabled) {
+      Json obs = metrics_snapshot_to_json(result.obs_totals);
+      if (!result.obs_series.empty()) {
+        Json rounds = Json::make_array();
+        for (const ObsRoundPoint& sample : result.obs_series) {
+          Json row = Json::make_object();
+          row.set("round", sample.round);
+          Json counters = Json::make_object();
+          for (const auto& [name, value] : sample.delta.counters) {
+            if (value > 0) counters.set(name, value);
+          }
+          row.set("counters", std::move(counters));
+          rounds.as_array().push_back(std::move(row));
+        }
+        obs.set("rounds", std::move(rounds));
+      }
+      summary.set("obs", std::move(obs));
     }
   }
 

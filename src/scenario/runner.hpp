@@ -8,6 +8,7 @@
 
 #include <iosfwd>
 
+#include "obs/metrics.hpp"
 #include "scenario/spec.hpp"
 #include "sim/perf.hpp"
 #include "store/eval_cache.hpp"
@@ -59,6 +60,16 @@ struct StoreResidencyPoint {
   std::size_t resident_bytes = 0;
 };
 
+// Per-round delta of the obs metrics registry (walk counts, cache hit/miss,
+// store interns, pool busy time — see src/obs/metrics.hpp). Like store
+// residency, these are timing-dependent and live under summary.obs.rounds,
+// never in the per-point series/JSONL (which must stay bit-identical with
+// obs on or off at any thread count).
+struct ObsRoundPoint {
+  std::size_t round = 0;
+  obs::MetricsSnapshot delta;
+};
+
 struct ScenarioResult {
   std::string scenario;
   std::uint64_t seed = 0;
@@ -107,6 +118,13 @@ struct ScenarioResult {
   // baselines have no walk/commit phases to break down).
   sim::PhaseTimings perf;
   std::size_t prepare_threads = 0;
+
+  // Obs metrics attributed to this run: whole-run registry delta plus the
+  // per-round samples (DAG algorithm only; empty when spec.obs.metrics is
+  // off or obs is compiled out). Serialized as summary.obs.
+  bool obs_enabled = false;
+  obs::MetricsSnapshot obs_totals;
+  std::vector<ObsRoundPoint> obs_series;
 
   std::vector<ScenarioPoint> series;
 };

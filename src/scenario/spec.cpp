@@ -237,6 +237,20 @@ Json store_to_json(const store::StoreConfig& store) {
   return json;
 }
 
+ObsSpec obs_from_json(const Json& json, ObsSpec obs) {
+  check_known_keys(json, {"metrics", "trace"}, "obs");
+  obs.metrics = json.bool_or("metrics", obs.metrics);
+  obs.trace = json.string_or("trace", obs.trace);
+  return obs;
+}
+
+Json obs_to_json(const ObsSpec& obs) {
+  Json json = Json::make_object();
+  if (!obs.metrics) json.set("metrics", false);
+  if (!obs.trace.empty()) json.set("trace", obs.trace);
+  return json;
+}
+
 Json dynamics_to_json(const DynamicsSpec& dynamics) {
   Json json = Json::make_object();
   if (dynamics.churn.enabled()) {
@@ -438,7 +452,7 @@ ScenarioSpec spec_from_json(const Json& json) {
                     "num_clients", "samples_per_client", "seed", "parallel_prepare", "threads",
                     "evaluate_consensus", "community_metrics_every", "client", "dynamics",
                     "store", "algorithm", "proximal_mu", "attacks",
-                    "record_client_accuracies"},
+                    "record_client_accuracies", "obs"},
                    "scenario");
   ScenarioSpec spec;
   spec.name = json.string_or("name", spec.name);
@@ -476,6 +490,9 @@ ScenarioSpec spec_from_json(const Json& json) {
   }
   if (const Json* store = json.find("store")) {
     spec.store = store_from_json(*store, spec.store);
+  }
+  if (const Json* obs = json.find("obs")) {
+    spec.obs = obs_from_json(*obs, spec.obs);
   }
   spec.validate();
   return spec;
@@ -519,6 +536,11 @@ Json spec_to_json(const ScenarioSpec& spec) {
   json.set("client", client_to_json(spec.client));
   if (spec.dynamics.any()) json.set("dynamics", dynamics_to_json(spec.dynamics));
   json.set("store", store_to_json(spec.store));
+  // Only non-default obs settings are emitted, keeping existing golden
+  // outputs (and specs that never heard of obs) byte-stable.
+  if (!spec.obs.metrics || !spec.obs.trace.empty()) {
+    json.set("obs", obs_to_json(spec.obs));
+  }
   return json;
 }
 

@@ -49,7 +49,11 @@
 //                       "start_round": 40, "stop_round": 0}
 //     },
 //     "record_client_accuracies": false,  // per-client accuracy distributions
-//     "community_metrics_every": 0   // track Louvain metrics every N rounds
+//     "community_metrics_every": 0,  // track Louvain metrics every N rounds
+//     "obs": {                       // observability (src/obs)
+//       "metrics": true,             // counters/histograms -> summary.obs
+//       "trace": ""                  // Perfetto trace output path ("" = off)
+//     }
 //   }
 #pragma once
 
@@ -121,6 +125,16 @@ struct DynamicsSpec {
   }
 };
 
+// Observability controls (src/obs). Metrics are on by default — they are
+// cheap and feed summary.obs; tracing writes a Chrome trace-event /
+// Perfetto-compatible JSON file and is enabled by giving it a path (the
+// `specdag run --trace` flag sets the same field). Neither affects results:
+// runs are bit-identical with any combination of these.
+struct ObsSpec {
+  bool metrics = true;
+  std::string trace;  // empty = no trace
+};
+
 struct ScenarioSpec {
   std::string name = "unnamed";
   std::string description;
@@ -169,6 +183,8 @@ struct ScenarioSpec {
   // Model payload store: delta encoding, materialization LRU, eval-cache
   // sharding (see src/store/model_store.hpp).
   store::StoreConfig store;
+  // Observability: metrics rollup and optional Perfetto trace (src/obs).
+  ObsSpec obs;
 
   // Throws std::invalid_argument when the combination is not runnable
   // (e.g. stragglers on the round simulator).

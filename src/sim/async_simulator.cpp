@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "data/poisoning.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace specdag::sim {
@@ -42,7 +43,9 @@ AsyncDagSimulator::AsyncDagSimulator(data::FederatedDataset dataset, nn::ModelFa
   // header comment); with instantaneous broadcast the event loop is an
   // inherent chain of prepare -> commit dependencies.
   // threads == 0: one worker per hardware thread (ThreadPool's convention).
-  if (config_.threads != 1 && config_.broadcast_latency > 0.0) pool_.emplace(config_.threads);
+  if (config_.threads != 1 && config_.broadcast_latency > 0.0) {
+    pool_.emplace(config_.threads, "prepare");
+  }
 }
 
 void AsyncDagSimulator::schedule_client_step(int client) {
@@ -111,11 +114,13 @@ void AsyncDagSimulator::process_event(Event event, std::vector<AsyncStepRecord>&
     // The transaction reaches the network: insert it into the DAG. The
     // gate was already evaluated against the publisher's view at prepare
     // time; the virtual round is the event time floored.
+    obs::ScopedSpan span(
+        "commit", {{"client", static_cast<std::uint64_t>(event.client)}});
     ScopedCommitTimer commit_timer(net_.dag().store(), perf_);
-    if (net_.commit(event.client, event.result, static_cast<std::size_t>(now_)) !=
-        dag::kInvalidTx) {
-      ++perf_.commits;
-    }
+    const dag::TxId published =
+        net_.commit(event.client, event.result, static_cast<std::size_t>(now_));
+    span.arg("tx", static_cast<std::uint64_t>(published));
+    if (published != dag::kInvalidTx) ++perf_.commits;
     return;
   }
 
@@ -128,7 +133,12 @@ void AsyncDagSimulator::process_event(Event event, std::vector<AsyncStepRecord>&
 
   // Client training completion: walk, average, train against the *current*
   // DAG; publish (possibly delayed by broadcast latency).
-  fl::DagRoundResult result = net_.prepare(event.client);
+  fl::DagRoundResult result;
+  {
+    obs::ScopedSpan span(
+        "prepare", {{"client", static_cast<std::uint64_t>(event.client)}});
+    result = net_.prepare(event.client);
+  }
   perf_.tipsel_seconds += result.walk_stats.seconds;
   perf_.train_seconds += result.train_seconds;
   perf_.eval_seconds += result.eval_seconds;
@@ -213,10 +223,16 @@ void AsyncDagSimulator::process_step_batch(std::vector<AsyncStepRecord>& records
   std::vector<fl::DagRoundResult> results(steps.size());
   const auto prepare_chain = [&](std::size_t chain) {
     for (std::size_t i : per_client[chain]) {
+      obs::ScopedSpan span(
+          "prepare", {{"client", static_cast<std::uint64_t>(steps[i].client)}});
       results[i] = net_.prepare(steps[i].client);
     }
   };
   if (pool_ && per_client.size() > 1) {
+    if (obs::tracing_enabled()) {
+      obs::trace_detail::instant("step_batch", {{"steps", steps.size()},
+                                                {"chains", per_client.size()}});
+    }
     pool_->parallel_for(per_client.size(), prepare_chain);
   } else {
     for (std::size_t chain = 0; chain < per_client.size(); ++chain) prepare_chain(chain);

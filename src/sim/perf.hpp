@@ -23,6 +23,10 @@
 // wall clock spent inside run_round()/run_steps()/run_until() — in a serial
 // synchronous run the five buckets partition it (up to scheduling overhead
 // outside the buckets), which tests/test_scenario.cpp pins.
+//
+// Because busy time and wall time mix, a raw bucket comparison across thread
+// counts is misleading; utilization() normalizes the mix into one number
+// (busy-time sum over wall x threads) that summary.perf reports directly.
 #pragma once
 
 #include <algorithm>
@@ -46,6 +50,14 @@ struct PhaseTimings {
 
   double phase_sum_seconds() const {
     return tipsel_seconds + train_seconds + eval_seconds + commit_seconds + encode_seconds;
+  }
+
+  // Fraction of the available CPU budget (wall x threads) the phase buckets
+  // account for. 1.0 = every worker busy in an accounted phase for the whole
+  // run; serial runs read it as "fraction of wall time inside the buckets".
+  double utilization(std::size_t threads) const {
+    if (total_seconds <= 0.0 || threads == 0) return 0.0;
+    return phase_sum_seconds() / (total_seconds * static_cast<double>(threads));
   }
 
   void merge(const PhaseTimings& other) {

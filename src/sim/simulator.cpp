@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace specdag::sim {
@@ -54,7 +55,9 @@ DagSimulator::DagSimulator(data::FederatedDataset dataset, nn::ModelFactory fact
   active_.assign(dataset_.clients.size(), 1);
   // threads == 0: one worker per hardware thread (ThreadPool's convention);
   // threads == 1 degenerates to the serial path — no pool at all.
-  if (config_.parallel_prepare && config_.threads != 1) pool_.emplace(config_.threads);
+  if (config_.parallel_prepare && config_.threads != 1) {
+    pool_.emplace(config_.threads, "prepare");
+  }
 }
 
 void DagSimulator::set_client_active(int client, bool active) {
@@ -116,6 +119,7 @@ void DagSimulator::flush_due_commits() {
 }
 
 const RoundRecord& DagSimulator::run_round() {
+  obs::ScopedSpan round_span("round", {{"round", round_}});
   Timer round_timer;
   if (config_.visibility_delay_rounds > 0) flush_due_commits();
   // Sample among the currently active clients (churn support). With everyone
@@ -139,10 +143,12 @@ const RoundRecord& DagSimulator::run_round() {
   // snapshot (transactions of this round become visible next round).
   if (pool_) {
     pool_->parallel_for(active.size(), [&](std::size_t i) {
+      obs::ScopedSpan span("prepare", {{"round", round_}, {"client", active[i]}});
       record.results[i] = net_.prepare(static_cast<int>(active[i]));
     });
   } else {
     for (std::size_t i = 0; i < active.size(); ++i) {
+      obs::ScopedSpan span("prepare", {{"round", round_}, {"client", active[i]}});
       record.results[i] = net_.prepare(static_cast<int>(active[i]));
     }
   }
@@ -168,8 +174,10 @@ const RoundRecord& DagSimulator::run_round() {
     ScopedCommitTimer commit_timer(net_.dag().store(), perf_);
     for (std::size_t i : order) {
       if (config_.visibility_delay_rounds == 0) {
+        obs::ScopedSpan span("commit", {{"round", round_}, {"client", active[i]}});
         record.results[i].published =
             net_.commit(static_cast<int>(active[i]), record.results[i], round_);
+        span.arg("tx", static_cast<std::uint64_t>(record.results[i].published));
         if (record.results[i].did_publish()) ++perf_.commits;
       } else {
         pending_.push_back({static_cast<int>(active[i]), record.results[i], round_,

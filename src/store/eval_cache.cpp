@@ -2,9 +2,23 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace specdag::store {
+namespace {
+
+obs::Counter& hit_counter() {
+  static obs::Counter& counter = obs::Registry::counter("evalcache.hits");
+  return counter;
+}
+
+obs::Counter& miss_counter() {
+  static obs::Counter& counter = obs::Registry::counter("evalcache.misses");
+  return counter;
+}
+
+}  // namespace
 
 std::size_t ShardedEvalCache::KeyHasher::operator()(const Key& key) const {
   return static_cast<std::size_t>(
@@ -29,9 +43,11 @@ std::optional<double> ShardedEvalCache::lookup(int client, const ContentHash& ha
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    miss_counter().add();
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  hit_counter().add();
   return it->second;
 }
 

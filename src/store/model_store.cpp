@@ -4,12 +4,29 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/delta_codec.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace specdag::store {
 namespace {
+
+struct StoreMetrics {
+  obs::Counter& puts = obs::Registry::counter("store.puts");
+  obs::Counter& dedup_hits = obs::Registry::counter("store.dedup_hits");
+  obs::Counter& decodes = obs::Registry::counter("store.decodes");
+  obs::Counter& lru_hits = obs::Registry::counter("store.lru_hits");
+  obs::Counter& lru_misses = obs::Registry::counter("store.lru_misses");
+  obs::Histogram& encode_queue_depth =
+      obs::Registry::histogram("store.encode_queue_depth");
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics metrics;
+  return metrics;
+}
 
 std::uint64_t mix_stream(const nn::WeightVector& weights, std::uint64_t seed) {
   std::uint64_t h = seed;
@@ -47,7 +64,7 @@ ModelStore::ModelStore(StoreConfig config) : config_(config) {
     throw std::invalid_argument("ModelStore: anchor_interval must be > 0");
   }
   if (config_.delta && config_.async_encode) {
-    encode_pool_ = std::make_unique<ThreadPool>(config_.encode_threads);
+    encode_pool_ = std::make_unique<ThreadPool>(config_.encode_threads, "encode");
   }
 }
 
@@ -72,11 +89,13 @@ nn::WeightVector ModelStore::base_vector_locked(const std::vector<PayloadId>& ba
 
 PayloadId ModelStore::put(WeightsPtr weights, const std::vector<PayloadId>& bases) {
   if (!weights) throw std::invalid_argument("ModelStore::put: null payload");
+  store_metrics().puts.add();
   const ContentHash hash = hash_weights(*weights);
 
   std::unique_lock lock(entries_mutex_);
   if (auto it = by_hash_.find(hash); it != by_hash_.end()) {
     ++dedup_hits_;
+    store_metrics().dedup_hits.add();
     return it->second;
   }
 
@@ -117,7 +136,11 @@ PayloadId ModelStore::put(WeightsPtr weights, const std::vector<PayloadId>& base
       std::lock_guard encode_lock(encode_mutex_);
       unsettled_.insert(id);
       peak_pending_ = std::max(peak_pending_, unsettled_.size());
+      store_metrics().encode_queue_depth.record(unsettled_.size());
     }
+    // Flow event links this put() to its background encode completion in the
+    // trace viewer (an arrow from the committing thread to the worker).
+    if (obs::tracing_enabled()) obs::trace_detail::flow_start("encode", id);
     try {
       encode_pool_->post([this, id] { encode_async(id); });
     } catch (...) {
@@ -140,6 +163,7 @@ PayloadId ModelStore::put(WeightsPtr weights, const std::vector<PayloadId>& base
 
   bool stored_as_delta = false;
   if (encodable && chain_depth <= config_.anchor_interval) {
+    obs::ScopedSpan span("encode.inline", {{"payload", id}});
     Timer encode_timer;
     const nn::WeightVector base = base_vector_locked(bases);
     std::vector<std::uint8_t> encoded =
@@ -222,6 +246,8 @@ void ModelStore::encode_async_impl(PayloadId id) {
 
   // Time only the real encode work (not the wait above), and publish the
   // nanos before settling so a drain()-then-stats() sees the full cost.
+  if (obs::tracing_enabled()) obs::trace_detail::flow_finish("encode", id);
+  obs::ScopedSpan span("encode.async", {{"payload", id}});
   Timer encode_timer;
   std::uint32_t chain_depth = 0;
   {
@@ -294,10 +320,12 @@ WeightsPtr ModelStore::materialize_locked(PayloadId id) const {
     std::lock_guard lru_lock(lru_mutex_);
     if (auto it = lru_.find(id); it != lru_.end()) {
       ++lru_hits_;
+      store_metrics().lru_hits.add();
       lru_order_.splice(lru_order_.begin(), lru_order_, it->second.position);
       return it->second.vector;
     }
     ++lru_misses_;
+    store_metrics().lru_misses.add();
   }
 
   const nn::WeightVector base = base_vector_locked(entry.bases);
@@ -308,6 +336,7 @@ WeightsPtr ModelStore::materialize_locked(PayloadId id) const {
     std::lock_guard lru_lock(lru_mutex_);
     ++decoded_payloads_;
   }
+  store_metrics().decodes.add();
   WeightsPtr result = std::move(decoded);
   lru_insert(id, result);
   return result;

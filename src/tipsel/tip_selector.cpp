@@ -4,9 +4,25 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace specdag::tipsel {
+namespace {
+
+struct WalkMetrics {
+  obs::Counter& walks = obs::Registry::counter("tipsel.walks");
+  obs::Counter& restarts = obs::Registry::counter("tipsel.walk_restarts");
+  obs::Counter& evaluations = obs::Registry::counter("tipsel.evaluations");
+  obs::Histogram& walk_steps = obs::Registry::histogram("tipsel.walk_steps");
+};
+
+WalkMetrics& walk_metrics() {
+  static WalkMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 void TipSelector::set_start_depth(std::size_t min_depth, std::size_t max_depth) {
   if (min_depth > max_depth) {
@@ -97,6 +113,7 @@ std::vector<dag::TxId> TipSelector::select_tips(const dag::Dag& dag, std::size_t
   if (count == 0) throw std::invalid_argument("TipSelector::select_tips: count == 0");
   stats_ = WalkStats{};
   Timer timer;
+  const std::uint64_t evals_before = stats_.evaluations;
   std::vector<dag::TxId> selected;
   selected.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -106,11 +123,18 @@ std::vector<dag::TxId> TipSelector::select_tips(const dag::Dag& dag, std::size_t
             : dag.sample_walk_start(rng, min_start_depth(), max_start_depth());
     // A depth-sampled start can land on a masked transaction; genesis is
     // always visible (publisher -1, round 0).
-    if (!visible(dag, start)) start = dag::kGenesisTx;
+    if (!visible(dag, start)) {
+      start = dag::kGenesisTx;
+      walk_metrics().restarts.add();
+    }
+    const std::uint64_t steps_before = stats_.steps;
     selected.push_back(walk(dag, start, rng));
+    walk_metrics().walks.add();
+    walk_metrics().walk_steps.record(stats_.steps - steps_before);
   }
   std::sort(selected.begin(), selected.end());
   selected.erase(std::unique(selected.begin(), selected.end()), selected.end());
+  walk_metrics().evaluations.add(stats_.evaluations - evals_before);
   stats_.seconds = timer.elapsed_seconds();
   return selected;
 }

@@ -1,7 +1,9 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 namespace specdag {
 namespace {
@@ -29,6 +31,27 @@ const char* log_level_name(LogLevel level) {
     case LogLevel::kOff: return "OFF";
   }
   return "?";
+}
+
+LogLevel log_level_from_string(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level \"" + name +
+                              "\" (expected debug, info, warn, error, or off)");
+}
+
+bool init_log_level_from_env() {
+  const char* value = std::getenv("SPECDAG_LOG_LEVEL");
+  if (value == nullptr || *value == '\0') return false;
+  try {
+    set_log_level(log_level_from_string(value));
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
 }
 
 namespace detail {

@@ -20,6 +20,16 @@ void set_log_level(LogLevel level);
 
 const char* log_level_name(LogLevel level);
 
+// "debug" | "info" | "warn" | "error" | "off" (case-sensitive); throws
+// std::invalid_argument on anything else. The parser behind both the
+// SPECDAG_LOG_LEVEL env var and the CLI's --log-level flag.
+LogLevel log_level_from_string(const std::string& name);
+
+// Applies SPECDAG_LOG_LEVEL from the environment if set and valid (an
+// invalid value is ignored — logging setup must never abort the program).
+// Returns true when the env var changed the level.
+bool init_log_level_from_env();
+
 namespace detail {
 
 class LogMessage {

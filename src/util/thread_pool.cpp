@@ -2,17 +2,28 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace specdag {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, const char* name) : name_(name) {
   // 0 = one worker per hardware thread (which itself may report 0 on
   // exotic platforms, hence the final clamp to at least one worker).
   if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
   num_threads = std::max<std::size_t>(1, num_threads);
+  if (obs::kObsCompiledIn) {
+    const std::string prefix = std::string("pool.") + name_ + ".";
+    busy_nanos_ = &obs::Registry::counter(prefix + "busy_nanos");
+    idle_nanos_ = &obs::Registry::counter(prefix + "idle_nanos");
+    tasks_run_ = &obs::Registry::counter(prefix + "tasks");
+    task_wait_us_ = &obs::Registry::histogram(prefix + "task_wait_us");
+  }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -35,10 +46,12 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::post(std::function<void()> task) {
+  const std::uint64_t enqueue_ns =
+      obs::metrics_enabled() || obs::tracing_enabled() ? obs::now_ns() : 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_) throw std::runtime_error("ThreadPool: submit after shutdown");
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), enqueue_ns});
   }
   cv_.notify_one();
 }
@@ -52,9 +65,12 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   for (auto& f : futures) f.get();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  obs::set_thread_name(std::string(name_) + "-" + std::to_string(worker_index));
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    std::uint64_t wait_start = 0;
+    if (obs::metrics_enabled()) wait_start = obs::now_ns();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -62,7 +78,24 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    if (obs::metrics_enabled() && busy_nanos_ != nullptr) {
+      const std::uint64_t run_start = obs::now_ns();
+      if (wait_start != 0) idle_nanos_->add(run_start - wait_start);
+      if (task.enqueue_ns != 0 && run_start > task.enqueue_ns) {
+        task_wait_us_->record((run_start - task.enqueue_ns) / 1000);
+      }
+      if (obs::tracing_enabled()) {
+        obs::trace_detail::instant("pool.dequeue",
+                                   {{"wait_us", task.enqueue_ns != 0
+                                                    ? (run_start - task.enqueue_ns) / 1000
+                                                    : 0}});
+      }
+      task.fn();
+      tasks_run_->add();
+      busy_nanos_->add(obs::now_ns() - run_start);
+    } else {
+      task.fn();
+    }
   }
 }
 

@@ -3,10 +3,15 @@
 // The simulator uses it to train the round's active clients concurrently
 // (they are independent until publication), which mirrors the paper's
 // "concurrently active clients" notion in the scalability experiment.
+//
+// Each pool carries a short name ("prepare", "encode") used to label its
+// obs metrics (pool.<name>.busy_nanos / idle_nanos / tasks, task_wait_us)
+// and its worker threads in trace output.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -16,10 +21,17 @@
 
 namespace specdag {
 
+namespace obs {
+class Counter;
+class Histogram;
+}  // namespace obs
+
 class ThreadPool {
  public:
-  // num_threads == 0 means one worker per hardware thread.
-  explicit ThreadPool(std::size_t num_threads = 0);
+  // num_threads == 0 means one worker per hardware thread. `name` labels the
+  // pool's metrics and trace tracks; it must outlive the pool (use a
+  // literal).
+  explicit ThreadPool(std::size_t num_threads = 0, const char* name = "pool");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -41,13 +53,26 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
 
+  void worker_loop(std::size_t worker_index);
+
+  const char* name_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  // Cached registry references — resolved once in the ctor so workers never
+  // touch the registry mutex.
+  obs::Counter* busy_nanos_ = nullptr;
+  obs::Counter* idle_nanos_ = nullptr;
+  obs::Counter* tasks_run_ = nullptr;
+  obs::Histogram* task_wait_us_ = nullptr;
 };
 
 }  // namespace specdag

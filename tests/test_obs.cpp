@@ -1,0 +1,367 @@
+// The obs layer: lock-free counters/histograms against a mutexed oracle
+// under racing threads, trace-file well-formedness (balanced B/E pairs,
+// monotonic timestamps per thread), and the determinism pin — runs are
+// bit-identical with obs on, off, or traced, at any thread count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "scenario/config.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "util/rng.hpp"
+
+namespace specdag {
+namespace {
+
+// Every test here must leave the process-global obs switches the way it
+// found them — the rest of the suite runs in the same process.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { was_enabled_ = obs::metrics_enabled(); }
+  void TearDown() override {
+    obs::stop_trace();
+    obs::set_metrics_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(ObsTest, CounterMatchesMutexedOracleUnderRacingThreads) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::set_metrics_enabled(true);
+  obs::Counter counter;
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 20000;
+  std::mutex oracle_mutex;
+  std::uint64_t oracle = 0;
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t state = 0x9E3779B97F4A7C15ULL + t;
+      std::uint64_t local = 0;
+      for (std::size_t i = 0; i < kIters; ++i) {
+        state = splitmix64(state);
+        const std::uint64_t n = state % 7;  // includes add(0)
+        counter.add(n);
+        local += n;
+      }
+      std::lock_guard<std::mutex> lock(oracle_mutex);
+      oracle += local;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(counter.value(), oracle);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST_F(ObsTest, HistogramMatchesMutexedOracleUnderRacingThreads) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::set_metrics_enabled(true);
+  obs::Histogram histogram;
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 20000;
+  std::mutex oracle_mutex;
+  std::uint64_t oracle_count = 0;
+  std::uint64_t oracle_sum = 0;
+  std::array<std::uint64_t, obs::Histogram::kBuckets> oracle_buckets{};
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t state = 123 + t;
+      std::uint64_t local_count = 0;
+      std::uint64_t local_sum = 0;
+      std::array<std::uint64_t, obs::Histogram::kBuckets> local_buckets{};
+      for (std::size_t i = 0; i < kIters; ++i) {
+        // Spread values across the exponential buckets, including 0.
+        state = splitmix64(state);
+        const std::uint64_t value = state >> (splitmix64(state) % 64);
+        histogram.record(value);
+        ++local_count;
+        local_sum += value;
+        ++local_buckets[obs::Histogram::bucket_index(value)];
+      }
+      std::lock_guard<std::mutex> lock(oracle_mutex);
+      oracle_count += local_count;
+      oracle_sum += local_sum;
+      for (std::size_t b = 0; b < local_buckets.size(); ++b) {
+        oracle_buckets[b] += local_buckets[b];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const obs::HistogramSnapshot snapshot = obs::HistogramSnapshot::of(histogram);
+  EXPECT_EQ(snapshot.count, oracle_count);
+  EXPECT_EQ(snapshot.sum, oracle_sum);
+  for (std::size_t b = 0; b < oracle_buckets.size(); ++b) {
+    EXPECT_EQ(snapshot.buckets[b], oracle_buckets[b]) << "bucket " << b;
+  }
+}
+
+TEST_F(ObsTest, HistogramBucketLayoutAndQuantiles) {
+  EXPECT_EQ(obs::Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_index(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(obs::Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_upper_bound(2), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_upper_bound(3), 7u);
+
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::set_metrics_enabled(true);
+  obs::Histogram histogram;
+  // 90 values in bucket 1 (value 1), 10 in bucket 4 (value 8).
+  for (int i = 0; i < 90; ++i) histogram.record(1);
+  for (int i = 0; i < 10; ++i) histogram.record(8);
+  const obs::HistogramSnapshot snapshot = obs::HistogramSnapshot::of(histogram);
+  EXPECT_EQ(snapshot.count, 100u);
+  EXPECT_EQ(snapshot.sum, 170u);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 1.7);
+  EXPECT_EQ(snapshot.quantile_upper_bound(0.5), 1u);
+  EXPECT_EQ(snapshot.quantile_upper_bound(0.99), 15u);  // bucket 4 covers 8..15
+  EXPECT_EQ(snapshot.max_upper_bound(), 15u);
+}
+
+TEST_F(ObsTest, CounterIsNoOpWhenRuntimeDisabled) {
+  obs::Counter counter;
+  obs::set_metrics_enabled(false);
+  counter.add(5);
+  EXPECT_EQ(counter.value(), 0u);
+  obs::set_metrics_enabled(true);
+  counter.add(5);
+  EXPECT_EQ(counter.value(), obs::kObsCompiledIn ? 5u : 0u);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableReferencesAndSnapshotDeltas) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::set_metrics_enabled(true);
+  obs::Counter& a = obs::Registry::counter("test_obs.counter");
+  obs::Counter& b = obs::Registry::counter("test_obs.counter");
+  EXPECT_EQ(&a, &b);
+
+  const obs::MetricsSnapshot before = obs::Registry::snapshot();
+  a.add(3);
+  obs::Registry::histogram("test_obs.hist").record(4);
+  const obs::MetricsSnapshot delta = obs::Registry::snapshot().delta_from(before);
+  EXPECT_EQ(delta.counter("test_obs.counter"), 3u);
+  EXPECT_EQ(delta.histogram("test_obs.hist").count, 1u);
+  EXPECT_EQ(delta.histogram("test_obs.hist").sum, 4u);
+  EXPECT_EQ(delta.counter("test_obs.never_registered"), 0u);
+}
+
+// Parses a written trace file and checks the Chrome trace-event contract:
+// a traceEvents array whose B events all close with a matching E on the
+// same thread (LIFO), with pid/tid everywhere and ts non-decreasing per tid.
+void check_trace_file(const std::string& path, std::size_t min_events) {
+  const scenario::Json trace = scenario::Json::parse_file(path);
+  const scenario::Json* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GE(events->as_array().size(), min_events);
+
+  std::map<std::uint64_t, std::vector<std::string>> open_spans;  // tid -> stack
+  std::map<std::uint64_t, double> last_ts;                       // tid -> ts (us)
+  for (const scenario::Json& event : events->as_array()) {
+    ASSERT_TRUE(event.is_object());
+    const std::string phase = event.find("ph")->as_string();
+    ASSERT_NE(event.find("pid"), nullptr);
+    ASSERT_NE(event.find("tid"), nullptr);
+    const std::uint64_t tid = event.find("tid")->as_uint();
+    if (phase != "M") {  // metadata events carry no timestamp
+      ASSERT_NE(event.find("ts"), nullptr);
+      const double ts = event.find("ts")->as_number();
+      auto [it, inserted] = last_ts.try_emplace(tid, ts);
+      if (!inserted) {
+        EXPECT_GE(ts, it->second) << "ts regressed on tid " << tid;
+        it->second = ts;
+      }
+    }
+    const std::string name = event.find("name")->as_string();
+    if (phase == "B") {
+      open_spans[tid].push_back(name);
+    } else if (phase == "E") {
+      ASSERT_FALSE(open_spans[tid].empty()) << "unmatched E \"" << name << "\"";
+      EXPECT_EQ(open_spans[tid].back(), name) << "non-LIFO E on tid " << tid;
+      open_spans[tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open_spans) {
+    EXPECT_TRUE(stack.empty()) << "tid " << tid << " left " << stack.size()
+                               << " span(s) open";
+  }
+}
+
+TEST_F(ObsTest, TraceFileIsWellFormed) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::set_metrics_enabled(true);
+  const std::string path = ::testing::TempDir() + "test_obs_trace.json";
+  obs::start_trace(path);
+
+  // Nested + concurrent spans, flows, instants, and args with characters
+  // that need JSON escaping in thread names.
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      obs::set_thread_name("test\"worker\\" + std::to_string(t));
+      for (int i = 0; i < 50; ++i) {
+        obs::ScopedSpan outer("outer", {{"thread", t}, {"i", std::uint64_t(i)}});
+        obs::trace_detail::flow_start("hop", t * 1000 + std::uint64_t(i));
+        {
+          obs::ScopedSpan inner("inner");
+          inner.arg("result", std::uint64_t(i) * 2);
+        }
+        obs::trace_detail::flow_finish("hop", t * 1000 + std::uint64_t(i));
+        obs::trace_detail::instant("tick", {{"i", std::uint64_t(i)}});
+        obs::trace_detail::counter_event("depth", std::uint64_t(i % 5));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  ASSERT_TRUE(obs::stop_trace());
+  // 4 threads x 50 x (2 B + 2 E + s + f + i + C) plus metadata events.
+  check_trace_file(path, 4 * 50 * 8);
+  std::remove(path.c_str());
+
+  // A span straddling stop_trace() must not leak an unmatched E into the
+  // next session (the epoch guard): the second file holds exactly the
+  // closed span's B/E pair, no stray "straddler" E.
+  obs::start_trace(path);
+  {
+    obs::ScopedSpan straddler("straddler");
+    ASSERT_TRUE(obs::stop_trace());
+    obs::start_trace(path);
+  }
+  { obs::ScopedSpan closed("closed"); }
+  ASSERT_TRUE(obs::stop_trace());
+  check_trace_file(path, 2);
+  std::remove(path.c_str());
+}
+
+// The load-bearing invariant: obs must never perturb results. One shrunken
+// scale-2k spec, run with metrics on / off / traced and across thread
+// counts — the JSONL series (minus the wall-clock walk-timing field, which
+// differs between any two runs) must be byte-identical.
+TEST_F(ObsTest, RunsAreBitIdenticalAcrossObsModes) {
+  auto run = [](bool metrics, const std::string& trace_path, std::size_t threads) {
+    scenario::ScenarioSpec spec = scenario::get_scenario("scale-2k");
+    spec.num_clients = 30;
+    spec.samples_per_client = 20;
+    spec.rounds = 2;
+    spec.threads = threads;
+    spec.obs.metrics = metrics;
+    spec.obs.trace = trace_path;
+    return scenario::run_scenario(spec);
+  };
+  auto jsonl_fingerprint = [](const scenario::ScenarioResult& result) {
+    scenario::ScenarioResult stripped = result;
+    for (scenario::ScenarioPoint& point : stripped.series) point.mean_walk_seconds = 0.0;
+    std::ostringstream out;
+    scenario::write_series_jsonl(stripped, out);
+    return out.str();
+  };
+
+  const scenario::ScenarioResult baseline = run(true, "", 1);
+  const std::string baseline_jsonl = jsonl_fingerprint(baseline);
+  ASSERT_FALSE(baseline_jsonl.empty());
+  if (obs::kObsCompiledIn) {
+    EXPECT_TRUE(baseline.obs_enabled);
+    EXPECT_GT(baseline.obs_totals.counter("tipsel.walks"), 0u);
+    EXPECT_GT(baseline.obs_totals.counter("store.puts"), 0u);
+    EXPECT_GT(baseline.obs_totals.histogram("tipsel.walk_steps").count, 0u);
+    EXPECT_EQ(baseline.obs_series.size(), baseline.series.size());
+  }
+
+  const scenario::ScenarioResult off = run(false, "", 1);
+  EXPECT_FALSE(off.obs_enabled);
+  EXPECT_EQ(jsonl_fingerprint(off), baseline_jsonl);
+  EXPECT_EQ(off.final_accuracy, baseline.final_accuracy);
+  EXPECT_EQ(off.dag_size, baseline.dag_size);
+
+  const std::string trace_path = ::testing::TempDir() + "test_obs_run.trace.json";
+  const scenario::ScenarioResult traced = run(true, trace_path, 1);
+  EXPECT_EQ(jsonl_fingerprint(traced), baseline_jsonl);
+  EXPECT_EQ(traced.final_accuracy, baseline.final_accuracy);
+  if (obs::kObsCompiledIn) {
+    check_trace_file(trace_path, 10);
+    std::remove(trace_path.c_str());
+  }
+
+  for (std::size_t threads : {std::size_t{4}, std::size_t{0}}) {
+    const scenario::ScenarioResult parallel = run(true, "", threads);
+    EXPECT_EQ(jsonl_fingerprint(parallel), baseline_jsonl) << "threads " << threads;
+    EXPECT_EQ(parallel.final_accuracy, baseline.final_accuracy);
+  }
+}
+
+// summary.obs serialization: present (with the catalog counters) when
+// metrics are on, absent when off.
+TEST_F(ObsTest, SummaryObsBlockFollowsTheSwitch) {
+  auto run = [](bool metrics) {
+    scenario::ScenarioSpec spec = scenario::get_scenario("fmnist-clustered");
+    spec.num_clients = 6;
+    spec.samples_per_client = 20;
+    spec.rounds = 2;
+    spec.clients_per_round = 3;
+    spec.obs.metrics = metrics;
+    return scenario::result_to_json(scenario::run_scenario(spec));
+  };
+
+  const scenario::Json with_obs = run(true);
+  const scenario::Json* summary = with_obs.find("summary");
+  ASSERT_NE(summary, nullptr);
+  const scenario::Json* obs_block = summary->find("obs");
+  if (obs::kObsCompiledIn) {
+    ASSERT_NE(obs_block, nullptr);
+    const scenario::Json* counters = obs_block->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_NE(counters->find("tipsel.walks"), nullptr);
+    EXPECT_NE(counters->find("store.puts"), nullptr);
+    const scenario::Json* rounds = obs_block->find("rounds");
+    ASSERT_NE(rounds, nullptr);
+    EXPECT_EQ(rounds->as_array().size(), 2u);
+  } else {
+    EXPECT_EQ(obs_block, nullptr);
+  }
+
+  const scenario::Json without_obs = run(false);
+  EXPECT_EQ(without_obs.find("summary")->find("obs"), nullptr);
+}
+
+// The obs spec block round-trips through JSON and defaults stay invisible
+// (golden spec dumps must not change when obs is at its defaults).
+TEST_F(ObsTest, ObsSpecRoundTripsThroughJson) {
+  scenario::ScenarioSpec spec = scenario::get_scenario("fmnist-clustered");
+  const scenario::Json defaults = scenario::spec_to_json(spec);
+  EXPECT_EQ(defaults.find("obs"), nullptr);
+
+  spec.obs.metrics = false;
+  spec.obs.trace = "out.trace.json";
+  const scenario::Json json = scenario::spec_to_json(spec);
+  const scenario::Json* obs_json = json.find("obs");
+  ASSERT_NE(obs_json, nullptr);
+  const scenario::ScenarioSpec parsed = scenario::spec_from_json(json);
+  EXPECT_FALSE(parsed.obs.metrics);
+  EXPECT_EQ(parsed.obs.trace, "out.trace.json");
+}
+
+}  // namespace
+}  // namespace specdag
