@@ -255,8 +255,18 @@ void start_trace(const std::string& path) {
   state.epoch = g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
   g_tracing.store(true, std::memory_order_relaxed);
   // Name the calling thread so the viewer's first track is legible even if
-  // set_thread_name was called before the session started.
-  if (!thread_name_slot().empty()) trace_detail::thread_name_event(thread_name_slot());
+  // set_thread_name was called before the session started. Built inline:
+  // thread_name_event() goes through append_event(), which would re-lock
+  // the (non-recursive) state.mutex we already hold.
+  if (!thread_name_slot().empty()) {
+    Event event;
+    event.phase = 'M';
+    event.name = "thread_name";
+    event.ts_ns = now_ns();
+    event.tid = thread_id();
+    event.thread_name = thread_name_slot();
+    state.events.push_back(std::move(event));
+  }
 #endif
 }
 

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "scenario/registry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -89,6 +90,36 @@ std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) 
   std::vector<SweepRun> results(grid.size());
   std::mutex sink_mutex;
 
+  std::size_t threads = sweep.threads > 0 ? sweep.threads : std::thread::hardware_concurrency();
+  threads = std::max<std::size_t>(1, std::min(threads, grid.size()));
+
+  // Obs state is process-global (cumulative registry, one trace session):
+  // with concurrent runs, per-run snapshot deltas would include every other
+  // in-flight run's counters and trace sessions would clobber each other.
+  // Reject explicit trace requests up front and disable per-run metrics
+  // sampling in run_one; summary.obs is only emitted by serial sweeps.
+  const bool parallel = threads > 1;
+  if (parallel) {
+    bool wants_trace = false;
+    if (const Json* obs = sweep.base.find("obs")) {
+      wants_trace = !obs->string_or("trace", "").empty();
+    }
+    for (const auto& [params, seed] : grid) {
+      (void)seed;
+      if (const Json* trace = params.find("obs.trace")) {
+        wants_trace = wants_trace || !trace->as_string().empty();
+      }
+      if (const Json* obs = params.find("obs")) {
+        wants_trace = wants_trace || !obs->string_or("trace", "").empty();
+      }
+    }
+    if (wants_trace) {
+      throw std::invalid_argument(
+          "sweep: obs.trace requires threads=1 (the trace session is process-global "
+          "and cannot attribute events to one of several concurrent runs)");
+    }
+  }
+
   auto run_one = [&](std::size_t run_index) {
     Json spec_json = sweep.base;
     for (const auto& [path, value] : grid[run_index].first.as_object()) {
@@ -97,6 +128,10 @@ std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) 
     spec_json.set("seed", grid[run_index].second);
     // One simulator thread per run; the sweep already saturates the pool.
     spec_json.set("parallel_prepare", false);
+    // See the parallel-obs note above: registry deltas cannot be attributed
+    // to one of several concurrent runs, so drop per-run sampling rather
+    // than emit summary.obs polluted by other in-flight runs.
+    if (parallel) spec_json.set_path("obs.metrics", false);
     ScenarioSpec spec = spec_from_json(spec_json);
     ScenarioResult result = run_scenario(spec);
 
@@ -120,13 +155,18 @@ std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) 
                                  grid[run_index].first, std::move(result)};
   };
 
-  std::size_t threads = sweep.threads > 0 ? sweep.threads : std::thread::hardware_concurrency();
-  threads = std::max<std::size_t>(1, std::min(threads, grid.size()));
   if (threads == 1) {
     for (std::size_t i = 0; i < grid.size(); ++i) run_one(i);
   } else {
-    ThreadPool pool(threads);
-    pool.parallel_for(grid.size(), run_one);
+    // Each run's ObsSession saves/restores the global metrics flag; with
+    // concurrent destructors the last restore wins, which can leave the
+    // flag in a run's mid-sweep state. Re-assert the pre-sweep value.
+    const bool metrics_before = obs::metrics_enabled();
+    {
+      ThreadPool pool(threads);
+      pool.parallel_for(grid.size(), run_one);
+    }
+    obs::set_metrics_enabled(metrics_before);
   }
   return results;
 }

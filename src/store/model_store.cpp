@@ -246,8 +246,10 @@ void ModelStore::encode_async_impl(PayloadId id) {
 
   // Time only the real encode work (not the wait above), and publish the
   // nanos before settling so a drain()-then-stats() sees the full cost.
-  if (obs::tracing_enabled()) obs::trace_detail::flow_finish("encode", id);
   obs::ScopedSpan span("encode.async", {{"payload", id}});
+  // Flow end emitted after the span's B event so the 'f' (bp:"e") lands
+  // inside the encode.async slice and the put->encode arrow binds to it.
+  if (obs::tracing_enabled()) obs::trace_detail::flow_finish("encode", id);
   Timer encode_timer;
   std::uint32_t chain_depth = 0;
   {

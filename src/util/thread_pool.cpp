@@ -78,21 +78,27 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    if (obs::metrics_enabled() && busy_nanos_ != nullptr) {
+    // Metrics and tracing are independent switches: --trace with --obs off
+    // must still emit the dequeue instants (and vice versa).
+    const bool metrics = obs::metrics_enabled() && busy_nanos_ != nullptr;
+    const bool tracing = obs::tracing_enabled();
+    if (metrics || tracing) {
       const std::uint64_t run_start = obs::now_ns();
-      if (wait_start != 0) idle_nanos_->add(run_start - wait_start);
-      if (task.enqueue_ns != 0 && run_start > task.enqueue_ns) {
-        task_wait_us_->record((run_start - task.enqueue_ns) / 1000);
+      const std::uint64_t wait_us = task.enqueue_ns != 0 && run_start > task.enqueue_ns
+                                        ? (run_start - task.enqueue_ns) / 1000
+                                        : 0;
+      if (metrics) {
+        if (wait_start != 0) idle_nanos_->add(run_start - wait_start);
+        if (task.enqueue_ns != 0) task_wait_us_->record(wait_us);
       }
-      if (obs::tracing_enabled()) {
-        obs::trace_detail::instant("pool.dequeue",
-                                   {{"wait_us", task.enqueue_ns != 0
-                                                    ? (run_start - task.enqueue_ns) / 1000
-                                                    : 0}});
+      if (tracing) {
+        obs::trace_detail::instant("pool.dequeue", {{"wait_us", wait_us}});
       }
       task.fn();
-      tasks_run_->add();
-      busy_nanos_->add(obs::now_ns() - run_start);
+      if (metrics) {
+        tasks_run_->add();
+        busy_nanos_->add(obs::now_ns() - run_start);
+      }
     } else {
       task.fn();
     }

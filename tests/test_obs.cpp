@@ -256,6 +256,25 @@ TEST_F(ObsTest, TraceFileIsWellFormed) {
   std::remove(path.c_str());
 }
 
+// Regression: start_trace() from a thread whose name is already set used to
+// call thread_name_event() -> append_event() while holding the trace mutex —
+// re-locking a non-recursive mutex, i.e. a guaranteed deadlock. This is the
+// pool-worker shape: worker_loop() names its thread on startup, and a run
+// dispatched onto the pool starts its ObsSession (and hence the trace) there.
+TEST_F(ObsTest, StartTraceFromNamedThreadDoesNotDeadlock) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  const std::string path = ::testing::TempDir() + "test_obs_named.trace.json";
+  std::thread worker([&] {
+    obs::set_thread_name("named-worker");
+    obs::start_trace(path);
+    { obs::ScopedSpan span("work"); }
+    ASSERT_TRUE(obs::stop_trace());
+  });
+  worker.join();
+  check_trace_file(path, 3);  // thread-name M + the span's B/E
+  std::remove(path.c_str());
+}
+
 // The load-bearing invariant: obs must never perturb results. One shrunken
 // scale-2k spec, run with metrics on / off / traced and across thread
 // counts — the JSONL series (minus the wall-clock walk-timing field, which

@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <fstream>
 #include <set>
+#include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "scenario/config.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
@@ -429,6 +431,40 @@ TEST(Sweep, GridExpansionAndParallelExecution) {
   }
   EXPECT_EQ(lines, 4u);
   EXPECT_EQ(written_seeds, seeds);
+  std::remove(sweep.out_path.c_str());
+}
+
+// Obs state is process-global (one cumulative registry, one trace session),
+// so a parallel sweep cannot attribute it per run: threads>1 must drop
+// summary.obs from every line, reject an explicit obs.trace outright, and
+// leave the global metrics switch the way it found it.
+TEST(Sweep, ParallelSweepDropsObsAndRejectsTrace) {
+  scenario::SweepSpec sweep;
+  sweep.base = scenario::spec_to_json(tiny_spec("fmnist-clustered"));
+  sweep.axes.push_back({"client.alpha", {scenario::Json(1.0), scenario::Json(10.0)}});
+  sweep.threads = 2;
+  sweep.out_path = "test_sweep_obs.jsonl";
+
+  const bool metrics_before = obs::metrics_enabled();
+  const std::vector<scenario::SweepRun> parallel = scenario::run_sweep(sweep);
+  EXPECT_EQ(obs::metrics_enabled(), metrics_before);
+  ASSERT_EQ(parallel.size(), 2u);
+  for (const scenario::SweepRun& run : parallel) {
+    EXPECT_FALSE(run.result.obs_enabled);
+  }
+
+  if (obs::kObsCompiledIn) {
+    // The same grid run serially keeps per-run attribution.
+    sweep.threads = 1;
+    const std::vector<scenario::SweepRun> serial = scenario::run_sweep(sweep);
+    for (const scenario::SweepRun& run : serial) {
+      EXPECT_TRUE(run.result.obs_enabled);
+    }
+  }
+
+  sweep.threads = 2;
+  sweep.base.set_path("obs.trace", scenario::Json("sweep.trace.json"));
+  EXPECT_THROW(scenario::run_sweep(sweep), std::invalid_argument);
   std::remove(sweep.out_path.c_str());
 }
 
