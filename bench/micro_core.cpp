@@ -387,6 +387,53 @@ void BM_ScopedSpan(benchmark::State& state) {
 }
 BENCHMARK(BM_ScopedSpan)->Threads(1)->Threads(4);
 
+// Context::current() through the thread-local — the lookup every
+// instrumented call site pays before touching a cell (ISSUE 7 budget: this
+// must stay off the hot path's critical dependency chain, ~1 ns).
+void BM_ContextLookupCached(benchmark::State& state) {
+  obs::Context ctx;
+  obs::ContextScope scope(&ctx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&obs::Context::current());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ContextLookupCached);
+
+// Install + restore a ContextScope — the per-task overhead ThreadPool adds
+// to propagate the poster's context into its workers.
+void BM_ContextSwitch(benchmark::State& state) {
+  obs::Context ctx;
+  for (auto _ : state) {
+    obs::ContextScope scope(&ctx);
+    benchmark::DoNotOptimize(&scope);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ContextSwitch);
+
+// Bucket-wise merge of two fully-populated histogram snapshots — the sweep
+// aggregator's unit of work (runs once per run per histogram at sweep end).
+void BM_HistogramMerge(benchmark::State& state) {
+  obs::HistogramSnapshot a;
+  obs::HistogramSnapshot b;
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    a.buckets[i] = i * 37 + 1;
+    b.buckets[i] = i * 11 + 2;
+    a.count += a.buckets[i];
+    b.count += b.buckets[i];
+  }
+  a.sum = 123456789;
+  b.sum = 987654321;
+  for (auto _ : state) {
+    obs::HistogramSnapshot merged = a;
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged.count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramMerge);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (version 0.0.4) file.
+
+Checks the grammar rules a scrape would enforce, plus the invariants of the
+specdag exporter (src/obs/prom.cpp):
+
+  * every line is a comment (# HELP / # TYPE) or a sample
+    `name[{labels}] value [timestamp]`;
+  * metric and label names match the exposition charset;
+  * every sample belongs to a family announced by a preceding # TYPE line,
+    and each family is announced exactly once;
+  * counter samples end in _total and carry non-negative integer values;
+  * histogram families expose cumulative non-decreasing _bucket series with
+    a final le="+Inf" bucket equal to _count, plus _sum and _count.
+
+Exit code 0 = clean; 1 = violations (printed one per line).
+
+Usage: check_prom.py file.prom [file2.prom ...]
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+LABEL_PAIR = re.compile(r'^(?P<name>[^=]+)="(?P<value>(?:[^"\\]|\\.)*)"$')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "Nan", "NaN"):
+        return float(text.replace("Nan", "nan").replace("NaN", "nan"))
+    return float(text)
+
+
+def base_family(name, families):
+    """The announced family a sample name belongs to (histogram samples use
+    the family name plus a _bucket/_sum/_count suffix)."""
+    if name in families:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return None
+
+
+def check_file(path):
+    errors = []
+
+    def err(lineno, message):
+        errors.append(f"{path}:{lineno}: {message}")
+
+    families = {}  # name -> type
+    # histogram family -> {"buckets": [(le, value)], "sum": v, "count": v}
+    histograms = {}
+    counters = {}  # sample name -> value
+
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if parts[1] == "TYPE":
+                    if len(parts) != 4 or parts[3] not in TYPES:
+                        err(lineno, f"malformed TYPE line: {line!r}")
+                        continue
+                    name = parts[2]
+                    if not METRIC_NAME.match(name):
+                        err(lineno, f"bad metric name in TYPE: {name!r}")
+                    if name in families:
+                        err(lineno, f"duplicate TYPE for {name}")
+                    families[name] = parts[3]
+                    if parts[3] == "histogram":
+                        histograms[name] = {"buckets": [], "sum": None, "count": None}
+            # other comments are legal and ignored
+            continue
+
+        match = SAMPLE.match(line)
+        if not match:
+            err(lineno, f"unparseable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        labels = {}
+        if match.group("labels") is not None:
+            for pair in filter(None, match.group("labels").split(",")):
+                pair_match = LABEL_PAIR.match(pair)
+                if not pair_match:
+                    err(lineno, f"malformed label pair {pair!r}")
+                    continue
+                label = pair_match.group("name")
+                if not LABEL_NAME.match(label):
+                    err(lineno, f"bad label name {label!r}")
+                labels[label] = pair_match.group("value")
+        try:
+            value = parse_value(match.group("value"))
+        except ValueError:
+            err(lineno, f"unparseable value {match.group('value')!r}")
+            continue
+
+        family = base_family(name, families)
+        if family is None:
+            err(lineno, f"sample {name} has no preceding # TYPE line")
+            continue
+        kind = families[family]
+
+        if kind == "counter":
+            if not name.endswith("_total"):
+                err(lineno, f"counter sample {name} should end in _total")
+            if value < 0 or value != int(value):
+                err(lineno, f"counter {name} has non-counter value {value}")
+            counters[name] = value
+        elif kind == "histogram":
+            hist = histograms[family]
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    err(lineno, f"histogram bucket of {family} missing le label")
+                else:
+                    hist["buckets"].append((lineno, labels["le"], value))
+            elif name == family + "_sum":
+                hist["sum"] = (lineno, value)
+            elif name == family + "_count":
+                hist["count"] = (lineno, value)
+            else:
+                err(lineno, f"unexpected histogram sample {name}")
+
+    for family, hist in histograms.items():
+        if not hist["buckets"]:
+            errors.append(f"{path}: histogram {family} has no buckets")
+            continue
+        previous = -1.0
+        previous_le = None
+        for lineno, le, value in hist["buckets"]:
+            le_value = parse_value(le) if le != "+Inf" else float("inf")
+            if previous_le is not None and le_value <= previous_le:
+                err(lineno, f"{family} bucket le={le} not increasing")
+            previous_le = le_value
+            if value < previous:
+                err(lineno, f"{family} bucket le={le} not cumulative "
+                            f"({value} < {previous})")
+            previous = value
+        last_le = hist["buckets"][-1][1]
+        if last_le != "+Inf":
+            errors.append(f"{path}: histogram {family} last bucket is le={last_le}, "
+                          "not +Inf")
+        if hist["sum"] is None:
+            errors.append(f"{path}: histogram {family} missing _sum")
+        if hist["count"] is None:
+            errors.append(f"{path}: histogram {family} missing _count")
+        elif hist["buckets"][-1][2] != hist["count"][1]:
+            errors.append(f"{path}: histogram {family} +Inf bucket "
+                          f"{hist['buckets'][-1][2]} != _count {hist['count'][1]}")
+
+    return errors, len(families)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in sys.argv[1:]:
+        errors, num_families = check_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(error, file=sys.stderr)
+        else:
+            print(f"{path}: OK ({num_families} metric families)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

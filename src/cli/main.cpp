@@ -24,6 +24,8 @@
 //   --trace PATH   write a Chrome trace-event / Perfetto-compatible trace
 //                  of the run (open it in ui.perfetto.dev)
 //   --obs on|off   toggle the metrics registry (summary.obs); on by default
+//   --metrics-out PATH  export the run's metric totals as Prometheus text
+//                  exposition (scrape-ready .prom file)
 //   --series       include the per-round series in the JSON output
 //   --csv PATH     also write the series as CSV
 //   --jsonl PATH   stream the series as JSONL (one line per round)
@@ -35,6 +37,8 @@
 // `sweep` options:
 //   --out PATH     override the grid's JSONL output path
 //   --threads N    override the grid's worker count
+//   --trace-dir D  per-run Perfetto traces: <D>/run-<idx>.trace.json
+//   --metrics-out PATH  export the merged sweep aggregate as Prometheus text
 //   --dry-run      print the expanded grid without running it
 //
 // Global: --log-level debug|info|warn|error|off (any command; the
@@ -67,14 +71,16 @@ int usage(std::ostream& out, int code) {
          "                          --algorithm dag|fedavg|fedprox|gossip\n"
          "                          --attack none|random_weights[=RATE]|\n"
          "                          label_flip[=FRACTION]\n"
-         "                          --trace PATH --obs on|off --series\n"
+         "                          --trace PATH --obs on|off\n"
+         "                          --metrics-out PATH --series\n"
          "                          --csv PATH --jsonl PATH --quiet)\n"
          "  export <name|spec.json> run a scenario and export its DAG\n"
          "                          (--dot PATH --jsonl PATH --rounds N\n"
          "                          --seed N --clients N --delta on|off\n"
          "                          --sync-encode --quiet)\n"
          "  sweep <grid.json>       run a parameter grid (--out PATH\n"
-         "                          --threads N --dry-run)\n"
+         "                          --threads N --trace-dir DIR\n"
+         "                          --metrics-out PATH --dry-run)\n"
          "\n"
          "global options:\n"
          "  --log-level LEVEL       debug|info|warn|error|off (default info;\n"
@@ -160,7 +166,8 @@ void apply_attack_overrides(const std::vector<std::string>& values,
 }
 
 // Spec overrides shared by `run` and `export`: --rounds, --seed, --clients,
-// --threads, --delta, --sync-encode, --algorithm, --attack, --trace, --obs.
+// --threads, --delta, --sync-encode, --algorithm, --attack, --trace, --obs,
+// --metrics-out.
 // Returns true when `flag` was consumed;
 // `next` yields the flag's value (exiting with usage error when missing).
 // --attack values are only collected here; the caller applies them after
@@ -195,6 +202,8 @@ bool apply_spec_override(const std::string& flag,
     spec.store.async_encode = false;
   } else if (flag == "--trace") {
     spec.obs.trace = next();
+  } else if (flag == "--metrics-out") {
+    spec.obs.metrics_out = next();
   } else if (flag == "--obs") {
     const std::string& value = next();
     if (value == "on" || value == "true" || value == "1") {
@@ -345,6 +354,10 @@ int cmd_sweep(const std::vector<std::string>& args) {
       sweep.out_path = next();
     } else if (flag == "--threads") {
       sweep.threads = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--trace-dir") {
+      sweep.trace_dir = next();
+    } else if (flag == "--metrics-out") {
+      sweep.metrics_out = next();
     } else if (flag == "--dry-run") {
       dry_run = true;
     } else {

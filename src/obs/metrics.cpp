@@ -1,14 +1,13 @@
 #include "obs/metrics.hpp"
 
 #include <chrono>
-#include <memory>
+#include <deque>
 #include <mutex>
+#include <stdexcept>
 
 namespace specdag::obs {
 
 namespace {
-
-std::atomic<bool> g_metrics_enabled{true};
 
 std::chrono::steady_clock::time_point process_epoch() {
   static const std::chrono::steady_clock::time_point epoch =
@@ -22,12 +21,12 @@ bool metrics_enabled() {
 #ifdef SPECDAG_OBS_DISABLED
   return false;
 #else
-  return g_metrics_enabled.load(std::memory_order_relaxed);
+  return Context::current().metrics_on();
 #endif
 }
 
 void set_metrics_enabled(bool enabled) {
-  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+  Context::current().set_metrics_on(enabled);
 }
 
 std::uint64_t now_ns() {
@@ -48,7 +47,7 @@ std::size_t shard_index() {
 
 }  // namespace detail
 
-std::uint64_t Histogram::count() const {
+std::uint64_t HistogramCell::count() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_)
     for (const auto& bucket : shard.buckets)
@@ -56,29 +55,49 @@ std::uint64_t Histogram::count() const {
   return total;
 }
 
-std::uint64_t Histogram::sum() const {
+std::uint64_t HistogramCell::sum() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) total += shard.sum.load(std::memory_order_relaxed);
   return total;
 }
 
-void Histogram::reset() {
+void HistogramCell::reset() {
   for (auto& shard : shards_) {
     for (auto& bucket : shard.buckets) bucket.store(0, std::memory_order_relaxed);
     shard.sum.store(0, std::memory_order_relaxed);
   }
 }
 
-HistogramSnapshot HistogramSnapshot::of(const Histogram& histogram) {
+std::uint64_t Histogram::count() const {
+  const HistogramCell* cell = Context::current().find_histogram_cell(id_);
+  return cell == nullptr ? 0 : cell->count();
+}
+
+std::uint64_t Histogram::sum() const {
+  const HistogramCell* cell = Context::current().find_histogram_cell(id_);
+  return cell == nullptr ? 0 : cell->sum();
+}
+
+void Histogram::reset() {
+  auto* cell = const_cast<HistogramCell*>(Context::current().find_histogram_cell(id_));
+  if (cell != nullptr) cell->reset();
+}
+
+HistogramSnapshot HistogramSnapshot::of_cell(const HistogramCell& cell) {
   HistogramSnapshot snap;
-  for (const auto& shard : histogram.shards_) {
-    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+  for (const auto& shard : cell.shards_) {
+    for (std::size_t i = 0; i < HistogramCell::kBuckets; ++i) {
       snap.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
     }
     snap.sum += shard.sum.load(std::memory_order_relaxed);
   }
   for (std::uint64_t bucket : snap.buckets) snap.count += bucket;
   return snap;
+}
+
+HistogramSnapshot HistogramSnapshot::of(const Histogram& histogram) {
+  const HistogramCell* cell = Context::current().find_histogram_cell(histogram.id());
+  return cell == nullptr ? HistogramSnapshot{} : of_cell(*cell);
 }
 
 std::uint64_t HistogramSnapshot::quantile_upper_bound(double q) const {
@@ -89,14 +108,14 @@ std::uint64_t HistogramSnapshot::quantile_upper_bound(double q) const {
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     seen += buckets[i];
-    if (seen > rank) return Histogram::bucket_upper_bound(i);
+    if (seen > rank) return HistogramCell::bucket_upper_bound(i);
   }
-  return Histogram::bucket_upper_bound(buckets.size() - 1);
+  return HistogramCell::bucket_upper_bound(buckets.size() - 1);
 }
 
 std::uint64_t HistogramSnapshot::max_upper_bound() const {
   for (std::size_t i = buckets.size(); i-- > 0;) {
-    if (buckets[i] != 0) return Histogram::bucket_upper_bound(i);
+    if (buckets[i] != 0) return HistogramCell::bucket_upper_bound(i);
   }
   return 0;
 }
@@ -111,6 +130,12 @@ HistogramSnapshot HistogramSnapshot::delta_from(const HistogramSnapshot& earlier
   return delta;
 }
 
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
 MetricsSnapshot MetricsSnapshot::delta_from(const MetricsSnapshot& earlier) const {
   MetricsSnapshot delta;
   for (const auto& [name, value] : counters) {
@@ -122,16 +147,25 @@ MetricsSnapshot MetricsSnapshot::delta_from(const MetricsSnapshot& earlier) cons
   return delta;
 }
 
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, snap] : other.histograms) histograms[name].merge(snap);
+}
+
 namespace {
 
-// Registered metrics are never destroyed (unique_ptr into leaky maps would
-// also work, but a plain struct keeps the intent obvious): call sites hold
-// references across the whole process lifetime, including static-destruction
-// order at exit.
+// The process-global identity table: names and their ids, plus the handle
+// objects themselves (deques: references stay valid as the table grows).
+// Intentionally leaked — call sites hold references across the whole process
+// lifetime, including static-destruction order at exit. Anonymous handles
+// draw ids from the same space but never enter the name maps, so snapshots
+// skip them.
 struct RegistryState {
   std::mutex mutex;
-  std::map<std::string, Counter*, std::less<>> counters;
-  std::map<std::string, Histogram*, std::less<>> histograms;
+  std::deque<Counter> counters;
+  std::deque<Histogram> histograms;
+  std::map<std::string, std::uint32_t, std::less<>> counter_ids;
+  std::map<std::string, std::uint32_t, std::less<>> histogram_ids;
 };
 
 RegistryState& registry_state() {
@@ -139,46 +173,84 @@ RegistryState& registry_state() {
   return *state;
 }
 
+std::uint32_t allocate_id(std::size_t used, const char* kind) {
+  if (used >= kMaxMetricsPerKind) {
+    throw std::length_error(std::string("obs: too many registered ") + kind +
+                            " metrics (max " + std::to_string(kMaxMetricsPerKind) + ")");
+  }
+  return static_cast<std::uint32_t>(used);
+}
+
 }  // namespace
+
+Counter::Counter() {
+  RegistryState& state = registry_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  id_ = allocate_id(state.counters.size(), "counter");
+  state.counters.emplace_back(Counter(RegisteredTag{}, id_));
+}
+
+Histogram::Histogram() {
+  RegistryState& state = registry_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  id_ = allocate_id(state.histograms.size(), "histogram");
+  state.histograms.emplace_back(Histogram(RegisteredTag{}, id_));
+}
 
 Counter& Registry::counter(std::string_view name) {
   RegistryState& state = registry_state();
   std::lock_guard<std::mutex> lock(state.mutex);
-  auto it = state.counters.find(name);
-  if (it == state.counters.end()) {
-    it = state.counters.emplace(std::string(name), new Counter()).first;
+  auto it = state.counter_ids.find(name);
+  if (it == state.counter_ids.end()) {
+    const std::uint32_t id = allocate_id(state.counters.size(), "counter");
+    state.counters.emplace_back(Counter(Counter::RegisteredTag{}, id));
+    it = state.counter_ids.emplace(std::string(name), id).first;
   }
-  return *it->second;
+  return state.counters[it->second];
 }
 
 Histogram& Registry::histogram(std::string_view name) {
   RegistryState& state = registry_state();
   std::lock_guard<std::mutex> lock(state.mutex);
-  auto it = state.histograms.find(name);
-  if (it == state.histograms.end()) {
-    it = state.histograms.emplace(std::string(name), new Histogram()).first;
+  auto it = state.histogram_ids.find(name);
+  if (it == state.histogram_ids.end()) {
+    const std::uint32_t id = allocate_id(state.histograms.size(), "histogram");
+    state.histograms.emplace_back(Histogram(Histogram::RegisteredTag{}, id));
+    it = state.histogram_ids.emplace(std::string(name), id).first;
   }
-  return *it->second;
+  return state.histograms[it->second];
 }
 
-MetricsSnapshot Registry::snapshot() {
+MetricsSnapshot Registry::snapshot() { return Context::current().snapshot(); }
+
+void Registry::reset() { Context::current().reset_metrics(); }
+
+// Defined here (not context.cpp) because it iterates the registry's name
+// maps: the snapshot catalog is every *named* metric, with unmaterialized
+// cells reading as zero so all contexts report an identical key set.
+MetricsSnapshot Context::snapshot() const {
   RegistryState& state = registry_state();
   std::lock_guard<std::mutex> lock(state.mutex);
   MetricsSnapshot snap;
-  for (const auto& [name, counter] : state.counters) {
-    snap.counters[name] = counter->value();
+  for (const auto& [name, id] : state.counter_ids) {
+    const CounterCell* cell = find_counter_cell(id);
+    snap.counters[name] = cell == nullptr ? 0 : cell->value();
   }
-  for (const auto& [name, histogram] : state.histograms) {
-    snap.histograms[name] = HistogramSnapshot::of(*histogram);
+  for (const auto& [name, id] : state.histogram_ids) {
+    const HistogramCell* cell = find_histogram_cell(id);
+    snap.histograms[name] =
+        cell == nullptr ? HistogramSnapshot{} : HistogramSnapshot::of_cell(*cell);
   }
   return snap;
 }
 
-void Registry::reset() {
-  RegistryState& state = registry_state();
-  std::lock_guard<std::mutex> lock(state.mutex);
-  for (auto& [name, counter] : state.counters) counter->reset();
-  for (auto& [name, histogram] : state.histograms) histogram->reset();
+void Context::reset_metrics() {
+  for (std::size_t id = 0; id < kMaxMetricsPerKind; ++id) {
+    auto* counter = counter_cells_[id].load(std::memory_order_acquire);
+    if (counter != nullptr) counter->reset();
+    auto* histogram = histogram_cells_[id].load(std::memory_order_acquire);
+    if (histogram != nullptr) histogram->reset();
+  }
 }
 
 }  // namespace specdag::obs

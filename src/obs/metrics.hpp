@@ -1,7 +1,7 @@
-// Lock-free metrics registry: named counters and fixed-bucket histograms
-// for the hot seams of the system (walk lengths, cache hits, store interns,
-// pool busy/idle time). The instrumentation layer the scenario runner
-// snapshots per round into summary.obs.
+// Lock-free metrics: named counters and fixed-bucket histograms for the hot
+// seams of the system (walk lengths, cache hits, store interns, pool
+// busy/idle time). The instrumentation layer the scenario runner snapshots
+// per round into summary.obs.
 //
 // Design constraints, in order:
 //   * zero interference with results — metrics never touch an RNG stream,
@@ -10,103 +10,106 @@
 //   * cheap enough to leave on (the default): an increment is one relaxed
 //     fetch_add on a per-thread shard (no cache-line ping-pong between
 //     workers), guarded by one relaxed flag load;
+//   * attributable: storage lives in the active obs::Context (see
+//     context.hpp), so concurrent scenario runs in a parallel sweep each
+//     see only their own increments;
 //   * removable: compiling with SPECDAG_OBS_DISABLED (CMake
 //     -DSPECDAG_ENABLE_OBS=OFF) turns every mutation into an empty inline
 //     function the optimizer deletes, for a 0-overhead baseline build.
 //
-// The registry is process-global and cumulative; per-run attribution is by
-// snapshot deltas (see the scenario runner). Counters/histograms registered
-// once never move, so call sites cache the reference in a local static.
+// Counter/Histogram are *handles*: a small id assigned once per name by the
+// process-global Registry, resolving to per-context cells at record time.
+// Registered handles never move, so call sites cache the reference in a
+// local static exactly as before:
+//
+//   static obs::Counter& walks = obs::Registry::counter("tipsel.walks");
+//   walks.add();
 #pragma once
 
 #include <array>
 #include <atomic>
-#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/context.hpp"
+
 namespace specdag::obs {
 
-// Runtime switch (process-wide, default on). Off turns every counter and
-// histogram mutation into a single relaxed load-and-branch.
+// Runtime switch of the calling thread's ACTIVE context (default on). Off
+// turns every counter and histogram mutation into a thread-local load plus
+// a relaxed load-and-branch.
 bool metrics_enabled();
 void set_metrics_enabled(bool enabled);
 
-#ifdef SPECDAG_OBS_DISABLED
-inline constexpr bool kObsCompiledIn = false;
-#else
-inline constexpr bool kObsCompiledIn = true;
-#endif
-
-// Nanoseconds on the steady clock since the first call of the process —
-// the shared timebase of the pool accounting and the trace-span layer.
-std::uint64_t now_ns();
-
-namespace detail {
-
-inline constexpr std::size_t kShards = 16;
-
-// Per-thread shard slot: threads are assigned round-robin on first use, so
-// up to kShards concurrent writers never share a cache line.
-std::size_t shard_index();
-
-struct alignas(64) Shard {
-  std::atomic<std::uint64_t> value{0};
-};
-
-}  // namespace detail
-
+// Handle to a named (or anonymous) counter. Mutations resolve the calling
+// thread's active Context and hit its sharded cell for this handle's id.
 class Counter {
  public:
+  // Anonymous counter: gets a private id, excluded from snapshots. Exists
+  // for standalone/bench use; named call sites go through the Registry.
+  Counter();
+
   void add(std::uint64_t n = 1) {
 #ifndef SPECDAG_OBS_DISABLED
-    if (!metrics_enabled()) return;
-    shards_[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+    Context& ctx = Context::current();
+    if (!ctx.metrics_on()) {
+      ctx.note_disabled_record();
+      return;
+    }
+    ctx.counter_cell(id_).add(n);
 #else
     (void)n;
 #endif
   }
 
+  // Total recorded into the calling thread's active context.
   std::uint64_t value() const {
-    std::uint64_t sum = 0;
-    for (const auto& shard : shards_) sum += shard.value.load(std::memory_order_relaxed);
-    return sum;
+    const CounterCell* cell = Context::current().find_counter_cell(id_);
+    return cell == nullptr ? 0 : cell->value();
   }
 
   void reset() {
-    for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+    CounterCell* cell = const_cast<CounterCell*>(Context::current().find_counter_cell(id_));
+    if (cell != nullptr) cell->reset();
   }
+
+  std::uint32_t id() const { return id_; }
 
  private:
-  std::array<detail::Shard, detail::kShards> shards_;
+  friend class Registry;
+  struct RegisteredTag {};
+  Counter(RegisteredTag, std::uint32_t id) : id_(id) {}
+
+  std::uint32_t id_;
 };
 
-// Fixed-bucket histogram over unsigned values: bucket i counts values of
-// bit width i (0, 1, 2-3, 4-7, ...), i.e. exponential bounds — one layout
-// serves walk lengths, queue depths, and nanosecond latencies alike.
+// Handle to a named (or anonymous) exponential-bucket histogram (layout in
+// HistogramCell): bucket i counts values of bit width i.
 class Histogram {
  public:
-  static constexpr std::size_t kBuckets = 65;  // bit_width(uint64) in [0, 64]
+  static constexpr std::size_t kBuckets = HistogramCell::kBuckets;
 
   static std::size_t bucket_index(std::uint64_t value) {
-    return static_cast<std::size_t>(std::bit_width(value));
+    return HistogramCell::bucket_index(value);
   }
-  // Inclusive upper bound of bucket i (the value reported for quantiles).
   static std::uint64_t bucket_upper_bound(std::size_t index) {
-    return index == 0 ? 0
-           : index >= 64 ? ~std::uint64_t{0}
-                         : (std::uint64_t{1} << index) - 1;
+    return HistogramCell::bucket_upper_bound(index);
   }
+
+  // Anonymous histogram: private id, excluded from snapshots.
+  Histogram();
 
   void record(std::uint64_t value) {
 #ifndef SPECDAG_OBS_DISABLED
-    if (!metrics_enabled()) return;
-    ShardData& shard = shards_[detail::shard_index()];
-    shard.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
-    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    Context& ctx = Context::current();
+    if (!ctx.metrics_on()) {
+      ctx.note_disabled_record();
+      return;
+    }
+    ctx.histogram_cell(id_).record(value);
 #else
     (void)value;
 #endif
@@ -116,22 +119,24 @@ class Histogram {
   std::uint64_t sum() const;
   void reset();
 
- private:
-  friend struct HistogramSnapshot;
+  std::uint32_t id() const { return id_; }
 
-  struct alignas(64) ShardData {
-    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
-    std::atomic<std::uint64_t> sum{0};
-  };
-  std::array<ShardData, detail::kShards> shards_;
+ private:
+  friend class Registry;
+  struct RegisteredTag {};
+  Histogram(RegisteredTag, std::uint32_t id) : id_(id) {}
+
+  std::uint32_t id_;
 };
 
 struct HistogramSnapshot {
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
-  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+  std::array<std::uint64_t, HistogramCell::kBuckets> buckets{};
 
+  // Reads the handle's cell in the calling thread's active context.
   static HistogramSnapshot of(const Histogram& histogram);
+  static HistogramSnapshot of_cell(const HistogramCell& cell);
 
   double mean() const {
     return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
@@ -143,6 +148,12 @@ struct HistogramSnapshot {
 
   // This snapshot minus an earlier one of the same histogram.
   HistogramSnapshot delta_from(const HistogramSnapshot& earlier) const;
+
+  // Adds `other` bucket-wise (exact: both use the same fixed layout, so the
+  // merge is associative, commutative, and loses nothing a single combined
+  // snapshot would have had). The sweep aggregator merges per-run snapshots
+  // with this.
+  void merge(const HistogramSnapshot& other);
 };
 
 // Point-in-time copy of every registered metric, keyed by name (ordered,
@@ -151,9 +162,13 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, HistogramSnapshot> histograms;
 
-  // This snapshot minus an earlier one: per-interval attribution on the
-  // cumulative process-global registry. Metrics absent earlier count from 0.
+  // This snapshot minus an earlier one: per-interval attribution on a
+  // cumulative context. Metrics absent earlier count from 0.
   MetricsSnapshot delta_from(const MetricsSnapshot& earlier) const;
+
+  // Adds `other` into this snapshot: counters sum, histograms merge
+  // bucket-wise. Union of catalogs.
+  void merge(const MetricsSnapshot& other);
 
   std::uint64_t counter(const std::string& name) const {
     auto it = counters.find(name);
@@ -165,17 +180,17 @@ struct MetricsSnapshot {
   }
 };
 
-// Process-global name -> metric table. Lookup takes a mutex; cache the
-// returned reference (it is stable for the process lifetime):
-//
-//   static obs::Counter& walks = obs::Registry::counter("tipsel.walks");
-//   walks.add();
+// Process-global name -> handle table. Lookup takes a mutex; cache the
+// returned reference (it is stable for the process lifetime). Snapshots and
+// resets act on the calling thread's ACTIVE context — for a specific run's
+// context use Context::snapshot()/reset_metrics() directly.
 class Registry {
  public:
   static Counter& counter(std::string_view name);
   static Histogram& histogram(std::string_view name);
   static MetricsSnapshot snapshot();
-  // Zeroes every registered metric in place (references stay valid).
+  // Zeroes every registered metric of the active context in place
+  // (references stay valid).
   static void reset();
 };
 

@@ -1,0 +1,67 @@
+#include "obs/prom.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+namespace specdag::obs {
+
+std::string prometheus_metric_name(std::string_view name, std::string_view prefix) {
+  std::string out;
+  out.reserve(prefix.size() + name.size());
+  out += prefix;
+  for (char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snapshot,
+                           std::string_view prefix) {
+  for (const auto& [name, value] : snapshot.counters) {
+    // Prometheus counters conventionally end in _total; the sanitized raw
+    // name keeps the catalog greppable ("specdag_tipsel_walks_total").
+    const std::string metric = prometheus_metric_name(name, prefix) + "_total";
+    out << "# TYPE " << metric << " counter\n";
+    out << metric << " " << value << "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string metric = prometheus_metric_name(name, prefix);
+    out << "# TYPE " << metric << " histogram\n";
+    // Cumulative buckets up to the highest non-empty one, then +Inf (which
+    // by the exposition rules must equal _count). Our buckets are exact
+    // exponential bins, so le is the bin's inclusive upper bound.
+    std::size_t highest = 0;
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] != 0) highest = i;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= highest; ++i) {
+      cumulative += hist.buckets[i];
+      out << metric << "_bucket{le=\"" << HistogramCell::bucket_upper_bound(i)
+          << "\"} " << cumulative << "\n";
+    }
+    out << metric << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
+    out << metric << "_sum " << hist.sum << "\n";
+    out << metric << "_count " << hist.count << "\n";
+  }
+}
+
+bool write_prometheus_file(const std::string& path, const MetricsSnapshot& snapshot,
+                           std::string_view prefix) {
+  std::error_code ec;
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  write_prometheus_text(out, snapshot, prefix);
+  return static_cast<bool>(out);
+}
+
+}  // namespace specdag::obs

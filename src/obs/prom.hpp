@@ -1,0 +1,35 @@
+// Prometheus text-exposition (format 0.0.4) rendering of a MetricsSnapshot.
+//
+// Scrape-less export: `specdag run --metrics-out out.prom` (or the spec's
+// obs.metrics_out key) writes the run's attributed totals; the sweep
+// executor writes the merged sweep aggregate the same way. The output is
+// `# TYPE`-annotated — counters with the conventional `_total` suffix,
+// histograms as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`
+// — so CI can lint it against the exposition grammar and dashboards can
+// ingest it via textfile collectors without a live endpoint.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace specdag::obs {
+
+struct MetricsSnapshot;
+
+// Metric names pass through sanitize: characters outside [a-zA-Z0-9_:] map
+// to '_' (so "tipsel.walk_steps" becomes "<prefix>tipsel_walk_steps").
+std::string prometheus_metric_name(std::string_view name, std::string_view prefix);
+
+// Renders every counter and histogram of the snapshot. Deterministic: the
+// snapshot's maps are ordered by metric name.
+void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snapshot,
+                           std::string_view prefix = "specdag_");
+
+// write_prometheus_text into `path`, creating parent directories. Returns
+// false when the file cannot be written (callers log; exporting metrics
+// must never fail a finished run).
+bool write_prometheus_file(const std::string& path, const MetricsSnapshot& snapshot,
+                           std::string_view prefix = "specdag_");
+
+}  // namespace specdag::obs

@@ -3,8 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <mutex>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -17,31 +18,15 @@ namespace {
 // One buffered trace event. Args are stored inline (the instrumentation
 // never needs more than four); string keys are literals, stored by pointer.
 struct Event {
-  char phase;             // 'B','E','s','f','i','C','M'
-  const char* name;       // literal for spans/flows; unused for 'M'
+  char phase;             // 'B','E','s','f','i','C'
+  const char* name;
   std::uint64_t ts_ns;
   std::uint32_t tid;
   std::uint64_t id = 0;   // flow id for 's'/'f'
   std::uint64_t counter_value = 0;  // for 'C'
-  std::string thread_name;          // for 'M'
   trace_detail::TraceArg args[4];
   std::size_t num_args = 0;
 };
-
-struct TraceState {
-  std::mutex mutex;
-  std::vector<Event> events;
-  std::string path;
-  std::uint64_t epoch = 0;  // bumped on every start; spans check it on close
-};
-
-std::atomic<bool> g_tracing{false};
-std::atomic<std::uint64_t> g_epoch{0};
-
-TraceState& trace_state() {
-  static TraceState* state = new TraceState();
-  return *state;
-}
 
 // Sequential per-thread id: stable within a process, compact in the viewer.
 std::uint32_t thread_id() {
@@ -50,23 +35,17 @@ std::uint32_t thread_id() {
   return tid;
 }
 
-std::string& thread_name_slot() {
-  thread_local std::string name;
-  return name;
-}
+// Thread names are a process-global property (a thread is one viewer track
+// no matter which run's context it records into), kept here and stamped
+// into every written file as synthesized 'M' metadata events.
+struct ThreadNames {
+  std::mutex mutex;
+  std::map<std::uint32_t, std::string> by_tid;
+};
 
-// Appends an event with its timestamp taken under the lock — this is what
-// makes ts monotonic per tid (and globally) without per-thread buffers.
-template <typename Fill>
-void append_event(Fill&& fill) {
-  TraceState& state = trace_state();
-  std::lock_guard<std::mutex> lock(state.mutex);
-  if (!g_tracing.load(std::memory_order_relaxed)) return;
-  Event event;
-  event.ts_ns = now_ns();
-  event.tid = thread_id();
-  fill(event);
-  state.events.push_back(std::move(event));
+ThreadNames& thread_names() {
+  static ThreadNames* names = new ThreadNames();
+  return *names;
 }
 
 void append_json_escaped(std::string& out, const std::string& text) {
@@ -117,26 +96,15 @@ void append_event_json(std::string& out, const Event& event) {
   out += event.phase;
   out += "\",\"pid\":1,\"tid\":";
   out += std::to_string(event.tid);
-  switch (event.phase) {
-    case 'M': {
-      out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
-      append_json_escaped(out, event.thread_name);
-      out += "\"}}";
-      return;
-    }
-    case 's':
-    case 'f': {
-      out += ",\"ts\":" + format_ts_us(event.ts_ns);
-      out += ",\"name\":\"";
-      out += event.name;
-      out += "\",\"cat\":\"flow\",\"id\":";
-      out += std::to_string(event.id);
-      if (event.phase == 'f') out += ",\"bp\":\"e\"";
-      out += '}';
-      return;
-    }
-    default:
-      break;
+  if (event.phase == 's' || event.phase == 'f') {
+    out += ",\"ts\":" + format_ts_us(event.ts_ns);
+    out += ",\"name\":\"";
+    out += event.name;
+    out += "\",\"cat\":\"flow\",\"id\":";
+    out += std::to_string(event.id);
+    if (event.phase == 'f') out += ",\"bp\":\"e\"";
+    out += '}';
+    return;
   }
   out += ",\"ts\":" + format_ts_us(event.ts_ns);
   out += ",\"name\":\"";
@@ -152,54 +120,142 @@ void append_event_json(std::string& out, const Event& event) {
   out += '}';
 }
 
+void append_thread_name_json(std::string& out, std::uint32_t tid,
+                             const std::string& name) {
+  out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+  append_json_escaped(out, name);
+  out += "\"}}";
+}
+
 bool write_trace_file(const std::string& path, const std::vector<Event>& events) {
+  // Synthesize metadata for every named thread that appears in the buffer —
+  // including pool workers that were named long before this session (or
+  // under a different run's context).
+  std::map<std::uint32_t, std::string> names;
+  {
+    ThreadNames& registry = thread_names();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const Event& event : events) {
+      auto it = registry.by_tid.find(event.tid);
+      if (it != registry.by_tid.end()) names.emplace(it->first, it->second);
+    }
+  }
+
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
   std::string buffer;
   buffer.reserve(256);
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-  for (std::size_t i = 0; i < events.size(); ++i) {
+  bool first = true;
+  for (const auto& [tid, name] : names) {
     buffer.clear();
-    append_event_json(buffer, events[i]);
+    if (!first) buffer += ",\n";
+    append_thread_name_json(buffer, tid, name);
     out << buffer;
-    if (i + 1 < events.size()) out << ',';
-    out << '\n';
+    first = false;
   }
-  out << "]}\n";
+  for (const Event& event : events) {
+    buffer.clear();
+    if (!first) buffer += ",\n";
+    append_event_json(buffer, event);
+    out << buffer;
+    first = false;
+  }
+  out << "\n]}\n";
   return static_cast<bool>(out);
+}
+
+}  // namespace
+
+// Per-context trace session state. `epoch` counts sessions of THIS context;
+// spans compare it on close so a span straddling stop/start never emits an
+// unmatched E into the next session's buffer.
+struct Context::TraceBuffer {
+  std::mutex mutex;
+  std::vector<Event> events;
+  std::string path;
+  std::uint64_t epoch = 0;
+  bool active = false;  // mirror of Context::tracing_, readable under mutex
+};
+
+// Context's ctor/dtor are defined here (not context.cpp) because the
+// TraceBuffer pimpl must be a complete type wherever the unique_ptr's
+// destructor is instantiated.
+namespace context_detail {
+std::uint64_t next_context_epoch();
+}  // namespace context_detail
+
+Context::Context(bool metrics_on)
+    : metrics_on_(metrics_on), epoch_(context_detail::next_context_epoch()) {}
+
+Context::~Context() {
+  for (auto& slot : counter_cells_) delete slot.load(std::memory_order_acquire);
+  for (auto& slot : histogram_cells_) delete slot.load(std::memory_order_acquire);
+}
+
+namespace {
+
+// Appends an event to `ctx`'s buffer with the timestamp taken under the
+// lock — this is what makes ts monotonic per tid (and across the whole
+// file) without per-thread buffers.
+template <typename Fill>
+void append_event(Context& ctx, Fill&& fill) {
+  Context::TraceBuffer* buffer = ctx.trace_buffer();
+  if (buffer == nullptr) return;
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  if (!buffer->active) return;
+  Event event;
+  event.ts_ns = now_ns();
+  event.tid = thread_id();
+  fill(event);
+  buffer->events.push_back(event);
 }
 
 }  // namespace
 
 namespace trace_detail {
 
-bool enabled_slow() { return g_tracing.load(std::memory_order_relaxed); }
-
-std::uint64_t begin_span(const char* name, std::initializer_list<TraceArg> args) {
-  append_event([&](Event& event) {
-    event.phase = 'B';
-    event.name = name;
-    for (const TraceArg& arg : args) {
-      if (event.num_args < 4) event.args[event.num_args++] = arg;
-    }
-  });
-  return g_epoch.load(std::memory_order_relaxed);
+std::uint64_t begin_span(Context& ctx, const char* name,
+                         std::initializer_list<TraceArg> args) {
+  std::uint64_t epoch = 0;
+  Context::TraceBuffer* buffer = ctx.trace_buffer();
+  if (buffer == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  if (!buffer->active) return 0;
+  Event event;
+  event.ts_ns = now_ns();
+  event.tid = thread_id();
+  event.phase = 'B';
+  event.name = name;
+  for (const TraceArg& arg : args) {
+    if (event.num_args < 4) event.args[event.num_args++] = arg;
+  }
+  buffer->events.push_back(event);
+  epoch = buffer->epoch;
+  return epoch;
 }
 
-void end_span(const char* name, std::uint64_t epoch, const TraceArg* args,
-              std::size_t num_args) {
-  if (epoch != g_epoch.load(std::memory_order_relaxed)) return;
-  append_event([&](Event& event) {
-    event.phase = 'E';
-    event.name = name;
-    for (std::size_t i = 0; i < num_args && event.num_args < 4; ++i) {
-      event.args[event.num_args++] = args[i];
-    }
-  });
+void end_span(Context& ctx, const char* name, std::uint64_t epoch,
+              const TraceArg* args, std::size_t num_args) {
+  Context::TraceBuffer* buffer = ctx.trace_buffer();
+  if (buffer == nullptr) return;
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  if (!buffer->active || buffer->epoch != epoch) return;
+  Event event;
+  event.ts_ns = now_ns();
+  event.tid = thread_id();
+  event.phase = 'E';
+  event.name = name;
+  for (std::size_t i = 0; i < num_args && event.num_args < 4; ++i) {
+    event.args[event.num_args++] = args[i];
+  }
+  buffer->events.push_back(event);
 }
 
 void flow_start(const char* name, std::uint64_t flow_id) {
-  append_event([&](Event& event) {
+  append_event(Context::current(), [&](Event& event) {
     event.phase = 's';
     event.name = name;
     event.id = flow_id;
@@ -207,7 +263,7 @@ void flow_start(const char* name, std::uint64_t flow_id) {
 }
 
 void flow_finish(const char* name, std::uint64_t flow_id) {
-  append_event([&](Event& event) {
+  append_event(Context::current(), [&](Event& event) {
     event.phase = 'f';
     event.name = name;
     event.id = flow_id;
@@ -215,7 +271,7 @@ void flow_finish(const char* name, std::uint64_t flow_id) {
 }
 
 void instant(const char* name, std::initializer_list<TraceArg> args) {
-  append_event([&](Event& event) {
+  append_event(Context::current(), [&](Event& event) {
     event.phase = 'i';
     event.name = name;
     for (const TraceArg& arg : args) {
@@ -225,66 +281,55 @@ void instant(const char* name, std::initializer_list<TraceArg> args) {
 }
 
 void counter_event(const char* name, std::uint64_t value) {
-  append_event([&](Event& event) {
+  append_event(Context::current(), [&](Event& event) {
     event.phase = 'C';
     event.name = name;
     event.counter_value = value;
   });
 }
 
-void thread_name_event(const std::string& name) {
-  append_event([&](Event& event) {
-    event.phase = 'M';
-    event.name = "thread_name";
-    event.thread_name = name;
-  });
-}
-
 }  // namespace trace_detail
 
-void start_trace(const std::string& path) {
+void Context::start_trace(const std::string& path) {
 #ifdef SPECDAG_OBS_DISABLED
   (void)path;
   SPECDAG_LOG(Warn) << "trace requested but obs is compiled out "
                        "(SPECDAG_ENABLE_OBS=OFF); no trace will be written";
 #else
-  TraceState& state = trace_state();
-  std::lock_guard<std::mutex> lock(state.mutex);
-  state.events.clear();
-  state.path = path;
-  state.epoch = g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
-  g_tracing.store(true, std::memory_order_relaxed);
-  // Name the calling thread so the viewer's first track is legible even if
-  // set_thread_name was called before the session started. Built inline:
-  // thread_name_event() goes through append_event(), which would re-lock
-  // the (non-recursive) state.mutex we already hold.
-  if (!thread_name_slot().empty()) {
-    Event event;
-    event.phase = 'M';
-    event.name = "thread_name";
-    event.ts_ns = now_ns();
-    event.tid = thread_id();
-    event.thread_name = thread_name_slot();
-    state.events.push_back(std::move(event));
+  {
+    // The buffer is created once and never destroyed before the context:
+    // emitters that pass the tracing_ acquire-load can use it lock-free.
+    std::lock_guard<std::mutex> creation_lock(cells_mutex_);
+    if (trace_ == nullptr) trace_ = std::make_unique<TraceBuffer>();
   }
+  {
+    std::lock_guard<std::mutex> lock(trace_->mutex);
+    trace_->events.clear();
+    trace_->path = path;
+    ++trace_->epoch;
+    trace_->active = true;
+  }
+  tracing_.store(true, std::memory_order_release);
 #endif
 }
 
-bool stop_trace() {
+bool Context::stop_trace() {
 #ifdef SPECDAG_OBS_DISABLED
   return false;
 #else
-  TraceState& state = trace_state();
+  TraceBuffer* buffer = trace_buffer();
+  if (buffer == nullptr) return false;
   std::vector<Event> events;
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
-    if (!g_tracing.load(std::memory_order_relaxed)) return false;
-    g_tracing.store(false, std::memory_order_relaxed);
-    events.swap(state.events);
-    path = std::move(state.path);
-    state.path.clear();
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    if (!buffer->active) return false;
+    buffer->active = false;
+    events.swap(buffer->events);
+    path = std::move(buffer->path);
+    buffer->path.clear();
   }
+  tracing_.store(false, std::memory_order_release);
   if (!write_trace_file(path, events)) {
     SPECDAG_LOG(Warn) << "failed to write trace file: " << path;
     return false;
@@ -294,9 +339,14 @@ bool stop_trace() {
 #endif
 }
 
+void start_trace(const std::string& path) { Context::current().start_trace(path); }
+
+bool stop_trace() { return Context::current().stop_trace(); }
+
 void set_thread_name(const std::string& name) {
-  thread_name_slot() = name;
-  if (tracing_enabled()) trace_detail::thread_name_event(name);
+  ThreadNames& registry = thread_names();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.by_tid[thread_id()] = name;
 }
 
 }  // namespace specdag::obs

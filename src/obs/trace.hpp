@@ -7,14 +7,22 @@
 // instant events — the resulting file opens directly in ui.perfetto.dev or
 // chrome://tracing.
 //
-// Tracing is off by default and costs one relaxed atomic load per scope when
-// off. When on, events append to a global in-memory buffer under a mutex;
-// the timestamp is taken *inside* the lock, which makes ts monotonic per
-// thread (and globally) by construction — worth the serialization because
-// tracing is an explicitly opt-in diagnostic mode. Like the metrics half,
-// tracing never touches RNG streams or scheduling, so traced runs stay
-// bit-identical with untraced ones; SPECDAG_OBS_DISABLED compiles all of it
-// out.
+// A trace session belongs to an obs::Context (see context.hpp): each run of
+// a parallel sweep can trace into its own buffer and file concurrently,
+// because every emitter resolves the calling thread's active context —
+// which ThreadPool propagates into posted tasks. Thread *names* stay
+// process-global (a thread is one track regardless of which run it works
+// for); metadata events are synthesized at file-write time for every named
+// thread that appears in the buffer.
+//
+// Tracing is off by default and costs one thread-local load plus one atomic
+// load per scope when off. When on, events append to the context's buffer
+// under its mutex; the timestamp is taken *inside* the lock, which makes ts
+// monotonic per thread within a file by construction — worth the
+// serialization because tracing is an explicitly opt-in diagnostic mode.
+// Like the metrics half, tracing never touches RNG streams or scheduling,
+// so traced runs stay bit-identical with untraced ones; SPECDAG_OBS_DISABLED
+// compiles all of it out.
 #pragma once
 
 #include <cstddef>
@@ -22,50 +30,56 @@
 #include <initializer_list>
 #include <string>
 
+#include "obs/context.hpp"
+
 namespace specdag::obs {
 
 namespace trace_detail {
-
-bool enabled_slow();
 
 struct TraceArg {
   const char* key;
   std::uint64_t value;
 };
 
-// All emitters no-op unless a session is active. `epoch` guards against a
-// span opened in one session closing in another (the E would be unmatched).
-std::uint64_t begin_span(const char* name, std::initializer_list<TraceArg> args);
-void end_span(const char* name, std::uint64_t epoch, const TraceArg* args,
-              std::size_t num_args);
+// All emitters no-op unless the target context has a session active. The
+// span pair is pinned to the context captured at open; `epoch` guards
+// against a span opened in one session closing in another (the E would be
+// unmatched).
+std::uint64_t begin_span(Context& ctx, const char* name,
+                         std::initializer_list<TraceArg> args);
+void end_span(Context& ctx, const char* name, std::uint64_t epoch,
+              const TraceArg* args, std::size_t num_args);
+// These resolve the calling thread's active context themselves.
 void flow_start(const char* name, std::uint64_t flow_id);
 void flow_finish(const char* name, std::uint64_t flow_id);
 void instant(const char* name, std::initializer_list<TraceArg> args);
 void counter_event(const char* name, std::uint64_t value);
-void thread_name_event(const std::string& name);
 
 }  // namespace trace_detail
 
+// True when the calling thread's active context has a trace session.
 inline bool tracing_enabled() {
 #ifdef SPECDAG_OBS_DISABLED
   return false;
 #else
-  return trace_detail::enabled_slow();
+  return Context::current().tracing();
 #endif
 }
 
-// Starts buffering events; stop_trace() writes them to `path` and clears the
-// buffer. One session at a time (start while active restarts the buffer).
+// Session control on the calling thread's active context — the convenience
+// spelling of Context::current().start_trace()/stop_trace() used by tests
+// and ad-hoc tooling; the scenario runner drives its run context directly.
 void start_trace(const std::string& path);
-// Ends the session and writes the file. Returns false (and emits a warning
-// log) if the file could not be written. No-op when no session is active.
 bool stop_trace();
 
-// Labels the calling thread in the trace viewer (an `M` metadata event) and
-// in future instant events. Safe to call when tracing is off.
+// Labels the calling thread in the trace viewer (a process-global tid ->
+// name binding; `M` metadata events are synthesized for it in every trace
+// file the thread appears in). Safe to call when tracing is off.
 void set_thread_name(const std::string& name);
 
 // RAII duration event. `name` must be a string literal (stored by pointer).
+// The owning context is captured at construction, so the closing E always
+// lands in the same buffer as its B (one resolve per span, not two).
 //
 //   obs::ScopedSpan span("prepare", {{"round", round}, {"client", id}});
 //   ...
@@ -76,8 +90,8 @@ class ScopedSpan {
 
   explicit ScopedSpan(const char* name, std::initializer_list<Arg> args = {})
 #ifndef SPECDAG_OBS_DISABLED
-      : name_(name), active_(tracing_enabled()) {
-    if (active_) epoch_ = trace_detail::begin_span(name_, args);
+      : name_(name), ctx_(&Context::current()), active_(ctx_->tracing()) {
+    if (active_) epoch_ = trace_detail::begin_span(*ctx_, name_, args);
   }
 #else
   {
@@ -89,7 +103,7 @@ class ScopedSpan {
   ~ScopedSpan() {
 #ifndef SPECDAG_OBS_DISABLED
     if (active_) {
-      trace_detail::end_span(name_, epoch_, end_args_, num_end_args_);
+      trace_detail::end_span(*ctx_, name_, epoch_, end_args_, num_end_args_);
     }
 #endif
   }
@@ -114,6 +128,7 @@ class ScopedSpan {
 #ifndef SPECDAG_OBS_DISABLED
   static constexpr std::size_t kMaxEndArgs = 3;
   const char* name_;
+  Context* ctx_;
   bool active_;
   std::uint64_t epoch_ = 0;
   Arg end_args_[kMaxEndArgs];

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "dag/export.hpp"
+#include "obs/prom.hpp"
 #include "obs/trace.hpp"
 #include "scenario/baselines.hpp"
 #include "metrics/client_graph.hpp"
@@ -18,6 +19,7 @@
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
 #include "util/csv.hpp"
+#include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace specdag::scenario {
@@ -179,9 +181,12 @@ StoreResidencyPoint sample_store_residency(std::size_t round, const dag::Dag& da
   return point;
 }
 
-// Per-round obs sampling: registry deltas attribute the cumulative
-// process-global counters to this run's rounds. Snapshots happen outside
-// the simulators' timed sections, so summary.perf stays comparable.
+// Per-round obs sampling on the run's own context (installed by ObsSession
+// before the simulator is built, so Registry::snapshot() resolves to it).
+// The context starts from zero; snapshot deltas still attribute per round,
+// and stay correct even with other runs executing concurrently — each run
+// only ever sees its own context's cells. Snapshots happen outside the
+// simulators' timed sections, so summary.perf stays comparable.
 class ObsRoundSampler {
  public:
   ObsRoundSampler() : enabled_(obs::metrics_enabled()) {
@@ -211,6 +216,32 @@ class ObsRoundSampler {
   obs::MetricsSnapshot begin_;
   obs::MetricsSnapshot previous_;
 };
+
+// Attribution-drift check (run after perf and obs totals are final): the
+// context-local pool.prepare busy time and summary.perf's phase busy time
+// measure the same work from two sides — the pool's task clock and the
+// simulator's per-phase timers. If tasks leaked into another run's context
+// (or a defunct one), the two diverge. Warn, never abort: both sides are
+// wall-clock measurements with legitimate scheduling noise, so the
+// tolerance is deliberately loose.
+void warn_on_obs_perf_skew(const ScenarioResult& result) {
+  if (!result.obs_enabled || result.prepare_threads <= 1) return;
+  const double busy_s =
+      static_cast<double>(result.obs_totals.counter("pool.prepare.busy_nanos")) * 1e-9;
+  const double idle_s =
+      static_cast<double>(result.obs_totals.counter("pool.prepare.idle_nanos")) * 1e-9;
+  const double phase_busy_s =
+      result.perf.tipsel_seconds + result.perf.train_seconds + result.perf.eval_seconds;
+  if (busy_s <= 0.0 || phase_busy_s <= 0.0) return;  // pool unused or no samples
+  const double tolerance = std::max(0.5, 0.35 * phase_busy_s);
+  if (std::abs(busy_s - phase_busy_s) > tolerance) {
+    SPECDAG_LOG(Warn) << "obs: pool.prepare busy time (" << busy_s << "s busy, " << idle_s
+                      << "s idle) does not reconcile with summary.perf phase busy time ("
+                      << phase_busy_s << "s, utilization "
+                      << result.perf.utilization(result.prepare_threads)
+                      << ") — per-run obs attribution may be skewed";
+  }
+}
 
 double tail_mean_accuracy(const std::vector<ScenarioPoint>& series) {
   if (series.empty()) return 0.0;
@@ -394,6 +425,7 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   // background workers, attacker-published payloads), so it supersedes the
   // commit-section sampling accumulated by the simulator.
   result.perf.encode_seconds = result.store_stats.encode_seconds;
+  warn_on_obs_perf_skew(result);
   return result;
 }
 
@@ -471,6 +503,7 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   // background workers, attacker-published payloads), so it supersedes the
   // commit-section sampling accumulated by the simulator.
   result.perf.encode_seconds = result.store_stats.encode_seconds;
+  warn_on_obs_perf_skew(result);
   return result;
 }
 
@@ -546,28 +579,38 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) { return run_scenario(spec
 
 namespace {
 
-// Scopes an obs session to one run: applies the spec's metrics flag and
-// opens/closes the trace file. The trace is closed in the destructor, which
-// runs after the dispatched scenario returned — by then the simulators (and
-// their worker pools) are destroyed, so no span is left open in the file.
+// Scopes an obs context to one run: the session OWNS a fresh obs::Context
+// (metrics flag from the spec, its own trace buffer) and installs it as the
+// calling thread's active context for the whole run. ThreadPool propagates
+// it into posted tasks, so pool workers attribute to this run too — which
+// is what lets a parallel sweep run many sessions concurrently, each with
+// correct summary.obs and its own trace file.
+//
+// The destructor runs after the dispatched scenario returned — by then the
+// simulators (and their worker pools) are destroyed, so no span is left
+// open in the trace file — and then *closes* the context: any straggler
+// task still recording into it is counted and warned about (see
+// Context::note_late_record) instead of silently skewing reported numbers.
 class ObsSession {
  public:
   explicit ObsSession(const ObsSpec& spec)
-      : metrics_before_(obs::metrics_enabled()), tracing_(!spec.trace.empty()) {
-    obs::set_metrics_enabled(spec.metrics);
-    if (tracing_) obs::start_trace(spec.trace);
+      : context_(spec.metrics), scope_(&context_), tracing_(!spec.trace.empty()) {
+    if (tracing_) context_.start_trace(spec.trace);
   }
 
   ~ObsSession() {
-    if (tracing_) obs::stop_trace();
-    obs::set_metrics_enabled(metrics_before_);
+    if (tracing_) context_.stop_trace();
+    context_.close();
   }
 
   ObsSession(const ObsSession&) = delete;
   ObsSession& operator=(const ObsSession&) = delete;
 
+  obs::Context& context() { return context_; }
+
  private:
-  bool metrics_before_;
+  obs::Context context_;
+  obs::ContextScope scope_;
   bool tracing_;
 };
 
@@ -614,10 +657,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options)
     result.mean_approved_poisoned = poison_sum / static_cast<double>(poison_measured);
   }
   result.wall_seconds = timer.elapsed_seconds();
+  if (!spec.obs.metrics_out.empty()) {
+    if (result.obs_enabled) {
+      if (!obs::write_prometheus_file(spec.obs.metrics_out, result.obs_totals)) {
+        SPECDAG_LOG(Warn) << "failed to write metrics file: " << spec.obs.metrics_out;
+      }
+    } else {
+      SPECDAG_LOG(Warn) << "obs.metrics_out requested but no metrics were collected "
+                           "(metrics disabled, compiled out, or baseline algorithm); "
+                           "skipping " << spec.obs.metrics_out;
+    }
+  }
   return result;
 }
-
-namespace {
 
 // Compact JSON for one histogram snapshot: count/sum/mean plus bucket-upper-
 // bound quantiles (exact bucket counts stay in memory only — the exponential
@@ -645,6 +697,8 @@ Json metrics_snapshot_to_json(const obs::MetricsSnapshot& snapshot) {
   json.set("histograms", std::move(histograms));
   return json;
 }
+
+namespace {
 
 // One series point as a JSON object (shared by the summary's series array
 // and the JSONL stream).

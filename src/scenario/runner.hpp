@@ -141,6 +141,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options)
 // {"scenario": ..., "summary": {...}} plus a "series" array when requested.
 Json result_to_json(const ScenarioResult& result, bool include_series = false);
 
+// Obs snapshot serialization, shared by summary.obs and the sweep
+// aggregator's sweep.obs footer: {"counters": {...}, "histograms":
+// {name: {count,sum,mean,p50,p99,max}, ...}}.
+Json metrics_snapshot_to_json(const obs::MetricsSnapshot& snapshot);
+Json histogram_to_json(const obs::HistogramSnapshot& snapshot);
+
 // Writes the series as CSV (round, mean_accuracy, mean_loss, publishes,
 // dag_size, active_clients, partitioned, attacker_transactions, flip_rate,
 // approved_poisoned).

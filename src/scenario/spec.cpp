@@ -238,9 +238,10 @@ Json store_to_json(const store::StoreConfig& store) {
 }
 
 ObsSpec obs_from_json(const Json& json, ObsSpec obs) {
-  check_known_keys(json, {"metrics", "trace"}, "obs");
+  check_known_keys(json, {"metrics", "trace", "metrics_out"}, "obs");
   obs.metrics = json.bool_or("metrics", obs.metrics);
   obs.trace = json.string_or("trace", obs.trace);
+  obs.metrics_out = json.string_or("metrics_out", obs.metrics_out);
   return obs;
 }
 
@@ -248,6 +249,7 @@ Json obs_to_json(const ObsSpec& obs) {
   Json json = Json::make_object();
   if (!obs.metrics) json.set("metrics", false);
   if (!obs.trace.empty()) json.set("trace", obs.trace);
+  if (!obs.metrics_out.empty()) json.set("metrics_out", obs.metrics_out);
   return json;
 }
 
@@ -538,7 +540,7 @@ Json spec_to_json(const ScenarioSpec& spec) {
   json.set("store", store_to_json(spec.store));
   // Only non-default obs settings are emitted, keeping existing golden
   // outputs (and specs that never heard of obs) byte-stable.
-  if (!spec.obs.metrics || !spec.obs.trace.empty()) {
+  if (!spec.obs.metrics || !spec.obs.trace.empty() || !spec.obs.metrics_out.empty()) {
     json.set("obs", obs_to_json(spec.obs));
   }
   return json;

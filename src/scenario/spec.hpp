@@ -132,7 +132,10 @@ struct DynamicsSpec {
 // runs are bit-identical with any combination of these.
 struct ObsSpec {
   bool metrics = true;
-  std::string trace;  // empty = no trace
+  std::string trace;        // empty = no trace
+  // Prometheus text-exposition export of the run's metric totals (the
+  // `specdag run --metrics-out` flag sets the same field). Empty = no file.
+  std::string metrics_out;
 };
 
 struct ScenarioSpec {

@@ -7,7 +7,9 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/prom.hpp"
 #include "scenario/registry.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -22,7 +24,8 @@ std::size_t SweepSpec::num_runs() const {
 SweepSpec sweep_from_json(const Json& json) {
   for (const auto& [key, value] : json.as_object()) {
     if (key != "base" && key != "axes" && key != "repeats" && key != "out" &&
-        key != "threads" && key != "derive_seeds") {
+        key != "threads" && key != "derive_seeds" && key != "trace_dir" &&
+        key != "metrics_out") {
       throw JsonError("unknown key \"" + key + "\" in sweep grid");
     }
   }
@@ -49,6 +52,8 @@ SweepSpec sweep_from_json(const Json& json) {
   sweep.out_path = json.string_or("out", sweep.out_path);
   sweep.threads = static_cast<std::size_t>(json.uint_or("threads", 0));
   sweep.derive_seeds = json.bool_or("derive_seeds", true);
+  sweep.trace_dir = json.string_or("trace_dir", sweep.trace_dir);
+  sweep.metrics_out = json.string_or("metrics_out", sweep.metrics_out);
   if (sweep.num_runs() == 0) throw JsonError("sweep grid is empty");
   return sweep;
 }
@@ -79,6 +84,57 @@ std::vector<std::pair<Json, std::uint64_t>> expand_grid(const SweepSpec& sweep) 
   return runs;
 }
 
+namespace {
+
+// The sweep-level obs aggregate: all per-run totals merged (counters sum,
+// histograms merge bucket-wise — exact because every context uses the same
+// fixed bucket layout), plus the same merge restricted to each axis value.
+// Written as the JSONL footer line {"sweep": {...}} and, when requested,
+// exported as Prometheus text.
+Json build_sweep_footer(const SweepSpec& sweep, const std::vector<SweepRun>& results,
+                        obs::MetricsSnapshot& aggregate, bool& any_obs) {
+  aggregate = obs::MetricsSnapshot{};
+  any_obs = false;
+  std::size_t obs_runs = 0;
+  for (const SweepRun& run : results) {
+    if (!run.result.obs_enabled) continue;
+    any_obs = true;
+    ++obs_runs;
+    aggregate.merge(run.result.obs_totals);
+  }
+
+  Json footer = Json::make_object();
+  footer.set("runs", results.size());
+  if (any_obs) {
+    footer.set("obs_runs", obs_runs);
+    footer.set("obs", metrics_snapshot_to_json(aggregate));
+    // Per-axis totals: for each axis value, the merge over the runs that
+    // used it — the "how does obs load scale along this axis" view without
+    // re-reading every line.
+    Json axes = Json::make_object();
+    for (const SweepAxis& axis : sweep.axes) {
+      std::map<std::string, obs::MetricsSnapshot> by_value;
+      for (const SweepRun& run : results) {
+        if (!run.result.obs_enabled) continue;
+        const Json* value = run.params.find(axis.path);
+        if (value == nullptr) continue;
+        by_value[value->dump()].merge(run.result.obs_totals);
+      }
+      Json axis_json = Json::make_object();
+      for (const auto& [value, snapshot] : by_value) {
+        axis_json.set(value, metrics_snapshot_to_json(snapshot));
+      }
+      axes.set(axis.path, std::move(axis_json));
+    }
+    footer.set("axes", std::move(axes));
+  }
+  Json line = Json::make_object();
+  line.set("sweep", std::move(footer));
+  return line;
+}
+
+}  // namespace
+
 std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) {
   const std::vector<std::pair<Json, std::uint64_t>> grid = expand_grid(sweep);
 
@@ -86,37 +142,37 @@ std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) 
   if (out_path.has_parent_path()) std::filesystem::create_directories(out_path.parent_path());
   std::ofstream out(sweep.out_path);
   if (!out) throw std::runtime_error("sweep: cannot open " + sweep.out_path);
+  if (!sweep.trace_dir.empty()) std::filesystem::create_directories(sweep.trace_dir);
 
   std::vector<SweepRun> results(grid.size());
   std::mutex sink_mutex;
 
   std::size_t threads = sweep.threads > 0 ? sweep.threads : std::thread::hardware_concurrency();
   threads = std::max<std::size_t>(1, std::min(threads, grid.size()));
-
-  // Obs state is process-global (cumulative registry, one trace session):
-  // with concurrent runs, per-run snapshot deltas would include every other
-  // in-flight run's counters and trace sessions would clobber each other.
-  // Reject explicit trace requests up front and disable per-run metrics
-  // sampling in run_one; summary.obs is only emitted by serial sweeps.
   const bool parallel = threads > 1;
-  if (parallel) {
-    bool wants_trace = false;
+
+  // Per-run obs contexts attribute metrics and traces correctly at any
+  // thread count; the only remaining hazard is several runs writing the
+  // SAME trace file concurrently via a fixed obs.trace path. trace_dir is
+  // the supported spelling (one file per run index).
+  if (parallel && sweep.trace_dir.empty()) {
+    bool fixed_trace = false;
     if (const Json* obs = sweep.base.find("obs")) {
-      wants_trace = !obs->string_or("trace", "").empty();
+      fixed_trace = !obs->string_or("trace", "").empty();
     }
     for (const auto& [params, seed] : grid) {
       (void)seed;
       if (const Json* trace = params.find("obs.trace")) {
-        wants_trace = wants_trace || !trace->as_string().empty();
+        fixed_trace = fixed_trace || !trace->as_string().empty();
       }
       if (const Json* obs = params.find("obs")) {
-        wants_trace = wants_trace || !obs->string_or("trace", "").empty();
+        fixed_trace = fixed_trace || !obs->string_or("trace", "").empty();
       }
     }
-    if (wants_trace) {
+    if (fixed_trace) {
       throw std::invalid_argument(
-          "sweep: obs.trace requires threads=1 (the trace session is process-global "
-          "and cannot attribute events to one of several concurrent runs)");
+          "sweep: a fixed obs.trace path with threads>1 would have concurrent runs "
+          "overwrite one file; set \"trace_dir\" instead (per-run run-<idx>.trace.json)");
     }
   }
 
@@ -128,10 +184,12 @@ std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) 
     spec_json.set("seed", grid[run_index].second);
     // One simulator thread per run; the sweep already saturates the pool.
     spec_json.set("parallel_prepare", false);
-    // See the parallel-obs note above: registry deltas cannot be attributed
-    // to one of several concurrent runs, so drop per-run sampling rather
-    // than emit summary.obs polluted by other in-flight runs.
-    if (parallel) spec_json.set_path("obs.metrics", false);
+    if (!sweep.trace_dir.empty()) {
+      const std::filesystem::path trace_path =
+          std::filesystem::path(sweep.trace_dir) /
+          ("run-" + std::to_string(run_index) + ".trace.json");
+      spec_json.set_path("obs.trace", Json(trace_path.string()));
+    }
     ScenarioSpec spec = spec_from_json(spec_json);
     ScenarioResult result = run_scenario(spec);
 
@@ -155,18 +213,30 @@ std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) 
                                  grid[run_index].first, std::move(result)};
   };
 
-  if (threads == 1) {
+  if (!parallel) {
     for (std::size_t i = 0; i < grid.size(); ++i) run_one(i);
   } else {
-    // Each run's ObsSession saves/restores the global metrics flag; with
-    // concurrent destructors the last restore wins, which can leave the
-    // flag in a run's mid-sweep state. Re-assert the pre-sweep value.
-    const bool metrics_before = obs::metrics_enabled();
-    {
-      ThreadPool pool(threads);
-      pool.parallel_for(grid.size(), run_one);
+    ThreadPool pool(threads);
+    pool.parallel_for(grid.size(), run_one);
+  }
+
+  // Footer: the merged sweep.obs aggregate (plus per-axis totals) closes
+  // the JSONL stream; readers distinguish it from run lines by the "sweep"
+  // key. Optionally exported as Prometheus text for dashboards.
+  obs::MetricsSnapshot aggregate;
+  bool any_obs = false;
+  const Json footer = build_sweep_footer(sweep, results, aggregate, any_obs);
+  out << footer.dump() << '\n';
+  out.flush();
+  if (!sweep.metrics_out.empty()) {
+    if (any_obs) {
+      if (!obs::write_prometheus_file(sweep.metrics_out, aggregate)) {
+        SPECDAG_LOG(Warn) << "sweep: failed to write metrics file: " << sweep.metrics_out;
+      }
+    } else {
+      SPECDAG_LOG(Warn) << "sweep: metrics_out requested but no run collected obs "
+                           "metrics; skipping " << sweep.metrics_out;
     }
-    obs::set_metrics_enabled(metrics_before);
   }
   return results;
 }

@@ -7,7 +7,9 @@
 //     "axes": { "client.alpha": [1, 10, 100], "rounds": [20, 40] },
 //     "repeats": 1,
 //     "out": "results/sweep.jsonl",
-//     "threads": 0            // 0 = hardware concurrency
+//     "threads": 0,           // 0 = hardware concurrency
+//     "trace_dir": "traces",  // optional: per-run Perfetto trace files
+//     "metrics_out": "sweep.prom"  // optional: aggregate Prometheus export
 //   }
 //
 // Axis keys are dotted paths into the scenario-spec JSON; the grid is the
@@ -15,6 +17,13 @@
 // derived deterministically from the base spec's seed and its run index
 // (recorded in the output), and runs with parallel_prepare disabled — the
 // sweep parallelizes across runs, not inside them.
+//
+// Each run owns an obs::Context (see src/obs/context.hpp), so every JSONL
+// line carries that run's own summary.obs even at threads > 1, and
+// trace_dir gives each run its own trace file. After the last run, a footer
+// line {"sweep": {"runs": N, "obs": {...}, "axes": {...}}} records the
+// merged aggregate (counters summed, histograms merged bucket-wise) plus
+// per-axis-value totals.
 #pragma once
 
 #include "scenario/runner.hpp"
@@ -36,6 +45,13 @@ struct SweepSpec {
   // run every grid point with the base seed — an ablation where the axis is
   // the only difference between runs.
   bool derive_seeds = true;
+  // Non-empty: every run writes a Perfetto trace to
+  // <trace_dir>/run-<index>.trace.json (per-run obs contexts make this safe
+  // at any thread count).
+  std::string trace_dir;
+  // Non-empty: the sweep-level obs aggregate (all runs merged) is exported
+  // as Prometheus text exposition to this path.
+  std::string metrics_out;
 
   // Total number of runs in the grid.
   std::size_t num_runs() const;

@@ -48,10 +48,13 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::post(std::function<void()> task) {
   const std::uint64_t enqueue_ns =
       obs::metrics_enabled() || obs::tracing_enabled() ? obs::now_ns() : 0;
+  // Capture the poster's active context so the worker records this task's
+  // metrics/trace events into the run that posted it.
+  obs::Context* ctx = obs::kObsCompiledIn ? &obs::Context::current() : nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_) throw std::runtime_error("ThreadPool: submit after shutdown");
-    tasks_.push(Task{std::move(task), enqueue_ns});
+    tasks_.push(Task{std::move(task), enqueue_ns, ctx});
   }
   cv_.notify_one();
 }
@@ -69,8 +72,11 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   obs::set_thread_name(std::string(name_) + "-" + std::to_string(worker_index));
   for (;;) {
     Task task;
+    // The idle interval belongs to whichever task ends it, so the clock
+    // must start before that task's context is known — hence the gate on
+    // compiled-in obs rather than any context's runtime flag.
     std::uint64_t wait_start = 0;
-    if (obs::metrics_enabled()) wait_start = obs::now_ns();
+    if (obs::kObsCompiledIn) wait_start = obs::now_ns();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -78,6 +84,9 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    // Run the task under the context it was posted from: its counters,
+    // spans, and the pool's own accounting attribute to the posting run.
+    obs::ContextScope ctx_scope(task.ctx);
     // Metrics and tracing are independent switches: --trace with --obs off
     // must still emit the dequeue instants (and vice versa).
     const bool metrics = obs::metrics_enabled() && busy_nanos_ != nullptr;

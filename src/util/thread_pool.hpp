@@ -22,6 +22,7 @@
 namespace specdag {
 
 namespace obs {
+class Context;
 class Counter;
 class Histogram;
 }  // namespace obs
@@ -56,6 +57,11 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     std::uint64_t enqueue_ns = 0;
+    // The poster's active obs context, captured at post()/submit() time and
+    // re-installed around fn() in the worker — so pool work (client
+    // prepares, async encodes) records metrics and trace events into the
+    // scenario run that spawned it, not whatever ran on the worker last.
+    obs::Context* ctx = nullptr;
   };
 
   void worker_loop(std::size_t worker_index);

@@ -5,18 +5,23 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <future>
+#include <initializer_list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/prom.hpp"
 #include "obs/trace.hpp"
 #include "scenario/config.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace specdag {
 namespace {
@@ -167,6 +172,189 @@ TEST_F(ObsTest, RegistryReturnsStableReferencesAndSnapshotDeltas) {
   EXPECT_EQ(delta.counter("test_obs.never_registered"), 0u);
 }
 
+// ------------------------------------------------------- per-run contexts ---
+
+TEST_F(ObsTest, ContextScopeAttributesRecordsToActiveContext) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Counter& counter = obs::Registry::counter("test_obs.ctx_counter");
+  const obs::MetricsSnapshot default_before = obs::Registry::snapshot();
+  obs::Context a;
+  obs::Context b;
+  {
+    obs::ContextScope scope(&a);
+    counter.add(3);
+    {
+      obs::ContextScope inner(&b);  // nesting: innermost wins
+      counter.add(5);
+    }
+    counter.add(1);  // inner scope popped -> back to a
+  }
+  EXPECT_EQ(a.snapshot().counter("test_obs.ctx_counter"), 4u);
+  EXPECT_EQ(b.snapshot().counter("test_obs.ctx_counter"), 5u);
+  // The ambient (default) context saw none of it.
+  const obs::MetricsSnapshot default_delta =
+      obs::Registry::snapshot().delta_from(default_before);
+  EXPECT_EQ(default_delta.counter("test_obs.ctx_counter"), 0u);
+}
+
+TEST_F(ObsTest, ThreadPoolPropagatesPostersContext) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Counter& counter = obs::Registry::counter("test_obs.pool_ctx");
+  obs::Context a;
+  obs::Context b;
+  ThreadPool pool(2, "obstest");
+  {
+    obs::ContextScope scope(&a);
+    pool.parallel_for(8, [&](std::size_t) { counter.add(1); });
+  }
+  {
+    obs::ContextScope scope(&b);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 4; ++i) {
+      futures.push_back(pool.submit([&] { counter.add(2); }));
+    }
+    for (std::future<void>& future : futures) future.get();
+  }
+  // Work posted under a scope records into that scope's context, no matter
+  // which worker ran it or what ran on that worker before.
+  EXPECT_EQ(a.snapshot().counter("test_obs.pool_ctx"), 8u);
+  EXPECT_EQ(b.snapshot().counter("test_obs.pool_ctx"), 8u);
+}
+
+TEST_F(ObsTest, ClosedContextCountsLateRecordsInsteadOfSkewing) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Counter& counter = obs::Registry::counter("test_obs.late");
+  obs::Histogram& histogram = obs::Registry::histogram("test_obs.late_hist");
+  obs::Context ctx;
+  obs::ContextScope scope(&ctx);
+  counter.add(2);
+  ctx.close();
+  EXPECT_TRUE(ctx.closed());
+  EXPECT_FALSE(ctx.metrics_on());
+  counter.add(7);        // late: counted + warned, not recorded
+  histogram.record(1);   // late
+  EXPECT_EQ(ctx.snapshot().counter("test_obs.late"), 2u);
+  EXPECT_EQ(ctx.snapshot().histogram("test_obs.late_hist").count, 0u);
+  EXPECT_EQ(ctx.late_records(), 2u);
+}
+
+// ------------------------------------------------------- histogram merge ---
+
+TEST_F(ObsTest, HistogramMergeIsAssociativeAndCommutative) {
+  auto make = [](std::initializer_list<std::uint64_t> values) {
+    obs::HistogramSnapshot snapshot;
+    for (std::uint64_t value : values) {
+      ++snapshot.buckets[obs::Histogram::bucket_index(value)];
+      ++snapshot.count;
+      snapshot.sum += value;
+    }
+    return snapshot;
+  };
+  auto equal = [](const obs::HistogramSnapshot& x, const obs::HistogramSnapshot& y) {
+    return x.count == y.count && x.sum == y.sum && x.buckets == y.buckets;
+  };
+  const obs::HistogramSnapshot a = make({0, 1, 1, 7, 900});
+  const obs::HistogramSnapshot b = make({2, 8, 8, 1u << 20});
+  const obs::HistogramSnapshot c = make({5, 5, 5, ~std::uint64_t{0}});
+
+  obs::HistogramSnapshot ab_c = a;  // (a+b)+c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  obs::HistogramSnapshot a_bc = b;  // a+(b+c), built as (b+c)+a
+  a_bc.merge(c);
+  a_bc.merge(a);
+  obs::HistogramSnapshot ba_c = b;  // (b+a)+c
+  ba_c.merge(a);
+  ba_c.merge(c);
+  EXPECT_TRUE(equal(ab_c, a_bc));
+  EXPECT_TRUE(equal(ab_c, ba_c));
+  EXPECT_EQ(ab_c.count, 13u);
+  // And the merge equals the one-shot snapshot of all values together.
+  const obs::HistogramSnapshot whole =
+      make({0, 1, 1, 7, 900, 2, 8, 8, 1u << 20, 5, 5, 5, ~std::uint64_t{0}});
+  EXPECT_TRUE(equal(ab_c, whole));
+  EXPECT_EQ(ab_c.quantile_upper_bound(0.5), whole.quantile_upper_bound(0.5));
+  EXPECT_EQ(ab_c.quantile_upper_bound(0.99), whole.quantile_upper_bound(0.99));
+}
+
+// Merge-then-snapshot == snapshot-then-sum: 8 racing threads record the
+// same value stream into one shared context AND each into a private one;
+// the merge of the 8 private snapshots must equal the shared context's
+// combined snapshot exactly (count, sum, every bucket, quantiles).
+TEST_F(ObsTest, MergedPerContextSnapshotsEqualCombinedUnderRacingThreads) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Histogram& histogram = obs::Registry::histogram("test_obs.merge_race");
+  obs::Context combined;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 20000;
+  std::vector<std::unique_ptr<obs::Context>> privates;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    privates.push_back(std::make_unique<obs::Context>());
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t state = 0xC0FFEE + t;
+      for (std::size_t i = 0; i < kIters; ++i) {
+        state = splitmix64(state);
+        const std::uint64_t value = state >> (splitmix64(state) % 64);
+        {
+          obs::ContextScope scope(&combined);
+          histogram.record(value);
+        }
+        {
+          obs::ContextScope scope(privates[t].get());
+          histogram.record(value);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  obs::MetricsSnapshot merged;
+  for (const auto& ctx : privates) merged.merge(ctx->snapshot());
+  const obs::HistogramSnapshot sum_then_merge = merged.histogram("test_obs.merge_race");
+  const obs::HistogramSnapshot whole = combined.snapshot().histogram("test_obs.merge_race");
+  EXPECT_EQ(sum_then_merge.count, whole.count);
+  EXPECT_EQ(sum_then_merge.sum, whole.sum);
+  EXPECT_EQ(sum_then_merge.buckets, whole.buckets);
+  EXPECT_EQ(sum_then_merge.quantile_upper_bound(0.5), whole.quantile_upper_bound(0.5));
+  EXPECT_EQ(sum_then_merge.quantile_upper_bound(0.99), whole.quantile_upper_bound(0.99));
+}
+
+// --------------------------------------------------- Prometheus exporter ---
+
+TEST_F(ObsTest, PrometheusExpositionFormat) {
+  EXPECT_EQ(obs::prometheus_metric_name("tipsel.walk-steps", "specdag_"),
+            "specdag_tipsel_walk_steps");
+
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["tipsel.walks"] = 42;
+  obs::HistogramSnapshot hist;  // values 1, 1, 3, 8
+  hist.count = 4;
+  hist.sum = 13;
+  hist.buckets[obs::Histogram::bucket_index(1)] = 2;
+  hist.buckets[obs::Histogram::bucket_index(3)] = 1;
+  hist.buckets[obs::Histogram::bucket_index(8)] = 1;
+  snapshot.histograms["tipsel.walk_steps"] = hist;
+
+  std::ostringstream out;
+  obs::write_prometheus_text(out, snapshot);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE specdag_tipsel_walks_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("specdag_tipsel_walks_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE specdag_tipsel_walk_steps histogram\n"), std::string::npos);
+  // Buckets are cumulative with exact exponential upper bounds; +Inf equals
+  // _count per the exposition rules.
+  EXPECT_NE(text.find("specdag_tipsel_walk_steps_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("specdag_tipsel_walk_steps_bucket{le=\"3\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("specdag_tipsel_walk_steps_bucket{le=\"15\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("specdag_tipsel_walk_steps_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("specdag_tipsel_walk_steps_sum 13\n"), std::string::npos);
+  EXPECT_NE(text.find("specdag_tipsel_walk_steps_count 4\n"), std::string::npos);
+}
+
 // Parses a written trace file and checks the Chrome trace-event contract:
 // a traceEvents array whose B events all close with a matching E on the
 // same thread (LIFO), with pid/tid everywhere and ts non-decreasing per tid.
@@ -256,11 +444,14 @@ TEST_F(ObsTest, TraceFileIsWellFormed) {
   std::remove(path.c_str());
 }
 
-// Regression: start_trace() from a thread whose name is already set used to
-// call thread_name_event() -> append_event() while holding the trace mutex —
-// re-locking a non-recursive mutex, i.e. a guaranteed deadlock. This is the
-// pool-worker shape: worker_loop() names its thread on startup, and a run
-// dispatched onto the pool starts its ObsSession (and hence the trace) there.
+// Regression (PR 6): start_trace() from a thread whose name was already set
+// used to emit the name's M event inline while holding the trace mutex —
+// re-locking a non-recursive mutex, i.e. a guaranteed deadlock. Thread names
+// now live in a process-global table and the M events are synthesized at
+// file-write time, so this must just work. The shape matters because it is
+// the pool-worker shape: worker_loop() names its thread on startup, and a
+// run dispatched onto the pool starts its ObsSession (and hence the trace)
+// there.
 TEST_F(ObsTest, StartTraceFromNamedThreadDoesNotDeadlock) {
   if (!obs::kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
   const std::string path = ::testing::TempDir() + "test_obs_named.trace.json";
@@ -374,12 +565,14 @@ TEST_F(ObsTest, ObsSpecRoundTripsThroughJson) {
 
   spec.obs.metrics = false;
   spec.obs.trace = "out.trace.json";
+  spec.obs.metrics_out = "out.prom";
   const scenario::Json json = scenario::spec_to_json(spec);
   const scenario::Json* obs_json = json.find("obs");
   ASSERT_NE(obs_json, nullptr);
   const scenario::ScenarioSpec parsed = scenario::spec_from_json(json);
   EXPECT_FALSE(parsed.obs.metrics);
   EXPECT_EQ(parsed.obs.trace, "out.trace.json");
+  EXPECT_EQ(parsed.obs.metrics_out, "out.prom");
 }
 
 }  // namespace

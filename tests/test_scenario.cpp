@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <stdexcept>
@@ -416,56 +417,116 @@ TEST(Sweep, GridExpansionAndParallelExecution) {
     EXPECT_GT(runs[i].result.dag_size, 1u);
   }
 
-  // The JSONL sink has one parseable line per run with the seed recorded.
+  // The JSONL sink has one parseable line per run with the seed recorded,
+  // closed by a {"sweep": {...}} footer with the merged obs aggregate.
   std::ifstream in(sweep.out_path);
   ASSERT_TRUE(in.good());
   std::string line;
   std::set<std::uint64_t> written_seeds;
-  std::size_t lines = 0;
+  std::size_t run_lines = 0;
+  bool saw_footer = false;
   while (std::getline(in, line)) {
     const scenario::Json doc = scenario::Json::parse(line);
+    if (const scenario::Json* footer = doc.find("sweep")) {
+      EXPECT_FALSE(saw_footer);  // footer is the single last line
+      saw_footer = true;
+      EXPECT_EQ(footer->find("runs")->as_uint(), 4u);
+      if (obs::kObsCompiledIn) {
+        EXPECT_EQ(footer->find("obs_runs")->as_uint(), 4u);
+        EXPECT_NE(footer->find("obs"), nullptr);
+        EXPECT_NE(footer->find("axes")->find("client.alpha"), nullptr);
+      }
+      continue;
+    }
+    EXPECT_FALSE(saw_footer);  // no run line after the footer
     written_seeds.insert(doc.find("seed")->as_uint());
     EXPECT_NE(doc.find("params"), nullptr);
-    EXPECT_NE(doc.find("result")->find("summary"), nullptr);
-    ++lines;
+    const scenario::Json* summary = doc.find("result")->find("summary");
+    ASSERT_NE(summary, nullptr);
+    // Per-run contexts: even at threads>1 every line has its own obs rollup.
+    if (obs::kObsCompiledIn) EXPECT_NE(summary->find("obs"), nullptr);
+    ++run_lines;
   }
-  EXPECT_EQ(lines, 4u);
+  EXPECT_EQ(run_lines, 4u);
+  EXPECT_TRUE(saw_footer);
   EXPECT_EQ(written_seeds, seeds);
   std::remove(sweep.out_path.c_str());
 }
 
-// Obs state is process-global (one cumulative registry, one trace session),
-// so a parallel sweep cannot attribute it per run: threads>1 must drop
-// summary.obs from every line, reject an explicit obs.trace outright, and
-// leave the global metrics switch the way it found it.
-TEST(Sweep, ParallelSweepDropsObsAndRejectsTrace) {
+// Per-run obs::Contexts make a parallel sweep attribute metrics and traces
+// to the run that produced them: concurrent runs with different workloads
+// report distinct correct counter deltas, a serial sweep over the same grid
+// reports the same deterministic counters, every run gets its own trace
+// file via trace_dir, and the footer aggregate is the exact sum.
+TEST(Sweep, ParallelSweepAttributesObsPerRun) {
+  if (!obs::kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  namespace fs = std::filesystem;
+  const std::string trace_dir = ::testing::TempDir() + "test_sweep_traces";
   scenario::SweepSpec sweep;
   sweep.base = scenario::spec_to_json(tiny_spec("fmnist-clustered"));
-  sweep.axes.push_back({"client.alpha", {scenario::Json(1.0), scenario::Json(10.0)}});
+  sweep.base.set("rounds", scenario::Json(2));
+  // Different workloads per run: 4 clients/round do about twice the tip
+  // selection of 2, so cross-contamination between the concurrent contexts
+  // would be visible in the counters.
+  sweep.axes.push_back({"clients_per_round", {scenario::Json(2), scenario::Json(4)}});
   sweep.threads = 2;
   sweep.out_path = "test_sweep_obs.jsonl";
+  sweep.trace_dir = trace_dir;
 
-  const bool metrics_before = obs::metrics_enabled();
   const std::vector<scenario::SweepRun> parallel = scenario::run_sweep(sweep);
-  EXPECT_EQ(obs::metrics_enabled(), metrics_before);
   ASSERT_EQ(parallel.size(), 2u);
   for (const scenario::SweepRun& run : parallel) {
-    EXPECT_FALSE(run.result.obs_enabled);
+    EXPECT_TRUE(run.result.obs_enabled);
+    EXPECT_GT(run.result.obs_totals.counter("tipsel.walks"), 0u);
+  }
+  EXPECT_GT(parallel[1].result.obs_totals.counter("tipsel.walks"),
+            parallel[0].result.obs_totals.counter("tipsel.walks"));
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    const fs::path trace_path = fs::path(trace_dir) / ("run-" + std::to_string(i) +
+                                                       ".trace.json");
+    EXPECT_TRUE(fs::exists(trace_path)) << trace_path;
   }
 
-  if (obs::kObsCompiledIn) {
-    // The same grid run serially keeps per-run attribution.
-    sweep.threads = 1;
-    const std::vector<scenario::SweepRun> serial = scenario::run_sweep(sweep);
-    for (const scenario::SweepRun& run : serial) {
-      EXPECT_TRUE(run.result.obs_enabled);
+  // The same grid run serially yields identical deterministic counters per
+  // run index (results are bit-identical, so the operation counts are too;
+  // only wall-clock metrics like pool.*_nanos may differ).
+  sweep.threads = 1;
+  sweep.trace_dir.clear();
+  sweep.out_path = "test_sweep_obs_serial.jsonl";
+  const std::vector<scenario::SweepRun> serial = scenario::run_sweep(sweep);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    for (const char* name : {"tipsel.walks", "tipsel.evaluations", "store.puts",
+                             "store.decodes"}) {
+      EXPECT_EQ(serial[i].result.obs_totals.counter(name),
+                parallel[i].result.obs_totals.counter(name))
+          << "run " << i << " counter " << name;
     }
+    EXPECT_EQ(serial[i].result.obs_totals.histogram("tipsel.walk_steps").count,
+              parallel[i].result.obs_totals.histogram("tipsel.walk_steps").count);
   }
 
+  // Footer aggregate = exact sum of the per-run totals.
+  std::ifstream in(sweep.out_path);
+  ASSERT_TRUE(in.good());
+  std::string line, last;
+  while (std::getline(in, line)) last = line;
+  const scenario::Json footer = scenario::Json::parse(last);
+  const scenario::Json* footer_obs = footer.find("sweep")->find("obs");
+  ASSERT_NE(footer_obs, nullptr);
+  EXPECT_EQ(footer_obs->find("counters")->find("tipsel.walks")->as_uint(),
+            serial[0].result.obs_totals.counter("tipsel.walks") +
+                serial[1].result.obs_totals.counter("tipsel.walks"));
+
+  // A fixed obs.trace path at threads>1 (no trace_dir) would have the runs
+  // overwrite one file; still rejected, with trace_dir as the fix.
   sweep.threads = 2;
   sweep.base.set_path("obs.trace", scenario::Json("sweep.trace.json"));
   EXPECT_THROW(scenario::run_sweep(sweep), std::invalid_argument);
-  std::remove(sweep.out_path.c_str());
+  std::remove("test_sweep_obs.jsonl");
+  std::remove("test_sweep_obs_serial.jsonl");
+  std::error_code ec;
+  fs::remove_all(trace_dir, ec);
 }
 
 TEST(Sweep, FixedSeedModeReusesBaseSeed) {
