@@ -7,7 +7,9 @@
 
 #include "data/synthetic_digits.hpp"
 #include "fl/evaluation.hpp"
+#include "fl/trainer.hpp"
 #include "metrics/client_graph.hpp"
+#include "nn/batch_executor.hpp"
 #include "metrics/community.hpp"
 #include "nn/conv.hpp"
 #include "nn/dense.hpp"
@@ -108,6 +110,119 @@ void BM_WalkStepEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WalkStepEvaluation);
+
+// --- fused batch executor -------------------------------------------------
+
+data::FederatedDataset batch_exec_dataset(std::size_t num_clients) {
+  data::SyntheticDigitsConfig config;
+  config.num_clients = num_clients;
+  config.samples_per_client = 30;
+  config.image_size = 16;  // matches the scale-2k MLP (256 -> 32 -> 10)
+  return data::make_fmnist_clustered(config);
+}
+
+// One fused train step (1 epoch x 1 batch of 10, the scale-2k schedule)
+// across K lanes, including the SoA import/export of every lane's weights.
+void BM_BatchedTrainStep(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto ds = batch_exec_dataset(k);
+  auto factory = sim::make_mlp_factory(shape_numel(ds.element_shape), 32, 10);
+  nn::BatchExecutor exec(factory);
+  std::vector<nn::WeightVector> starts(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    nn::Sequential model = factory();
+    Rng init_rng(100 + i);
+    model.init_params(init_rng);
+    starts[i] = model.get_weights();
+  }
+  std::vector<Rng> rngs(k, Rng(9));
+  fl::TrainConfig train{1, 1, 10, 0.0005};
+  for (auto _ : state) {
+    std::vector<fl::BatchTrainLane> lanes(k);
+    for (std::size_t l = 0; l < k; ++l) {
+      lanes[l].client = &ds.clients[l];
+      lanes[l].start = &starts[l];
+      lanes[l].rng = &rngs[l];
+    }
+    fl::train_local_batched(exec, lanes, train);
+    benchmark::DoNotOptimize(lanes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_BatchedTrainStep)->Arg(1)->Arg(2)->Arg(4)->Arg(16);
+
+// K candidate models evaluated on one client's test split in a single fused
+// pass — the shared input block feeds the multi-RHS matmul.
+void BM_BatchedEvaluate(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto ds = batch_exec_dataset(2);
+  auto factory = sim::make_mlp_factory(shape_numel(ds.element_shape), 32, 10);
+  nn::BatchExecutor exec(factory);
+  std::vector<nn::WeightVector> models(k);
+  std::vector<const nn::WeightVector*> ptrs(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    nn::Sequential model = factory();
+    Rng init_rng(200 + m);
+    model.init_params(init_rng);
+    models[m] = model.get_weights();
+    ptrs[m] = &models[m];
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::evaluate_models_batched(exec, ptrs, ds.clients[0]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_BatchedEvaluate)->Arg(1)->Arg(2)->Arg(4)->Arg(16);
+
+// The blocked multi-RHS kernel against K independent matmul_into calls on
+// the same operands (the executor's shared-activation forward).
+void BM_MatmulMultiRhs(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 30, kk = 256, n = 32;
+  Rng rng(11);
+  std::vector<float> a(m * kk);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<std::vector<float>> bs(k, std::vector<float>(kk * n));
+  std::vector<std::vector<float>> cs(k, std::vector<float>(m * n));
+  std::vector<const float*> bptr(k);
+  std::vector<float*> cptr(k);
+  for (std::size_t l = 0; l < k; ++l) {
+    for (auto& v : bs[l]) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    bptr[l] = bs[l].data();
+    cptr[l] = cs[l].data();
+  }
+  for (auto _ : state) {
+    matmul_multi_rhs(a.data(), bptr.data(), cptr.data(), k, m, kk, n);
+    benchmark::DoNotOptimize(cs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * m * kk * n));
+}
+BENCHMARK(BM_MatmulMultiRhs)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_MatmulMultiRhsScalarLoop(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 30, kk = 256, n = 32;
+  Rng rng(11);
+  std::vector<float> a(m * kk);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<std::vector<float>> bs(k, std::vector<float>(kk * n));
+  std::vector<std::vector<float>> cs(k, std::vector<float>(m * n));
+  for (std::size_t l = 0; l < k; ++l) {
+    for (auto& v : bs[l]) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  for (auto _ : state) {
+    for (std::size_t l = 0; l < k; ++l) {
+      matmul_into(a.data(), bs[l].data(), cs[l].data(), m, kk, n);
+    }
+    benchmark::DoNotOptimize(cs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * m * kk * n));
+}
+BENCHMARK(BM_MatmulMultiRhsScalarLoop)->Arg(1)->Arg(4)->Arg(16);
 
 // Full accuracy-biased tip selection on a pre-built DAG of the given size.
 void BM_AccuracyTipSelection(benchmark::State& state) {

@@ -16,6 +16,10 @@
 //   --sync-encode  encode deltas inline on the commit path instead of the
 //                  background pipeline (results are bit-identical; this is
 //                  the attribution/debug switch for store.async_encode)
+//   --no-batch-exec  disable the fused multi-client executor (train.batch=0)
+//                  and train/evaluate every client through the scalar
+//                  per-model path (results are bit-identical; this is the
+//                  perf-comparison oracle switch)
 //   --algorithm A  override the algorithm (dag|fedavg|fedprox|gossip)
 //   --attack SPEC  replace the spec's adversary schedule: none,
 //                  random_weights[=RATE], label_flip[=FRACTION]. Each
@@ -67,7 +71,7 @@ int usage(std::ostream& out, int code) {
          "  show <name>             print a built-in spec as JSON\n"
          "  run <name|spec.json>    run one scenario (--rounds N --seed N\n"
          "                          --clients N --threads N --delta on|off\n"
-         "                          --sync-encode\n"
+         "                          --sync-encode --no-batch-exec\n"
          "                          --algorithm dag|fedavg|fedprox|gossip\n"
          "                          --attack none|random_weights[=RATE]|\n"
          "                          label_flip[=FRACTION]\n"
@@ -77,7 +81,7 @@ int usage(std::ostream& out, int code) {
          "  export <name|spec.json> run a scenario and export its DAG\n"
          "                          (--dot PATH --jsonl PATH --rounds N\n"
          "                          --seed N --clients N --delta on|off\n"
-         "                          --sync-encode --quiet)\n"
+         "                          --sync-encode --no-batch-exec --quiet)\n"
          "  sweep <grid.json>       run a parameter grid (--out PATH\n"
          "                          --threads N --trace-dir DIR\n"
          "                          --metrics-out PATH --dry-run)\n"
@@ -166,8 +170,8 @@ void apply_attack_overrides(const std::vector<std::string>& values,
 }
 
 // Spec overrides shared by `run` and `export`: --rounds, --seed, --clients,
-// --threads, --delta, --sync-encode, --algorithm, --attack, --trace, --obs,
-// --metrics-out.
+// --threads, --delta, --sync-encode, --no-batch-exec, --algorithm, --attack,
+// --trace, --obs, --metrics-out.
 // Returns true when `flag` was consumed;
 // `next` yields the flag's value (exiting with usage error when missing).
 // --attack values are only collected here; the caller applies them after
@@ -200,6 +204,8 @@ bool apply_spec_override(const std::string& flag,
     }
   } else if (flag == "--sync-encode") {
     spec.store.async_encode = false;
+  } else if (flag == "--no-batch-exec") {
+    spec.client.train.batch = 0;
   } else if (flag == "--trace") {
     spec.obs.trace = next();
   } else if (flag == "--metrics-out") {

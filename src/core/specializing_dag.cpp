@@ -1,8 +1,14 @@
 #include "core/specializing_dag.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/eval_cache_view.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace specdag::core {
 namespace {
@@ -14,6 +20,14 @@ nn::WeightVector make_genesis_weights(const nn::ModelFactory& factory, std::uint
   return model.get_weights();
 }
 
+// A step can join a fused group only if its client trains exactly like the
+// network default (fused lanes share one epoch/batch schedule and lr).
+bool same_train_config(const fl::TrainConfig& a, const fl::TrainConfig& b) {
+  return a.local_epochs == b.local_epochs && a.local_batches == b.local_batches &&
+         a.batch_size == b.batch_size && a.learning_rate == b.learning_rate &&
+         a.freeze_prefix_params == b.freeze_prefix_params;
+}
+
 }  // namespace
 
 SpecializingDag::SpecializingDag(nn::ModelFactory factory, fl::DagClientConfig default_config,
@@ -22,7 +36,8 @@ SpecializingDag::SpecializingDag(nn::ModelFactory factory, fl::DagClientConfig d
       default_config_(default_config),
       root_rng_(seed),
       dag_(make_genesis_weights(factory_, seed), store_config),
-      eval_cache_(std::make_shared<store::ShardedEvalCache>(store_config.eval_cache_shards)) {}
+      eval_cache_(std::make_shared<store::ShardedEvalCache>(store_config.eval_cache_shards)),
+      arch_supported_(nn::BatchExecutor::architecture_supported(factory_)) {}
 
 int SpecializingDag::register_client(const data::ClientData* client_data) {
   return register_client(client_data, default_config_);
@@ -55,6 +70,152 @@ fl::DagRoundResult SpecializingDag::prepare(int handle) { return client(handle).
 dag::TxId SpecializingDag::commit(int handle, const fl::DagRoundResult& result,
                                   std::size_t round) {
   return client(handle).commit_round(dag_, result, round);
+}
+
+bool SpecializingDag::batch_exec_enabled() const {
+  return arch_supported_ && default_config_.train.batch > 0;
+}
+
+std::unique_ptr<nn::BatchExecutor> SpecializingDag::acquire_executor() {
+  {
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    if (!exec_pool_.empty()) {
+      std::unique_ptr<nn::BatchExecutor> exec = std::move(exec_pool_.back());
+      exec_pool_.pop_back();
+      return exec;
+    }
+  }
+  return std::make_unique<nn::BatchExecutor>(factory_);
+}
+
+void SpecializingDag::release_executor(std::unique_ptr<nn::BatchExecutor> exec) {
+  std::lock_guard<std::mutex> lock(exec_mutex_);
+  exec_pool_.push_back(std::move(exec));
+}
+
+void SpecializingDag::prepare_batch(const std::vector<std::vector<int>>& chains,
+                                    std::vector<std::vector<fl::DagRoundResult>>& results,
+                                    ThreadPool* pool) {
+  results.assign(chains.size(), {});
+  for (std::size_t i = 0; i < chains.size(); ++i) results[i].resize(chains[i].size());
+
+  // Per-step context surviving phase A for the fused finish.
+  struct StepCtx {
+    nn::WeightVector averaged;
+    dag::WeightsPtr reference_weights;
+    Rng train_rng{0};
+    bool fused = false;
+  };
+  std::vector<std::vector<StepCtx>> ctxs(chains.size());
+  for (std::size_t i = 0; i < chains.size(); ++i) ctxs[i].resize(chains[i].size());
+
+  const bool fuse = batch_exec_enabled();
+
+  // Phase A — walks. Chains are independent (distinct or sequential client
+  // state); steps within a chain run in event order, exactly like the scalar
+  // path. Steps that cannot fuse (deviating train config, or fusing
+  // disabled) complete their whole round here instead.
+  const auto walk_chain = [&](std::size_t i) {
+    for (std::size_t j = 0; j < chains[i].size(); ++j) {
+      fl::DagClient& c = client(chains[i][j]);
+      if (fuse && same_train_config(c.config().train, default_config_.train)) {
+        fl::WalkPhase phase = c.prepare_walks(dag_);
+        results[i][j] = std::move(phase.result);
+        StepCtx& ctx = ctxs[i][j];
+        ctx.averaged = std::move(phase.averaged);
+        ctx.reference_weights = std::move(phase.reference_weights);
+        ctx.train_rng = phase.train_rng;
+        ctx.fused = true;
+      } else {
+        obs::ScopedSpan span(
+            "prepare", {{"client", static_cast<std::uint64_t>(c.client().client_id)}});
+        results[i][j] = c.prepare_round(dag_);
+      }
+    }
+  };
+  if (pool != nullptr && chains.size() > 1) {
+    pool->parallel_for(chains.size(), walk_chain);
+  } else {
+    for (std::size_t i = 0; i < chains.size(); ++i) walk_chain(i);
+  }
+
+  // Fused steps in deterministic chain-major order — the grouping depends
+  // only on the chain layout, never on thread scheduling.
+  std::vector<std::pair<std::size_t, std::size_t>> fused;
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    for (std::size_t j = 0; j < chains[i].size(); ++j) {
+      if (ctxs[i][j].fused) fused.emplace_back(i, j);
+    }
+  }
+  if (fused.empty()) return;
+
+  static obs::Counter& batches_counter = obs::Registry::counter("train.batches");
+  static obs::Counter& lanes_counter = obs::Registry::counter("train.fused_lanes");
+  static obs::Counter& eval_models_counter = obs::Registry::counter("eval.batched_models");
+
+  // Phases B/C — fused train + eval in groups of at most train.batch lanes.
+  // Groups pipeline across pool workers: one group evaluates while the next
+  // trains. Wall time of a group is attributed evenly to its lanes so the
+  // perf buckets still sum to the measured total.
+  const std::size_t max_lanes = std::max<std::size_t>(1, default_config_.train.batch);
+  const std::size_t num_groups = (fused.size() + max_lanes - 1) / max_lanes;
+  const auto run_group = [&](std::size_t g) {
+    const std::size_t begin = g * max_lanes;
+    const std::size_t end = std::min(begin + max_lanes, fused.size());
+    const std::size_t nlanes = end - begin;
+    std::unique_ptr<nn::BatchExecutor> exec = acquire_executor();
+    std::vector<fl::BatchTrainLane> lanes(nlanes);
+    for (std::size_t l = 0; l < nlanes; ++l) {
+      const auto [i, j] = fused[begin + l];
+      lanes[l].client = &client(chains[i][j]).client();
+      lanes[l].start = &ctxs[i][j].averaged;
+      lanes[l].rng = &ctxs[i][j].train_rng;
+    }
+    Timer train_timer;
+    {
+      obs::ScopedSpan span("exec.train", {{"lanes", static_cast<std::uint64_t>(nlanes)}});
+      fl::train_local_batched(*exec, lanes, default_config_.train);
+    }
+    const double train_each = train_timer.elapsed_seconds() / static_cast<double>(nlanes);
+    batches_counter.add();
+    lanes_counter.add(nlanes);
+    for (std::size_t l = 0; l < nlanes; ++l) {
+      const auto [i, j] = fused[begin + l];
+      fl::DagRoundResult& r = results[i][j];
+      r.train_loss = lanes[l].train_loss;
+      r.train_seconds = train_each;
+      r.trained_weights =
+          std::make_shared<const nn::WeightVector>(std::move(lanes[l].trained));
+      // The executor copied the start weights in; the vector is free to ride
+      // along as the commit's delta-encode base, like the scalar path's.
+      r.averaged_base =
+          std::make_shared<const nn::WeightVector>(std::move(ctxs[i][j].averaged));
+    }
+    for (std::size_t l = 0; l < nlanes; ++l) {
+      const auto [i, j] = fused[begin + l];
+      fl::DagRoundResult& r = results[i][j];
+      Timer eval_timer;
+      {
+        obs::ScopedSpan span(
+            "exec.eval",
+            {{"client", static_cast<std::uint64_t>(lanes[l].client->client_id)}});
+        const std::vector<const nn::WeightVector*> models = {
+            r.trained_weights.get(), ctxs[i][j].reference_weights.get()};
+        const std::vector<fl::EvalResult> evals =
+            fl::evaluate_models_batched(*exec, models, *lanes[l].client);
+        r.trained_eval = evals[0];
+        r.reference_eval = evals[1];
+        eval_models_counter.add(models.size());
+      }
+      r.eval_seconds = eval_timer.elapsed_seconds();
+    }
+    release_executor(std::move(exec));
+  };
+  if (pool != nullptr && num_groups > 1) {
+    pool->parallel_for(num_groups, run_group);
+  } else {
+    for (std::size_t g = 0; g < num_groups; ++g) run_group(g);
+  }
 }
 
 dag::TxId SpecializingDag::consensus_reference(int handle) {

@@ -13,11 +13,17 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "dag/dag.hpp"
 #include "fl/dag_client.hpp"
+#include "nn/batch_executor.hpp"
 #include "store/eval_cache.hpp"
+
+namespace specdag {
+class ThreadPool;
+}
 
 namespace specdag::core {
 
@@ -47,6 +53,23 @@ class SpecializingDag {
   fl::DagRoundResult prepare(int handle);
   dag::TxId commit(int handle, const fl::DagRoundResult& result, std::size_t round);
 
+  // True when fused multi-client execution applies: the default train config
+  // enables it (train.batch > 0) and the model architecture is supported by
+  // nn::BatchExecutor. Clients whose train config deviates from the default
+  // fall back to the scalar path individually inside prepare_batch.
+  bool batch_exec_enabled() const;
+
+  // Batched counterpart of prepare() over per-client step chains: chains[i]
+  // is a sequence of client handles whose steps run in order against the
+  // current DAG snapshot (the same handle may repeat within a chain — an
+  // async step batch). Walk phases run per chain (parallel across chains on
+  // `pool` when given); the train/eval finish is fused across chains into
+  // SoA groups of at most `train.batch` lanes, each group pipelining
+  // train -> eval on a pool worker. results[i][j] receives chains[i][j]'s
+  // round result, bit-identical to calling prepare() in chain order.
+  void prepare_batch(const std::vector<std::vector<int>>& chains,
+                     std::vector<std::vector<fl::DagRoundResult>>& results, ThreadPool* pool);
+
   // The client's personalized consensus model: the tip its biased walk
   // converges to.
   dag::TxId consensus_reference(int handle);
@@ -66,12 +89,20 @@ class SpecializingDag {
   const std::shared_ptr<store::ShardedEvalCache>& eval_cache() const { return eval_cache_; }
 
  private:
+  // Reusable fused executors (SoA buffers are expensive to regrow): group
+  // tasks check one out for the duration of a train+eval pass.
+  std::unique_ptr<nn::BatchExecutor> acquire_executor();
+  void release_executor(std::unique_ptr<nn::BatchExecutor> exec);
+
   nn::ModelFactory factory_;
   fl::DagClientConfig default_config_;
   Rng root_rng_;
   dag::Dag dag_;
   std::shared_ptr<store::ShardedEvalCache> eval_cache_;
   std::vector<std::unique_ptr<fl::DagClient>> clients_;
+  bool arch_supported_ = false;
+  std::mutex exec_mutex_;
+  std::vector<std::unique_ptr<nn::BatchExecutor>> exec_pool_;
 };
 
 }  // namespace specdag::core

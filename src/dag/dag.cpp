@@ -28,7 +28,8 @@ const Transaction& Dag::tx_locked(TxId id) const {
 }
 
 TxId Dag::add_transaction(std::vector<TxId> parents, WeightsPtr weights, int publisher,
-                          std::size_t round, bool poisoned_publisher) {
+                          std::size_t round, bool poisoned_publisher,
+                          WeightsPtr encode_base) {
   if (parents.empty()) throw std::invalid_argument("Dag::add_transaction: no parents");
   if (!weights) throw std::invalid_argument("Dag::add_transaction: null weights");
   std::vector<TxId> sorted = parents;
@@ -52,7 +53,7 @@ TxId Dag::add_transaction(std::vector<TxId> parents, WeightsPtr weights, int pub
   Transaction tx;
   tx.id = id;
   tx.parents = parents;
-  tx.payload = store_.put(std::move(weights), bases);
+  tx.payload = store_.put(std::move(weights), bases, std::move(encode_base));
   tx.publisher = publisher;
   tx.round = round;
   tx.poisoned_publisher = poisoned_publisher;
@@ -65,25 +66,24 @@ TxId Dag::add_transaction(std::vector<TxId> parents, WeightsPtr weights, int pub
 
   // Incremental weight maintenance: the new transaction is the one and only
   // new descendant of every transaction in its past cone, so each ancestor's
-  // cumulative weight grows by exactly one. BFS over parent edges with a
-  // reusable seen-bitmap; the diamond dedup makes the count exact.
+  // cumulative weight grows by exactly one. Parents always have smaller ids
+  // than their children, so one descending-id sweep from the highest parent
+  // marks the exact cone a BFS would (every in-cone node is marked by an
+  // in-cone child before the sweep reaches it) with sequential access
+  // instead of frontier pointer-chasing — the cone is nearly the whole DAG
+  // once the graph is dense, so the constant factor dominates.
   cum_weights_.push_back(1);
   cone_seen_.assign(transactions_.size(), 0);
-  cone_frontier_.clear();
-  for (TxId p : parents) {
-    if (!cone_seen_[p]) {
+  if (!parents.empty()) {
+    TxId max_parent = 0;
+    for (TxId p : parents) {
       cone_seen_[p] = 1;
-      cone_frontier_.push_back(p);
+      max_parent = std::max(max_parent, p);
     }
-  }
-  for (std::size_t head = 0; head < cone_frontier_.size(); ++head) {
-    const TxId cur = cone_frontier_[head];
-    ++cum_weights_[cur];
-    for (TxId p : transactions_[cur].parents) {
-      if (!cone_seen_[p]) {
-        cone_seen_[p] = 1;
-        cone_frontier_.push_back(p);
-      }
+    for (TxId cur = max_parent + 1; cur-- > 0;) {
+      if (!cone_seen_[cur]) continue;
+      ++cum_weights_[cur];
+      for (TxId p : transactions_[cur].parents) cone_seen_[p] = 1;
     }
   }
   ++version_;

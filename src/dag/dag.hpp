@@ -42,9 +42,13 @@ class Dag {
   Dag& operator=(const Dag&) = delete;
 
   // Appends a transaction approving `parents` (must exist, non-empty,
-  // duplicates rejected). Returns the new id.
+  // duplicates rejected). Returns the new id. `encode_base`, when the
+  // publisher still holds its training start point (the average of the
+  // parents' payloads), is forwarded to the store as the delta-encode base
+  // so the encoder skips re-materializing the parents.
   TxId add_transaction(std::vector<TxId> parents, WeightsPtr weights, int publisher,
-                       std::size_t round, bool poisoned_publisher = false);
+                       std::size_t round, bool poisoned_publisher = false,
+                       WeightsPtr encode_base = nullptr);
 
   std::size_t size() const;
 
@@ -151,8 +155,7 @@ class Dag {
   // --- incremental weight index (guarded by mutex_) -----------------------
   std::uint64_t version_ = 0;
   std::vector<std::size_t> cum_weights_;  // exact, unmasked, id-indexed
-  std::vector<char> cone_seen_;           // scratch for the append-time cone BFS
-  std::vector<TxId> cone_frontier_;
+  std::vector<char> cone_seen_;  // scratch for the append-time cone sweep
 
   // --- walk-start depth index ---------------------------------------------
   // Lazily rebuilt caches; guarded by walk_index_mutex_ *in addition to* a

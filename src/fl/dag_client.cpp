@@ -77,8 +77,9 @@ dag::TxId DagClient::consensus_reference(const dag::Dag& dag) {
   return best;
 }
 
-DagRoundResult DagClient::prepare_round(const dag::Dag& dag) {
-  DagRoundResult result;
+WalkPhase DagClient::prepare_walks(const dag::Dag& dag) {
+  WalkPhase phase;
+  DagRoundResult& result = phase.result;
   result.client_id = client_->client_id;
 
   // 1. Biased random walk selects the tips to approve.
@@ -97,30 +98,14 @@ DagRoundResult DagClient::prepare_round(const dag::Dag& dag) {
     payloads.push_back(dag.weights(tip));
     ptrs.push_back(payloads.back().get());
   }
-  nn::WeightVector averaged = nn::average_weights(ptrs);
+  phase.averaged = nn::average_weights(ptrs);
 
-  // 3. Train the averaged model on local data.
-  model_.set_weights(averaged);
-  Rng train_rng = rng_.fork(0x7EA10000ULL + dag.size());
-  Timer train_timer;
-  {
-    obs::ScopedSpan span("train",
-                         {{"client", static_cast<std::uint64_t>(client_->client_id)}});
-    result.train_loss = train_local_sgd(model_, *client_, config_.train, train_rng);
-  }
-  result.train_seconds = train_timer.elapsed_seconds();
-  result.trained_weights = std::make_shared<const nn::WeightVector>(model_.get_weights());
-  Timer eval_timer;
-  {
-    obs::ScopedSpan span("eval",
-                         {{"client", static_cast<std::uint64_t>(client_->client_id)}});
-    result.trained_eval =
-        evaluate_weights_on_test(eval_model_, *result.trained_weights, *client_);
-  }
-  result.eval_seconds = eval_timer.elapsed_seconds();
+  // 3. Deterministic fork for local batch sampling. `fork` is a pure
+  //    function of the root seed — it does not advance rng_ — so the fork's
+  //    position relative to the reference walk is immaterial.
+  phase.train_rng = rng_.fork(0x7EA10000ULL + dag.size());
 
-  // 4. Publish gate: compare against the consensus/reference model obtained
-  //    by another biased walk.
+  // 4. Reference walk for the publish gate (paper §4.1).
   {
     obs::ScopedSpan span("tipsel.reference",
                          {{"client", static_cast<std::uint64_t>(client_->client_id)}});
@@ -130,12 +115,41 @@ DagRoundResult DagClient::prepare_round(const dag::Dag& dag) {
   result.walk_stats.steps += ref_stats.steps;
   result.walk_stats.evaluations += ref_stats.evaluations;
   result.walk_stats.seconds += ref_stats.seconds;
-  const dag::WeightsPtr ref_weights = dag.weights(result.reference);
+  phase.reference_weights = dag.weights(result.reference);
+  return phase;
+}
+
+DagRoundResult DagClient::prepare_round(const dag::Dag& dag) {
+  WalkPhase phase = prepare_walks(dag);
+  DagRoundResult result = std::move(phase.result);
+
+  // Train the averaged model on local data.
+  model_.set_weights(phase.averaged);
+  Timer train_timer;
+  {
+    obs::ScopedSpan span("train",
+                         {{"client", static_cast<std::uint64_t>(client_->client_id)}});
+    result.train_loss = train_local_sgd(model_, *client_, config_.train, phase.train_rng);
+  }
+  result.train_seconds = train_timer.elapsed_seconds();
+  result.trained_weights = std::make_shared<const nn::WeightVector>(model_.get_weights());
+  result.averaged_base = std::make_shared<const nn::WeightVector>(std::move(phase.averaged));
+
+  // Publish gate inputs: trained and reference model on local test data.
+  Timer eval_timer;
+  {
+    obs::ScopedSpan span("eval",
+                         {{"client", static_cast<std::uint64_t>(client_->client_id)}});
+    result.trained_eval =
+        evaluate_weights_on_test(eval_model_, *result.trained_weights, *client_);
+  }
+  result.eval_seconds = eval_timer.elapsed_seconds();
   eval_timer.reset();
   {
     obs::ScopedSpan span("eval",
                          {{"client", static_cast<std::uint64_t>(client_->client_id)}});
-    result.reference_eval = evaluate_weights_on_test(eval_model_, *ref_weights, *client_);
+    result.reference_eval =
+        evaluate_weights_on_test(eval_model_, *phase.reference_weights, *client_);
   }
   result.eval_seconds += eval_timer.elapsed_seconds();
   return result;
@@ -150,7 +164,7 @@ dag::TxId DagClient::commit_round(dag::Dag& dag, const DagRoundResult& result,
     return dag::kInvalidTx;
   }
   return dag.add_transaction(result.parents, result.trained_weights, client_->client_id,
-                             round, client_->poisoned);
+                             round, client_->poisoned, result.averaged_base);
 }
 
 DagRoundResult DagClient::run_round(dag::Dag& dag, std::size_t round) {

@@ -56,6 +56,10 @@ struct DagRoundResult {
   std::vector<dag::TxId> parents;          // the approved tips
   dag::TxId reference = dag::kInvalidTx;   // consensus transaction used by the gate
   dag::WeightsPtr trained_weights;         // payload of the prepared transaction
+  // Average of the parents' payloads — the training start point. Kept so a
+  // commit can hand the payload store its delta-encode base instead of the
+  // store re-materializing and re-averaging the parents.
+  dag::WeightsPtr averaged_base;
   EvalResult trained_eval;                 // trained model on local test data
   EvalResult reference_eval;               // reference model on local test data
   double train_loss = 0.0;
@@ -76,6 +80,18 @@ struct DagRoundResult {
   }
 };
 
+// Intermediate state of a round after the walk phases but before training.
+// Produced by DagClient::prepare_walks so a batched executor can fuse the
+// train/eval phases of many clients: training from `averaged` with
+// `train_rng` and evaluating the trained + reference weights completes the
+// round bit-identically to prepare_round.
+struct WalkPhase {
+  DagRoundResult result;              // parents/reference/walk_stats filled
+  nn::WeightVector averaged;          // training start point (tip average)
+  dag::WeightsPtr reference_weights;  // payload of `result.reference`
+  Rng train_rng{0};                   // consumed by local batch sampling
+};
+
 class DagClient {
  public:
   // `client` must outlive the DagClient. The client trains a private model
@@ -91,6 +107,15 @@ class DagClient {
   // the DAG happens through the returned result when the caller commits it
   // (see commit_round), so a simulator can model transaction visibility.
   DagRoundResult prepare_round(const dag::Dag& dag);
+
+  // The walk-only phases of prepare_round: tip selection, payload averaging,
+  // the train_rng fork, and the reference walk. Local training consumes only
+  // the forked train_rng (never rng_ or the accuracy cache), so running the
+  // reference walk before training draws exactly the same random sequence as
+  // prepare_round — results stay bit-identical. prepare_round itself is a
+  // thin wrapper over this plus the scalar train/eval finish; batched
+  // executors fuse the finish across many clients instead.
+  WalkPhase prepare_walks(const dag::Dag& dag);
 
   // Appends the prepared transaction to the DAG if the gate passed.
   // Returns the published id (or kInvalidTx).

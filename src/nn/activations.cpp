@@ -1,11 +1,13 @@
 #include "nn/activations.hpp"
 
+#include "tensor/lanes.hpp"
+
 namespace specdag::nn {
 
 Tensor ReLU::forward(const Tensor& input, bool train) {
   if (train) cached_input_ = input;
   Tensor out = input;
-  for (auto& v : out.data()) v = v > 0.0f ? v : 0.0f;
+  lanes::relu_forward(input.raw(), out.raw(), out.numel());
   return out;
 }
 
@@ -14,9 +16,7 @@ Tensor ReLU::backward(const Tensor& grad_output) {
     throw std::logic_error("ReLU::backward: shape mismatch with cached input");
   }
   Tensor grad = grad_output;
-  for (std::size_t i = 0; i < grad.numel(); ++i) {
-    if (cached_input_[i] <= 0.0f) grad[i] = 0.0f;
-  }
+  lanes::relu_backward_mask(cached_input_.raw(), grad.raw(), grad.numel());
   return grad;
 }
 

@@ -26,30 +26,38 @@ Tensor Conv2D::forward(const Tensor& input, bool train) {
                                 std::to_string(spec_.in_channels) + ", got " +
                                 shape_to_string(input.shape()));
   }
+  const std::size_t n = input.dim(0);
+  const std::size_t oh = spec_.out_dim(input.dim(2));
+  const std::size_t ow = spec_.out_dim(input.dim(3));
+  const std::size_t positions = oh * ow;
+  const std::size_t ckk = spec_.in_channels * spec_.kernel * spec_.kernel;
   if (train) {
-    cached_cols_ = im2col(input, spec_);
+    // im2col into the cached-cols tensor (resized in place — capacity is
+    // reused across batches) so backward can replay the forward matmul.
+    cached_cols_.resize({n * positions, ckk});
+    im2col_into(input.raw(), n, input.dim(2), input.dim(3), spec_, cached_cols_.raw());
     cached_input_shape_ = input.shape();
-    // Recompute the output from the cached columns to avoid a second im2col.
-    Tensor out_cols = matmul_transposed_b(cached_cols_, filters_);
-    add_row_bias(out_cols, bias_);
-    const std::size_t n = input.dim(0);
-    const std::size_t oh = spec_.out_dim(input.dim(2));
-    const std::size_t ow = spec_.out_dim(input.dim(3));
+    out_cols_scratch_.resize(n * positions * spec_.out_channels);
+    matmul_transposed_b_into(cached_cols_.raw(), filters_.raw(), out_cols_scratch_.data(),
+                             n * positions, ckk, spec_.out_channels);
+    add_row_bias_into(out_cols_scratch_.data(), bias_.raw(), n * positions,
+                      spec_.out_channels);
     Tensor output({n, spec_.out_channels, oh, ow});
-    const std::size_t positions = oh * ow;
-    const float* po = out_cols.raw();
-    float* pr = output.raw();
-    for (std::size_t img = 0; img < n; ++img) {
-      for (std::size_t pos = 0; pos < positions; ++pos) {
-        for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
-          pr[(img * spec_.out_channels + oc) * positions + pos] =
-              po[(img * positions + pos) * spec_.out_channels + oc];
-        }
-      }
-    }
+    positions_to_nchw(out_cols_scratch_.data(), output.raw(), n, spec_.out_channels,
+                      positions);
     return output;
   }
-  return conv2d_forward(input, filters_, bias_, spec_);
+  // Eval path: same pipeline through scratch buffers that persist across
+  // calls (the old conv2d_forward free function allocated cols every time).
+  eval_cols_scratch_.resize(n * positions * ckk);
+  im2col_into(input.raw(), n, input.dim(2), input.dim(3), spec_, eval_cols_scratch_.data());
+  out_cols_scratch_.resize(n * positions * spec_.out_channels);
+  matmul_transposed_b_into(eval_cols_scratch_.data(), filters_.raw(), out_cols_scratch_.data(),
+                           n * positions, ckk, spec_.out_channels);
+  add_row_bias_into(out_cols_scratch_.data(), bias_.raw(), n * positions, spec_.out_channels);
+  Tensor output({n, spec_.out_channels, oh, ow});
+  positions_to_nchw(out_cols_scratch_.data(), output.raw(), n, spec_.out_channels, positions);
+  return output;
 }
 
 Tensor Conv2D::backward(const Tensor& grad_output) {
@@ -66,27 +74,31 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
     throw std::invalid_argument("Conv2D::backward: grad shape mismatch");
   }
   // Rearrange grad NCHW -> [N*OH*OW, OC] to mirror the forward matmul.
-  Tensor grad_cols({n * positions, spec_.out_channels});
-  const float* pg = grad_output.raw();
-  float* pc = grad_cols.raw();
-  for (std::size_t img = 0; img < n; ++img) {
-    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
-      for (std::size_t pos = 0; pos < positions; ++pos) {
-        pc[(img * positions + pos) * spec_.out_channels + oc] =
-            pg[(img * spec_.out_channels + oc) * positions + pos];
-      }
-    }
-  }
+  grad_cols_scratch_.resize(n * positions * spec_.out_channels);
+  nchw_to_positions(grad_output.raw(), grad_cols_scratch_.data(), n, spec_.out_channels,
+                    positions);
+  const float* pc = grad_cols_scratch_.data();
   // dFilters += grad_cols^T @ cols ; dBias += colsum(grad_cols)
-  grad_filters_ += matmul_transposed_a(grad_cols, cached_cols_);
-  for (std::size_t r = 0; r < grad_cols.dim(0); ++r) {
+  const std::size_t ckk = spec_.in_channels * spec_.kernel * spec_.kernel;
+  grad_f_scratch_.assign(spec_.out_channels * ckk, 0.0f);
+  matmul_transposed_a_acc(pc, cached_cols_.raw(), grad_f_scratch_.data(), n * positions,
+                          spec_.out_channels, ckk);
+  for (std::size_t i = 0; i < grad_f_scratch_.size(); ++i) {
+    grad_filters_[i] += grad_f_scratch_[i];
+  }
+  for (std::size_t r = 0; r < n * positions; ++r) {
     for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
-      grad_bias_[oc] += grad_cols.at(r, oc);
+      grad_bias_[oc] += pc[r * spec_.out_channels + oc];
     }
   }
   // dInput = col2im(grad_cols @ filters)
-  Tensor dcols = matmul(grad_cols, filters_);
-  return col2im(dcols, cached_input_shape_, spec_);
+  dcols_scratch_.resize(n * positions * ckk);
+  matmul_into(pc, filters_.raw(), dcols_scratch_.data(), n * positions, spec_.out_channels,
+              ckk);
+  Tensor grad_input(cached_input_shape_);
+  col2im_into(dcols_scratch_.data(), n, cached_input_shape_[2], cached_input_shape_[3], spec_,
+              grad_input.raw());
+  return grad_input;
 }
 
 std::vector<Param> Conv2D::params() {

@@ -31,6 +31,13 @@ class Conv2D : public Layer {
   Tensor grad_bias_;
   Tensor cached_cols_;   // im2col of the last training input
   Shape cached_input_shape_;
+  // Scratch reused across forward/backward calls (capacity is retained, so
+  // the per-batch im2col/GEMM temporaries stop allocating after warm-up).
+  std::vector<float> out_cols_scratch_;
+  std::vector<float> eval_cols_scratch_;
+  std::vector<float> grad_cols_scratch_;
+  std::vector<float> grad_f_scratch_;
+  std::vector<float> dcols_scratch_;
 };
 
 class MaxPool2D : public Layer {
@@ -40,6 +47,9 @@ class MaxPool2D : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "MaxPool2D"; }
+
+  std::size_t size() const { return size_; }
+  std::size_t stride() const { return stride_; }
 
  private:
   std::size_t size_;

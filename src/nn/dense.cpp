@@ -31,7 +31,15 @@ Tensor Dense::backward(const Tensor& grad_output) {
     throw std::logic_error("Dense::backward: no cached forward activation");
   }
   // dW += x^T g ; db += colsum(g) ; dx = g W^T
-  grad_weight_ += matmul_transposed_a(cached_input_, grad_output);
+  // The dW product lands in a persistent scratch buffer (zeroed, accumulated
+  // into, then added onto grad_weight_ — same arithmetic as the old
+  // tmp-Tensor path without the per-batch allocation).
+  grad_w_scratch_.assign(in_ * out_, 0.0f);
+  matmul_transposed_a_acc(cached_input_.raw(), grad_output.raw(), grad_w_scratch_.data(),
+                          grad_output.dim(0), in_, out_);
+  for (std::size_t i = 0; i < grad_w_scratch_.size(); ++i) {
+    grad_weight_[i] += grad_w_scratch_[i];
+  }
   const std::size_t batch = grad_output.dim(0);
   for (std::size_t r = 0; r < batch; ++r) {
     for (std::size_t c = 0; c < out_; ++c) grad_bias_[c] += grad_output.at(r, c);

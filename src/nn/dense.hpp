@@ -26,6 +26,7 @@ class Dense : public Layer {
   Tensor grad_weight_;
   Tensor grad_bias_;
   Tensor cached_input_;
+  std::vector<float> grad_w_scratch_;  // reused across backward calls
 };
 
 }  // namespace specdag::nn

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tensor/lanes.hpp"
+
 namespace specdag::nn {
 
 Sgd::Sgd(double learning_rate) : lr_(learning_rate) {
@@ -11,10 +13,7 @@ Sgd::Sgd(double learning_rate) : lr_(learning_rate) {
 void Sgd::step(Sequential& model) {
   const float lr = static_cast<float>(lr_);
   for (auto& p : model.params()) {
-    auto& w = p.value->data();
-    auto& g = p.grad->data();
-    for (std::size_t i = 0; i < w.size(); ++i) w[i] -= lr * g[i];
-    p.grad->fill(0.0f);
+    lanes::sgd_step(p.value->raw(), p.grad->raw(), lr, p.value->numel());
   }
 }
 

@@ -60,7 +60,7 @@ std::string walk_start_to_string(tipsel::WalkStart start) {
 fl::TrainConfig train_from_json(const Json& json) {
   check_known_keys(json,
                    {"local_epochs", "local_batches", "batch_size", "learning_rate",
-                    "freeze_prefix_params"},
+                    "freeze_prefix_params", "batch"},
                    "client.train");
   fl::TrainConfig train;
   train.local_epochs = static_cast<std::size_t>(json.uint_or("local_epochs", train.local_epochs));
@@ -70,6 +70,7 @@ fl::TrainConfig train_from_json(const Json& json) {
   train.learning_rate = json.number_or("learning_rate", train.learning_rate);
   train.freeze_prefix_params =
       static_cast<std::size_t>(json.uint_or("freeze_prefix_params", train.freeze_prefix_params));
+  train.batch = static_cast<std::size_t>(json.uint_or("batch", train.batch));
   return train;
 }
 
@@ -80,6 +81,7 @@ Json train_to_json(const fl::TrainConfig& train) {
   json.set("batch_size", train.batch_size);
   json.set("learning_rate", train.learning_rate);
   if (train.freeze_prefix_params > 0) json.set("freeze_prefix_params", train.freeze_prefix_params);
+  if (train.batch != fl::TrainConfig{}.batch) json.set("batch", train.batch);
   return json;
 }
 

@@ -74,7 +74,15 @@ class BitReader {
 // accumulator.
 class FastBitWriter {
  public:
-  explicit FastBitWriter(std::size_t size_hint) { bytes_.reserve(size_hint + 8); }
+  // `max_words` bounds the stream: one encoded word is at most 2+5+32 bits.
+  // Writing into a pre-sized thread-local scratch keeps the hot path free of
+  // capacity checks; take() copies the exact-size result out, so callers
+  // never hold the slack capacity.
+  explicit FastBitWriter(std::size_t max_words) {
+    const std::size_t worst = (max_words * 39 + 7) / 8 + 16;
+    if (scratch().size() < worst) scratch().resize(worst);
+    out_ = scratch().data();
+  }
 
   // Writes the low `width` (<= 32) bits of `value`, most significant first.
   void put_bits(std::uint32_t value, std::uint32_t width) {
@@ -100,25 +108,31 @@ class FastBitWriter {
   std::vector<std::uint8_t> take() {
     while (bits_ >= 8) {
       bits_ -= 8;
-      bytes_.push_back(static_cast<std::uint8_t>(acc_ >> bits_));
+      *out_++ = static_cast<std::uint8_t>(acc_ >> bits_);
     }
     if (bits_ > 0) {
-      bytes_.push_back(static_cast<std::uint8_t>(acc_ << (8 - bits_)));
+      *out_++ = static_cast<std::uint8_t>(acc_ << (8 - bits_));
       bits_ = 0;
     }
-    return std::move(bytes_);
+    return std::vector<std::uint8_t>(scratch().data(), out_);
   }
 
  private:
-  void store_chunk(std::uint32_t chunk) {
-    // Append the chunk big-endian (the stream is MSB-first).
-    const std::uint8_t be[4] = {
-        static_cast<std::uint8_t>(chunk >> 24), static_cast<std::uint8_t>(chunk >> 16),
-        static_cast<std::uint8_t>(chunk >> 8), static_cast<std::uint8_t>(chunk)};
-    bytes_.insert(bytes_.end(), be, be + 4);
+  static std::vector<std::uint8_t>& scratch() {
+    thread_local std::vector<std::uint8_t> buf;
+    return buf;
   }
 
-  std::vector<std::uint8_t> bytes_;
+  void store_chunk(std::uint32_t chunk) {
+    // Append the chunk big-endian (the stream is MSB-first).
+    out_[0] = static_cast<std::uint8_t>(chunk >> 24);
+    out_[1] = static_cast<std::uint8_t>(chunk >> 16);
+    out_[2] = static_cast<std::uint8_t>(chunk >> 8);
+    out_[3] = static_cast<std::uint8_t>(chunk);
+    out_ += 4;
+  }
+
+  std::uint8_t* out_ = nullptr;
   std::uint64_t acc_ = 0;
   std::uint32_t bits_ = 0;  // bits buffered in acc_, always < 32 between calls
 };
@@ -272,9 +286,7 @@ const char* delta_codec_backend() { return xor_backend().name; }
 
 std::vector<std::uint8_t> encode_delta(const float* values, const float* base,
                                        std::size_t count) {
-  // Typical converged-update streams land near half the raw size; reserving
-  // that avoids most growth reallocations without overshooting small inputs.
-  FastBitWriter writer(count * 2 + 16);
+  FastBitWriter writer(count);
   const XorWordsFn xor_words = xor_backend().fn;
   std::uint32_t window = 0;  // significant-bit width of the previous word; 0 = none yet
   std::uint32_t xors[kBlockWords];

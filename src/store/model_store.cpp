@@ -28,25 +28,6 @@ StoreMetrics& store_metrics() {
   return metrics;
 }
 
-std::uint64_t mix_stream(const nn::WeightVector& weights, std::uint64_t seed) {
-  std::uint64_t h = seed;
-  const auto* bytes = reinterpret_cast<const std::uint8_t*>(weights.data());
-  std::size_t remaining = weights.size() * sizeof(float);
-  while (remaining >= 8) {
-    std::uint64_t word;
-    std::memcpy(&word, bytes, 8);
-    h = splitmix64(h ^ word);
-    bytes += 8;
-    remaining -= 8;
-  }
-  if (remaining > 0) {
-    std::uint64_t word = 0;
-    std::memcpy(&word, bytes, remaining);
-    h = splitmix64(h ^ word);
-  }
-  // Fold in the length so a zero-padded tail cannot alias a longer vector.
-  return splitmix64(h ^ weights.size());
-}
 
 std::uint64_t elapsed_nanos(const Timer& timer) {
   return static_cast<std::uint64_t>(timer.elapsed_seconds() * 1e9);
@@ -55,8 +36,30 @@ std::uint64_t elapsed_nanos(const Timer& timer) {
 }  // namespace
 
 ContentHash hash_weights(const nn::WeightVector& weights) {
-  return ContentHash{mix_stream(weights, 0x5EED5EED5EED5EEDULL),
-                     mix_stream(weights, 0xC0FFEE00C0FFEE00ULL)};
+  // Both 64-bit mixes in one pass over the data: each splitmix chain is
+  // serial (latency-bound), but the two chains are independent, so
+  // interleaving them hides most of that latency behind ILP. Chain values
+  // are identical to running the two streams separately.
+  std::uint64_t hi = 0x5EED5EED5EED5EEDULL;
+  std::uint64_t lo = 0xC0FFEE00C0FFEE00ULL;
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(weights.data());
+  std::size_t remaining = weights.size() * sizeof(float);
+  while (remaining >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes, 8);
+    hi = splitmix64(hi ^ word);
+    lo = splitmix64(lo ^ word);
+    bytes += 8;
+    remaining -= 8;
+  }
+  if (remaining > 0) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, bytes, remaining);
+    hi = splitmix64(hi ^ word);
+    lo = splitmix64(lo ^ word);
+  }
+  // Fold in the length so a zero-padded tail cannot alias a longer vector.
+  return ContentHash{splitmix64(hi ^ weights.size()), splitmix64(lo ^ weights.size())};
 }
 
 ModelStore::ModelStore(StoreConfig config) : config_(config) {
@@ -87,8 +90,10 @@ nn::WeightVector ModelStore::base_vector_locked(const std::vector<PayloadId>& ba
   return nn::average_weights(ptrs);
 }
 
-PayloadId ModelStore::put(WeightsPtr weights, const std::vector<PayloadId>& bases) {
+PayloadId ModelStore::put(WeightsPtr weights, const std::vector<PayloadId>& bases,
+                          WeightsPtr encode_base) {
   if (!weights) throw std::invalid_argument("ModelStore::put: null payload");
+  if (encode_base && encode_base->size() != weights->size()) encode_base = nullptr;
   store_metrics().puts.add();
   const ContentHash hash = hash_weights(*weights);
 
@@ -128,6 +133,7 @@ PayloadId ModelStore::put(WeightsPtr weights, const std::vector<PayloadId>& base
     entry.state = EntryState::kEncoding;
     entry.bases = bases;
     entry.raw = std::move(weights);
+    entry.encode_base = std::move(encode_base);
     full_payload_bytes_ += raw_bytes;
     resident_payload_bytes_ += raw_bytes;  // raw until the delta lands
     entries_.push_back(std::move(entry));
@@ -151,6 +157,7 @@ PayloadId ModelStore::put(WeightsPtr weights, const std::vector<PayloadId>& base
       Entry& orphan = entries_[id];
       orphan.state = EntryState::kAnchor;
       orphan.bases.clear();
+      orphan.encode_base = nullptr;
       ++anchor_count_;
       {
         std::lock_guard encode_lock(encode_mutex_);
@@ -165,9 +172,14 @@ PayloadId ModelStore::put(WeightsPtr weights, const std::vector<PayloadId>& base
   if (encodable && chain_depth <= config_.anchor_interval) {
     obs::ScopedSpan span("encode.inline", {{"payload", id}});
     Timer encode_timer;
-    const nn::WeightVector base = base_vector_locked(bases);
+    nn::WeightVector base_storage;
+    const nn::WeightVector* base = encode_base.get();
+    if (base == nullptr) {
+      base_storage = base_vector_locked(bases);
+      base = &base_storage;
+    }
     std::vector<std::uint8_t> encoded =
-        encode_delta(weights->data(), base.data(), weights->size());
+        encode_delta(weights->data(), base->data(), weights->size());
     encode_nanos_inline_.fetch_add(elapsed_nanos(encode_timer), std::memory_order_relaxed);
     if (encoded.size() < raw_bytes) {
       entry.state = EntryState::kDelta;
@@ -224,10 +236,12 @@ void ModelStore::encode_async(PayloadId id) {
 void ModelStore::encode_async_impl(PayloadId id) {
   std::vector<PayloadId> bases;
   WeightsPtr raw;
+  WeightsPtr encode_base;
   {
     std::shared_lock lock(entries_mutex_);
     bases = entries_[id].bases;
     raw = entries_[id].raw;
+    encode_base = entries_[id].encode_base;
   }
 
   // Wait for every base to settle: the delta/anchor decision below must see
@@ -263,12 +277,14 @@ void ModelStore::encode_async_impl(PayloadId id) {
   bool stored_as_delta = false;
   const std::size_t raw_bytes = raw->size() * sizeof(float);
   if (chain_depth <= config_.anchor_interval) {
-    nn::WeightVector base;
-    {
+    nn::WeightVector base_storage;
+    const nn::WeightVector* base = encode_base.get();
+    if (base == nullptr) {
       std::shared_lock lock(entries_mutex_);
-      base = base_vector_locked(bases);
+      base_storage = base_vector_locked(bases);
+      base = &base_storage;
     }
-    encoded = encode_delta(raw->data(), base.data(), raw->size());
+    encoded = encode_delta(raw->data(), base->data(), raw->size());
     stored_as_delta = encoded.size() < raw_bytes;
   }
   encode_nanos_async_.fetch_add(elapsed_nanos(encode_timer), std::memory_order_relaxed);
@@ -288,6 +304,7 @@ void ModelStore::encode_async_impl(PayloadId id) {
       entry.bases.clear();
       ++anchor_count_;  // residency already counted raw at put()
     }
+    entry.encode_base = nullptr;  // hint served its one encode
     ++async_encoded_;
     // Settle while still holding the exclusive lock: stats() (shared +
     // encode_mutex_) then never observes the flip and the queue removal out

@@ -145,7 +145,14 @@ class ModelStore {
   // from). An empty `bases` forces an anchor. Returns the id of the interned
   // (or pre-existing identical) payload. With async_encode the encoding is
   // deferred to the background pool and this returns immediately.
-  PayloadId put(WeightsPtr weights, const std::vector<PayloadId>& bases);
+  // `encode_base`, when given, must be the average of the bases' payloads
+  // (what base_vector_locked would compute — decode recomputes that average,
+  // so a mismatching hint would corrupt the payload). Publishers already
+  // hold this vector as their training start point; passing it here skips
+  // re-materializing and re-averaging the bases on the encode path. A hint
+  // of the wrong length is ignored.
+  PayloadId put(WeightsPtr weights, const std::vector<PayloadId>& bases,
+                WeightsPtr encode_base = nullptr);
 
   // Materializes the payload (LRU-cached for delta entries; entries still
   // awaiting their async encode serve the retained raw vector). The
@@ -189,6 +196,7 @@ class ModelStore {
     std::vector<PayloadId> bases;   // empty for anchors
     std::vector<std::uint8_t> encoded;  // delta entries only
     WeightsPtr raw;  // anchors stay materialized; pending entries hold it too
+    WeightsPtr encode_base;  // put()'s base hint, held until the async encode
   };
 
   struct LruNode {

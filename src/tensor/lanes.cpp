@@ -1,0 +1,202 @@
+#include "tensor/lanes.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SPECDAG_LANES_X86 1
+#include <immintrin.h>
+#endif
+
+namespace specdag::lanes {
+namespace {
+
+// ------------------------------------------------------------- scalar ---
+//
+// The scalar loops are the reference semantics; the SIMD variants below
+// must match them bit-for-bit (mul-then-add only — never FMA, which fuses
+// the rounding step and changes low bits).
+
+#if !SPECDAG_LANES_X86
+
+void axpy_scalar(float* dst, const float* src, float a, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) dst[j] += a * src[j];
+}
+
+void sgd_step_scalar(float* w, float* g, float lr, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    w[j] -= lr * g[j];
+    g[j] = 0.0f;
+  }
+}
+
+void relu_forward_scalar(const float* x, float* y, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = x[j] > 0.0f ? x[j] : 0.0f;
+}
+
+void relu_backward_mask_scalar(const float* x, float* g, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    if (x[j] <= 0.0f) g[j] = 0.0f;
+  }
+}
+
+#else  // SPECDAG_LANES_X86
+
+// --------------------------------------------------------------- SSE2 ---
+// (baseline for x86-64, no target attribute needed)
+
+void axpy_sse2(float* dst, const float* src, float a, std::size_t n) {
+  const __m128 va = _mm_set1_ps(a);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m128 s = _mm_loadu_ps(src + j);
+    const __m128 d = _mm_loadu_ps(dst + j);
+    _mm_storeu_ps(dst + j, _mm_add_ps(d, _mm_mul_ps(va, s)));
+  }
+  for (; j < n; ++j) dst[j] += a * src[j];
+}
+
+void sgd_step_sse2(float* w, float* g, float lr, std::size_t n) {
+  const __m128 vlr = _mm_set1_ps(lr);
+  const __m128 zero = _mm_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m128 vw = _mm_loadu_ps(w + j);
+    const __m128 vg = _mm_loadu_ps(g + j);
+    _mm_storeu_ps(w + j, _mm_sub_ps(vw, _mm_mul_ps(vlr, vg)));
+    _mm_storeu_ps(g + j, zero);
+  }
+  for (; j < n; ++j) {
+    w[j] -= lr * g[j];
+    g[j] = 0.0f;
+  }
+}
+
+void relu_forward_sse2(const float* x, float* y, std::size_t n) {
+  const __m128 zero = _mm_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m128 v = _mm_loadu_ps(x + j);
+    // x > 0 ? x : 0 — a mask-and, so -0.0 and NaN land exactly where the
+    // scalar ternary puts them (+0.0).
+    _mm_storeu_ps(y + j, _mm_and_ps(v, _mm_cmpgt_ps(v, zero)));
+  }
+  for (; j < n; ++j) y[j] = x[j] > 0.0f ? x[j] : 0.0f;
+}
+
+void relu_backward_mask_sse2(const float* x, float* g, std::size_t n) {
+  const __m128 zero = _mm_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m128 v = _mm_loadu_ps(x + j);
+    const __m128 vg = _mm_loadu_ps(g + j);
+    // Zero g where x <= 0; NaN compares false, so its gradient survives,
+    // matching the scalar `if (x <= 0) g = 0`.
+    _mm_storeu_ps(g + j, _mm_andnot_ps(_mm_cmple_ps(v, zero), vg));
+  }
+  for (; j < n; ++j) {
+    if (x[j] <= 0.0f) g[j] = 0.0f;
+  }
+}
+
+// --------------------------------------------------------------- AVX2 ---
+
+__attribute__((target("avx2"))) void axpy_avx2(float* dst, const float* src, float a,
+                                               std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 s = _mm256_loadu_ps(src + j);
+    const __m256 d = _mm256_loadu_ps(dst + j);
+    _mm256_storeu_ps(dst + j, _mm256_add_ps(d, _mm256_mul_ps(va, s)));
+  }
+  for (; j < n; ++j) dst[j] += a * src[j];
+}
+
+__attribute__((target("avx2"))) void sgd_step_avx2(float* w, float* g, float lr,
+                                                   std::size_t n) {
+  const __m256 vlr = _mm256_set1_ps(lr);
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 vw = _mm256_loadu_ps(w + j);
+    const __m256 vg = _mm256_loadu_ps(g + j);
+    _mm256_storeu_ps(w + j, _mm256_sub_ps(vw, _mm256_mul_ps(vlr, vg)));
+    _mm256_storeu_ps(g + j, zero);
+  }
+  for (; j < n; ++j) {
+    w[j] -= lr * g[j];
+    g[j] = 0.0f;
+  }
+}
+
+__attribute__((target("avx2"))) void relu_forward_avx2(const float* x, float* y,
+                                                       std::size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 v = _mm256_loadu_ps(x + j);
+    _mm256_storeu_ps(y + j, _mm256_and_ps(v, _mm256_cmp_ps(v, zero, _CMP_GT_OQ)));
+  }
+  for (; j < n; ++j) y[j] = x[j] > 0.0f ? x[j] : 0.0f;
+}
+
+__attribute__((target("avx2"))) void relu_backward_mask_avx2(const float* x, float* g,
+                                                             std::size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 v = _mm256_loadu_ps(x + j);
+    const __m256 vg = _mm256_loadu_ps(g + j);
+    _mm256_storeu_ps(g + j, _mm256_andnot_ps(_mm256_cmp_ps(v, zero, _CMP_LE_OQ), vg));
+  }
+  for (; j < n; ++j) {
+    if (x[j] <= 0.0f) g[j] = 0.0f;
+  }
+}
+
+#endif  // SPECDAG_LANES_X86
+
+struct Backend {
+  void (*axpy)(float*, const float*, float, std::size_t);
+  void (*sgd_step)(float*, float*, float, std::size_t);
+  void (*relu_forward)(const float*, float*, std::size_t);
+  void (*relu_backward_mask)(const float*, float*, std::size_t);
+  const char* name;
+};
+
+Backend pick_backend() {
+#if SPECDAG_LANES_X86
+  if (__builtin_cpu_supports("avx2")) {
+    return {axpy_avx2, sgd_step_avx2, relu_forward_avx2, relu_backward_mask_avx2, "avx2"};
+  }
+  return {axpy_sse2, sgd_step_sse2, relu_forward_sse2, relu_backward_mask_sse2, "sse2"};
+#else
+  return {axpy_scalar, sgd_step_scalar, relu_forward_scalar, relu_backward_mask_scalar,
+          "scalar"};
+#endif
+}
+
+const Backend& backend_impl() {
+  static const Backend backend = pick_backend();
+  return backend;
+}
+
+}  // namespace
+
+void axpy(float* dst, const float* src, float a, std::size_t n) {
+  backend_impl().axpy(dst, src, a, n);
+}
+
+void sgd_step(float* w, float* g, float lr, std::size_t n) {
+  backend_impl().sgd_step(w, g, lr, n);
+}
+
+void relu_forward(const float* x, float* y, std::size_t n) {
+  backend_impl().relu_forward(x, y, n);
+}
+
+void relu_backward_mask(const float* x, float* g, std::size_t n) {
+  backend_impl().relu_backward_mask(x, g, n);
+}
+
+const char* backend() { return backend_impl().name; }
+
+}  // namespace specdag::lanes

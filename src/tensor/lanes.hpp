@@ -1,0 +1,30 @@
+// Element-wise float kernels shared by the scalar layers and the SoA batch
+// executor, with runtime SIMD dispatch (AVX2 -> SSE2 -> scalar) in the same
+// style as the delta codec's XOR backends.
+//
+// Every kernel is element-independent (no reductions, no FMA), so the SIMD
+// variants are bit-identical to the scalar loops: vectorizing a loop whose
+// iterations don't interact cannot change any element's rounding.
+#pragma once
+
+#include <cstddef>
+
+namespace specdag::lanes {
+
+// dst[j] += a * src[j]  — the inner loop of the ikj matmul kernels.
+void axpy(float* dst, const float* src, float a, std::size_t n);
+
+// w[j] -= lr * g[j]; g[j] = 0  — fused SGD step + grad reset.
+void sgd_step(float* w, float* g, float lr, std::size_t n);
+
+// y[j] = x[j] > 0 ? x[j] : 0  (matches the scalar ternary for -0.0 and NaN).
+void relu_forward(const float* x, float* y, std::size_t n);
+
+// g[j] = (x[j] <= 0) ? 0 : g[j]  (NaN inputs keep their gradient, like the
+// scalar `if (x <= 0) g = 0` it replaces).
+void relu_backward_mask(const float* x, float* g, std::size_t n);
+
+// Name of the dispatched backend: "avx2", "sse2", or "scalar".
+const char* backend();
+
+}  // namespace specdag::lanes

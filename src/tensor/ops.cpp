@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "tensor/lanes.hpp"
+
 namespace specdag {
 namespace {
 
@@ -15,104 +17,75 @@ void require_matrix(const Tensor& t, const char* name) {
 
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  require_matrix(a, "matmul: a");
-  require_matrix(b, "matmul: b");
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  if (b.dim(0) != k) {
-    throw std::invalid_argument("matmul: inner dims mismatch " + shape_to_string(a.shape()) +
-                                " x " + shape_to_string(b.shape()));
-  }
-  Tensor c({m, n});
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* pc = c.raw();
+// ------------------------------------------------------- raw kernels ---
+
+void matmul_into(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+                 std::size_t n) {
+  std::fill(c, c + m * n, 0.0f);
   // ikj loop order: streams through b and c rows, cache friendly.
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
+      const float aik = a[i * k + kk];
       if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      lanes::axpy(c + i * n, b + kk * n, aik, n);
     }
   }
-  return c;
 }
 
-Tensor matmul_transposed_b(const Tensor& a, const Tensor& b) {
-  require_matrix(a, "matmul_transposed_b: a");
-  require_matrix(b, "matmul_transposed_b: b");
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  if (b.dim(1) != k) {
-    throw std::invalid_argument("matmul_transposed_b: inner dims mismatch");
+void matmul_transposed_b_into(const float* a, const float* b, float* c, std::size_t m,
+                              std::size_t k, std::size_t n) {
+  // Transposing b (n x k -> k x n) turns the j-loop into a contiguous SIMD
+  // axpy while keeping the low bits of the scalar running-sum dot: each
+  // c[i,j] still receives its kk-terms one at a time in kk order, each as a
+  // separate multiply-then-add (lanes::axpy never fuses). The zero-skip is
+  // exact too — the accumulator starts at +0.0f and skipped terms are
+  // +-0.0f products, which can never change it.
+  thread_local std::vector<float> bt;
+  bt.resize(k * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const float* brow = b + j * k;
+    for (std::size_t kk = 0; kk < k; ++kk) bt[kk * n + j] = brow[kk];
   }
-  Tensor c({m, n});
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* pc = c.raw();
+  std::fill(c, c + m * n, 0.0f);
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* arow = pa + i * k;
-      const float* brow = pb + j * k;
-      float sum = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
-      pc[i * n + j] = sum;
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      lanes::axpy(crow, bt.data() + kk * n, aik, n);
     }
   }
-  return c;
 }
 
-Tensor matmul_transposed_a(const Tensor& a, const Tensor& b) {
-  require_matrix(a, "matmul_transposed_a: a");
-  require_matrix(b, "matmul_transposed_a: b");
-  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  if (b.dim(0) != k) {
-    throw std::invalid_argument("matmul_transposed_a: inner dims mismatch");
-  }
-  Tensor c({m, n});
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* pc = c.raw();
+void matmul_transposed_a_acc(const float* a, const float* b, float* c, std::size_t k,
+                             std::size_t m, std::size_t n) {
   for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
     for (std::size_t i = 0; i < m; ++i) {
       const float aik = arow[i];
       if (aik == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      lanes::axpy(c + i * n, brow, aik, n);
     }
   }
-  return c;
 }
 
-void add_row_bias(Tensor& m, const Tensor& bias) {
-  require_matrix(m, "add_row_bias: m");
-  const std::size_t rows = m.dim(0), cols = m.dim(1);
-  if (bias.numel() != cols) {
-    throw std::invalid_argument("add_row_bias: bias size mismatch");
-  }
-  float* pm = m.raw();
-  const float* pb = bias.raw();
+void add_row_bias_into(float* m, const float* bias, std::size_t rows, std::size_t cols) {
   for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t c = 0; c < cols; ++c) pm[r * cols + c] += pb[c];
+    for (std::size_t c = 0; c < cols; ++c) m[r * cols + c] += bias[c];
   }
 }
 
-Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
-  if (input.rank() != 4) throw std::invalid_argument("im2col: input must be NCHW");
-  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
-  if (c != spec.in_channels) throw std::invalid_argument("im2col: channel mismatch");
+void im2col_into(const float* input, std::size_t n, std::size_t h, std::size_t w,
+                 const Conv2dSpec& spec, float* cols) {
+  const std::size_t c = spec.in_channels;
   const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w), k = spec.kernel;
-  Tensor cols({n * oh * ow, c * k * k});
-  const float* pin = input.raw();
-  float* pc = cols.raw();
   const std::size_t col_width = c * k * k;
   for (std::size_t img = 0; img < n; ++img) {
     for (std::size_t oy = 0; oy < oh; ++oy) {
       for (std::size_t ox = 0; ox < ow; ++ox) {
-        float* dst = pc + ((img * oh + oy) * ow + ox) * col_width;
+        float* dst = cols + ((img * oh + oy) * ow + ox) * col_width;
         for (std::size_t ch = 0; ch < c; ++ch) {
           for (std::size_t ky = 0; ky < k; ++ky) {
             const std::ptrdiff_t iy =
@@ -125,8 +98,8 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
               float v = 0.0f;
               if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(h) && ix >= 0 &&
                   ix < static_cast<std::ptrdiff_t>(w)) {
-                v = pin[((img * c + ch) * h + static_cast<std::size_t>(iy)) * w +
-                        static_cast<std::size_t>(ix)];
+                v = input[((img * c + ch) * h + static_cast<std::size_t>(iy)) * w +
+                          static_cast<std::size_t>(ix)];
               }
               dst[(ch * k + ky) * k + kx] = v;
             }
@@ -135,6 +108,142 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
       }
     }
   }
+}
+
+void col2im_into(const float* cols, std::size_t n, std::size_t h, std::size_t w,
+                 const Conv2dSpec& spec, float* grad) {
+  const std::size_t c = spec.in_channels;
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w), k = spec.kernel;
+  const std::size_t col_width = c * k * k;
+  std::fill(grad, grad + n * c * h * w, 0.0f);
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const float* src = cols + ((img * oh + oy) * ow + ox) * col_width;
+        for (std::size_t ch = 0; ch < c; ++ch) {
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                static_cast<std::ptrdiff_t>(spec.padding);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                  static_cast<std::ptrdiff_t>(spec.padding);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              grad[((img * c + ch) * h + static_cast<std::size_t>(iy)) * w +
+                   static_cast<std::size_t>(ix)] += src[(ch * k + ky) * k + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void positions_to_nchw(const float* cols, float* out, std::size_t n, std::size_t oc,
+                       std::size_t positions) {
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t pos = 0; pos < positions; ++pos) {
+      for (std::size_t ch = 0; ch < oc; ++ch) {
+        out[(img * oc + ch) * positions + pos] = cols[(img * positions + pos) * oc + ch];
+      }
+    }
+  }
+}
+
+void nchw_to_positions(const float* in, float* cols, std::size_t n, std::size_t oc,
+                       std::size_t positions) {
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t pos = 0; pos < positions; ++pos) {
+      for (std::size_t ch = 0; ch < oc; ++ch) {
+        cols[(img * positions + pos) * oc + ch] = in[(img * oc + ch) * positions + pos];
+      }
+    }
+  }
+}
+
+void matmul_multi_rhs(const float* a, const float* const* bs, float* const* cs,
+                      std::size_t lanes, std::size_t m, std::size_t k, std::size_t n) {
+  // Per lane the accumulation is kk-ascending in both branches below, so the
+  // result is bit-identical to `lanes` independent matmul_into calls either
+  // way; only the interleaving across (independent) lane buffers differs.
+  if (m * k * sizeof(float) <= std::size_t{256} << 10) {
+    // A cache-resident: sequential per-lane GEMMs stream each B exactly once
+    // and re-read A from cache for free. Interleaving lanes here would only
+    // shred the B prefetch streams.
+    for (std::size_t l = 0; l < lanes; ++l) matmul_into(a, bs[l], cs[l], m, k, n);
+    return;
+  }
+  for (std::size_t l = 0; l < lanes; ++l) std::fill(cs[l], cs[l] + m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = a[i * k + kk];
+      if (aik == 0.0f) continue;
+      // Lane loop innermost: each row of the large A is read once for all
+      // lanes instead of `lanes` times from memory.
+      for (std::size_t l = 0; l < lanes; ++l) {
+        lanes::axpy(cs[l] + i * n, bs[l] + kk * n, aik, n);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------- Tensor wrappers ---
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul: a");
+  require_matrix(b, "matmul: b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul: inner dims mismatch " + shape_to_string(a.shape()) +
+                                " x " + shape_to_string(b.shape()));
+  }
+  Tensor c({m, n});
+  matmul_into(a.raw(), b.raw(), c.raw(), m, k, n);
+  return c;
+}
+
+Tensor matmul_transposed_b(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul_transposed_b: a");
+  require_matrix(b, "matmul_transposed_b: b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("matmul_transposed_b: inner dims mismatch");
+  }
+  Tensor c({m, n});
+  matmul_transposed_b_into(a.raw(), b.raw(), c.raw(), m, k, n);
+  return c;
+}
+
+Tensor matmul_transposed_a(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul_transposed_a: a");
+  require_matrix(b, "matmul_transposed_a: b");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul_transposed_a: inner dims mismatch");
+  }
+  Tensor c({m, n});
+  matmul_transposed_a_acc(a.raw(), b.raw(), c.raw(), k, m, n);
+  return c;
+}
+
+void add_row_bias(Tensor& m, const Tensor& bias) {
+  require_matrix(m, "add_row_bias: m");
+  const std::size_t rows = m.dim(0), cols = m.dim(1);
+  if (bias.numel() != cols) {
+    throw std::invalid_argument("add_row_bias: bias size mismatch");
+  }
+  add_row_bias_into(m.raw(), bias.raw(), rows, cols);
+}
+
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+  if (input.rank() != 4) throw std::invalid_argument("im2col: input must be NCHW");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  if (c != spec.in_channels) throw std::invalid_argument("im2col: channel mismatch");
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w), k = spec.kernel;
+  Tensor cols({n * oh * ow, c * k * k});
+  im2col_into(input.raw(), n, h, w, spec, cols.raw());
   return cols;
 }
 
@@ -148,31 +257,7 @@ Tensor col2im(const Tensor& cols, const Shape& input_shape, const Conv2dSpec& sp
     throw std::invalid_argument("col2im: cols shape mismatch");
   }
   Tensor grad(input_shape);
-  const float* pc = cols.raw();
-  float* pg = grad.raw();
-  for (std::size_t img = 0; img < n; ++img) {
-    for (std::size_t oy = 0; oy < oh; ++oy) {
-      for (std::size_t ox = 0; ox < ow; ++ox) {
-        const float* src = pc + ((img * oh + oy) * ow + ox) * col_width;
-        for (std::size_t ch = 0; ch < c; ++ch) {
-          for (std::size_t ky = 0; ky < k; ++ky) {
-            const std::ptrdiff_t iy =
-                static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
-                static_cast<std::ptrdiff_t>(spec.padding);
-            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-            for (std::size_t kx = 0; kx < k; ++kx) {
-              const std::ptrdiff_t ix =
-                  static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
-                  static_cast<std::ptrdiff_t>(spec.padding);
-              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-              pg[((img * c + ch) * h + static_cast<std::size_t>(iy)) * w +
-                 static_cast<std::size_t>(ix)] += src[(ch * k + ky) * k + kx];
-            }
-          }
-        }
-      }
-    }
-  }
+  col2im_into(cols.raw(), n, h, w, spec, grad.raw());
   return grad;
 }
 
@@ -190,31 +275,15 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& filters, const Tensor& 
   add_row_bias(out_cols, bias);
   // Transpose the trailing [positions, OC] into NCHW.
   Tensor output({n, spec.out_channels, oh, ow});
-  const float* po = out_cols.raw();
-  float* pr = output.raw();
-  const std::size_t positions = oh * ow;
-  for (std::size_t img = 0; img < n; ++img) {
-    for (std::size_t pos = 0; pos < positions; ++pos) {
-      for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
-        pr[(img * spec.out_channels + oc) * positions + pos] =
-            po[(img * positions + pos) * spec.out_channels + oc];
-      }
-    }
-  }
+  positions_to_nchw(out_cols.raw(), output.raw(), n, spec.out_channels, oh * ow);
   return output;
 }
 
-MaxPoolResult maxpool2d_forward(const Tensor& input, std::size_t size, std::size_t stride) {
-  if (input.rank() != 4) throw std::invalid_argument("maxpool2d: input must be NCHW");
-  if (size == 0 || stride == 0) throw std::invalid_argument("maxpool2d: zero size/stride");
-  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
-  if (h < size || w < size) throw std::invalid_argument("maxpool2d: window larger than input");
+void maxpool2d_forward_into(const float* input, std::size_t n, std::size_t c, std::size_t h,
+                            std::size_t w, std::size_t size, std::size_t stride, float* out,
+                            std::size_t* argmax) {
   const std::size_t oh = (h - size) / stride + 1;
   const std::size_t ow = (w - size) / stride + 1;
-  MaxPoolResult result{Tensor({n, c, oh, ow}), {}};
-  result.argmax.resize(n * c * oh * ow);
-  const float* pin = input.raw();
-  float* pout = result.output.raw();
   std::size_t out_i = 0;
   for (std::size_t img = 0; img < n; ++img) {
     for (std::size_t ch = 0; ch < c; ++ch) {
@@ -226,18 +295,31 @@ MaxPoolResult maxpool2d_forward(const Tensor& input, std::size_t size, std::size
           for (std::size_t ky = 0; ky < size; ++ky) {
             for (std::size_t kx = 0; kx < size; ++kx) {
               const std::size_t idx = plane + (oy * stride + ky) * w + (ox * stride + kx);
-              if (pin[idx] > best) {
-                best = pin[idx];
+              if (input[idx] > best) {
+                best = input[idx];
                 best_idx = idx;
               }
             }
           }
-          pout[out_i] = best;
-          result.argmax[out_i] = best_idx;
+          out[out_i] = best;
+          argmax[out_i] = best_idx;
         }
       }
     }
   }
+}
+
+MaxPoolResult maxpool2d_forward(const Tensor& input, std::size_t size, std::size_t stride) {
+  if (input.rank() != 4) throw std::invalid_argument("maxpool2d: input must be NCHW");
+  if (size == 0 || stride == 0) throw std::invalid_argument("maxpool2d: zero size/stride");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  if (h < size || w < size) throw std::invalid_argument("maxpool2d: window larger than input");
+  const std::size_t oh = (h - size) / stride + 1;
+  const std::size_t ow = (w - size) / stride + 1;
+  MaxPoolResult result{Tensor({n, c, oh, ow}), {}};
+  result.argmax.resize(n * c * oh * ow);
+  maxpool2d_forward_into(input.raw(), n, c, h, w, size, stride, result.output.raw(),
+                         result.argmax.data());
   return result;
 }
 

@@ -62,4 +62,53 @@ MaxPoolResult maxpool2d_forward(const Tensor& input, std::size_t size, std::size
 Tensor maxpool2d_backward(const Tensor& grad_output, const Shape& input_shape,
                           const std::vector<std::size_t>& argmax);
 
+// ----------------------------------------------------------------------------
+// Raw-pointer kernels. The Tensor overloads above are thin wrappers around
+// these; layers and the SoA batch executor call them directly so hot loops can
+// reuse persistent scratch buffers instead of allocating a Tensor per batch.
+// Arithmetic (loop order, zero-skips, mul-then-add) is identical to the Tensor
+// paths — results are bit-for-bit the same.
+
+// C(m,n) = A(m,k) * B(k,n). Zeroes C first (ikj order, accumulating).
+void matmul_into(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+                 std::size_t n);
+
+// C(m,n) = A(m,k) * B(n,k)^T. Overwrites C (dot products, kk-ascending).
+void matmul_transposed_b_into(const float* a, const float* b, float* c, std::size_t m,
+                              std::size_t k, std::size_t n);
+
+// C(m,n) += A(k,m)^T * B(k,n). Accumulates — caller zeroes C when needed.
+void matmul_transposed_a_acc(const float* a, const float* b, float* c, std::size_t k,
+                             std::size_t m, std::size_t n);
+
+// m[r, :] += bias for every row.
+void add_row_bias_into(float* m, const float* bias, std::size_t rows, std::size_t cols);
+
+// im2col / col2im over raw NCHW buffers. col2im zeroes `grad` first.
+void im2col_into(const float* input, std::size_t n, std::size_t h, std::size_t w,
+                 const Conv2dSpec& spec, float* cols);
+void col2im_into(const float* cols, std::size_t n, std::size_t h, std::size_t w,
+                 const Conv2dSpec& spec, float* grad);
+
+// Transposes between the conv GEMM layout [N*positions, OC] and NCHW
+// [N, OC, positions] (and back, for the backward pass).
+void positions_to_nchw(const float* cols, float* out, std::size_t n, std::size_t oc,
+                       std::size_t positions);
+void nchw_to_positions(const float* in, float* cols, std::size_t n, std::size_t oc,
+                       std::size_t positions);
+
+// Shared-A multi-RHS matmul: cs[l](m,n) = A(m,k) * bs[l](k,n) for each of
+// `lanes` right-hand sides. A is streamed once; each lane's accumulation order
+// is kk-ascending, so lane l's result is bit-identical to
+// matmul_into(a, bs[l], cs[l], ...). Zeroes each C first.
+void matmul_multi_rhs(const float* a, const float* const* bs, float* const* cs,
+                      std::size_t lanes, std::size_t m, std::size_t k, std::size_t n);
+
+// Max pooling over a raw NCHW buffer; `out` and `argmax` must hold
+// n*c*oh*ow elements. Same scan order (strict >, -inf init) as the Tensor
+// overload, which delegates here.
+void maxpool2d_forward_into(const float* input, std::size_t n, std::size_t c, std::size_t h,
+                            std::size_t w, std::size_t size, std::size_t stride, float* out,
+                            std::size_t* argmax);
+
 }  // namespace specdag

@@ -60,6 +60,12 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   return Tensor(std::move(new_shape), data_);
 }
 
+void Tensor::resize(Shape new_shape) {
+  if (new_shape.empty()) throw std::invalid_argument("Tensor::resize: empty shape");
+  shape_ = std::move(new_shape);
+  data_.resize(shape_numel(shape_));
+}
+
 void Tensor::check_same_shape(const Tensor& other, const char* op) const {
   if (shape_ != other.shape_) {
     throw std::invalid_argument(std::string("Tensor::") + op + ": shape mismatch " +

@@ -57,6 +57,11 @@ class Tensor {
   // match).
   Tensor reshaped(Shape new_shape) const;
 
+  // Reshapes in place, growing/shrinking storage as needed. Existing element
+  // values are unspecified afterwards; capacity is retained, so scratch
+  // tensors in hot loops can change batch size without reallocating.
+  void resize(Shape new_shape);
+
   // In-place elementwise operations.
   Tensor& operator+=(const Tensor& other);
   Tensor& operator-=(const Tensor& other);
