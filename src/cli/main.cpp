@@ -3,6 +3,8 @@
 //   specdag list                     show the built-in scenario registry
 //   specdag show <name>              print a built-in spec as JSON
 //   specdag run <name|spec.json>     run one scenario
+//   specdag run --resume <ckpt>      continue a checkpointed run
+//   specdag replay <ckpt> --rounds A..B   re-execute a round window
 //   specdag export <name|spec.json>  run a scenario and export its DAG
 //   specdag sweep <grid.json>        run a parameter grid in parallel
 //
@@ -30,10 +32,20 @@
 //   --obs on|off   toggle the metrics registry (summary.obs); on by default
 //   --metrics-out PATH  export the run's metric totals as Prometheus text
 //                  exposition (scrape-ready .prom file)
+//   --checkpoint-dir D    write checkpoints under D (enables checkpointing
+//                  together with --checkpoint-every)
+//   --checkpoint-every N  checkpoint every N completed rounds/units
+//   --checkpoint-keep N   keep only the N newest checkpoints (0 = all)
 //   --series       include the per-round series in the JSON output
 //   --csv PATH     also write the series as CSV
 //   --jsonl PATH   stream the series as JSONL (one line per round)
 //   --quiet        suppress the progress lines (log level -> warn)
+// `run --resume <ckpt>` continues from a checkpoint file; the spec comes
+//   from the checkpoint, so only --threads (bit-identical by construction),
+//   --series, --csv, --jsonl, and --quiet are accepted.
+// `replay <ckpt> --rounds A..B` re-executes rounds A..B (1-based, inclusive)
+//   deterministically from a checkpoint covering rounds < A and streams the
+//   window as JSONL (stdout, or --jsonl PATH); --threads/--quiet as above.
 // `export` options: --rounds/--seed/--clients/--delta/--quiet as above, plus
 //   --dot PATH     write the final DAG as Graphviz DOT
 //   --jsonl PATH   write the final DAG as a JSONL transaction log
@@ -44,6 +56,8 @@
 //   --trace-dir D  per-run Perfetto traces: <D>/run-<idx>.trace.json
 //   --metrics-out PATH  export the merged sweep aggregate as Prometheus text
 //   --dry-run      print the expanded grid without running it
+//   --resume       reuse finished runs recorded in <out>.partial from an
+//                  interrupted sweep and execute only the rest
 //
 // Global: --log-level debug|info|warn|error|off (any command; the
 // SPECDAG_LOG_LEVEL env var sets the same thing, the flag wins).
@@ -76,15 +90,23 @@ int usage(std::ostream& out, int code) {
          "                          --attack none|random_weights[=RATE]|\n"
          "                          label_flip[=FRACTION]\n"
          "                          --trace PATH --obs on|off\n"
-         "                          --metrics-out PATH --series\n"
+         "                          --metrics-out PATH\n"
+         "                          --checkpoint-dir DIR\n"
+         "                          --checkpoint-every N\n"
+         "                          --checkpoint-keep N --series\n"
          "                          --csv PATH --jsonl PATH --quiet)\n"
+         "  run --resume <ckpt>     continue a checkpointed run (--threads N\n"
+         "                          --series --csv PATH --jsonl PATH --quiet)\n"
+         "  replay <ckpt> --rounds A..B\n"
+         "                          re-execute rounds A..B from a checkpoint\n"
+         "                          (--jsonl PATH --threads N --quiet)\n"
          "  export <name|spec.json> run a scenario and export its DAG\n"
          "                          (--dot PATH --jsonl PATH --rounds N\n"
          "                          --seed N --clients N --delta on|off\n"
          "                          --sync-encode --no-batch-exec --quiet)\n"
          "  sweep <grid.json>       run a parameter grid (--out PATH\n"
          "                          --threads N --trace-dir DIR\n"
-         "                          --metrics-out PATH --dry-run)\n"
+         "                          --metrics-out PATH --dry-run --resume)\n"
          "\n"
          "global options:\n"
          "  --log-level LEVEL       debug|info|warn|error|off (default info;\n"
@@ -210,6 +232,13 @@ bool apply_spec_override(const std::string& flag,
     spec.obs.trace = next();
   } else if (flag == "--metrics-out") {
     spec.obs.metrics_out = next();
+  } else if (flag == "--checkpoint-dir") {
+    spec.checkpoint.dir = next();
+    if (spec.checkpoint.every_n_rounds == 0) spec.checkpoint.every_n_rounds = 1;
+  } else if (flag == "--checkpoint-every") {
+    spec.checkpoint.every_n_rounds = std::strtoull(next().c_str(), nullptr, 10);
+  } else if (flag == "--checkpoint-keep") {
+    spec.checkpoint.keep_last = std::strtoull(next().c_str(), nullptr, 10);
   } else if (flag == "--obs") {
     const std::string& value = next();
     if (value == "on" || value == "true" || value == "1") {
@@ -238,11 +267,70 @@ std::function<const std::string&()> value_getter(const std::vector<std::string>&
   };
 }
 
+// Shared tail of run / run --resume: side outputs + summary JSON on stdout.
+int emit_run_result(const scenario::ScenarioResult& result, bool include_series,
+                    const std::string& csv_path, const std::string& jsonl_path) {
+  const auto ensure_parent = [](const std::string& path_str) {
+    const std::filesystem::path path(path_str);
+    if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  };
+  if (!csv_path.empty()) {
+    ensure_parent(csv_path);
+    scenario::write_series_csv(result, csv_path);
+    SPECDAG_LOG(Info) << "series written to " << csv_path;
+  }
+  if (!jsonl_path.empty()) {
+    ensure_parent(jsonl_path);
+    scenario::write_series_jsonl(result, jsonl_path);
+    SPECDAG_LOG(Info) << "series written to " << jsonl_path;
+  }
+  std::cout << scenario::result_to_json(result, include_series).dump(2) << "\n";
+  return 0;
+}
+
+// `run --resume <ckpt>`: everything semantic comes from the spec embedded in
+// the checkpoint, so only output flags and --threads are accepted.
+int cmd_run_resume(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::cerr << "run: --resume needs a checkpoint file\n";
+    return 2;
+  }
+  const std::string checkpoint = args[1];
+  scenario::ResumeOverrides overrides;
+  bool include_series = false;
+  std::string csv_path;
+  std::string jsonl_path;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto next = value_getter(args, i, "run");
+    if (flag == "--threads") {
+      overrides.has_threads = true;
+      overrides.threads = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--series") {
+      include_series = true;
+    } else if (flag == "--csv") {
+      csv_path = next();
+    } else if (flag == "--jsonl") {
+      jsonl_path = next();
+    } else if (flag == "--quiet") {
+      set_log_level(LogLevel::kWarn);
+    } else {
+      std::cerr << "run: flag " << flag
+                << " is not allowed with --resume (the checkpoint fixes the spec)\n";
+      return 2;
+    }
+  }
+  SPECDAG_LOG(Info) << "resuming from " << checkpoint << "...";
+  const scenario::ScenarioResult result = scenario::resume_scenario(checkpoint, overrides);
+  return emit_run_result(result, include_series, csv_path, jsonl_path);
+}
+
 int cmd_run(const std::vector<std::string>& args) {
   if (args.empty()) {
     std::cerr << "run: missing scenario name or spec file\n";
     return 2;
   }
+  if (args[0] == "--resume") return cmd_run_resume(args);
   scenario::ScenarioSpec spec = resolve_spec(args[0]);
   bool include_series = false;
   std::string csv_path;
@@ -273,21 +361,56 @@ int cmd_run(const std::vector<std::string>& args) {
                     << scenario::to_string(spec.algorithm) << ", " << spec.rounds
                     << " rounds, seed " << spec.seed << ")...";
   const scenario::ScenarioResult result = scenario::run_scenario(spec);
-  const auto ensure_parent = [](const std::string& path_str) {
-    const std::filesystem::path path(path_str);
+  return emit_run_result(result, include_series, csv_path, jsonl_path);
+}
+
+// `replay <ckpt> --rounds A..B`: re-execute a round window deterministically
+// and stream it as JSONL (stdout by default).
+int cmd_replay(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "replay: missing checkpoint file\n";
+    return 2;
+  }
+  const std::string checkpoint = args[0];
+  scenario::ResumeOverrides overrides;
+  std::string rounds_window;
+  std::string jsonl_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto next = value_getter(args, i, "replay");
+    if (flag == "--rounds") {
+      rounds_window = next();
+    } else if (flag == "--threads") {
+      overrides.has_threads = true;
+      overrides.threads = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--jsonl") {
+      jsonl_path = next();
+    } else if (flag == "--quiet") {
+      set_log_level(LogLevel::kWarn);
+    } else {
+      std::cerr << "replay: unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+  const std::size_t dots = rounds_window.find("..");
+  if (rounds_window.empty() || dots == std::string::npos) {
+    std::cerr << "replay: --rounds A..B is required (1-based, inclusive)\n";
+    return 2;
+  }
+  const std::size_t first = std::strtoull(rounds_window.c_str(), nullptr, 10);
+  const std::size_t last = std::strtoull(rounds_window.c_str() + dots + 2, nullptr, 10);
+  SPECDAG_LOG(Info) << "replaying rounds " << first << ".." << last << " from " << checkpoint
+                    << "...";
+  const scenario::ScenarioResult result =
+      scenario::replay_scenario(checkpoint, first, last, overrides);
+  if (jsonl_path.empty()) {
+    scenario::write_series_jsonl(result, std::cout);
+  } else {
+    const std::filesystem::path path(jsonl_path);
     if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
-  };
-  if (!csv_path.empty()) {
-    ensure_parent(csv_path);
-    scenario::write_series_csv(result, csv_path);
-    SPECDAG_LOG(Info) << "series written to " << csv_path;
-  }
-  if (!jsonl_path.empty()) {
-    ensure_parent(jsonl_path);
     scenario::write_series_jsonl(result, jsonl_path);
-    SPECDAG_LOG(Info) << "series written to " << jsonl_path;
+    SPECDAG_LOG(Info) << "window written to " << jsonl_path;
   }
-  std::cout << scenario::result_to_json(result, include_series).dump(2) << "\n";
   return 0;
 }
 
@@ -366,6 +489,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
       sweep.metrics_out = next();
     } else if (flag == "--dry-run") {
       dry_run = true;
+    } else if (flag == "--resume") {
+      sweep.resume = true;
     } else {
       std::cerr << "sweep: unknown flag " << flag << "\n";
       return 2;
@@ -426,6 +551,7 @@ int main(int argc, char** argv) {
       return cmd_show(args[0]);
     }
     if (command == "run") return cmd_run(args);
+    if (command == "replay") return cmd_replay(args);
     if (command == "export") return cmd_export(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "--help" || command == "-h" || command == "help") {

@@ -30,6 +30,10 @@
 #include "dag/transaction.hpp"
 #include "util/rng.hpp"
 
+namespace specdag::snapshot {
+struct Access;
+}
+
 namespace specdag::dag {
 
 class Dag {
@@ -141,6 +145,8 @@ class Dag {
   std::vector<TxId> all_ids() const;
 
  private:
+  friend struct snapshot::Access;  // checkpoint serialization (src/snapshot)
+
   const Transaction& tx_locked(TxId id) const;
   // Rebuilds depth_index_ / start candidates when stale. Caller must hold
   // mutex_ (shared suffices) and walk_index_mutex_.

@@ -17,6 +17,10 @@
 #include "dag/dag.hpp"
 #include "tipsel/tip_selector.hpp"
 
+namespace specdag::snapshot {
+struct Access;
+}
+
 namespace specdag::fl {
 
 struct RandomWeightAttackerConfig {
@@ -42,6 +46,8 @@ class RandomWeightAttacker {
   int publisher_id() const { return publisher_id_; }
 
  private:
+  friend struct snapshot::Access;  // checkpoint serialization (src/snapshot)
+
   int publisher_id_;
   std::size_t model_size_;
   RandomWeightAttackerConfig config_;

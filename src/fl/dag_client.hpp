@@ -15,6 +15,10 @@
 #include "fl/trainer.hpp"
 #include "tipsel/tip_selector.hpp"
 
+namespace specdag::snapshot {
+struct Access;
+}
+
 namespace specdag::fl {
 
 enum class SelectorKind {
@@ -141,6 +145,8 @@ class DagClient {
   dag::TxId consensus_reference(const dag::Dag& dag);
 
  private:
+  friend struct snapshot::Access;  // checkpoint serialization (src/snapshot)
+
   std::unique_ptr<tipsel::TipSelector> make_selector();
   double evaluate_payload(const nn::WeightVector& weights);
 

@@ -33,6 +33,10 @@
 #include "core/specializing_dag.hpp"
 #include "fl/attacker.hpp"
 
+namespace specdag::snapshot {
+struct Access;
+}
+
 namespace specdag::scenario {
 
 // Random-weight junk transactions (paper §4.4, first threat model). The
@@ -130,6 +134,8 @@ class AttackController {
   double junk_reference_fraction(core::SpecializingDag& net, std::size_t num_clients);
 
  private:
+  friend struct snapshot::Access;  // checkpoint serialization (src/snapshot)
+
   AttackSpec spec_;
   int attacker_id_;
   Rng attacker_rng_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -18,6 +19,7 @@
 #include "sim/async_simulator.hpp"
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/checkpoint.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -151,6 +153,43 @@ void apply_label_flip_at(const ScenarioSpec& spec, std::size_t unit, Target& tar
         target.apply_poisoning(flip.fraction, flip.class_a, flip.class_b).size();
   }
   if (flip.stop_round != 0 && unit == flip.stop_round) target.revert_poisoning();
+}
+
+// Checkpoint/resume/replay plumbing shared by the two DAG loops. `restore`
+// (when set) seeds the run from a loaded checkpoint instead of unit 0;
+// `stop_unit` lets replay_scenario stop before the spec horizon (0 = run to
+// spec.rounds); `finalize` is off for replays, which only need the series.
+struct RunControl {
+  const snapshot::LoadedCheckpoint* restore = nullptr;
+  std::size_t stop_unit = 0;
+  bool finalize = true;
+};
+
+// Replays the label-flip schedule for every unit before `resume_unit`, so
+// the dataset (flipped labels, poisoned flags) matches what the checkpointed
+// run saw. Pure: the victim set derives from the seed alone. Runs BEFORE
+// restore_state — the flips invalidate eval-cache entries, and the restore
+// then installs the checkpoint's cache wholesale.
+template <typename Simulator>
+void replay_label_flips(const ScenarioSpec& spec, std::size_t resume_unit, Simulator& simulator,
+                        ScenarioResult& result) {
+  for (std::size_t unit = 0; unit < resume_unit; ++unit) {
+    apply_label_flip_at(spec, unit, simulator, result);
+  }
+}
+
+// Writes the periodic checkpoint due after `completed` units (no-op unless
+// the spec schedules one there).
+template <typename Simulator>
+void maybe_write_checkpoint(const ScenarioSpec& spec, std::size_t completed,
+                            const ScenarioResult& result, Simulator& simulator,
+                            AttackController& attacks) {
+  const CheckpointSpec& checkpoint = spec.checkpoint;
+  if (!checkpoint.enabled() || completed % checkpoint.every_n_rounds != 0) return;
+  std::filesystem::create_directories(checkpoint.dir);
+  snapshot::write_checkpoint(snapshot::checkpoint_path(checkpoint.dir, completed), spec,
+                             completed, result, simulator, attacks);
+  snapshot::prune_checkpoints(checkpoint.dir, checkpoint.keep_last);
 }
 
 // Attack steps shared by the round and async DAG loops: publish the junk
@@ -357,7 +396,7 @@ void finalize_result(const ScenarioSpec& spec, const data::FederatedDataset& dat
 }
 
 ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPreset preset,
-                                  const RunOptions& options) {
+                                  const RunOptions& options, const RunControl& control) {
   ScenarioResult result;
   const std::size_t num_clients = preset.dataset.clients.size();
 
@@ -381,7 +420,16 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   std::optional<nn::Sequential> probe;
   ObsRoundSampler obs_sampler;
 
-  for (std::size_t round = 0; round < spec.rounds; ++round) {
+  std::size_t start_unit = 0;
+  if (control.restore != nullptr) {
+    result = control.restore->partial;
+    replay_label_flips(spec, control.restore->completed_units, simulator, result);
+    snapshot::restore_state(*control.restore, simulator, attacks);
+    start_unit = control.restore->completed_units;
+  }
+  const std::size_t stop_unit = control.stop_unit == 0 ? spec.rounds : control.stop_unit;
+
+  for (std::size_t round = start_unit; round < stop_unit; ++round) {
     apply_dynamics_at(spec, churned, round, simulator);
     apply_label_flip_at(spec, round, simulator, result);
 
@@ -411,6 +459,7 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
     result.series.push_back(point);
     result.store_series.push_back(sample_store_residency(round + 1, simulator.dag()));
     obs_sampler.sample_round(round + 1, result);
+    maybe_write_checkpoint(spec, round + 1, result, simulator, attacks);
   }
 
   // Barrier: let queued async encodes settle so the final store stats (and
@@ -419,18 +468,20 @@ ScenarioResult run_round_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   obs_sampler.finish(result);
   result.perf = simulator.perf();
   result.prepare_threads = simulator.prepare_threads();
-  finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), attacks,
-                  options, result);
-  // The store's own measurement covers every encode site (inline commits,
-  // background workers, attacker-published payloads), so it supersedes the
-  // commit-section sampling accumulated by the simulator.
-  result.perf.encode_seconds = result.store_stats.encode_seconds;
-  warn_on_obs_perf_skew(result);
+  if (control.finalize) {
+    finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), attacks,
+                    options, result);
+    // The store's own measurement covers every encode site (inline commits,
+    // background workers, attacker-published payloads), so it supersedes the
+    // commit-section sampling accumulated by the simulator.
+    result.perf.encode_seconds = result.store_stats.encode_seconds;
+    warn_on_obs_perf_skew(result);
+  }
   return result;
 }
 
 ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPreset preset,
-                                  const RunOptions& options) {
+                                  const RunOptions& options, const RunControl& control) {
   ScenarioResult result;
   const std::size_t num_clients = preset.dataset.clients.size();
 
@@ -449,8 +500,17 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   std::optional<nn::Sequential> probe;
   ObsRoundSampler obs_sampler;
 
+  std::size_t start_unit = 0;
+  if (control.restore != nullptr) {
+    result = control.restore->partial;
+    replay_label_flips(spec, control.restore->completed_units, simulator, result);
+    snapshot::restore_state(*control.restore, simulator, attacks);
+    start_unit = control.restore->completed_units;
+  }
+  const std::size_t stop_unit = control.stop_unit == 0 ? spec.rounds : control.stop_unit;
+
   std::size_t previous_dag_size = simulator.dag().size();
-  for (std::size_t unit = 0; unit < spec.rounds; ++unit) {
+  for (std::size_t unit = start_unit; unit < stop_unit; ++unit) {
     // Dynamics and attacks fire at virtual-time boundaries, mirroring the
     // round-based schedule ("round" == one unit of virtual time).
     apply_dynamics_at(spec, churned, unit, simulator);
@@ -489,6 +549,7 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
     result.series.push_back(point);
     result.store_series.push_back(sample_store_residency(unit + 1, simulator.dag()));
     obs_sampler.sample_round(unit + 1, result);
+    maybe_write_checkpoint(spec, unit + 1, result, simulator, attacks);
   }
 
   // Barrier: let queued async encodes settle so the final store stats (and
@@ -497,13 +558,15 @@ ScenarioResult run_async_scenario(const ScenarioSpec& spec, sim::ExperimentPrese
   obs_sampler.finish(result);
   result.perf = simulator.perf();
   result.prepare_threads = simulator.prepare_threads();
-  finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), attacks,
-                  options, result);
-  // The store's own measurement covers every encode site (inline commits,
-  // background workers, attacker-published payloads), so it supersedes the
-  // commit-section sampling accumulated by the simulator.
-  result.perf.encode_seconds = result.store_stats.encode_seconds;
-  warn_on_obs_perf_skew(result);
+  if (control.finalize) {
+    finalize_result(spec, simulator.dataset(), preset.factory, simulator.network(), attacks,
+                    options, result);
+    // The store's own measurement covers every encode site (inline commits,
+    // background workers, attacker-published payloads), so it supersedes the
+    // commit-section sampling accumulated by the simulator.
+    result.perf.encode_seconds = result.store_stats.encode_seconds;
+    warn_on_obs_perf_skew(result);
+  }
   return result;
 }
 
@@ -614,9 +677,11 @@ class ObsSession {
   bool tracing_;
 };
 
-}  // namespace
-
-ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
+// Shared body of run_scenario / resume_scenario / replay_scenario: the only
+// difference between a fresh run and a resumed one is the RunControl carrying
+// the restored state and loop bounds.
+ScenarioResult run_scenario_impl(const ScenarioSpec& spec, const RunOptions& options,
+                                 const RunControl& control) {
   spec.validate();
   Timer timer;
   ObsSession obs_session(spec.obs);
@@ -627,8 +692,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options)
     result = run_baseline_scenario(spec, std::move(preset), options);
   } else {
     result = spec.simulator == SimKind::kRound
-                 ? run_round_scenario(spec, std::move(preset), options)
-                 : run_async_scenario(spec, std::move(preset), options);
+                 ? run_round_scenario(spec, std::move(preset), options, control)
+                 : run_async_scenario(spec, std::move(preset), options, control);
   }
   result.scenario = spec.name;
   result.seed = spec.seed;
@@ -668,6 +733,72 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options)
                            "skipping " << spec.obs.metrics_out;
     }
   }
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
+  return run_scenario_impl(spec, options, RunControl{});
+}
+
+ScenarioResult resume_scenario(const std::string& checkpoint_path,
+                               const ResumeOverrides& overrides) {
+  return resume_scenario(checkpoint_path, RunOptions{}, overrides);
+}
+
+ScenarioResult resume_scenario(const std::string& checkpoint_path, const RunOptions& options,
+                               const ResumeOverrides& overrides) {
+  snapshot::LoadedCheckpoint loaded = snapshot::load_checkpoint(checkpoint_path);
+  ScenarioSpec spec = loaded.spec;
+  if (overrides.has_threads) spec.threads = overrides.threads;
+  if (loaded.completed_units > spec.rounds) {
+    throw snapshot::SnapshotError("snapshot: checkpoint covers " +
+                                  std::to_string(loaded.completed_units) +
+                                  " units but the spec runs only " +
+                                  std::to_string(spec.rounds));
+  }
+  RunControl control;
+  control.restore = &loaded;
+  return run_scenario_impl(spec, options, control);
+}
+
+ScenarioResult replay_scenario(const std::string& checkpoint_path, std::size_t first_round,
+                               std::size_t last_round, const ResumeOverrides& overrides) {
+  snapshot::LoadedCheckpoint loaded = snapshot::load_checkpoint(checkpoint_path);
+  ScenarioSpec spec = loaded.spec;
+  if (overrides.has_threads) spec.threads = overrides.threads;
+  // A replay is a read-only re-execution: never write new checkpoints or obs
+  // files from it.
+  spec.checkpoint = CheckpointSpec{};
+  spec.obs.trace.clear();
+  spec.obs.metrics_out.clear();
+  if (first_round == 0 || first_round > last_round) {
+    throw std::invalid_argument("replay: rounds window must be 1-based and non-empty");
+  }
+  if (last_round > spec.rounds) {
+    throw std::invalid_argument("replay: window ends at round " + std::to_string(last_round) +
+                                " but the scenario has only " + std::to_string(spec.rounds) +
+                                " rounds");
+  }
+  if (first_round <= loaded.completed_units) {
+    throw std::invalid_argument("replay: checkpoint already covers round " +
+                                std::to_string(first_round) +
+                                "; pick an earlier checkpoint to replay it");
+  }
+  RunControl control;
+  control.restore = &loaded;
+  control.stop_unit = last_round;
+  control.finalize = false;
+  ScenarioResult result = run_scenario_impl(spec, RunOptions{}, control);
+  // Keep only the requested window (the checkpoint's partial series covers
+  // everything before first_round).
+  const auto outside = [&](std::size_t round) {
+    return round < first_round || round > last_round;
+  };
+  std::erase_if(result.series, [&](const ScenarioPoint& p) { return outside(p.round); });
+  std::erase_if(result.store_series,
+                [&](const StoreResidencyPoint& p) { return outside(p.round); });
   return result;
 }
 

@@ -138,6 +138,34 @@ struct RunOptions {
 ScenarioResult run_scenario(const ScenarioSpec& spec);
 ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& options);
 
+// Safe overrides when resuming/replaying a checkpoint: only knobs that are
+// bit-identical by construction (thread counts) may deviate from the spec
+// embedded in the checkpoint — everything semantic comes from the file.
+struct ResumeOverrides {
+  bool has_threads = false;
+  std::size_t threads = 0;
+};
+
+// Continues a run from a checkpoint written by the `checkpoint` spec block:
+// rebuilds the simulator from the embedded spec, replays the pre-checkpoint
+// label-flip schedule into the dataset, restores the saved state, and runs
+// the remaining units. The returned result (series, JSONL, final accuracies,
+// delta_ratio) is bit-identical to the uninterrupted run at any thread
+// count. Checkpointing itself continues per the embedded spec, so a resumed
+// run stays crash-safe.
+ScenarioResult resume_scenario(const std::string& checkpoint_path,
+                               const ResumeOverrides& overrides = {});
+ScenarioResult resume_scenario(const std::string& checkpoint_path, const RunOptions& options,
+                               const ResumeOverrides& overrides);
+
+// Deterministically re-executes the window [first_round, last_round] (1-based
+// series rounds, inclusive) from a checkpoint covering rounds up to
+// first_round - 1 or earlier. Returns only the window's series points —
+// bit-identical to the same rounds of the original run. Computes no final
+// metrics and writes no checkpoints or obs files.
+ScenarioResult replay_scenario(const std::string& checkpoint_path, std::size_t first_round,
+                               std::size_t last_round, const ResumeOverrides& overrides = {});
+
 // {"scenario": ..., "summary": {...}} plus a "series" array when requested.
 Json result_to_json(const ScenarioResult& result, bool include_series = false);
 

@@ -255,6 +255,24 @@ Json obs_to_json(const ObsSpec& obs) {
   return json;
 }
 
+CheckpointSpec checkpoint_from_json(const Json& json) {
+  check_known_keys(json, {"every_n_rounds", "dir", "keep_last"}, "checkpoint");
+  CheckpointSpec checkpoint;
+  checkpoint.every_n_rounds =
+      static_cast<std::size_t>(json.uint_or("every_n_rounds", checkpoint.every_n_rounds));
+  checkpoint.dir = json.string_or("dir", checkpoint.dir);
+  checkpoint.keep_last = static_cast<std::size_t>(json.uint_or("keep_last", checkpoint.keep_last));
+  return checkpoint;
+}
+
+Json checkpoint_to_json(const CheckpointSpec& checkpoint) {
+  Json json = Json::make_object();
+  json.set("every_n_rounds", checkpoint.every_n_rounds);
+  json.set("dir", checkpoint.dir);
+  if (checkpoint.keep_last > 0) json.set("keep_last", checkpoint.keep_last);
+  return json;
+}
+
 Json dynamics_to_json(const DynamicsSpec& dynamics) {
   Json json = Json::make_object();
   if (dynamics.churn.enabled()) {
@@ -431,6 +449,16 @@ void ScenarioSpec::validate() const {
     // its whole base cone — pathological at any scale worth running.
     throw std::invalid_argument("scenario: store.lru_mb must be >= 1 when delta is on");
   }
+  if (checkpoint.enabled()) {
+    if (checkpoint.dir.empty()) {
+      throw std::invalid_argument(
+          "scenario: checkpoint.dir is required when checkpointing is enabled");
+    }
+    if (algorithm != AlgorithmKind::kDag) {
+      throw std::invalid_argument(
+          "scenario: checkpoints capture DAG run state; they require algorithm \"dag\"");
+    }
+  }
   if (num_clients > 0 || samples_per_client > 0) {
     const bool resizable = dataset == DatasetPreset::kFmnistClustered ||
                            dataset == DatasetPreset::kFmnistRelaxed ||
@@ -456,7 +484,7 @@ ScenarioSpec spec_from_json(const Json& json) {
                     "num_clients", "samples_per_client", "seed", "parallel_prepare", "threads",
                     "evaluate_consensus", "community_metrics_every", "client", "dynamics",
                     "store", "algorithm", "proximal_mu", "attacks",
-                    "record_client_accuracies", "obs"},
+                    "record_client_accuracies", "obs", "checkpoint"},
                    "scenario");
   ScenarioSpec spec;
   spec.name = json.string_or("name", spec.name);
@@ -497,6 +525,9 @@ ScenarioSpec spec_from_json(const Json& json) {
   }
   if (const Json* obs = json.find("obs")) {
     spec.obs = obs_from_json(*obs, spec.obs);
+  }
+  if (const Json* checkpoint = json.find("checkpoint")) {
+    spec.checkpoint = checkpoint_from_json(*checkpoint);
   }
   spec.validate();
   return spec;
@@ -544,6 +575,10 @@ Json spec_to_json(const ScenarioSpec& spec) {
   // outputs (and specs that never heard of obs) byte-stable.
   if (!spec.obs.metrics || !spec.obs.trace.empty() || !spec.obs.metrics_out.empty()) {
     json.set("obs", obs_to_json(spec.obs));
+  }
+  // Same byte-stability rule: the checkpoint block only appears when on.
+  if (spec.checkpoint.enabled()) {
+    json.set("checkpoint", checkpoint_to_json(spec.checkpoint));
   }
   return json;
 }

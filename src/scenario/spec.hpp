@@ -54,6 +54,11 @@
 //     "obs": {                       // observability (src/obs)
 //       "metrics": true,             // counters/histograms -> summary.obs
 //       "trace": ""                  // Perfetto trace output path ("" = off)
+//     },
+//     "checkpoint": {                // periodic run snapshots (src/snapshot)
+//       "every_n_rounds": 5,         // 0 = checkpointing off
+//       "dir": "ckpt",               // required when enabled
+//       "keep_last": 2               // prune older checkpoints; 0 = keep all
 //     }
 //   }
 #pragma once
@@ -139,6 +144,19 @@ struct ObsSpec {
   std::string metrics_out;
 };
 
+// Periodic checkpointing (src/snapshot): every `every_n_rounds` completed
+// units the runner drains the store's async encode pipeline (the quiescent
+// point) and writes <dir>/checkpoint-NNNNNN.ckpt — a versioned, checksummed
+// snapshot of the full run state plus the spec itself, so
+// `specdag run --resume <ckpt>` continues the run bit-exactly from there.
+struct CheckpointSpec {
+  std::size_t every_n_rounds = 0;  // 0 = checkpointing off
+  std::string dir;                 // required when enabled
+  std::size_t keep_last = 0;       // prune older checkpoint files; 0 = keep all
+
+  bool enabled() const { return every_n_rounds > 0; }
+};
+
 struct ScenarioSpec {
   std::string name = "unnamed";
   std::string description;
@@ -189,6 +207,9 @@ struct ScenarioSpec {
   store::StoreConfig store;
   // Observability: metrics rollup and optional Perfetto trace (src/obs).
   ObsSpec obs;
+  // Periodic run snapshots for crash-safe resume and deterministic replay
+  // (src/snapshot).
+  CheckpointSpec checkpoint;
 
   // Throws std::invalid_argument when the combination is not runnable
   // (e.g. stragglers on the round simulator).

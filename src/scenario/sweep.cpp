@@ -92,7 +92,7 @@ namespace {
 // Written as the JSONL footer line {"sweep": {...}} and, when requested,
 // exported as Prometheus text.
 Json build_sweep_footer(const SweepSpec& sweep, const std::vector<SweepRun>& results,
-                        obs::MetricsSnapshot& aggregate, bool& any_obs) {
+                        std::size_t reused, obs::MetricsSnapshot& aggregate, bool& any_obs) {
   aggregate = obs::MetricsSnapshot{};
   any_obs = false;
   std::size_t obs_runs = 0;
@@ -105,6 +105,7 @@ Json build_sweep_footer(const SweepSpec& sweep, const std::vector<SweepRun>& res
 
   Json footer = Json::make_object();
   footer.set("runs", results.size());
+  if (reused > 0) footer.set("reused", reused);
   if (any_obs) {
     footer.set("obs_runs", obs_runs);
     footer.set("obs", metrics_snapshot_to_json(aggregate));
@@ -133,6 +134,43 @@ Json build_sweep_footer(const SweepSpec& sweep, const std::vector<SweepRun>& res
   return line;
 }
 
+// Reads a crash-interrupted sweep's manifest: per-run JSONL lines written by
+// the previous invocation. Lines are validated against the expanded grid
+// (index range, seed, params) so a changed grid is rejected instead of
+// silently mixing results; unparsable lines (the torn tail of a crashed
+// write) are skipped. Returns the number of reused runs.
+std::size_t read_manifest(const std::string& manifest_path,
+                          const std::vector<std::pair<Json, std::uint64_t>>& grid,
+                          std::vector<std::string>& lines) {
+  std::ifstream in(manifest_path);
+  if (!in) return 0;
+  std::size_t reused = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Json parsed;
+    try {
+      parsed = Json::parse(line);
+    } catch (const std::exception&) {
+      continue;  // torn line from a crash mid-write
+    }
+    const Json* run = parsed.find("run");
+    const Json* seed = parsed.find("seed");
+    const Json* params = parsed.find("params");
+    if (run == nullptr || seed == nullptr || params == nullptr) continue;
+    const std::uint64_t index = run->as_uint();
+    if (index >= grid.size() || seed->as_uint() != grid[index].second ||
+        params->dump() != grid[index].first.dump()) {
+      throw std::invalid_argument("sweep: " + manifest_path +
+                                  " does not match this grid (run " + std::to_string(index) +
+                                  " differs); delete it or fix the grid to resume");
+    }
+    if (lines[index].empty()) ++reused;
+    lines[index] = line;
+  }
+  return reused;
+}
+
 }  // namespace
 
 std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) {
@@ -140,9 +178,24 @@ std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) 
 
   const std::filesystem::path out_path(sweep.out_path);
   if (out_path.has_parent_path()) std::filesystem::create_directories(out_path.parent_path());
-  std::ofstream out(sweep.out_path);
-  if (!out) throw std::runtime_error("sweep: cannot open " + sweep.out_path);
   if (!sweep.trace_dir.empty()) std::filesystem::create_directories(sweep.trace_dir);
+
+  // Crash-safe orchestration: completed runs append to the manifest as they
+  // finish; the final out file is only assembled (in run-index order) once
+  // every run is in. An interrupted sweep restarts with `resume=true` and
+  // re-executes only the runs missing from the manifest.
+  const std::string manifest_path = sweep.out_path + ".partial";
+  std::vector<std::string> lines(grid.size());
+  std::size_t reused = 0;
+  if (sweep.resume) {
+    reused = read_manifest(manifest_path, grid, lines);
+    if (reused > 0) {
+      SPECDAG_LOG(Info) << "sweep: resuming, " << reused << "/" << grid.size()
+                        << " runs reused from " << manifest_path;
+    }
+  }
+  std::ofstream manifest(manifest_path, sweep.resume ? std::ios::app : std::ios::trunc);
+  if (!manifest) throw std::runtime_error("sweep: cannot open " + manifest_path);
 
   std::vector<SweepRun> results(grid.size());
   std::mutex sink_mutex;
@@ -177,6 +230,11 @@ std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) 
   }
 
   auto run_one = [&](std::size_t run_index) {
+    results[run_index].run_index = run_index;
+    results[run_index].seed = grid[run_index].second;
+    results[run_index].params = grid[run_index].first;
+    if (!lines[run_index].empty()) return;  // reused from the manifest
+
     Json spec_json = sweep.base;
     for (const auto& [path, value] : grid[run_index].first.as_object()) {
       spec_json.set_path(path, value);
@@ -190,6 +248,17 @@ std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) 
           ("run-" + std::to_string(run_index) + ".trace.json");
       spec_json.set_path("obs.trace", Json(trace_path.string()));
     }
+    // When the base spec checkpoints, every run gets its own checkpoint
+    // directory — per-run checkpoints make an interrupted run inside a sweep
+    // resumable without colliding with its siblings.
+    if (const Json* checkpoint = spec_json.find("checkpoint")) {
+      const std::string dir = checkpoint->string_or("dir", "");
+      if (!dir.empty()) {
+        const std::filesystem::path run_dir =
+            std::filesystem::path(dir) / ("run-" + std::to_string(run_index));
+        spec_json.set_path("checkpoint.dir", Json(run_dir.string()));
+      }
+    }
     ScenarioSpec spec = spec_from_json(spec_json);
     ScenarioResult result = run_scenario(spec);
 
@@ -201,16 +270,16 @@ std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) 
 
     {
       std::lock_guard<std::mutex> lock(sink_mutex);
-      out << line.dump() << '\n';
-      out.flush();
+      lines[run_index] = line.dump();
+      manifest << lines[run_index] << '\n';
+      manifest.flush();
       if (progress != nullptr) {
         *progress << "[" << (run_index + 1) << "/" << grid.size() << "] " << spec.name
                   << " params=" << grid[run_index].first.dump()
                   << " final_accuracy=" << result.final_accuracy << "\n";
       }
     }
-    results[run_index] = SweepRun{run_index, grid[run_index].second,
-                                 grid[run_index].first, std::move(result)};
+    results[run_index].result = std::move(result);
   };
 
   if (!parallel) {
@@ -220,14 +289,23 @@ std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress) 
     pool.parallel_for(grid.size(), run_one);
   }
 
-  // Footer: the merged sweep.obs aggregate (plus per-axis totals) closes
-  // the JSONL stream; readers distinguish it from run lines by the "sweep"
-  // key. Optionally exported as Prometheus text for dashboards.
+  // Every run is in: assemble the final out file in run-index order, append
+  // the footer (the merged sweep.obs aggregate plus per-axis totals; readers
+  // distinguish it from run lines by the "sweep" key), then drop the
+  // manifest — its job is done.
+  std::ofstream out(sweep.out_path);
+  if (!out) throw std::runtime_error("sweep: cannot open " + sweep.out_path);
+  for (const std::string& line : lines) out << line << '\n';
   obs::MetricsSnapshot aggregate;
   bool any_obs = false;
-  const Json footer = build_sweep_footer(sweep, results, aggregate, any_obs);
+  const Json footer = build_sweep_footer(sweep, results, reused, aggregate, any_obs);
   out << footer.dump() << '\n';
   out.flush();
+  manifest.close();
+  {
+    std::error_code ec;
+    std::filesystem::remove(manifest_path, ec);
+  }
   if (!sweep.metrics_out.empty()) {
     if (any_obs) {
       if (!obs::write_prometheus_file(sweep.metrics_out, aggregate)) {

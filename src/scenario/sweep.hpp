@@ -52,6 +52,11 @@ struct SweepSpec {
   // Non-empty: the sweep-level obs aggregate (all runs merged) is exported
   // as Prometheus text exposition to this path.
   std::string metrics_out;
+  // Reuse finished runs recorded in <out_path>.partial by an interrupted
+  // invocation of the same grid and execute only the rest (the `--resume`
+  // CLI flag). The manifest is validated against this grid — a changed
+  // base/axes/seed derivation is rejected rather than silently mixed.
+  bool resume = false;
 
   // Total number of runs in the grid.
   std::size_t num_runs() const;
@@ -72,10 +77,14 @@ struct SweepRun {
 // prints): per run the resolved params and derived seed.
 std::vector<std::pair<Json, std::uint64_t>> expand_grid(const SweepSpec& sweep);
 
-// Runs the whole grid. Results stream to `sweep.out_path` as they complete
-// (one JSON object per line, mutex-serialized); the returned vector is
-// ordered by run index. `progress`, when non-null, receives one line per
-// completed run.
+// Runs the whole grid. Completed runs stream to `<out_path>.partial` (one
+// JSON object per line, flushed per run — the crash-safe manifest `resume`
+// reads); on success the final `out_path` is written in run-index order and
+// the manifest is removed. The returned vector is ordered by run index.
+// `progress`, when non-null, receives one line per completed run. After a
+// resume, reused runs keep their recorded JSONL lines verbatim; the footer's
+// merged sweep.obs aggregate covers only the runs executed by this
+// invocation (histogram state is not reconstructible from JSON).
 std::vector<SweepRun> run_sweep(const SweepSpec& sweep, std::ostream* progress = nullptr);
 
 }  // namespace specdag::scenario

@@ -98,6 +98,8 @@ void AsyncDagSimulator::begin_partition(std::vector<int> group_of_client) {
         static_cast<int>(i),
         tipsel::make_group_visibility_mask(groups, (*groups)[i], start_round));
   }
+  partition_groups_ = groups;
+  partition_start_round_ = start_round;
   partitioned_ = true;
 }
 
@@ -105,6 +107,8 @@ void AsyncDagSimulator::heal_partition() {
   for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
     net_.set_visibility_mask(static_cast<int>(i), nullptr);
   }
+  partition_groups_.reset();
+  partition_start_round_ = 0;
   partitioned_ = false;
 }
 

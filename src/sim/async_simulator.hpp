@@ -27,6 +27,7 @@
 // bit.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <queue>
 
@@ -35,6 +36,10 @@
 #include "metrics/dag_metrics.hpp"
 #include "sim/perf.hpp"
 #include "util/thread_pool.hpp"
+
+namespace specdag::snapshot {
+struct Access;
+}
 
 namespace specdag::sim {
 
@@ -120,6 +125,8 @@ class AsyncDagSimulator {
   std::size_t prepare_threads() const { return pool_ ? pool_->size() : 1; }
 
  private:
+  friend struct snapshot::Access;  // checkpoint serialization (src/snapshot)
+
   struct Event {
     double time;
     // Deterministic tie-breaks: (time, seq) ordering.
@@ -156,6 +163,10 @@ class AsyncDagSimulator {
   std::vector<char> active_;        // churn: 1 = clock running
   std::vector<char> clock_armed_;   // 1 = a kClientStep event is in flight
   bool partitioned_ = false;
+  // Active partition record (see DagSimulator): the masks bake the start
+  // round, so restores rebuild them from this instead of the spec.
+  std::shared_ptr<const std::vector<int>> partition_groups_;
+  std::size_t partition_start_round_ = 0;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t total_steps_ = 0;

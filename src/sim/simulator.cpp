@@ -89,6 +89,8 @@ void DagSimulator::begin_partition(std::vector<int> group_of_client) {
     net_.set_visibility_mask(
         static_cast<int>(i), tipsel::make_group_visibility_mask(groups, (*groups)[i], round_));
   }
+  partition_groups_ = groups;
+  partition_start_round_ = round_;
   partitioned_ = true;
 }
 
@@ -96,6 +98,8 @@ void DagSimulator::heal_partition() {
   for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
     net_.set_visibility_mask(static_cast<int>(i), nullptr);
   }
+  partition_groups_.reset();
+  partition_start_round_ = 0;
   partitioned_ = false;
 }
 

@@ -8,6 +8,7 @@
 // end of the round in deterministic order.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "core/specializing_dag.hpp"
@@ -16,6 +17,10 @@
 #include "metrics/dag_metrics.hpp"
 #include "sim/perf.hpp"
 #include "util/thread_pool.hpp"
+
+namespace specdag::snapshot {
+struct Access;
+}
 
 namespace specdag::sim {
 
@@ -124,6 +129,8 @@ class DagSimulator {
   std::size_t pending_transactions() const { return pending_.size(); }
 
  private:
+  friend struct snapshot::Access;  // checkpoint serialization (src/snapshot)
+
   struct PendingCommit {
     int handle;
     fl::DagRoundResult result;
@@ -145,6 +152,12 @@ class DagSimulator {
   std::vector<PendingCommit> pending_;
   std::vector<char> active_;  // churn: 1 = participating this experiment phase
   bool partitioned_ = false;
+  // The active partition's grouping and start round — the inputs the
+  // visibility masks were built from. The masks bake the round the
+  // partition began at, so a checkpoint restore must rebuild them from
+  // this record rather than from the spec alone.
+  std::shared_ptr<const std::vector<int>> partition_groups_;
+  std::size_t partition_start_round_ = 0;
   std::size_t round_ = 0;
   int poison_class_a_ = 0;  // classes of the last apply_poisoning (for revert)
   int poison_class_b_ = 0;

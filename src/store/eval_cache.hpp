@@ -19,6 +19,10 @@
 
 #include "store/model_store.hpp"
 
+namespace specdag::snapshot {
+struct Access;
+}
+
 namespace specdag::store {
 
 struct EvalCacheStats {
@@ -53,6 +57,8 @@ class ShardedEvalCache {
   EvalCacheStats stats() const;
 
  private:
+  friend struct snapshot::Access;  // checkpoint serialization (src/snapshot)
+
   struct Key {
     int client;
     ContentHash hash;

@@ -48,6 +48,10 @@
 #include "nn/model.hpp"
 #include "util/thread_pool.hpp"
 
+namespace specdag::snapshot {
+struct Access;
+}
+
 namespace specdag::store {
 
 using WeightsPtr = std::shared_ptr<const nn::WeightVector>;
@@ -184,6 +188,8 @@ class ModelStore {
   const StoreConfig& config() const { return config_; }
 
  private:
+  friend struct snapshot::Access;  // checkpoint serialization (src/snapshot)
+
   // Lifecycle of an entry's payload representation. Sync puts settle
   // immediately (kAnchor or kDelta); async puts pass through kEncoding.
   enum class EntryState : std::uint8_t { kAnchor, kEncoding, kDelta };
